@@ -1,0 +1,25 @@
+# Developer entry points.  Everything assumes `pip install -e .
+# --no-build-isolation` has run once (plus pytest, pytest-benchmark,
+# hypothesis for the test/bench targets).
+
+.PHONY: test bench examples experiments lint-clean
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/compare_controllers.py
+	python examples/dynamic_budget.py
+	python examples/custom_workload.py
+	python examples/warm_start.py
+	python examples/statistical_comparison.py
+
+experiments:
+	python -m repro list
+
+lint-clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

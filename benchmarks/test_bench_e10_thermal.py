@@ -1,0 +1,22 @@
+"""Bench E10 — extension: thermally-safe OD-RL."""
+
+from conftest import N_CORES, SEED, save_report
+
+from repro.experiments import run_e10
+
+
+def test_bench_e10_thermal(benchmark):
+    result = benchmark.pedantic(
+        run_e10,
+        kwargs={"n_cores": N_CORES, "n_epochs": 2500, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    m = result.data["metrics"]
+    limit = result.data["thermal_limit"]
+    assert m["power-only"]["peak_T_K"] > limit
+    assert m["thermal-limited"]["peak_T_K"] < m["power-only"]["peak_T_K"]
+    assert m["thermal-limited"]["mean_excess_K"] < 1.0

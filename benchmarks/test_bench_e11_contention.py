@@ -1,0 +1,22 @@
+"""Bench E11 — extension: memory-bandwidth contention."""
+
+from conftest import N_CORES, SEED, save_report
+
+from repro.experiments import run_e11
+
+
+def test_bench_e11_contention(benchmark):
+    result = benchmark.pedantic(
+        run_e11,
+        kwargs={"n_cores": N_CORES, "n_epochs": 2000, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    gain = result.data["realloc_gain"]
+    # Contention shape: the reallocation level helps in both regimes, and
+    # at least as much when the memory system is contended.
+    assert gain["uncontended"] > 0
+    assert gain["contended"] > 0

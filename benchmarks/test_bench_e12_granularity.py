@@ -1,0 +1,22 @@
+"""Bench E12 — extension: VFI granularity sweep."""
+
+from conftest import N_CORES, SEED, save_report
+
+from repro.experiments import run_e12
+
+
+def test_bench_e12_granularity(benchmark):
+    result = benchmark.pedantic(
+        run_e12,
+        kwargs={"n_cores": N_CORES, "n_epochs": 1500, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    bips = result.data["bips_by_size"]
+    sizes = sorted(bips)
+    # Granularity shape: per-core control beats chip-wide by a clear
+    # margin, and the curve is (weakly) downward in island size.
+    assert bips[sizes[0]] > bips[sizes[-1]] * 1.05

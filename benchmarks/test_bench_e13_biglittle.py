@@ -1,0 +1,24 @@
+"""Bench E13 — extension: heterogeneous big.LITTLE chip."""
+
+from conftest import N_CORES, SEED, save_report
+
+from repro.experiments import run_e13
+
+
+def test_bench_e13_biglittle(benchmark):
+    result = benchmark.pedantic(
+        run_e13,
+        kwargs={"n_cores": N_CORES, "n_epochs": 2000, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    m = result.data["metrics"]
+    shares = result.data["allocation_by_type"]
+    # Heterogeneity shape: OD-RL stays compliant, beats PID on efficiency,
+    # and routes meaningfully more budget to big cores.
+    assert m["od-rl"]["obe_J"] < m["pid"]["obe_J"]
+    assert m["od-rl"]["instr_per_J"] > m["pid"]["instr_per_J"]
+    assert shares["big"] > 1.5 * shares["little"]

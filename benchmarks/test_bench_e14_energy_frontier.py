@@ -1,0 +1,26 @@
+"""Bench E14 — extension: energy/performance frontier."""
+
+from conftest import N_CORES, SEED, save_report
+
+from repro.experiments import run_e14
+
+
+def test_bench_e14_energy_frontier(benchmark):
+    result = benchmark.pedantic(
+        run_e14,
+        kwargs={"n_cores": N_CORES, "n_epochs": 2000, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    frontier = result.data["frontier"]
+    etas = sorted(frontier)
+    # Frontier shape: efficiency rises monotonically along the sweep while
+    # throughput falls; compliance holds everywhere.
+    effs = [frontier[e]["instr_per_J"] for e in etas]
+    bips = [frontier[e]["bips"] for e in etas]
+    assert effs[-1] > effs[0]
+    assert bips[-1] < bips[0]
+    assert all(frontier[e]["obe_J"] < 0.1 for e in etas)

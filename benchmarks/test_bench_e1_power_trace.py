@@ -1,0 +1,24 @@
+"""Bench E1 — regenerate the chip-power-trace figure."""
+
+from conftest import N_CORES, N_EPOCHS, SEED, save_report
+
+from repro.experiments import run_e1
+
+
+def test_bench_e1_power_trace(benchmark):
+    result = benchmark.pedantic(
+        run_e1,
+        kwargs={"n_cores": N_CORES, "n_epochs": N_EPOCHS, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    budget = result.data["budget"]
+    traces = result.data["traces"]
+    # Figure shape: the capped controllers settle at/below the TDP line,
+    # the uncapped anchor sits above it.
+    assert traces["uncapped"][-5:].mean() > budget
+    for name in ("od-rl", "maxbips"):
+        assert traces[name][-5:].mean() <= budget * 1.02

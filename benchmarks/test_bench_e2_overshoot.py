@@ -1,0 +1,26 @@
+"""Bench E2 — regenerate the budget-overshoot table (claim C1)."""
+
+from conftest import N_CORES, N_EPOCHS, SEED, save_report
+
+from repro.experiments import run_e2
+
+
+def test_bench_e2_overshoot(benchmark, suite_results):
+    result = benchmark.pedantic(
+        run_e2,
+        kwargs={
+            "n_cores": N_CORES,
+            "n_epochs": N_EPOCHS,
+            "seed": SEED,
+            "results": suite_results,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    # Claim C1 shape: large overshoot reduction versus the reactive
+    # state of practice (PID) on at least one benchmark.
+    reduction_vs_pid = result.data["reduction_vs_baseline"]["pid"]
+    assert max(reduction_vs_pid.values()) > 80.0

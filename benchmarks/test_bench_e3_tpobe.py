@@ -1,0 +1,25 @@
+"""Bench E3 — regenerate the throughput-per-over-budget-energy table (C2a)."""
+
+from conftest import N_CORES, N_EPOCHS, SEED, save_report
+
+from repro.experiments import run_e3
+
+
+def test_bench_e3_tpobe(benchmark, suite_results):
+    result = benchmark.pedantic(
+        run_e3,
+        kwargs={
+            "n_cores": N_CORES,
+            "n_epochs": N_EPOCHS,
+            "seed": SEED,
+            "results": suite_results,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    # Claim C2a shape: a multiple-x advantage over PID somewhere.
+    advantage_vs_pid = result.data["advantage_vs_baseline"]["pid"]
+    assert max(advantage_vs_pid.values()) > 5.0

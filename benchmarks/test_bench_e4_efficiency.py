@@ -1,0 +1,26 @@
+"""Bench E4 — regenerate the energy-efficiency table (claim C2b)."""
+
+from conftest import N_CORES, N_EPOCHS, SEED, save_report
+
+from repro.experiments import run_e4
+
+
+def test_bench_e4_efficiency(benchmark, suite_results):
+    result = benchmark.pedantic(
+        run_e4,
+        kwargs={
+            "n_cores": N_CORES,
+            "n_epochs": N_EPOCHS,
+            "seed": SEED,
+            "results": suite_results,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    # Claim C2b shape: OD-RL's efficiency beats every baseline somewhere.
+    assert result.data["max_gain"] > 0.0
+    gain_vs_pid = result.data["gain_vs_baseline"]["pid"]
+    assert max(gain_vs_pid.values()) > 2.0

@@ -1,0 +1,28 @@
+"""Bench E6 — regenerate the on-line learning convergence figure."""
+
+from conftest import N_CORES, SEED, save_report
+
+from repro.experiments import run_e6
+
+
+def test_bench_e6_convergence(benchmark):
+    result = benchmark.pedantic(
+        run_e6,
+        kwargs={
+            "n_cores": N_CORES,
+            "n_epochs": 4000,
+            "n_windows": 20,
+            "seed": SEED,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    conv = result.data["converged"]
+    # Figure shape: throughput does not degrade over the run and the
+    # steady state is a well-utilized, compliant operating point.
+    assert conv["bips_last_quarter"] >= 0.95 * conv["bips_first_quarter"]
+    assert conv["obe_last_quarter"] <= conv["obe_first_quarter"] + 1e-6
+    assert conv["util_last_quarter"] > 0.6

@@ -1,0 +1,28 @@
+"""Bench E7 — regenerate the budget-sensitivity figure."""
+
+from conftest import N_CORES, SEED, save_report
+
+from repro.experiments import run_e7
+
+
+def test_bench_e7_budget_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_e7,
+        kwargs={
+            "n_cores": N_CORES,
+            "n_epochs": 1000,
+            "seed": SEED,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    bips = result.data["bips"]
+    obe = result.data["obe"]
+    # Figure shape: throughput grows with the budget for every controller,
+    # and OD-RL's overshoot stays below PID's at every point.
+    for series in bips.values():
+        assert series[-1] >= series[0]
+    assert sum(obe["od-rl"]) < sum(obe["pid"])

@@ -1,0 +1,27 @@
+"""Bench E8 — regenerate the OD-RL design-ablation table."""
+
+from conftest import N_CORES, SEED, save_report
+
+from repro.experiments import run_e8
+
+
+def test_bench_e8_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_e8,
+        kwargs={
+            "n_cores": N_CORES,
+            "n_epochs": 2000,
+            "seed": SEED,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    metrics = result.data["metrics"]
+    default_key = next(k for k in metrics if k.startswith("default"))
+    # Ablation shape: removing the global reallocation level costs
+    # throughput, and the strictest penalty costs utilization.
+    assert metrics[default_key]["bips"] >= metrics["no-realloc"]["bips"]
+    assert metrics["lam=4"]["utilization"] <= metrics["lam=0.5"]["utilization"]

@@ -1,0 +1,24 @@
+"""Bench E9 — extension: process-variation robustness."""
+
+from conftest import N_CORES, N_EPOCHS, SEED, save_report
+
+from repro.experiments import run_e9
+
+
+def test_bench_e9_variation(benchmark):
+    result = benchmark.pedantic(
+        run_e9,
+        kwargs={"n_cores": N_CORES, "n_epochs": N_EPOCHS, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    bips = result.data["bips"]
+    obe = result.data["obe"]
+    # Robustness shape: OD-RL's throughput and compliance are essentially
+    # unchanged on the varied die.
+    drift = abs(bips["od-rl"]["varied"] - bips["od-rl"]["nominal"])
+    assert drift < 0.05 * bips["od-rl"]["nominal"]
+    assert obe["od-rl"]["varied"] < 0.1  # joules over the whole run

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Author a custom workload trace, freeze it to disk, and analyse per-core
+budget shares.
+
+Shows the workload API end-to-end: hand-built phases for a bespoke
+application (a pipelined video-analytics service with distinct stage
+behaviours), JSON trace round-trip, and per-core inspection of where the
+global reallocator sends the watts.
+
+Run:
+    python examples/custom_workload.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import ManyCoreChip, ODRLController, default_system
+from repro.sim import simulate
+from repro.workloads import (
+    CorePhaseSequence,
+    Phase,
+    Workload,
+    load_workload,
+    save_workload,
+)
+
+
+def build_video_analytics_workload(n_cores: int) -> Workload:
+    """Three pipeline stages with very different DVFS profiles."""
+    decode = CorePhaseSequence([
+        # Bursty, moderately memory-bound (bitstream + reference frames).
+        Phase(duration=0.008, mem_intensity=0.012, compute_intensity=0.6),
+        Phase(duration=0.004, mem_intensity=0.003, compute_intensity=0.8),
+    ])
+    inference = CorePhaseSequence([
+        # Dense compute: frequency converts directly into throughput.
+        Phase(duration=0.030, mem_intensity=0.001, compute_intensity=0.95),
+    ])
+    tracking = CorePhaseSequence([
+        # Pointer chasing over working sets: heavily memory-bound.
+        Phase(duration=0.020, mem_intensity=0.022, compute_intensity=0.4),
+    ])
+    stages = [decode, inference, tracking]
+    return Workload([stages[i % 3] for i in range(n_cores)], name="video-analytics")
+
+
+def main() -> None:
+    n_cores = 24
+    workload = build_video_analytics_workload(n_cores)
+
+    # Freeze the trace and reload it — experiments should run from the
+    # frozen artifact so results are replayable.
+    trace_path = Path(tempfile.gettempdir()) / "video_analytics_trace.json"
+    save_workload(workload, trace_path)
+    workload = load_workload(trace_path)
+    print(f"trace frozen to {trace_path} and reloaded "
+          f"({len(workload)} core sequences)\n")
+
+    cfg = default_system(n_cores=n_cores, budget_fraction=0.55)
+    controller = ODRLController(cfg, seed=0)
+    chip = ManyCoreChip(cfg, workload)
+    result = simulate(chip, controller, 2000, record_per_core=True)
+
+    tail_power = result.core_power[-400:].mean(axis=0)
+    tail_level = result.core_levels[-400:].mean(axis=0)
+    stage_names = ["decode", "inference", "tracking"]
+    print(f"TDP {cfg.power_budget:.1f} W; steady chip power "
+          f"{result.tail(0.2).chip_power.mean():.1f} W\n")
+    print("stage       cores  alloc(W)  power(W)  mean VF level")
+    for s, name in enumerate(stage_names):
+        idx = np.arange(n_cores)[np.arange(n_cores) % 3 == s]
+        print(f"{name:10s} {len(idx):5d}  {controller.allocation[idx].mean():8.2f}"
+              f"  {tail_power[idx].mean():8.2f}  {tail_level[idx].mean():10.1f}")
+
+    print("\nThe reallocator concentrates budget on the inference cores "
+          "(compute-bound,\nhigh IPC) and starves the tracking cores, whose "
+          "throughput frequency cannot buy.")
+
+
+if __name__ == "__main__":
+    main()

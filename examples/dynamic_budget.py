@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Dynamic power-budget tracking: thermal emergency and turbo windows.
+
+Data-center power capping changes a chip's budget at runtime — a rack-level
+manager revokes watts during a thermal event and grants extra during a
+turbo window.  This demo drives OD-RL through three budget regimes within
+one run (nominal -> emergency 65 % -> turbo 120 %) *without resetting the
+learned policy*: because the agents' state is power slack relative to
+their *allocation*, the same Q-tables keep working when the shares move.
+
+Run:
+    python examples/dynamic_budget.py
+"""
+
+import numpy as np
+
+from repro import ManyCoreChip, ODRLController, default_system, mixed_workload
+from repro.sim import simulate
+
+
+def run_regime(chip, controller, n_epochs, label):
+    result = simulate(chip, controller, n_epochs, reset=False)
+    tail = result.tail(0.5)
+    budget = controller.cfg.power_budget
+    over = np.maximum(tail.chip_power - budget, 0)
+    print(f"{label:22s} budget={budget:6.1f} W  "
+          f"power={tail.chip_power.mean():6.1f} W  "
+          f"util={tail.chip_power.mean() / budget:5.1%}  "
+          f"overshoot={over.mean() / budget:6.2%}  "
+          f"BIPS={tail.mean_throughput / 1e9:6.2f}")
+    return result
+
+
+def main() -> None:
+    n_cores = 48
+    cfg = default_system(n_cores=n_cores, budget_fraction=0.6)
+    workload = mixed_workload(n_cores, seed=3)
+    chip = ManyCoreChip(cfg, workload)
+    controller = ODRLController(cfg, seed=0)
+    chip.reset()
+    controller.reset()
+
+    print(f"{n_cores}-core chip; nominal TDP {cfg.power_budget:.1f} W\n")
+
+    # Phase 1: learn under the nominal budget.
+    run_regime(chip, controller, 1500, "nominal")
+
+    # Phase 2: thermal emergency — the rack manager revokes 35 % of the
+    # budget.  Swap the controller's config; its Q-tables carry over.
+    emergency = cfg.with_budget(0.65 * cfg.power_budget)
+    controller.cfg = emergency
+    controller.allocation = controller.allocation * 0.65
+    run_regime(chip, controller, 1000, "thermal emergency")
+
+    # Phase 3: turbo window — 120 % of nominal for a burst.
+    turbo = cfg.with_budget(1.2 * cfg.power_budget)
+    controller.cfg = turbo
+    controller.allocation = np.clip(
+        controller.allocation * (1.2 / 0.65), controller._floors, controller._caps
+    )
+    run_regime(chip, controller, 1000, "turbo window")
+
+    print("\nThe same learned policy tracks all three budgets: utilization "
+          "stays high and\novershoot stays near zero through both transitions.")
+
+
+if __name__ == "__main__":
+    main()

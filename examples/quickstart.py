@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: control a 64-core chip's power with OD-RL.
+
+Builds the default evaluation system (64 cores, 8 VF levels, TDP at 60 % of
+worst-case peak power), runs the OD-RL controller on a heterogeneous
+multiprogrammed workload, and prints the headline metrics.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ODRLController,
+    budget_utilization,
+    default_system,
+    energy_efficiency,
+    mixed_workload,
+    over_budget_energy,
+    overshoot_fraction,
+    run_controller,
+    throughput_bips,
+)
+
+
+def main() -> None:
+    n_cores = 64
+    cfg = default_system(n_cores=n_cores, budget_fraction=0.6)
+    print(f"System: {n_cores} cores, {cfg.n_levels} VF levels, "
+          f"TDP = {cfg.power_budget:.1f} W, epoch = {cfg.epoch_time * 1e3:.1f} ms")
+
+    workload = mixed_workload(n_cores, seed=0)
+    controller = ODRLController(cfg, seed=0)
+
+    print("Running 2000 control epochs (2 simulated seconds)...")
+    result = run_controller(cfg, workload, controller, n_epochs=2000)
+
+    steady = result.tail(0.5)  # score after the on-line learning warm-up
+    print()
+    print(f"throughput            : {throughput_bips(steady):8.2f} BIPS")
+    print(f"budget utilization    : {budget_utilization(steady):8.1%}")
+    print(f"epochs over budget    : {overshoot_fraction(steady):8.1%}")
+    print(f"over-budget energy    : {over_budget_energy(steady):8.4f} J")
+    print(f"energy efficiency     : {energy_efficiency(steady) / 1e9:8.3f} GInstr/J")
+    print()
+    print(f"controller decision time: {result.decision_time.mean() * 1e6:.0f} us/epoch "
+          f"(budget reallocation guard band: {controller.guard:.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""repro — OD-RL: On-line Distributed Reinforcement Learning for power
+limited many-core system performance optimization.
+
+Reproduction of Chen & Marculescu, DATE 2015.  The library has four layers:
+
+* :mod:`repro.manycore` — the simulated chip (power / thermal / performance
+  / sensors), standing in for the paper's architectural simulator.
+* :mod:`repro.workloads` — synthetic phase traces with SPLASH-2/PARSEC-like
+  behaviour.
+* :mod:`repro.core` — the contribution: per-core RL DVFS agents plus
+  global power-budget reallocation (:class:`~repro.core.ODRLController`).
+* :mod:`repro.baselines`, :mod:`repro.sim`, :mod:`repro.metrics`,
+  :mod:`repro.experiments` — the comparison controllers, the closed-loop
+  simulator, evaluation metrics, and the reconstructed paper experiments.
+
+Quickstart::
+
+    from repro import default_system, mixed_workload, ODRLController, run_controller
+
+    cfg = default_system(n_cores=64, budget_fraction=0.6)
+    workload = mixed_workload(64, seed=0)
+    controller = ODRLController(cfg, seed=0)
+    result = run_controller(cfg, workload, controller, n_epochs=2000)
+    print(result.mean_throughput / 1e9, "BIPS")
+"""
+
+from repro.baselines import (
+    CentralizedRLController,
+    GreedyAscentController,
+    MaxBIPSController,
+    PIDCappingController,
+    PriorityController,
+    SteepestDropController,
+    StaticUniformController,
+    UncappedController,
+)
+from repro.core import (
+    ODRLController,
+    QLearningPopulation,
+    RewardParams,
+    StateEncoder,
+    load_policy,
+    reallocate_budget,
+    save_policy,
+    uniform_allocation,
+)
+from repro.manycore import (
+    CoreVariation,
+    EpochObservation,
+    ManyCoreChip,
+    MemorySystem,
+    MemorySystemParams,
+    SystemConfig,
+    TechnologyParams,
+    VariationParams,
+    default_memory_system,
+    default_system,
+    sample_variation,
+)
+from repro.metrics import (
+    budget_utilization,
+    energy_efficiency,
+    over_budget_energy,
+    overshoot_fraction,
+    throughput_bips,
+    throughput_per_over_budget_energy,
+)
+from repro.sim import (
+    Controller,
+    SimulationResult,
+    run_budget_sweep,
+    run_controller,
+    run_suite,
+    simulate,
+    standard_controllers,
+)
+from repro.workloads import (
+    Phase,
+    Workload,
+    benchmark_names,
+    make_benchmark,
+    make_suite,
+    mixed_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CentralizedRLController",
+    "GreedyAscentController",
+    "MaxBIPSController",
+    "PIDCappingController",
+    "PriorityController",
+    "SteepestDropController",
+    "StaticUniformController",
+    "UncappedController",
+    "ODRLController",
+    "QLearningPopulation",
+    "RewardParams",
+    "StateEncoder",
+    "load_policy",
+    "reallocate_budget",
+    "save_policy",
+    "uniform_allocation",
+    "CoreVariation",
+    "EpochObservation",
+    "ManyCoreChip",
+    "MemorySystem",
+    "MemorySystemParams",
+    "SystemConfig",
+    "TechnologyParams",
+    "VariationParams",
+    "default_memory_system",
+    "default_system",
+    "sample_variation",
+    "budget_utilization",
+    "energy_efficiency",
+    "over_budget_energy",
+    "overshoot_fraction",
+    "throughput_bips",
+    "throughput_per_over_budget_energy",
+    "Controller",
+    "SimulationResult",
+    "run_budget_sweep",
+    "run_controller",
+    "run_suite",
+    "simulate",
+    "standard_controllers",
+    "Phase",
+    "Workload",
+    "benchmark_names",
+    "make_benchmark",
+    "make_suite",
+    "mixed_workload",
+    "__version__",
+]

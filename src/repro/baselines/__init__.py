@@ -1,0 +1,30 @@
+"""Baseline controllers the paper compares OD-RL against."""
+
+from repro.baselines.centralized_rl import CentralizedRLController
+from repro.baselines.estimator import LevelPredictions, PowerPerfEstimator
+from repro.baselines.greedy import GreedyAscentController, SteepestDropController
+from repro.baselines.maxbips import MaxBIPSController, solve_dp, solve_exhaustive
+from repro.baselines.maxswap import MaxSwapController, solve_max_swap
+from repro.baselines.pid import PIDCappingController
+from repro.baselines.static_ import (
+    PriorityController,
+    StaticUniformController,
+    UncappedController,
+)
+
+__all__ = [
+    "CentralizedRLController",
+    "LevelPredictions",
+    "PowerPerfEstimator",
+    "GreedyAscentController",
+    "SteepestDropController",
+    "MaxBIPSController",
+    "solve_dp",
+    "solve_exhaustive",
+    "MaxSwapController",
+    "solve_max_swap",
+    "PIDCappingController",
+    "PriorityController",
+    "StaticUniformController",
+    "UncappedController",
+]

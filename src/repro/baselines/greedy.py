@@ -1,0 +1,130 @@
+"""Greedy model-based allocation baselines.
+
+Two classic heuristics from the power-capping literature, both driven by
+the on-line model of :class:`~repro.baselines.estimator.PowerPerfEstimator`:
+
+* :class:`GreedyAscentController` — start every core at the bottom level;
+  repeatedly grant the single level upgrade with the best predicted
+  marginal throughput per watt, while the predicted chip power fits the
+  budget.  (The "maximize-then-swap"/marginal-utility family.)
+* :class:`SteepestDropController` — start every core at the top; while the
+  predicted chip power exceeds the budget, take the single downgrade that
+  sheds the most power per unit of predicted throughput lost.  (The
+  steepest-drop heuristic of Winter et al.)
+
+Both run a heap-driven pass per epoch: O(n·L log n) decision cost.  Their
+weakness versus OD-RL is the model itself — the activity/leakage inversion
+drifts with die temperature, so "fits the budget" in the model can overshoot
+in reality, every epoch, systematically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.estimator import LevelPredictions, PowerPerfEstimator
+from repro.manycore.chip import EpochObservation
+from repro.manycore.config import SystemConfig
+from repro.manycore.hetero import HeterogeneousMap
+from repro.sim.interface import Controller
+
+__all__ = ["GreedyAscentController", "SteepestDropController"]
+
+
+def _greedy_ascent(pred: LevelPredictions, budget: float) -> np.ndarray:
+    """Bottom-up marginal-utility allocation.  Shared by controllers/tests."""
+    power, ips = pred.power, pred.ips
+    n, n_levels = power.shape
+    levels = np.zeros(n, dtype=int)
+    total = float(np.sum(power[:, 0]))
+    heap = []
+    for i in range(n):
+        if n_levels > 1:
+            dp = power[i, 1] - power[i, 0]
+            dips = ips[i, 1] - ips[i, 0]
+            heap.append((-dips / max(dp, 1e-12), i, 1))
+    heapq.heapify(heap)
+    while heap:
+        _, i, lvl = heapq.heappop(heap)
+        if levels[i] != lvl - 1:
+            continue  # stale entry
+        dp = power[i, lvl] - power[i, lvl - 1]
+        if total + dp > budget:
+            continue  # this upgrade does not fit; others may
+        levels[i] = lvl
+        total += dp
+        if lvl + 1 < n_levels:
+            dp_next = power[i, lvl + 1] - power[i, lvl]
+            dips_next = ips[i, lvl + 1] - ips[i, lvl]
+            heapq.heappush(heap, (-dips_next / max(dp_next, 1e-12), i, lvl + 1))
+    return levels
+
+
+def _steepest_drop(pred: LevelPredictions, budget: float) -> np.ndarray:
+    """Top-down power shedding.  Shared by controllers/tests."""
+    power, ips = pred.power, pred.ips
+    n, n_levels = power.shape
+    levels = np.full(n, n_levels - 1, dtype=int)
+    total = float(np.sum(power[:, -1]))
+    heap = []
+
+    def push(i: int) -> None:
+        lvl = levels[i]
+        if lvl == 0:
+            return
+        dp = power[i, lvl] - power[i, lvl - 1]
+        dips = ips[i, lvl] - ips[i, lvl - 1]
+        # Most power shed per throughput lost first -> smallest dips/dp.
+        heap.append((dips / max(dp, 1e-12), i, lvl))
+
+    for i in range(n):
+        push(i)
+    heapq.heapify(heap)
+    while total > budget and heap:
+        _, i, lvl = heapq.heappop(heap)
+        if levels[i] != lvl:
+            continue  # stale entry
+        levels[i] = lvl - 1
+        total -= power[i, lvl] - power[i, lvl - 1]
+        if levels[i] > 0:
+            dp = power[i, levels[i]] - power[i, levels[i] - 1]
+            dips = ips[i, levels[i]] - ips[i, levels[i] - 1]
+            heapq.heappush(heap, (dips / max(dp, 1e-12), i, levels[i]))
+    return levels
+
+
+class GreedyAscentController(Controller):
+    """Per-epoch bottom-up marginal-utility allocation on model predictions."""
+
+    name = "greedy-ascent"
+
+    def __init__(self, cfg: SystemConfig, hetero: HeterogeneousMap | None = None):
+        super().__init__(cfg)
+        self._estimator = PowerPerfEstimator(cfg, hetero=hetero)
+
+    def decide(self, obs: Optional[EpochObservation]) -> np.ndarray:
+        if obs is None:
+            pred = self._estimator.cold_predictions(self.n_cores)
+        else:
+            pred = self._estimator.predict(obs)
+        return _greedy_ascent(pred, self.cfg.power_budget)
+
+
+class SteepestDropController(Controller):
+    """Per-epoch top-down steepest-drop power shedding on model predictions."""
+
+    name = "steepest-drop"
+
+    def __init__(self, cfg: SystemConfig, hetero: HeterogeneousMap | None = None):
+        super().__init__(cfg)
+        self._estimator = PowerPerfEstimator(cfg, hetero=hetero)
+
+    def decide(self, obs: Optional[EpochObservation]) -> np.ndarray:
+        if obs is None:
+            pred = self._estimator.cold_predictions(self.n_cores)
+        else:
+            pred = self._estimator.predict(obs)
+        return _steepest_drop(pred, self.cfg.power_budget)

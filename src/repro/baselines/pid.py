@@ -1,0 +1,74 @@
+"""PID power-capping baseline.
+
+The industrial state of practice (Intel RAPL-style firmware): a chip-level
+PI feedback loop on total power error drives one *global* level signal that
+all cores follow.  Reacts fast and tracks the budget tightly, but:
+
+* it regulates the *average* — roughly half the epochs sit above the budget
+  while the loop hunts (the overshoot OD-RL's claim C1 is measured against);
+* it cannot differentiate cores, so memory-bound cores get the same
+  frequency as compute-bound ones and watts are spent where they buy no
+  throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.manycore.chip import EpochObservation
+from repro.manycore.config import SystemConfig
+from repro.sim.interface import Controller
+
+__all__ = ["PIDCappingController"]
+
+
+class PIDCappingController(Controller):
+    """Chip-level PI feedback on power error, actuating a global VF level.
+
+    Implemented in velocity form, which is windup-free by construction:
+
+        command += kp * (error - prev_error) + ki * error
+
+    where ``error = (budget - power) / budget`` and ``command`` is a
+    continuous level index rounded at actuation.
+
+    Parameters
+    ----------
+    cfg:
+        System under control.
+    kp:
+        Proportional gain (on the error *change*), in level steps.
+    ki:
+        Integral gain (on the error itself), in level steps per epoch.
+    """
+
+    name = "pid"
+
+    def __init__(self, cfg: SystemConfig, kp: float = 2.0, ki: float = 1.5):
+        super().__init__(cfg)
+        if kp < 0 or ki < 0:
+            raise ValueError("gains must be non-negative")
+        if kp == 0 and ki == 0:
+            raise ValueError("at least one gain must be positive")
+        self.kp = kp
+        self.ki = ki
+        self.reset()
+
+    def reset(self) -> None:
+        self._prev_error: Optional[float] = None
+        # Continuous level command; rounded per decision.  Starts mid-ladder.
+        self._command = (self.n_levels - 1) / 2.0
+
+    def decide(self, obs: Optional[EpochObservation]) -> np.ndarray:
+        if obs is None:
+            return self._full(int(round(self._command)))
+        power = float(np.sum(obs.sensed_power))
+        error = (self.cfg.power_budget - power) / self.cfg.power_budget
+        delta = self.ki * error
+        if self._prev_error is not None:
+            delta += self.kp * (error - self._prev_error)
+        self._prev_error = error
+        self._command = float(np.clip(self._command + delta, 0.0, self.n_levels - 1))
+        return self._full(int(round(self._command)))

@@ -1,0 +1,99 @@
+"""Static (open-loop) baseline controllers.
+
+These never react to telemetry; they exist to anchor the evaluation:
+
+* :class:`StaticUniformController` — every core pinned to one level chosen
+  offline as the highest uniform level whose worst-case chip power fits the
+  budget.  This is TDP provisioning without any DVFS management.
+* :class:`UncappedController` — every core at the top level, ignoring the
+  budget entirely.  Upper-bounds throughput and lower-bounds compliance.
+* :class:`PriorityController` — a fixed priority order; high-priority cores
+  get the top level, the rest the bottom, with the cut chosen offline from
+  worst-case power.  Models the crude "sprint some cores" policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.estimator import PowerPerfEstimator
+from repro.manycore.chip import EpochObservation
+from repro.manycore.config import SystemConfig
+from repro.sim.interface import Controller
+
+__all__ = ["StaticUniformController", "UncappedController", "PriorityController"]
+
+
+class StaticUniformController(Controller):
+    """All cores pinned at the highest uniform level that fits the budget
+    under worst-case (cold-model) power predictions."""
+
+    name = "static-uniform"
+
+    def __init__(self, cfg: SystemConfig):
+        super().__init__(cfg)
+        predictions = PowerPerfEstimator(cfg).cold_predictions(cfg.n_cores)
+        chip_power_by_level = predictions.power.sum(axis=0)
+        feasible = np.nonzero(chip_power_by_level <= cfg.power_budget)[0]
+        # Worst-case infeasible even at the bottom: pin to the bottom level
+        # (the least-bad static choice).
+        self._level = int(feasible[-1]) if feasible.size else 0
+
+    @property
+    def level(self) -> int:
+        """The offline-chosen uniform level."""
+        return self._level
+
+    def decide(self, obs: Optional[EpochObservation]) -> np.ndarray:
+        return self._full(self._level)
+
+
+class UncappedController(Controller):
+    """Performance-greedy: top level always, budget ignored."""
+
+    name = "uncapped"
+
+    def decide(self, obs: Optional[EpochObservation]) -> np.ndarray:
+        return self._full(self.n_levels - 1)
+
+
+class PriorityController(Controller):
+    """High-priority cores sprint at the top level, the rest idle at the
+    bottom; the split point is the largest that fits the budget under
+    worst-case predictions.
+
+    Parameters
+    ----------
+    cfg:
+        System under control.
+    priority:
+        Core indices in descending priority; defaults to core order.
+    """
+
+    name = "priority"
+
+    def __init__(self, cfg: SystemConfig, priority: Optional[Sequence[int]] = None):
+        super().__init__(cfg)
+        if priority is None:
+            priority = range(cfg.n_cores)
+        priority = list(priority)
+        if sorted(priority) != list(range(cfg.n_cores)):
+            raise ValueError("priority must be a permutation of core indices")
+        predictions = PowerPerfEstimator(cfg).cold_predictions(cfg.n_cores)
+        p_top = float(predictions.power[0, -1])
+        p_bot = float(predictions.power[0, 0])
+        levels = np.zeros(cfg.n_cores, dtype=int)
+        budget_left = cfg.power_budget - p_bot * cfg.n_cores
+        for core in priority:
+            extra = p_top - p_bot
+            if budget_left >= extra:
+                levels[core] = cfg.n_levels - 1
+                budget_left -= extra
+            # A partial upgrade to an intermediate level would squeeze more
+            # in; the crude policy is deliberately all-or-nothing.
+        self._levels = levels
+
+    def decide(self, obs: Optional[EpochObservation]) -> np.ndarray:
+        return self._levels.copy()

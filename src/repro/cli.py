@@ -1,0 +1,172 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro list                      # experiments + benchmarks
+    python -m repro experiment E2 [options]   # run one experiment, print report
+    python -m repro compare [options]         # controller comparison table
+
+Every experiment accepts ``--cores``, ``--epochs`` and ``--seed`` so a
+laptop-scale run is one flag away from the evaluation scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "OD-RL reproduction: distributed RL for power-limited many-core "
+            "DVFS (Chen & Marculescu, DATE 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and workload benchmarks")
+
+    exp = sub.add_parser("experiment", help="run one experiment and print its report")
+    exp.add_argument("experiment_id", help="E1..E12 (see DESIGN.md)")
+    exp.add_argument("--cores", type=int, default=32, help="core count (default 32)")
+    exp.add_argument("--epochs", type=int, default=1000, help="epochs per run (default 1000)")
+    exp.add_argument("--seed", type=int, default=0, help="workload/learning seed")
+
+    cmp_ = sub.add_parser("compare", help="run the controller lineup on one workload")
+    cmp_.add_argument("--cores", type=int, default=32)
+    cmp_.add_argument("--epochs", type=int, default=1000)
+    cmp_.add_argument("--seed", type=int, default=0)
+    cmp_.add_argument(
+        "--benchmark",
+        default="mixed",
+        help="workload: 'mixed' or a suite benchmark name (default mixed)",
+    )
+    cmp_.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.6,
+        help="TDP as a fraction of worst-case peak power (default 0.6)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import EXPERIMENTS
+    from repro.workloads import benchmark_names
+
+    print("experiments (python -m repro experiment <id>):")
+    titles = {
+        "E1": "chip power trace under TDP",
+        "E2": "budget overshoot per benchmark (claim C1)",
+        "E3": "throughput per over-budget energy (claim C2a)",
+        "E4": "energy efficiency (claim C2b)",
+        "E5": "controller runtime scalability (claim C3)",
+        "E6": "on-line learning convergence",
+        "E7": "budget-level sensitivity",
+        "E8": "OD-RL design ablations",
+        "E9": "process-variation robustness (extension)",
+        "E10": "thermal-limit extension",
+        "E11": "memory-bandwidth contention (extension)",
+        "E12": "VFI granularity sweep (extension)",
+        "E13": "heterogeneous big.LITTLE chip (extension)",
+        "E14": "energy/performance frontier (extension)",
+    }
+    for eid in EXPERIMENTS:
+        print(f"  {eid:4s} {titles.get(eid, '')}")
+    print("\nworkload benchmarks (--benchmark for 'compare'):")
+    print("  mixed  " + "  ".join(benchmark_names()))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    eid = args.experiment_id.upper()
+    if eid not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment_id!r}; choose from "
+            f"{', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    run = EXPERIMENTS[eid]
+    kwargs = {"seed": args.seed}
+    # E5 sweeps core counts itself; every other experiment takes the flags.
+    if eid == "E5":
+        kwargs["n_epochs"] = max(args.epochs // 20, 20)
+    else:
+        kwargs["n_cores"] = args.cores
+        kwargs["n_epochs"] = args.epochs
+    result = run(**kwargs)
+    print(result)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.manycore import default_system
+    from repro.metrics import (
+        budget_utilization,
+        energy_efficiency,
+        format_table,
+        mean_decision_time,
+        over_budget_energy,
+        overshoot_fraction,
+        throughput_bips,
+    )
+    from repro.sim import run_controller, standard_controllers
+    from repro.workloads import benchmark_names, make_benchmark, mixed_workload
+
+    if args.benchmark == "mixed":
+        workload = mixed_workload(args.cores, seed=args.seed)
+    elif args.benchmark in benchmark_names():
+        workload = make_benchmark(args.benchmark, args.cores, seed=args.seed)
+    else:
+        print(
+            f"unknown benchmark {args.benchmark!r}; choose 'mixed' or one of "
+            f"{', '.join(benchmark_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    cfg = default_system(n_cores=args.cores, budget_fraction=args.budget_fraction)
+    print(
+        f"{args.cores} cores, TDP {cfg.power_budget:.1f} W, {args.epochs} epochs, "
+        f"workload '{workload.name}'\n"
+    )
+    rows = {}
+    for name, factory in standard_controllers(seed=args.seed).items():
+        result = run_controller(cfg, workload, factory(cfg), n_epochs=args.epochs)
+        steady = result.tail(0.5)
+        rows[name] = {
+            "BIPS": throughput_bips(steady),
+            "util": budget_utilization(steady),
+            "over%": 100 * overshoot_fraction(steady),
+            "overJ": over_budget_energy(steady),
+            "GI/J": energy_efficiency(steady) / 1e9,
+            "us/dec": mean_decision_time(result) * 1e6,
+        }
+    print(
+        format_table(
+            rows,
+            columns=["BIPS", "util", "over%", "overJ", "GI/J", "us/dec"],
+            title="steady-state comparison (last half of the run)",
+            fmt="{:.3g}",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,40 @@
+"""OD-RL — the paper's contribution: per-core RL DVFS agents plus global
+power-budget reallocation."""
+
+from repro.core.agent import (
+    QLearningPopulation,
+    default_alpha_schedule,
+    default_epsilon_schedule,
+)
+from repro.core.budget import reallocate_budget, uniform_allocation
+from repro.core.controller import ODRLController
+from repro.core.policy_io import load_policy, save_policy
+from repro.core.reward import RewardParams, compute_reward, max_epoch_instructions
+from repro.core.schedules import (
+    ConstantSchedule,
+    ExponentialDecay,
+    HarmonicDecay,
+    Schedule,
+)
+from repro.core.state import DEFAULT_IPC_EDGES, DEFAULT_SLACK_EDGES, StateEncoder
+
+__all__ = [
+    "QLearningPopulation",
+    "default_alpha_schedule",
+    "default_epsilon_schedule",
+    "reallocate_budget",
+    "uniform_allocation",
+    "ODRLController",
+    "load_policy",
+    "save_policy",
+    "RewardParams",
+    "compute_reward",
+    "max_epoch_instructions",
+    "ConstantSchedule",
+    "ExponentialDecay",
+    "HarmonicDecay",
+    "Schedule",
+    "DEFAULT_IPC_EDGES",
+    "DEFAULT_SLACK_EDGES",
+    "StateEncoder",
+]

@@ -1,0 +1,123 @@
+"""Global power-budget reallocation — the coarse-grained level of OD-RL.
+
+Periodically the chip budget is re-divided among cores so that watts flow
+to the cores that convert them into the most throughput.  Each core gets a
+*score*: its measured marginal usefulness of power (in this implementation,
+windowed IPC — compute-bound cores, whose throughput scales with frequency,
+score high; memory-bound cores score low).  The allocation is then a
+floor-and-cap proportional share:
+
+    b_i = floor_i + (B - sum(floors)) * score_i / sum(scores)
+
+subject to ``b_i <= cap_i`` (a core can never use more than its top-level
+power draw, so allocating beyond it is waste).  Cores that hit their cap
+return the excess to the pool, which is re-shared among the rest — a
+water-filling loop that terminates in at most ``n`` rounds and runs in
+O(n) per round with numpy.  This near-linear cost is the paper's
+scalability argument: the global step is trivial next to the per-core RL,
+and both are far below the combinatorial search baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reallocate_budget", "uniform_allocation"]
+
+_MAX_ROUNDS_SAFETY = 10_000
+
+
+def uniform_allocation(total_budget: float, n_cores: int) -> np.ndarray:
+    """The starting allocation: every core gets an equal share."""
+    if total_budget <= 0:
+        raise ValueError(f"total_budget must be positive, got {total_budget}")
+    if n_cores <= 0:
+        raise ValueError(f"n_cores must be positive, got {n_cores}")
+    return np.full(n_cores, total_budget / n_cores)
+
+
+def reallocate_budget(
+    total_budget: float,
+    scores: np.ndarray,
+    floors: np.ndarray,
+    caps: np.ndarray,
+) -> np.ndarray:
+    """Divide ``total_budget`` across cores by score, respecting bounds.
+
+    Parameters
+    ----------
+    total_budget:
+        Chip power budget in watts.
+    scores:
+        Non-negative per-core usefulness scores; all-zero scores degrade to
+        a uniform split of the distributable budget.
+    floors:
+        Minimum watts each core must receive (at least its unavoidable
+        power at the bottom VF level — an allocation below that is
+        unactionable).
+    caps:
+        Maximum useful watts per core (its top-VF draw).  ``caps >= floors``
+        required.
+
+    Returns
+    -------
+    numpy.ndarray
+        Allocation summing to ``min(total_budget, sum(caps))``, with
+        ``floors <= allocation <= caps`` elementwise.
+
+    Raises
+    ------
+    ValueError
+        If the budget cannot cover the floors (infeasible: even all cores
+        at the bottom VF level would exceed TDP).
+    """
+    scores = np.asarray(scores, dtype=float)
+    floors = np.asarray(floors, dtype=float)
+    caps = np.asarray(caps, dtype=float)
+    n = scores.shape[0]
+    if floors.shape != (n,) or caps.shape != (n,):
+        raise ValueError("scores, floors and caps must have identical shapes")
+    if np.any(scores < 0):
+        raise ValueError("scores must be non-negative")
+    # Scores are relative weights.  Normalize by the maximum so subnormal or
+    # astronomically large inputs cannot lose precision in the proportional
+    # division below.
+    score_max = float(np.max(scores)) if n else 0.0
+    if score_max > 0:
+        scores = scores / score_max
+    if np.any(floors < 0) or np.any(caps < floors):
+        raise ValueError("need 0 <= floors <= caps elementwise")
+    floor_total = float(np.sum(floors))
+    if total_budget < floor_total - 1e-9:
+        raise ValueError(
+            f"budget {total_budget:.3f} W cannot cover allocation floors "
+            f"totalling {floor_total:.3f} W — the TDP is infeasible for this chip"
+        )
+
+    allocation = floors.copy()
+    remaining = min(total_budget, float(np.sum(caps))) - floor_total
+    headroom = caps - allocation
+    active = headroom > 1e-12
+    rounds = 0
+    while remaining > 1e-12 and np.any(active):
+        rounds += 1
+        if rounds > _MAX_ROUNDS_SAFETY:  # pragma: no cover - defensive
+            raise RuntimeError("water-filling failed to converge")
+        weights = np.where(active, scores, 0.0)
+        total_weight = float(np.sum(weights))
+        if total_weight <= 0:
+            # No informative scores among active cores: share uniformly.
+            weights = active.astype(float)
+            total_weight = float(np.sum(weights))
+        grant = remaining * weights / total_weight
+        overflow_mask = grant >= headroom
+        grant = np.minimum(grant, headroom)
+        allocation += grant
+        remaining -= float(np.sum(grant))
+        headroom = caps - allocation
+        # Cores that hit the cap leave the pool; if none did, the grant was
+        # fully absorbed and we are done.
+        if not np.any(overflow_mask & active):
+            break
+        active = headroom > 1e-12
+    return allocation

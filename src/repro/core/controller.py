@@ -1,0 +1,299 @@
+"""OD-RL: the paper's two-level DVFS controller.
+
+Fine grain — one tabular Q-learning agent per core picks that core's VF
+level every control epoch, from telemetry alone (model-free).  Coarse grain
+— every ``realloc_period`` epochs the chip power budget is re-divided among
+cores by their measured IPC (see :mod:`repro.core.budget`), so watts migrate
+to cores that convert them into throughput.
+
+The coarse level also maintains an **adaptive guard band**: shares are
+drawn from ``(1 - guard) * budget`` and ``guard`` is integrated up whenever
+the chip power exceeded TDP during the last window, down when it stayed
+clear.  On heterogeneous mixes core-level fluctuations multiplex away and
+the guard converges to (near) zero; on homogeneous workloads — where every
+core presses its share simultaneously and per-core compliance no longer
+implies chip compliance — the guard grows just enough to absorb the
+correlated fluctuations.  This closes the loop on *chip*-level overshoot
+without any per-core model.
+
+The controller follows the :class:`repro.sim.interface.Controller` protocol
+and consumes only sensed telemetry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.agent import QLearningPopulation
+from repro.core.budget import reallocate_budget, uniform_allocation
+from repro.core.reward import RewardParams, compute_reward, max_epoch_instructions
+from repro.core.state import StateEncoder
+from repro.manycore.chip import EpochObservation
+from repro.manycore.config import SystemConfig
+from repro.manycore.hetero import HeterogeneousMap
+from repro.manycore.power import core_power
+from repro.sim.interface import Controller
+
+__all__ = ["ODRLController"]
+
+
+class ODRLController(Controller):
+    """On-line Distributed Reinforcement Learning DVFS controller.
+
+    Parameters
+    ----------
+    cfg:
+        System under control.
+    realloc_period:
+        Global budget reallocation cadence in epochs; ``0`` disables the
+        coarse level entirely (ablation E8 runs fine-grain only).
+    encoder:
+        State discretizer; defaults to the slack+IPC variant.
+    reward_params:
+        Reward weights (overshoot penalty).
+    gamma:
+        Q-learning discount factor.
+    td_rule:
+        ``"q"`` (default, off-policy Q-learning) or ``"sarsa"``
+        (on-policy).  SARSA bootstraps from the action actually taken
+        next, valuing exploration risk — slightly more conservative near
+        the budget cliff (ablation E8).
+    action_mode:
+        ``"relative"`` (default) — actions step the current VF level by one
+        of :data:`RELATIVE_DELTAS`; the policy generalizes across phases
+        ("when slightly over, step down") instead of memorizing absolute
+        levels per bin.  ``"absolute"`` — actions select the level directly
+        (ablation E8 contrasts the two).
+    hetero:
+        Optional core-type map.  The learning stays model-free; the map
+        only tightens the platform constants every controller is
+        provisioned with — the per-core power floors/caps bounding the
+        budget shares (a little core must not be handed watts it can never
+        draw).
+    thermal_limit:
+        Optional per-core temperature ceiling in kelvin (the extension
+        feature, experiment E10).  When set, two mechanisms engage: a
+        reward penalty proportional to the sensed excess over the limit
+        (the agents *learn* to stay cool), and a hard dynamic-thermal-
+        management reflex that steps any core at/above the limit down one
+        level regardless of its agent's choice (the safety net real DTM
+        firmware provides while a learner converges).
+    seed:
+        Seeds both exploration and any stochastic tie-breaking.
+    """
+
+    name = "od-rl"
+
+    #: level steps available in relative action mode
+    RELATIVE_DELTAS = (-2, -1, 0, 1, 2)
+
+    #: guard-band controller constants: target overshoot rate, integral
+    #: gain, and the maximum budget fraction the guard may withhold
+    GUARD_TARGET = 0.01
+    GUARD_GAIN = 0.05
+    GUARD_MAX = 0.30
+
+    #: reward penalty per kelvin of excess over the thermal limit
+    THERMAL_PENALTY_PER_K = 0.5
+
+    def __init__(
+        self,
+        cfg: SystemConfig,
+        realloc_period: int = 10,
+        encoder: Optional[StateEncoder] = None,
+        reward_params: Optional[RewardParams] = None,
+        gamma: float = 0.5,
+        action_mode: str = "relative",
+        td_rule: str = "q",
+        thermal_limit: Optional[float] = None,
+        hetero: Optional[HeterogeneousMap] = None,
+        seed: int = 0,
+    ):
+        super().__init__(cfg)
+        if realloc_period < 0:
+            raise ValueError(f"realloc_period must be >= 0, got {realloc_period}")
+        if action_mode not in ("relative", "absolute"):
+            raise ValueError(
+                f"action_mode must be 'relative' or 'absolute', got {action_mode!r}"
+            )
+        if thermal_limit is not None and thermal_limit <= cfg.technology.t_ambient:
+            raise ValueError(
+                "thermal_limit must exceed the ambient temperature "
+                f"({cfg.technology.t_ambient} K)"
+            )
+        self.thermal_limit = thermal_limit
+        self.action_mode = action_mode
+        self.realloc_period = realloc_period
+        self.encoder = (
+            encoder
+            if encoder is not None
+            else StateEncoder.variant("slack_ipc", cfg.n_levels)
+        )
+        if self.encoder.n_levels != cfg.n_levels and self.encoder.include_level:
+            raise ValueError("encoder's n_levels must match the system VF table")
+        self.reward_params = (
+            reward_params if reward_params is not None else RewardParams()
+        )
+        self._seed = seed
+        self._deltas = np.array(self.RELATIVE_DELTAS, dtype=int)
+        n_actions = (
+            len(self.RELATIVE_DELTAS) if action_mode == "relative" else cfg.n_levels
+        )
+        self.agents = QLearningPopulation(
+            n_agents=cfg.n_cores,
+            n_states=self.encoder.n_states,
+            n_actions=n_actions,
+            gamma=gamma,
+            rng=np.random.default_rng(seed),
+            optimistic_init=1.0 / (1.0 - gamma),
+            td_rule=td_rule,
+        )
+        self._freqs = np.array([f for f, _ in cfg.vf_levels])
+        self._instr_scale = max_epoch_instructions(cfg)
+        self._floors, self._caps = self._power_bounds(cfg, hetero)
+        if float(np.sum(self._floors)) > cfg.power_budget:
+            raise ValueError(
+                "chip budget below the sum of per-core power floors — "
+                "infeasible even with every core at the bottom VF level"
+            )
+        self.reset()
+
+    @staticmethod
+    def _power_bounds(
+        cfg: SystemConfig, hetero: Optional[HeterogeneousMap] = None
+    ) -> tuple:
+        """Conservative per-core (floor, cap) power bounds from the VF table.
+
+        Floor: bottom-level draw at maximum activity and a hot die — an
+        allocation below this cannot be honoured by any action.  Cap: the
+        top-level draw under the same pessimistic conditions — allocating
+        beyond it is unusable.  With a core-type map, each core's bounds
+        are scaled by its type's frequency/capacitance/leakage factors.
+        """
+        from repro.manycore.power import dynamic_power, leakage_power
+
+        tech = cfg.technology
+        act_hi = cfg.activity_range[1]
+        t_hot = tech.t_ambient + 25.0
+        if hetero is None:
+            hetero = HeterogeneousMap.homogeneous(cfg.n_cores)
+        if hetero.n_cores != cfg.n_cores:
+            raise ValueError(
+                f"hetero map covers {hetero.n_cores} cores but the system "
+                f"has {cfg.n_cores}"
+            )
+        f_bot, v_bot = cfg.vf_levels[0]
+        f_top, v_top = cfg.vf_levels[-1]
+
+        def bound(f: float, v: float) -> np.ndarray:
+            dyn = dynamic_power(
+                tech, np.array(v), np.array(f) * hetero.freq_scale, np.array(act_hi)
+            )
+            leak = leakage_power(tech, np.array(v), np.array(t_hot))
+            return dyn * hetero.ceff_scale + leak * hetero.leak_scale
+
+        return bound(f_bot, v_bot), bound(f_top, v_top)
+
+    def reset(self) -> None:
+        """Forget all learning and return to the uniform allocation."""
+        self.agents.reset()
+        self.allocation = uniform_allocation(self.cfg.power_budget, self.n_cores)
+        # Uniform allocation can exceed a core's cap on loose budgets; clamp
+        # into the feasible box (the first reallocation fixes shares anyway).
+        self.allocation = np.clip(self.allocation, self._floors, self._caps)
+        self._prev_states: Optional[np.ndarray] = None
+        self._prev_actions: Optional[np.ndarray] = None
+        self._epoch = 0
+        self._window_ipc = np.zeros(self.n_cores)
+        self._window_epochs = 0
+        self._window_over_epochs = 0
+        self.guard = 0.0
+
+    def _actions_to_levels(self, actions: np.ndarray, current: np.ndarray) -> np.ndarray:
+        """Translate agent actions into VF levels for the next epoch."""
+        if self.action_mode == "absolute":
+            return actions
+        return np.clip(current + self._deltas[actions], 0, self.n_levels - 1)
+
+    def decide(self, obs: Optional[EpochObservation]) -> np.ndarray:
+        if obs is None:
+            # No telemetry yet: start every core mid-ladder, a neutral point
+            # that is safe on tight budgets and close on loose ones.
+            start = self._full(self.n_levels // 2)
+            self._prev_actions = None
+            return start
+
+        power = obs.sensed_power
+        instructions = obs.sensed_instructions
+        levels = obs.levels
+        freq = self._freqs[levels]
+        cycles = freq * self.cfg.epoch_time
+        ipc = instructions / np.maximum(cycles, 1.0)
+
+        rewards = compute_reward(
+            self.reward_params,
+            instructions,
+            power,
+            self.allocation,
+            self._instr_scale,
+            chip_budget=self.cfg.power_budget,
+        )
+        if self.thermal_limit is not None:
+            excess = np.maximum(0.0, obs.sensed_temperature - self.thermal_limit)
+            rewards = rewards - self.THERMAL_PENALTY_PER_K * excess
+
+        # Coarse level: windowed IPC drives the budget shares; the adaptive
+        # guard band closes the loop on chip-level overshoot.  Reallocation
+        # runs before state encoding so the agents always act (and the TD
+        # update always bootstraps) on the current shares.
+        self._window_ipc += ipc
+        self._window_epochs += 1
+        if float(np.sum(power)) > self.cfg.power_budget:
+            self._window_over_epochs += 1
+        if (
+            self.realloc_period > 0
+            and self._window_epochs >= self.realloc_period
+        ):
+            over_rate = self._window_over_epochs / self._window_epochs
+            self.guard = float(
+                np.clip(
+                    self.guard + self.GUARD_GAIN * (over_rate - self.GUARD_TARGET),
+                    0.0,
+                    self.GUARD_MAX,
+                )
+            )
+            distributable = (1.0 - self.guard) * self.cfg.power_budget
+            # Never guard below feasibility: floors must stay covered.
+            distributable = max(distributable, float(np.sum(self._floors)))
+            scores = self._window_ipc / self._window_epochs
+            self.allocation = reallocate_budget(
+                distributable, scores, self._floors, self._caps
+            )
+            self._window_ipc[:] = 0.0
+            self._window_epochs = 0
+            self._window_over_epochs = 0
+
+        states = self.encoder.encode(power, self.allocation, ipc, levels)
+        actions = self.agents.act(states)
+        if self._prev_states is not None and self._prev_actions is not None:
+            self.agents.update(
+                self._prev_states,
+                self._prev_actions,
+                rewards,
+                states,
+                next_actions=actions,
+            )
+        self._prev_states = states
+        self._prev_actions = actions
+        self._epoch += 1
+        next_levels = self._actions_to_levels(actions, levels)
+        if self.thermal_limit is not None:
+            # DTM reflex: a core at/over the limit steps down no matter
+            # what its agent chose; the agent still learns from the reward.
+            hot = obs.sensed_temperature >= self.thermal_limit
+            next_levels = np.where(
+                hot, np.maximum(levels - 1, 0), next_levels
+            )
+        return next_levels

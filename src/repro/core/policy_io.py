@@ -1,0 +1,94 @@
+"""Persistence of learned OD-RL policies.
+
+An on-line learner pays a warm-up cost after every cold start.  Real
+deployments avoid that by checkpointing the learned tables — firmware
+flashes the policy learned at burn-in, or migrates it across reboots.
+These helpers serialize an :class:`~repro.core.controller.ODRLController`'s
+learned state (Q-tables, visit counts, budget shares, guard band) to a
+single ``.npz`` file and restore it into a *compatible* controller.
+
+Compatibility is structural: same core count, state-space size, action
+count and action mode.  Loading into a mismatched controller raises rather
+than silently mis-indexing tables.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.controller import ODRLController
+
+__all__ = ["save_policy", "load_policy"]
+
+_FORMAT_VERSION = 1
+
+
+def save_policy(controller: ODRLController, path: Union[str, Path]) -> None:
+    """Write the controller's learned state to ``path`` (``.npz``).
+
+    Parameters
+    ----------
+    controller:
+        A (possibly partially) trained OD-RL controller.
+    path:
+        Destination file; conventionally ``*.npz``.
+    """
+    path = Path(path)
+    np.savez(
+        path,
+        format_version=np.array(_FORMAT_VERSION),
+        n_cores=np.array(controller.n_cores),
+        n_states=np.array(controller.agents.n_states),
+        n_actions=np.array(controller.agents.n_actions),
+        action_mode=np.array(controller.action_mode),
+        q=controller.agents.q,
+        visits=controller.agents.visits,
+        step_count=np.array(controller.agents.step_count),
+        allocation=controller.allocation,
+        guard=np.array(controller.guard),
+    )
+
+
+def load_policy(controller: ODRLController, path: Union[str, Path]) -> None:
+    """Restore learned state saved by :func:`save_policy` into ``controller``.
+
+    Raises
+    ------
+    ValueError
+        On format-version mismatch or structural incompatibility (core
+        count, table dimensions, action mode).
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported policy format version {version}; expected "
+                f"{_FORMAT_VERSION}"
+            )
+        checks = (
+            ("n_cores", controller.n_cores),
+            ("n_states", controller.agents.n_states),
+            ("n_actions", controller.agents.n_actions),
+        )
+        for key, expected in checks:
+            found = int(data[key])
+            if found != expected:
+                raise ValueError(
+                    f"policy {key} mismatch: file has {found}, controller "
+                    f"has {expected}"
+                )
+        mode = str(data["action_mode"])
+        if mode != controller.action_mode:
+            raise ValueError(
+                f"policy action_mode mismatch: file has {mode!r}, controller "
+                f"has {controller.action_mode!r}"
+            )
+        controller.agents.q = data["q"].copy()
+        controller.agents.visits = data["visits"].copy()
+        controller.agents.step_count = int(data["step_count"])
+        controller.allocation = data["allocation"].copy()
+        controller.guard = float(data["guard"])

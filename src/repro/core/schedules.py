@@ -1,0 +1,96 @@
+"""Learning-rate and exploration schedules for the tabular agents.
+
+The paper's agent is an on-line learner that must keep adapting to workload
+phase changes, so schedules here decay towards a *floor* rather than to
+zero: a small residual exploration/step-size keeps the policy plastic.
+
+``value`` accepts either a scalar step or a numpy array of steps (the agent
+evaluates its step-size schedule on per-cell visit counts in one shot).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Schedule", "ConstantSchedule", "ExponentialDecay", "HarmonicDecay"]
+
+
+class Schedule(ABC):
+    """A value as a function of a (scalar or array) step count."""
+
+    @abstractmethod
+    def value(self, step):
+        """Value at non-negative ``step`` (int or numpy integer array)."""
+
+    def __call__(self, step):
+        if np.any(np.asarray(step) < 0):
+            raise ValueError(f"step must be >= 0, got {step}")
+        return self.value(step)
+
+
+@dataclass(frozen=True)
+class ConstantSchedule(Schedule):
+    """Always the same value (the paper-simple choice for on-line control)."""
+
+    constant: float
+
+    def __post_init__(self) -> None:
+        if self.constant < 0:
+            raise ValueError(f"constant must be >= 0, got {self.constant}")
+
+    def value(self, step):
+        return self.constant
+
+
+@dataclass(frozen=True)
+class ExponentialDecay(Schedule):
+    """``floor + (start - floor) * decay**step``.
+
+    The standard choice for epsilon-greedy exploration: explore heavily
+    while the Q-table is empty, settle to a small residual rate.
+    """
+
+    start: float
+    floor: float
+    decay: float
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.floor <= self.start):
+            raise ValueError(
+                f"need 0 <= floor <= start, got floor={self.floor}, start={self.start}"
+            )
+        if not (0 < self.decay <= 1):
+            raise ValueError(f"decay must be in (0, 1], got {self.decay}")
+
+    def value(self, step):
+        return self.floor + (self.start - self.floor) * self.decay**step
+
+
+@dataclass(frozen=True)
+class HarmonicDecay(Schedule):
+    """``max(floor, start / (1 + step / half_life))``.
+
+    Satisfies the Robbins–Monro conditions (sum diverges, sum of squares
+    converges) when the floor is zero — the textbook convergent step size
+    for tabular TD learning.
+    """
+
+    start: float
+    half_life: float
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start <= 0:
+            raise ValueError(f"start must be positive, got {self.start}")
+        if self.half_life <= 0:
+            raise ValueError(f"half_life must be positive, got {self.half_life}")
+        if self.floor < 0:
+            raise ValueError(f"floor must be >= 0, got {self.floor}")
+
+    def value(self, step):
+        raw = self.start / (1.0 + np.asarray(step) / self.half_life)
+        clipped = np.maximum(self.floor, raw)
+        return float(clipped) if np.ndim(step) == 0 else clipped

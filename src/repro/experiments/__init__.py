@@ -1,0 +1,59 @@
+"""Reconstructed evaluation experiments (see DESIGN.md for the E* index)."""
+
+from typing import Callable, Dict
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.e10_thermal import run_e10
+from repro.experiments.e11_contention import run_e11
+from repro.experiments.e12_granularity import run_e12
+from repro.experiments.e13_biglittle import run_e13
+from repro.experiments.e14_energy_frontier import run_e14
+from repro.experiments.e1_power_trace import run_e1
+from repro.experiments.e2_overshoot import run_e2
+from repro.experiments.e3_tpobe import run_e3
+from repro.experiments.e4_efficiency import run_e4
+from repro.experiments.e5_scalability import run_e5
+from repro.experiments.e6_convergence import run_e6
+from repro.experiments.e7_budget_sweep import run_e7
+from repro.experiments.e8_ablation import run_e8
+from repro.experiments.e9_variation import run_e9
+
+__all__ = [
+    "ExperimentResult",
+    "run_e1",
+    "run_e2",
+    "run_e3",
+    "run_e4",
+    "run_e5",
+    "run_e6",
+    "run_e7",
+    "run_e8",
+    "run_e9",
+    "run_e10",
+    "run_e11",
+    "run_e12",
+    "run_e13",
+    "run_e14",
+    "EXPERIMENTS",
+]
+
+#: registry: experiment id -> zero-arg-callable default run.  E1–E8
+#: reconstruct the paper's evaluation; E9–E14 are extension studies
+#: (variation robustness, thermal limit, memory contention, VFI
+#: granularity, big.LITTLE heterogeneity, energy/performance frontier).
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "E7": run_e7,
+    "E8": run_e8,
+    "E9": run_e9,
+    "E10": run_e10,
+    "E11": run_e11,
+    "E12": run_e12,
+    "E13": run_e13,
+    "E14": run_e14,
+}

@@ -1,0 +1,42 @@
+"""Common experiment plumbing.
+
+Every reconstructed experiment (E1–E8, see DESIGN.md) returns an
+:class:`ExperimentResult`: a machine-readable ``data`` payload for tests
+plus a rendered ``report`` string with the same rows/series the paper's
+table or figure presents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        "E1" … "E8".
+    title:
+        Human-readable description of the reconstructed table/figure.
+    report:
+        Rendered plain-text table(s)/series — what the bench harness
+        prints.
+    data:
+        Structured values for programmatic checks (tests assert the
+        paper-shape claims on these, e.g. "OD-RL's overshoot is the
+        smallest column").
+    """
+
+    experiment_id: str
+    title: str
+    report: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.experiment_id}] {self.title}\n{self.report}"

@@ -1,0 +1,81 @@
+"""E10 (extension) — thermally-safe OD-RL.
+
+The paper controls power against TDP; the obvious extension (its future
+work direction) is controlling *temperature* directly.  This experiment
+runs OD-RL with and without a per-core thermal limit on a loose power
+budget — loose enough that power capping alone lets hot spots form — and
+compares peak temperatures, limit violations, and the throughput cost of
+staying cool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core import ODRLController
+from repro.experiments.base import ExperimentResult
+from repro.manycore.config import default_system
+from repro.metrics.perf_metrics import throughput_bips
+from repro.metrics.report import format_table
+from repro.sim.simulator import run_controller
+from repro.workloads.suite import mixed_workload
+
+__all__ = ["run_e10"]
+
+
+def run_e10(
+    n_cores: int = 64,
+    n_epochs: int = 2500,
+    budget_fraction: float = 0.9,
+    thermal_limit: float = 331.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run E10: OD-RL with vs. without the thermal limit.
+
+    The default budget is loose (90 % of peak) so power capping alone lets
+    the die run hot, and the default limit sits a few kelvin below the
+    resulting hot-spot temperature — i.e. the limit binds.
+
+    ``data['metrics'][variant]`` holds peak temperature (K), the mean
+    excess of the hottest core above the limit (K), and throughput (BIPS);
+    the steady state (last half) is scored so the DTM reflex's learning
+    transient is excluded.
+    """
+    if thermal_limit <= 0:
+        raise ValueError(f"thermal_limit must be positive kelvin, got {thermal_limit}")
+    cfg = default_system(n_cores=n_cores, budget_fraction=budget_fraction)
+    workload = mixed_workload(n_cores, seed=seed)
+
+    variants = {
+        "power-only": ODRLController(cfg, seed=seed),
+        "thermal-limited": ODRLController(cfg, thermal_limit=thermal_limit, seed=seed),
+    }
+    metrics: Dict[str, Dict[str, float]] = {}
+    for label, controller in variants.items():
+        result = run_controller(cfg, workload, controller, n_epochs)
+        steady = result.tail(0.5)
+        metrics[label] = {
+            "peak_T_K": float(np.max(steady.max_temperature)),
+            "mean_excess_K": float(
+                np.mean(np.maximum(steady.max_temperature - thermal_limit, 0.0))
+            ),
+            "bips": throughput_bips(steady),
+        }
+
+    report = format_table(
+        metrics,
+        ["peak_T_K", "mean_excess_K", "bips"],
+        title=(
+            f"E10: thermally-safe OD-RL (limit {thermal_limit:.0f} K, budget "
+            f"{cfg.power_budget:.1f} W, {n_cores} cores, steady state)"
+        ),
+        fmt="{:.4g}",
+    )
+    return ExperimentResult(
+        experiment_id="E10",
+        title="Thermal-limit extension",
+        report=report,
+        data={"metrics": metrics, "thermal_limit": thermal_limit},
+    )

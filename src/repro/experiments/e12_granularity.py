@@ -1,0 +1,78 @@
+"""E12 (extension) — VFI granularity study.
+
+How much of OD-RL's benefit needs per-core voltage regulators?  The
+experiment runs OD-RL behind :class:`~repro.sim.islands.IslandedController`
+at island sizes from 1 (per-core) to chip-wide and reports the
+throughput / compliance / efficiency at each granularity — the data a chip
+architect needs to decide how many regulators to pay for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.manycore.config import default_system
+from repro.metrics.perf_metrics import energy_efficiency, throughput_bips
+from repro.metrics.power_metrics import budget_utilization, over_budget_energy
+from repro.metrics.report import format_table
+from repro.sim.islands import IslandedController
+from repro.sim.simulator import run_controller
+from repro.workloads.suite import mixed_workload
+
+__all__ = ["run_e12"]
+
+_DEFAULT_SIZES = (1, 2, 4, 8, 16)
+
+
+def run_e12(
+    n_cores: int = 64,
+    n_epochs: int = 2000,
+    budget_fraction: float = 0.6,
+    island_sizes: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run E12: OD-RL at several VFI granularities plus chip-wide.
+
+    ``data['metrics'][island_size]`` holds bips / utilization / obe_J /
+    instr_per_J at steady state.
+    """
+    sizes = list(island_sizes) if island_sizes else list(_DEFAULT_SIZES)
+    if any(s <= 0 for s in sizes):
+        raise ValueError(f"island sizes must be positive, got {sizes}")
+    if n_cores not in sizes:
+        sizes = sizes + [n_cores]  # always include chip-wide
+    sizes = [s for s in sizes if s <= n_cores]
+    cfg = default_system(n_cores=n_cores, budget_fraction=budget_fraction)
+    workload = mixed_workload(n_cores, seed=seed)
+
+    metrics: Dict[str, Dict[str, float]] = {}
+    bips_by_size: Dict[int, float] = {}
+    for size in sizes:
+        controller = IslandedController(cfg, island_size=size)
+        result = run_controller(cfg, workload, controller, n_epochs)
+        steady = result.tail(0.5)
+        label = f"island={size}" + (" (chip-wide)" if size == n_cores else "")
+        metrics[label] = {
+            "bips": throughput_bips(steady),
+            "utilization": budget_utilization(steady),
+            "obe_J": over_budget_energy(steady),
+            "instr_per_J": energy_efficiency(steady),
+        }
+        bips_by_size[size] = metrics[label]["bips"]
+
+    report = format_table(
+        metrics,
+        ["bips", "utilization", "obe_J", "instr_per_J"],
+        title=(
+            f"E12: OD-RL vs VFI granularity, {n_cores} cores, budget "
+            f"{cfg.power_budget:.1f} W (steady state)"
+        ),
+        fmt="{:.4g}",
+    )
+    return ExperimentResult(
+        experiment_id="E12",
+        title="VFI granularity (extension)",
+        report=report,
+        data={"metrics": metrics, "bips_by_size": bips_by_size, "sizes": sizes},
+    )

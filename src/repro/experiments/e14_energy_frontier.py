@@ -1,0 +1,81 @@
+"""E14 (extension) — the energy/performance frontier.
+
+The paper's objective is performance-maximal under TDP, indifferent to
+energy once compliant.  Adding an energy-consciousness weight (``eta``) to
+the reward lets the same learner trade throughput for efficiency — the
+knob a battery-powered or operating-cost-driven deployment turns.  This
+experiment sweeps ``eta`` and maps out the frontier: throughput (BIPS)
+versus energy efficiency (instructions/J), with budget compliance along
+the whole curve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core import ODRLController, RewardParams
+from repro.experiments.base import ExperimentResult
+from repro.manycore.config import default_system
+from repro.metrics.perf_metrics import energy_efficiency, throughput_bips
+from repro.metrics.power_metrics import budget_utilization, over_budget_energy
+from repro.metrics.report import format_table
+from repro.sim.simulator import run_controller
+from repro.workloads.suite import mixed_workload
+
+__all__ = ["run_e14"]
+
+_DEFAULT_ETAS = (0.0, 0.1, 0.2, 0.4, 0.8)
+
+
+def run_e14(
+    n_cores: int = 64,
+    n_epochs: int = 2000,
+    budget_fraction: float = 0.6,
+    etas: Optional[Sequence[float]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run E14: sweep the energy weight and report the frontier.
+
+    ``data['frontier'][eta]`` holds bips / instr_per_J / utilization /
+    obe_J at steady state for each energy weight.
+    """
+    weights = list(etas) if etas is not None else list(_DEFAULT_ETAS)
+    if any(w < 0 for w in weights):
+        raise ValueError(f"energy weights must be >= 0, got {weights}")
+    if 0.0 not in weights:
+        weights = [0.0] + weights  # always anchor at the paper's objective
+    cfg = default_system(n_cores=n_cores, budget_fraction=budget_fraction)
+    workload = mixed_workload(n_cores, seed=seed)
+
+    frontier: Dict[float, Dict[str, float]] = {}
+    for eta in weights:
+        controller = ODRLController(
+            cfg,
+            reward_params=RewardParams(energy_weight=eta),
+            seed=seed,
+        )
+        result = run_controller(cfg, workload, controller, n_epochs)
+        steady = result.tail(0.5)
+        frontier[eta] = {
+            "bips": throughput_bips(steady),
+            "instr_per_J": energy_efficiency(steady),
+            "utilization": budget_utilization(steady),
+            "obe_J": over_budget_energy(steady),
+        }
+
+    rows = {f"eta={eta:g}": metrics for eta, metrics in frontier.items()}
+    report = format_table(
+        rows,
+        ["bips", "instr_per_J", "utilization", "obe_J"],
+        title=(
+            f"E14: energy/performance frontier of OD-RL, {n_cores} cores, "
+            f"budget {cfg.power_budget:.1f} W (steady state)"
+        ),
+        fmt="{:.4g}",
+    )
+    return ExperimentResult(
+        experiment_id="E14",
+        title="Energy/performance frontier (extension)",
+        report=report,
+        data={"frontier": frontier, "etas": weights},
+    )

@@ -1,0 +1,89 @@
+"""E1 — chip power vs. time under the budget, per controller.
+
+Reconstructs the power-trace tracking figure: run every controller on the
+heterogeneous mixed workload and report the chip power trace (downsampled),
+showing how each policy converges to / hunts around / ignores the TDP line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.manycore.config import default_system
+from repro.metrics.report import format_series
+from repro.sim.runner import run_suite, standard_controllers
+from repro.workloads.suite import mixed_workload
+
+__all__ = ["run_e1"]
+
+_DEFAULT_CONTROLLERS = ("od-rl", "pid", "greedy-ascent", "maxbips", "uncapped")
+
+
+def run_e1(
+    n_cores: int = 64,
+    n_epochs: int = 1500,
+    budget_fraction: float = 0.6,
+    controllers: Optional[Sequence[str]] = None,
+    n_points: int = 30,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run E1 and return the power-trace series.
+
+    Parameters
+    ----------
+    n_cores, n_epochs, budget_fraction:
+        System scale of the run.
+    controllers:
+        Names from :func:`~repro.sim.runner.standard_controllers` to
+        include; defaults to the representative five.
+    n_points:
+        Downsampled trace length in the report.
+    seed:
+        Workload and learning seed.
+    """
+    if n_points < 2:
+        raise ValueError(f"n_points must be >= 2, got {n_points}")
+    names = list(controllers) if controllers else list(_DEFAULT_CONTROLLERS)
+    cfg = default_system(n_cores=n_cores, budget_fraction=budget_fraction)
+    workload = mixed_workload(n_cores, seed=seed)
+    lineup = standard_controllers(seed=seed)
+    missing = [n for n in names if n not in lineup]
+    if missing:
+        raise KeyError(f"unknown controller names: {missing}")
+    chosen = {n: lineup[n] for n in names}
+    results = run_suite(cfg, {"mixed": workload}, chosen, n_epochs)
+
+    # Downsample by block-averaging so short excursions still register.
+    block = max(1, n_epochs // n_points)
+    n_blocks = n_epochs // block
+    times = (np.arange(n_blocks) + 0.5) * block * cfg.epoch_time
+    traces: Dict[str, np.ndarray] = {}
+    for name in names:
+        p = results[name]["mixed"].chip_power[: n_blocks * block]
+        traces[name] = p.reshape(n_blocks, block).mean(axis=1)
+    series = {name: traces[name].tolist() for name in names}
+    series["budget"] = [cfg.power_budget] * n_blocks
+
+    report = format_series(
+        times.tolist(),
+        series,
+        x_label="time_s",
+        title=(
+            f"E1: chip power trace (W), {n_cores} cores, "
+            f"budget {cfg.power_budget:.1f} W"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Chip power vs. time under TDP",
+        report=report,
+        data={
+            "budget": cfg.power_budget,
+            "times": times,
+            "traces": traces,
+            "results": results,
+        },
+    )

@@ -1,0 +1,120 @@
+"""E3 — throughput per over-the-budget energy (claim C2a).
+
+Reconstructs the paper's headline ratio figure: how much work each
+controller delivers per joule it spends violating the budget.  The abstract
+claims OD-RL achieves "up to 44.3x better throughput per over-the-budget
+energy" than the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.e2_overshoot import DEFAULT_BENCHMARKS, DEFAULT_CONTROLLERS
+from repro.manycore.config import default_system
+from repro.metrics.perf_metrics import OBE_FLOOR, throughput_per_over_budget_energy
+from repro.metrics.power_metrics import over_budget_energy
+from repro.metrics.report import format_table
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_suite, standard_controllers
+from repro.workloads.suite import make_benchmark
+
+__all__ = ["run_e3"]
+
+
+def run_e3(
+    n_cores: int = 64,
+    n_epochs: int = 1500,
+    budget_fraction: float = 0.6,
+    benchmarks: Optional[Sequence[str]] = None,
+    controllers: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    results: Optional[Mapping[str, Mapping[str, SimulationResult]]] = None,
+) -> ExperimentResult:
+    """Run E3: throughput per over-budget energy across the suite.
+
+    Parameters
+    ----------
+    results:
+        Optionally reuse the simulation results of an earlier E2 run with
+        matching parameters instead of re-simulating.
+    """
+    bench = list(benchmarks) if benchmarks else list(DEFAULT_BENCHMARKS)
+    names = list(controllers) if controllers else list(DEFAULT_CONTROLLERS)
+    if "od-rl" not in names:
+        raise ValueError("E3 requires 'od-rl' among the controllers")
+    cfg = default_system(n_cores=n_cores, budget_fraction=budget_fraction)
+    if results is None:
+        workloads = {b: make_benchmark(b, n_cores, seed=seed) for b in bench}
+        lineup = standard_controllers(seed=seed)
+        chosen = {n: lineup[n] for n in names}
+        results = run_suite(cfg, workloads, chosen, n_epochs)
+
+    tpobe: Dict[str, Dict[str, float]] = {
+        ctrl: {
+            b: throughput_per_over_budget_energy(results[ctrl][b]) for b in bench
+        }
+        for ctrl in names
+    }
+    baselines = [n for n in names if n != "od-rl"]
+    advantage_vs: Dict[str, Dict[str, float]] = {
+        c: {
+            b: (tpobe["od-rl"][b] / tpobe[c][b] if tpobe[c][b] > 0 else float("inf"))
+            for b in bench
+        }
+        for c in baselines
+    }
+    advantage: Dict[str, float] = {
+        b: min(advantage_vs[c][b] for c in baselines) for b in bench
+    }
+    max_advantage = max(v for row in advantage_vs.values() for v in row.values())
+    # Benchmarks where OD-RL's overshoot was exactly zero hit the OBE floor
+    # and produce sentinel-scale ratios; the finite headline — comparable to
+    # the paper's "up to 44.3x" — is taken over the rest.
+    finite_bench = [
+        b for b in bench
+        if over_budget_energy(results["od-rl"][b]) > OBE_FLOOR
+    ]
+    finite_values = [
+        advantage_vs[c][b] for c in baselines for b in finite_bench
+    ]
+    max_finite_advantage = max(finite_values) if finite_values else float("inf")
+
+    report = "\n\n".join(
+        [
+            format_table(
+                tpobe,
+                bench,
+                title=(
+                    f"E3: throughput per over-budget energy (instr/J), "
+                    f"{n_cores} cores, budget {cfg.power_budget:.1f} W"
+                ),
+                fmt="{:.3e}",
+            ),
+            format_table(
+                advantage_vs,
+                bench,
+                title=(
+                    "E3: OD-RL advantage (x) over each baseline "
+                    "(paper claim C2a: up to 44.3x — measured max "
+                    f"{max_finite_advantage:.1f}x on benchmarks where OD-RL "
+                    "overshot at all; zero-overshoot benchmarks saturate the ratio)"
+                ),
+                fmt="{:.2f}",
+            ),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="E3",
+        title="Throughput per over-the-budget energy",
+        report=report,
+        data={
+            "tpobe": tpobe,
+            "advantage_vs_baseline": advantage_vs,
+            "advantage_vs_best_baseline": advantage,
+            "max_advantage": max_advantage,
+            "max_finite_advantage": max_finite_advantage,
+            "results": results,
+        },
+    )

@@ -1,0 +1,103 @@
+"""E4 — energy efficiency (claim C2b).
+
+Reconstructs the energy-efficiency comparison: instructions per joule for
+every controller across the suite.  The abstract claims OD-RL achieves "up
+to 23 % higher energy efficiency" than the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.e2_overshoot import DEFAULT_BENCHMARKS, DEFAULT_CONTROLLERS
+from repro.manycore.config import default_system
+from repro.metrics.perf_metrics import energy_efficiency, throughput_bips
+from repro.metrics.report import format_table
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_suite, standard_controllers
+from repro.workloads.suite import make_benchmark
+
+__all__ = ["run_e4"]
+
+
+def run_e4(
+    n_cores: int = 64,
+    n_epochs: int = 1500,
+    budget_fraction: float = 0.6,
+    benchmarks: Optional[Sequence[str]] = None,
+    controllers: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    results: Optional[Mapping[str, Mapping[str, SimulationResult]]] = None,
+) -> ExperimentResult:
+    """Run E4: energy efficiency (instructions/joule) across the suite."""
+    bench = list(benchmarks) if benchmarks else list(DEFAULT_BENCHMARKS)
+    names = list(controllers) if controllers else list(DEFAULT_CONTROLLERS)
+    if "od-rl" not in names:
+        raise ValueError("E4 requires 'od-rl' among the controllers")
+    cfg = default_system(n_cores=n_cores, budget_fraction=budget_fraction)
+    if results is None:
+        workloads = {b: make_benchmark(b, n_cores, seed=seed) for b in bench}
+        lineup = standard_controllers(seed=seed)
+        chosen = {n: lineup[n] for n in names}
+        results = run_suite(cfg, workloads, chosen, n_epochs)
+
+    eff: Dict[str, Dict[str, float]] = {
+        ctrl: {b: energy_efficiency(results[ctrl][b]) for b in bench}
+        for ctrl in names
+    }
+    bips: Dict[str, Dict[str, float]] = {
+        ctrl: {b: throughput_bips(results[ctrl][b]) for b in bench}
+        for ctrl in names
+    }
+    baselines = [n for n in names if n != "od-rl"]
+    gain_vs: Dict[str, Dict[str, float]] = {
+        c: {b: 100.0 * (eff["od-rl"][b] / eff[c][b] - 1.0) for b in bench}
+        for c in baselines
+    }
+    gain: Dict[str, float] = {
+        b: min(gain_vs[c][b] for c in baselines) for b in bench
+    }
+    max_gain = max(v for row in gain_vs.values() for v in row.values())
+
+    report = "\n\n".join(
+        [
+            format_table(
+                eff,
+                bench,
+                title=(
+                    f"E4: energy efficiency (instructions/J), {n_cores} cores, "
+                    f"budget {cfg.power_budget:.1f} W"
+                ),
+                fmt="{:.3e}",
+            ),
+            format_table(
+                bips,
+                bench,
+                title="E4 (aux): mean throughput (BIPS)",
+                fmt="{:.2f}",
+            ),
+            format_table(
+                gain_vs,
+                bench,
+                title=(
+                    "E4: OD-RL efficiency gain % vs each baseline "
+                    f"(paper claim C2b: up to 23% — measured max {max_gain:.1f}%)"
+                ),
+                fmt="{:.1f}",
+            ),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="E4",
+        title="Energy efficiency",
+        report=report,
+        data={
+            "efficiency": eff,
+            "bips": bips,
+            "gain_vs_baseline": gain_vs,
+            "gain_vs_best_baseline": gain,
+            "max_gain": max_gain,
+            "results": results,
+        },
+    )

@@ -1,0 +1,111 @@
+"""E5 — controller-runtime scalability with core count (claim C3).
+
+Reconstructs the scalability figure: mean per-decision wall-clock time of
+each controller as the chip grows from tens to hundreds of cores.  The
+abstract claims "two orders of magnitude speedup over state-of-the-art
+techniques for systems with hundreds of cores" — here measured as the
+ratio of the centralized optimizer's (MaxBIPS-DP) decision time to
+OD-RL's at the largest core count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.manycore.config import default_system
+from repro.metrics.perf_metrics import mean_decision_time
+from repro.metrics.report import format_series
+from repro.sim.runner import run_suite, standard_controllers
+from repro.workloads.suite import mixed_workload
+
+__all__ = ["run_e5"]
+
+_DEFAULT_CONTROLLERS = (
+    "od-rl",
+    "pid",
+    "greedy-ascent",
+    "steepest-drop",
+    "max-swap",
+    "maxbips",
+)
+_DEFAULT_CORE_COUNTS = (16, 64, 144, 256)
+
+
+def run_e5(
+    core_counts: Optional[Sequence[int]] = None,
+    n_epochs: int = 60,
+    warmup_epochs: int = 10,
+    budget_fraction: float = 0.6,
+    controllers: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run E5: per-decision latency vs. core count.
+
+    Parameters
+    ----------
+    core_counts:
+        Chip sizes to sweep (ascending).
+    n_epochs:
+        Epochs simulated per point (decision time is averaged over them).
+    warmup_epochs:
+        Leading epochs dropped from the timing average (interpreter and
+        cache warm-up would otherwise inflate the first decisions).
+    """
+    counts = list(core_counts) if core_counts else list(_DEFAULT_CORE_COUNTS)
+    if sorted(counts) != counts or len(set(counts)) != len(counts):
+        raise ValueError(f"core_counts must be strictly ascending, got {counts}")
+    if warmup_epochs >= n_epochs:
+        raise ValueError("warmup_epochs must be smaller than n_epochs")
+    names = list(controllers) if controllers else list(_DEFAULT_CONTROLLERS)
+    if "od-rl" not in names or "maxbips" not in names:
+        raise ValueError("E5 requires 'od-rl' and 'maxbips' for the speedup ratio")
+    lineup = standard_controllers(seed=seed)
+    chosen = {n: lineup[n] for n in names}
+
+    latency: Dict[str, List[float]] = {n: [] for n in names}
+    for n_cores in counts:
+        cfg = default_system(n_cores=n_cores, budget_fraction=budget_fraction)
+        workload = mixed_workload(n_cores, seed=seed)
+        results = run_suite(cfg, {"mixed": workload}, chosen, n_epochs)
+        for name in names:
+            trimmed = results[name]["mixed"]
+            trimmed = trimmed.tail(1.0 - warmup_epochs / n_epochs)
+            latency[name].append(mean_decision_time(trimmed))
+
+    speedups = [
+        latency["maxbips"][i] / latency["od-rl"][i] for i in range(len(counts))
+    ]
+    speedup_at_max = speedups[-1]
+    series = {name: [v * 1e6 for v in vals] for name, vals in latency.items()}
+    report = "\n\n".join(
+        [
+            format_series(
+                [float(c) for c in counts],
+                series,
+                x_label="cores",
+                title="E5: mean decision latency (us) vs core count",
+            ),
+            format_series(
+                [float(c) for c in counts],
+                {"maxbips/od-rl speedup": speedups},
+                x_label="cores",
+                title=(
+                    "E5: OD-RL speedup over the centralized optimizer "
+                    f"(paper claim C3: ~100x at hundreds of cores — measured "
+                    f"{speedup_at_max:.0f}x at {counts[-1]} cores)"
+                ),
+            ),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Controller runtime scalability",
+        report=report,
+        data={
+            "core_counts": counts,
+            "latency": latency,
+            "speedups": speedups,
+            "speedup_at_max_cores": speedup_at_max,
+        },
+    )

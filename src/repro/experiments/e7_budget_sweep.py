@@ -1,0 +1,87 @@
+"""E7 — sensitivity to the budget level.
+
+Reconstructs the budget-sweep figure: throughput, over-budget energy and
+utilization of each controller as the TDP varies from tight to loose
+(fractions of worst-case peak power).  Shows where each policy's behaviour
+crosses over — e.g. static provisioning catches up at loose budgets while
+reactive schemes dominate at tight ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.manycore.config import default_system
+from repro.manycore.power import peak_chip_power
+from repro.metrics.perf_metrics import throughput_bips
+from repro.metrics.power_metrics import budget_utilization, over_budget_energy
+from repro.metrics.report import format_series
+from repro.sim.runner import run_budget_sweep, standard_controllers
+from repro.workloads.suite import mixed_workload
+
+__all__ = ["run_e7"]
+
+_DEFAULT_CONTROLLERS = ("od-rl", "pid", "greedy-ascent", "static-uniform")
+_DEFAULT_FRACTIONS = (0.4, 0.5, 0.6, 0.75, 0.9)
+
+
+def run_e7(
+    n_cores: int = 64,
+    n_epochs: int = 1200,
+    budget_fractions: Optional[Sequence[float]] = None,
+    controllers: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run E7: metric curves vs. budget fraction of peak power."""
+    fractions = (
+        list(budget_fractions) if budget_fractions else list(_DEFAULT_FRACTIONS)
+    )
+    if any(not (0 < f <= 1) for f in fractions):
+        raise ValueError(f"budget fractions must be in (0, 1], got {fractions}")
+    names = list(controllers) if controllers else list(_DEFAULT_CONTROLLERS)
+    cfg = default_system(n_cores=n_cores, budget_fraction=fractions[0])
+    peak = peak_chip_power(cfg)
+    budgets = [f * peak for f in fractions]
+    workload = mixed_workload(n_cores, seed=seed)
+    lineup = standard_controllers(seed=seed)
+    chosen = {n: lineup[n] for n in names}
+    results = run_budget_sweep(cfg, budgets, workload, chosen, n_epochs)
+
+    bips: Dict[str, List[float]] = {}
+    obe: Dict[str, List[float]] = {}
+    util: Dict[str, List[float]] = {}
+    for name in names:
+        bips[name] = [throughput_bips(results[name][b]) for b in budgets]
+        obe[name] = [over_budget_energy(results[name][b]) for b in budgets]
+        util[name] = [budget_utilization(results[name][b]) for b in budgets]
+
+    report = "\n\n".join(
+        [
+            format_series(
+                fractions, bips, x_label="budget_frac",
+                title=f"E7: throughput (BIPS) vs budget fraction, {n_cores} cores",
+            ),
+            format_series(
+                fractions, obe, x_label="budget_frac",
+                title="E7: over-budget energy (J) vs budget fraction",
+            ),
+            format_series(
+                fractions, util, x_label="budget_frac",
+                title="E7: budget utilization vs budget fraction",
+            ),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="E7",
+        title="Budget-level sensitivity",
+        report=report,
+        data={
+            "fractions": fractions,
+            "budgets": budgets,
+            "bips": bips,
+            "obe": obe,
+            "utilization": util,
+            "results": results,
+        },
+    )

@@ -1,0 +1,97 @@
+"""E8 — ablations of OD-RL's design choices.
+
+Three axes, called out in DESIGN.md:
+
+1. **Global reallocation period** — off (0) vs fast (10) vs slow (50)
+   epochs.  Tests how much of OD-RL's win comes from the coarse level.
+2. **State encoding** — slack-only vs slack+IPC vs slack+IPC+level.
+3. **Overshoot penalty weight** (lambda) and **action mode**
+   (relative vs absolute) — the compliance/utilization trade-off.
+4. **TD rule** — off-policy Q-learning vs on-policy SARSA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core import ODRLController, RewardParams, StateEncoder
+from repro.experiments.base import ExperimentResult
+from repro.manycore.config import default_system
+from repro.metrics.perf_metrics import energy_efficiency, throughput_bips
+from repro.metrics.power_metrics import budget_utilization, over_budget_energy
+from repro.metrics.report import format_table
+from repro.sim.simulator import run_controller
+from repro.workloads.suite import mixed_workload
+
+__all__ = ["run_e8", "ablation_variants"]
+
+_METRIC_COLUMNS = ("bips", "obe_J", "utilization", "instr_per_J")
+
+
+def ablation_variants(cfg, seed: int = 0) -> Dict[str, ODRLController]:
+    """All OD-RL variants evaluated in E8, keyed by a descriptive label."""
+    return {
+        "default (realloc=10, slack_ipc, rel, lam=1)": ODRLController(cfg, seed=seed),
+        "no-realloc": ODRLController(cfg, realloc_period=0, seed=seed),
+        "realloc=50": ODRLController(cfg, realloc_period=50, seed=seed),
+        "state=slack": ODRLController(
+            cfg, encoder=StateEncoder.variant("slack", cfg.n_levels), seed=seed
+        ),
+        "state=slack_ipc_level": ODRLController(
+            cfg,
+            encoder=StateEncoder.variant("slack_ipc_level", cfg.n_levels),
+            seed=seed,
+        ),
+        "actions=absolute": ODRLController(cfg, action_mode="absolute", seed=seed),
+        "td=sarsa": ODRLController(cfg, td_rule="sarsa", seed=seed),
+        "lam=0.5": ODRLController(
+            cfg, reward_params=RewardParams(overshoot_weight=0.5), seed=seed
+        ),
+        "lam=4": ODRLController(
+            cfg, reward_params=RewardParams(overshoot_weight=4.0), seed=seed
+        ),
+    }
+
+
+def run_e8(
+    n_cores: int = 64,
+    n_epochs: int = 2000,
+    budget_fraction: float = 0.6,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run E8: every ablation variant on the mixed workload.
+
+    ``data['metrics'][variant]`` holds bips / obe_J / utilization /
+    instr_per_J; steady-state values are computed on the last half of the
+    run so learning transients do not blur the comparison.
+    """
+    cfg = default_system(n_cores=n_cores, budget_fraction=budget_fraction)
+    workload = mixed_workload(n_cores, seed=seed)
+    variants = ablation_variants(cfg, seed=seed)
+
+    metrics: Dict[str, Dict[str, float]] = {}
+    for label, controller in variants.items():
+        result = run_controller(cfg, workload, controller, n_epochs)
+        steady = result.tail(0.5)
+        metrics[label] = {
+            "bips": throughput_bips(steady),
+            "obe_J": over_budget_energy(steady),
+            "utilization": budget_utilization(steady),
+            "instr_per_J": energy_efficiency(steady),
+        }
+
+    report = format_table(
+        metrics,
+        _METRIC_COLUMNS,
+        title=(
+            f"E8: OD-RL ablations (steady-state, last half of {n_epochs} epochs), "
+            f"{n_cores} cores, budget {cfg.power_budget:.1f} W"
+        ),
+        fmt="{:.4g}",
+    )
+    return ExperimentResult(
+        experiment_id="E8",
+        title="OD-RL design ablations",
+        report=report,
+        data={"metrics": metrics},
+    )

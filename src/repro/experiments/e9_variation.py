@@ -1,0 +1,126 @@
+"""E9 (extension) — robustness to manufacturing process variation.
+
+Not in the original paper, but the natural stress test of its thesis:
+does OD-RL's budget compliance survive a die whose cores differ in leakage
+by 2–3x?  The experiment runs the same controllers on a nominal die and on
+a varied die (same workload, same seeds) and compares over-budget energy
+and throughput across the two.
+
+Honest finding from this substrate: *static* variation is largely absorbed
+by any controller that recalibrates from per-epoch telemetry — the greedy
+and MaxBIPS estimators re-fit each core's power every epoch, so their
+per-core model errors stay local and small.  What E9 therefore establishes
+is (a) OD-RL's compliance and throughput are essentially unchanged on a
+varied die (the contribution is variation-robust), and (b) no baseline
+collapses either — the variation argument for model-free control bites
+against *offline-calibrated* models, not against on-line-refit ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.manycore.config import default_system
+from repro.manycore.variation import VariationParams, sample_variation
+from repro.metrics.perf_metrics import throughput_bips
+from repro.metrics.power_metrics import over_budget_energy
+from repro.metrics.report import format_table
+from repro.sim.runner import standard_controllers
+from repro.sim.simulator import run_controller
+from repro.workloads.suite import mixed_workload
+
+__all__ = ["run_e9"]
+
+_DEFAULT_CONTROLLERS = ("od-rl", "pid", "greedy-ascent", "maxbips")
+
+
+def run_e9(
+    n_cores: int = 64,
+    n_epochs: int = 1500,
+    budget_fraction: float = 0.6,
+    leak_sigma: float = 0.35,
+    controllers: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run E9: nominal die vs. varied die, same controllers and workload.
+
+    ``data['obe']`` and ``data['bips']`` map
+    ``controller -> {'nominal': x, 'varied': y}``;
+    ``data['degradation']`` holds each controller's over-budget-energy
+    increase (varied minus nominal, joules).
+    """
+    if leak_sigma < 0:
+        raise ValueError(f"leak_sigma must be >= 0, got {leak_sigma}")
+    names = list(controllers) if controllers else list(_DEFAULT_CONTROLLERS)
+    if "od-rl" not in names:
+        raise ValueError("E9 requires 'od-rl' among the controllers")
+    cfg = default_system(n_cores=n_cores, budget_fraction=budget_fraction)
+    workload = mixed_workload(n_cores, seed=seed)
+    variation = sample_variation(
+        cfg,
+        VariationParams(leak_sigma=leak_sigma),
+        rng=np.random.default_rng(seed + 1),
+    )
+    lineup = standard_controllers(seed=seed)
+    chosen = {n: lineup[n] for n in names}
+
+    obe: Dict[str, Dict[str, float]] = {}
+    bips: Dict[str, Dict[str, float]] = {}
+    for name, factory in chosen.items():
+        nominal = run_controller(cfg, workload, factory(cfg), n_epochs)
+        varied = run_controller(
+            cfg, workload, factory(cfg), n_epochs, variation=variation
+        )
+        obe[name] = {
+            "nominal": over_budget_energy(nominal),
+            "varied": over_budget_energy(varied),
+        }
+        bips[name] = {
+            "nominal": throughput_bips(nominal),
+            "varied": throughput_bips(varied),
+        }
+
+    degradation = {name: obe[name]["varied"] - obe[name]["nominal"] for name in names}
+    report = "\n\n".join(
+        [
+            format_table(
+                obe,
+                ["nominal", "varied"],
+                title=(
+                    f"E9: over-budget energy (J), nominal vs varied die "
+                    f"(leak sigma {leak_sigma}), {n_cores} cores"
+                ),
+                fmt="{:.4f}",
+            ),
+            format_table(
+                bips,
+                ["nominal", "varied"],
+                title="E9 (aux): throughput (BIPS), nominal vs varied die",
+                fmt="{:.2f}",
+            ),
+            format_table(
+                {"OBE increase (J)": degradation},
+                names,
+                title=(
+                    "E9: over-budget-energy increase under variation (all "
+                    "on-line controllers recalibrate from telemetry, so "
+                    "increases are small; OD-RL stays among the lowest)"
+                ),
+                fmt="{:.4f}",
+            ),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Process-variation robustness (extension)",
+        report=report,
+        data={
+            "obe": obe,
+            "bips": bips,
+            "degradation": degradation,
+            "leak_sigma": leak_sigma,
+        },
+    )

@@ -1,0 +1,79 @@
+"""Many-core chip substrate: performance, power, thermal, and sensor models.
+
+This package is the simulated plant standing in for the architectural
+simulator the paper ran on.  See DESIGN.md ("Substitutions") for the
+fidelity argument.
+"""
+
+from repro.manycore.chip import EpochObservation, ManyCoreChip
+from repro.manycore.config import (
+    SystemConfig,
+    TechnologyParams,
+    default_system,
+    default_technology,
+)
+from repro.manycore.core import (
+    activity_factor,
+    compute_fraction,
+    instructions_per_second,
+)
+from repro.manycore.power import (
+    core_power,
+    dynamic_power,
+    idle_chip_power,
+    leakage_power,
+    peak_chip_power,
+)
+from repro.manycore.hetero import (
+    BIG,
+    LITTLE,
+    CoreType,
+    HeterogeneousMap,
+    big_little_map,
+)
+from repro.manycore.memory import (
+    MemorySystem,
+    MemorySystemParams,
+    default_memory_system,
+)
+from repro.manycore.sensors import Sensor, SensorSpec, SensorSuite
+from repro.manycore.thermal import ThermalModel, mesh_neighbors
+from repro.manycore.variation import CoreVariation, VariationParams, sample_variation
+from repro.manycore.vf import VFLevel, build_vf_table, clamp_level, transition_penalty
+
+__all__ = [
+    "EpochObservation",
+    "ManyCoreChip",
+    "SystemConfig",
+    "TechnologyParams",
+    "default_system",
+    "default_technology",
+    "activity_factor",
+    "compute_fraction",
+    "instructions_per_second",
+    "core_power",
+    "dynamic_power",
+    "idle_chip_power",
+    "leakage_power",
+    "peak_chip_power",
+    "BIG",
+    "LITTLE",
+    "CoreType",
+    "HeterogeneousMap",
+    "big_little_map",
+    "MemorySystem",
+    "MemorySystemParams",
+    "default_memory_system",
+    "Sensor",
+    "SensorSpec",
+    "SensorSuite",
+    "ThermalModel",
+    "mesh_neighbors",
+    "CoreVariation",
+    "VariationParams",
+    "sample_variation",
+    "VFLevel",
+    "build_vf_table",
+    "clamp_level",
+    "transition_penalty",
+]

@@ -1,0 +1,274 @@
+"""The many-core chip model: the closed-loop plant controllers act on.
+
+:class:`ManyCoreChip` composes the performance, power, and thermal models
+with a workload, and advances in control epochs.  Each epoch:
+
+1. the controller supplies a per-core VF-level vector;
+2. cores that changed level pay the VF transition stall;
+3. the workload is sampled to get each core's current phase;
+4. throughput, activity, power, and energy are computed;
+5. the thermal model integrates over the epoch;
+6. an :class:`EpochObservation` is returned with both ground truth (for
+   metrics) and sensor readings (for controllers).
+
+The chip itself enforces nothing about the budget — exceeding TDP is
+*observed*, not prevented, exactly as on hardware where the enforcement
+loop is firmware.  Budget violation accounting lives in
+:mod:`repro.metrics.power_metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.manycore.config import SystemConfig
+from repro.manycore.core import activity_factor, instructions_per_second
+from repro.manycore.hetero import HeterogeneousMap
+from repro.manycore.memory import MemorySystem
+from repro.manycore.power import dynamic_power, leakage_power
+from repro.manycore.sensors import SensorSuite
+from repro.manycore.thermal import ThermalModel
+from repro.manycore.variation import CoreVariation
+from repro.manycore.vf import clamp_level, transition_penalty
+from repro.workloads.phases import Workload
+
+__all__ = ["EpochObservation", "ManyCoreChip"]
+
+
+@dataclass(frozen=True)
+class EpochObservation:
+    """Everything measurable about one elapsed control epoch.
+
+    Ground-truth fields are used by metrics; the ``sensed_*`` fields are
+    what controllers should consume.
+
+    Attributes
+    ----------
+    epoch:
+        Zero-based index of the epoch that just elapsed.
+    time:
+        Simulation time in seconds at the *end* of the epoch.
+    levels:
+        Per-core VF level indices in force during the epoch.
+    power:
+        Ground-truth per-core average power over the epoch, watts.
+    instructions:
+        Ground-truth per-core instructions retired during the epoch.
+    temperature:
+        Per-core temperature at the end of the epoch, kelvin.
+    mem_intensity, compute_intensity:
+        The workload phase parameters in force (ground truth; real
+        controllers infer these from counters).
+    sensed_power, sensed_instructions, sensed_temperature:
+        Sensor readings of power, instruction counts and temperature.
+    """
+
+    epoch: int
+    time: float
+    levels: np.ndarray
+    power: np.ndarray
+    instructions: np.ndarray
+    temperature: np.ndarray
+    mem_intensity: np.ndarray
+    compute_intensity: np.ndarray
+    sensed_power: np.ndarray
+    sensed_instructions: np.ndarray
+    sensed_temperature: np.ndarray
+
+    @property
+    def chip_power(self) -> float:
+        """Total ground-truth chip power for the epoch, watts."""
+        return float(np.sum(self.power))
+
+    @property
+    def chip_instructions(self) -> float:
+        """Total instructions retired chip-wide during the epoch."""
+        return float(np.sum(self.instructions))
+
+
+class ManyCoreChip:
+    """Stateful plant model of an N-core chip executing a workload.
+
+    Parameters
+    ----------
+    cfg:
+        System configuration (cores, VF table, epoch length, TDP).
+    workload:
+        Phase traces the cores execute.
+    sensors:
+        Telemetry model; defaults to :meth:`SensorSuite.exact` so that the
+        plant is deterministic unless noise is requested explicitly.
+    initial_level:
+        VF level all cores start at; defaults to the top level (the
+        uncontrolled, performance-greedy state the paper's problem begins
+        from).
+    variation:
+        Optional per-core process-variation multipliers; defaults to the
+        nominal (variation-free) die.
+    memory_system:
+        Optional shared-memory contention model; when present, the chip
+        solves the per-epoch latency fixed point and all cores see the
+        inflated effective memory latency.  ``None`` (default) keeps the
+        uncontended constant-latency model.
+    hetero:
+        Optional per-core :class:`HeterogeneousMap` of core types
+        (big.LITTLE-class chips); ``None`` means all cores are the nominal
+        type.
+    """
+
+    def __init__(
+        self,
+        cfg: SystemConfig,
+        workload: Workload,
+        sensors: SensorSuite | None = None,
+        initial_level: int | None = None,
+        variation: CoreVariation | None = None,
+        memory_system: MemorySystem | None = None,
+        hetero: HeterogeneousMap | None = None,
+    ):
+        if not cfg.vf_levels:
+            raise ValueError("SystemConfig must carry a non-empty VF table")
+        if cfg.power_budget <= 0:
+            raise ValueError("SystemConfig.power_budget must be set and positive")
+        self.cfg = cfg
+        self.workload = workload
+        self.sensors = sensors if sensors is not None else SensorSuite.exact()
+        self.variation = (
+            variation if variation is not None else CoreVariation.nominal(cfg.n_cores)
+        )
+        if self.variation.n_cores != cfg.n_cores:
+            raise ValueError(
+                f"variation covers {self.variation.n_cores} cores but the chip "
+                f"has {cfg.n_cores}"
+            )
+        self.memory_system = memory_system
+        self.hetero = (
+            hetero if hetero is not None else HeterogeneousMap.homogeneous(cfg.n_cores)
+        )
+        if self.hetero.n_cores != cfg.n_cores:
+            raise ValueError(
+                f"hetero map covers {self.hetero.n_cores} cores but the chip "
+                f"has {cfg.n_cores}"
+            )
+        self._base_cpi = cfg.base_cpi * self.hetero.cpi_scale
+        self.thermal = ThermalModel(cfg)
+        start = cfg.n_levels - 1 if initial_level is None else initial_level
+        if not (0 <= start < cfg.n_levels):
+            raise ValueError(f"initial_level {start} outside VF table of {cfg.n_levels}")
+        self._freqs = np.array([f for f, _ in cfg.vf_levels])
+        self._volts = np.array([v for _, v in cfg.vf_levels])
+        self.levels = np.full(cfg.n_cores, start, dtype=int)
+        self.epoch = 0
+        self.time = 0.0
+        self.total_energy = 0.0
+        self.total_instructions = 0.0
+
+    @property
+    def n_cores(self) -> int:
+        return self.cfg.n_cores
+
+    @property
+    def n_levels(self) -> int:
+        return self.cfg.n_levels
+
+    def reset(self) -> None:
+        """Return the chip to its initial state (top VF, ambient temps)."""
+        self.levels = np.full(self.cfg.n_cores, self.cfg.n_levels - 1, dtype=int)
+        self.thermal.reset()
+        if self.memory_system is not None:
+            self.memory_system.reset()
+        self.epoch = 0
+        self.time = 0.0
+        self.total_energy = 0.0
+        self.total_instructions = 0.0
+
+    def step(self, new_levels: np.ndarray) -> EpochObservation:
+        """Advance one control epoch with the given per-core VF levels.
+
+        Parameters
+        ----------
+        new_levels:
+            Integer per-core level indices; values outside the VF table are
+            clamped (a controller bug should degrade, not crash, the plant —
+            matching firmware behaviour).
+
+        Returns
+        -------
+        EpochObservation
+        """
+        new_levels = np.asarray(new_levels)
+        if new_levels.shape != (self.n_cores,):
+            raise ValueError(
+                f"levels must have shape ({self.n_cores},), got {new_levels.shape}"
+            )
+        n_levels = self.n_levels
+        clamped = np.array(
+            [clamp_level(int(v), n_levels) for v in new_levels], dtype=int
+        )
+        # Stall time paid by cores that switched level this epoch.
+        stall = np.array(
+            [
+                transition_penalty(int(old), int(new))
+                for old, new in zip(self.levels, clamped)
+            ]
+        )
+        self.levels = clamped
+
+        cfg = self.cfg
+        dt = cfg.epoch_time
+        mem, comp = self.workload.sample(self.time, self.n_cores)
+        freq = self._freqs[clamped] * self.hetero.freq_scale
+        volt = self._volts[clamped]
+
+        # Shared-memory contention inflates the effective latency everyone
+        # sees; scaling mem_intensity by the multiplier is equivalent to
+        # scaling the latency in the CPI model.
+        if self.memory_system is not None:
+            multiplier = self.memory_system.solve_latency_multiplier(cfg, freq, mem)
+            mem = mem * multiplier
+
+        # Throughput: IPS while running, times the fraction of the epoch not
+        # lost to the VF transition.
+        ips = instructions_per_second(cfg, freq, mem, base_cpi=self._base_cpi)
+        run_fraction = np.clip(1.0 - stall / dt, 0.0, 1.0)
+        instructions = ips * run_fraction * dt
+
+        # Power: activity from the phase; temperature from the start of the
+        # epoch (leakage lags by one epoch, a standard discretization).
+        # Process-variation multipliers scale each core's components.
+        activity = activity_factor(cfg, freq, mem, comp, base_cpi=self._base_cpi)
+        temps = self.thermal.temperatures
+        power = (
+            dynamic_power(cfg.technology, volt, freq, activity)
+            * self.variation.ceff_mult
+            * self.hetero.ceff_scale
+            + leakage_power(cfg.technology, volt, temps)
+            * self.variation.leak_mult
+            * self.hetero.leak_scale
+        )
+
+        self.thermal.step(power, dt)
+        self.time += dt
+        energy = float(np.sum(power)) * dt
+        self.total_energy += energy
+        self.total_instructions += float(np.sum(instructions))
+
+        obs = EpochObservation(
+            epoch=self.epoch,
+            time=self.time,
+            levels=clamped.copy(),
+            power=power,
+            instructions=instructions,
+            temperature=self.thermal.temperatures.copy(),
+            mem_intensity=mem,
+            compute_intensity=comp,
+            sensed_power=self.sensors.power.read(power),
+            sensed_instructions=self.sensors.perf.read(instructions),
+            sensed_temperature=self.sensors.temperature.read(
+                self.thermal.temperatures
+            ),
+        )
+        self.epoch += 1
+        return obs

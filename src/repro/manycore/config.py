@@ -1,0 +1,206 @@
+"""System and technology configuration for the many-core substrate.
+
+The paper evaluates OD-RL on a mesh many-core chip whose cores expose a
+discrete set of voltage/frequency (VF) operating points.  This module holds
+the two configuration records everything else is parameterized by:
+
+* :class:`TechnologyParams` — the physical constants of the silicon process
+  (effective switched capacitance, leakage coefficients, thermal RC values).
+* :class:`SystemConfig` — the chip-level description (core count, mesh
+  geometry, VF table, control epoch length, TDP).
+
+Both are plain frozen dataclasses so configurations hash, compare, and can be
+used as dictionary keys in experiment sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = [
+    "TechnologyParams",
+    "SystemConfig",
+    "default_technology",
+    "default_system",
+]
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """Physical process parameters used by the power and thermal models.
+
+    The defaults approximate a 22 nm-class high-performance process: a core
+    dissipating roughly 4–6 W at the top VF point and under 1 W at the
+    bottom, with leakage contributing 20–35 % depending on temperature.
+
+    Attributes
+    ----------
+    ceff:
+        Effective switched capacitance per core in farads.  Dynamic power is
+        ``activity * ceff * V^2 * f``.
+    leak_coeff:
+        Leakage scale in amperes at the reference temperature; leakage power
+        is ``V * leak_coeff * exp(leak_temp_sens * (T - t_ref))``.
+    leak_temp_sens:
+        Exponential temperature sensitivity of leakage in 1/K.  Typical
+        published values are 0.01–0.02 per kelvin.
+    t_ref:
+        Reference temperature in kelvin at which ``leak_coeff`` is quoted.
+    t_ambient:
+        Ambient (heat-sink) temperature in kelvin.
+    r_thermal:
+        Vertical thermal resistance core-to-ambient in K/W.
+    c_thermal:
+        Thermal capacitance per core in J/K.
+    r_lateral:
+        Lateral thermal resistance between mesh-adjacent cores in K/W.
+    """
+
+    ceff: float = 1.1e-9
+    leak_coeff: float = 0.45
+    leak_temp_sens: float = 0.012
+    t_ref: float = 330.0
+    t_ambient: float = 318.0
+    r_thermal: float = 6.0
+    c_thermal: float = 0.03
+    r_lateral: float = 18.0
+
+    def __post_init__(self) -> None:
+        if self.ceff <= 0:
+            raise ValueError(f"ceff must be positive, got {self.ceff}")
+        if self.leak_coeff < 0:
+            raise ValueError(f"leak_coeff must be >= 0, got {self.leak_coeff}")
+        if self.r_thermal <= 0 or self.c_thermal <= 0 or self.r_lateral <= 0:
+            raise ValueError("thermal RC parameters must be positive")
+        if self.t_ambient <= 0 or self.t_ref <= 0:
+            raise ValueError("temperatures are absolute (kelvin) and must be positive")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Chip-level configuration of the simulated many-core system.
+
+    Attributes
+    ----------
+    n_cores:
+        Number of cores.  The mesh is as square as possible; any core count
+        is allowed (the last row may be partial).
+    vf_levels:
+        Tuple of ``(frequency_hz, voltage_v)`` pairs sorted by frequency.
+        Built by :func:`repro.manycore.vf.build_vf_table` by default.
+    epoch_time:
+        Length of one control epoch in seconds.  Per-core RL agents act once
+        per epoch; this is also the power/thermal integration step.
+    power_budget:
+        Chip-level power budget (TDP) in watts.
+    base_cpi:
+        Cycles per instruction of a core on a pure-compute phase, before
+        memory stalls.
+    mem_latency:
+        Main-memory round-trip latency in seconds; converts a phase's memory
+        intensity into frequency-dependent stall cycles.
+    activity_range:
+        ``(min, max)`` switching-activity factors mapped from workload
+        intensity onto the dynamic power model.
+    """
+
+    n_cores: int = 64
+    vf_levels: Tuple[Tuple[float, float], ...] = ()
+    epoch_time: float = 1e-3
+    power_budget: float = 0.0
+    base_cpi: float = 1.0
+    mem_latency: float = 80e-9
+    activity_range: Tuple[float, float] = (0.25, 1.0)
+    technology: TechnologyParams = field(default_factory=TechnologyParams)
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError(f"n_cores must be positive, got {self.n_cores}")
+        if self.epoch_time <= 0:
+            raise ValueError(f"epoch_time must be positive, got {self.epoch_time}")
+        if self.base_cpi <= 0:
+            raise ValueError(f"base_cpi must be positive, got {self.base_cpi}")
+        if self.mem_latency < 0:
+            raise ValueError(f"mem_latency must be >= 0, got {self.mem_latency}")
+        lo, hi = self.activity_range
+        if not (0 < lo <= hi <= 1.5):
+            raise ValueError(f"activity_range must satisfy 0 < lo <= hi, got {self.activity_range}")
+        if self.vf_levels:
+            freqs = [f for f, _ in self.vf_levels]
+            if sorted(freqs) != freqs:
+                raise ValueError("vf_levels must be sorted by ascending frequency")
+            if any(f <= 0 or v <= 0 for f, v in self.vf_levels):
+                raise ValueError("vf_levels entries must be positive")
+
+    @property
+    def mesh_shape(self) -> Tuple[int, int]:
+        """Rows/columns of the (near-)square mesh the cores are laid out on."""
+        cols = int(math.ceil(math.sqrt(self.n_cores)))
+        rows = int(math.ceil(self.n_cores / cols))
+        return rows, cols
+
+    @property
+    def n_levels(self) -> int:
+        """Number of VF operating points."""
+        return len(self.vf_levels)
+
+    def with_budget(self, power_budget: float) -> "SystemConfig":
+        """Return a copy with a different chip power budget."""
+        if power_budget <= 0:
+            raise ValueError(f"power_budget must be positive, got {power_budget}")
+        return replace(self, power_budget=power_budget)
+
+    def with_cores(self, n_cores: int) -> "SystemConfig":
+        """Return a copy with a different core count (budget unchanged)."""
+        return replace(self, n_cores=n_cores)
+
+
+def default_technology() -> TechnologyParams:
+    """The 22 nm-class technology point used throughout the evaluation."""
+    return TechnologyParams()
+
+
+def default_system(
+    n_cores: int = 64,
+    n_levels: int = 8,
+    budget_fraction: float = 0.6,
+    epoch_time: float = 1e-3,
+) -> SystemConfig:
+    """Build the standard evaluation system.
+
+    Parameters
+    ----------
+    n_cores:
+        Core count (the paper sweeps 16 to hundreds).
+    n_levels:
+        Number of VF operating points per core.
+    budget_fraction:
+        Chip power budget as a fraction of worst-case peak power (all cores
+        at the top VF point, maximum activity, hot leakage).
+    epoch_time:
+        Control epoch in seconds.
+
+    Returns
+    -------
+    SystemConfig
+        Fully populated configuration with VF table and TDP set.
+    """
+    # Imported here to avoid a circular import: vf.py needs TechnologyParams.
+    from repro.manycore.vf import build_vf_table
+    from repro.manycore.power import peak_chip_power
+
+    if not (0 < budget_fraction <= 1):
+        raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
+    tech = default_technology()
+    vf = build_vf_table(n_levels=n_levels)
+    cfg = SystemConfig(
+        n_cores=n_cores,
+        vf_levels=vf,
+        epoch_time=epoch_time,
+        power_budget=1.0,  # placeholder, replaced below
+        technology=tech,
+    )
+    peak = peak_chip_power(cfg)
+    return cfg.with_budget(budget_fraction * peak)

@@ -1,0 +1,114 @@
+"""Heterogeneous core types (big.LITTLE-class chips).
+
+Modern many-cores mix core types: wide out-of-order "big" cores and small
+efficient "little" ones.  All types share the chip's VF ladder *indices*
+(the controller's action space stays uniform) but differ in what a ladder
+step means physically:
+
+* ``freq_scale`` — the type's clock at each ladder point relative to the
+  nominal table (little cores top out lower);
+* ``ceff_scale`` — switched capacitance (big cores toggle more silicon);
+* ``cpi_scale`` — base CPI (big cores retire more per cycle: scale < 1).
+
+:class:`HeterogeneousMap` carries the per-core arrays; the chip model and
+the baselines' estimator both consume it (a platform's core types are
+public knowledge, unlike workload behaviour, so giving the model-based
+baselines the map is the fair comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CoreType", "HeterogeneousMap", "BIG", "LITTLE", "big_little_map"]
+
+
+@dataclass(frozen=True)
+class CoreType:
+    """One core microarchitecture.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    freq_scale:
+        Clock multiplier applied to every VF-ladder frequency.
+    ceff_scale:
+        Dynamic-capacitance multiplier (affects dynamic power).
+    cpi_scale:
+        Base-CPI multiplier (< 1 = higher IPC microarchitecture).
+    leak_scale:
+        Leakage multiplier (big cores leak more area).
+    """
+
+    name: str
+    freq_scale: float = 1.0
+    ceff_scale: float = 1.0
+    cpi_scale: float = 1.0
+    leak_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("freq_scale", "ceff_scale", "cpi_scale", "leak_scale"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+
+
+#: A performance-oriented out-of-order core (the reference type).
+BIG = CoreType(name="big", freq_scale=1.0, ceff_scale=1.0, cpi_scale=1.0, leak_scale=1.0)
+
+#: An efficiency core: ~60% clock, ~35% capacitance, narrower pipeline.
+LITTLE = CoreType(
+    name="little", freq_scale=0.6, ceff_scale=0.35, cpi_scale=1.4, leak_scale=0.45
+)
+
+
+class HeterogeneousMap:
+    """Assignment of a :class:`CoreType` to every core, as flat arrays.
+
+    Parameters
+    ----------
+    types:
+        Per-core sequence of :class:`CoreType` records.
+    """
+
+    def __init__(self, types: Sequence[CoreType]):
+        if not types:
+            raise ValueError("HeterogeneousMap needs at least one core")
+        self.types: Tuple[CoreType, ...] = tuple(types)
+        self.freq_scale = np.array([t.freq_scale for t in types])
+        self.ceff_scale = np.array([t.ceff_scale for t in types])
+        self.cpi_scale = np.array([t.cpi_scale for t in types])
+        self.leak_scale = np.array([t.leak_scale for t in types])
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.types)
+
+    def type_indices(self) -> Dict[str, np.ndarray]:
+        """Core indices per type name (for per-type reporting)."""
+        out: Dict[str, list] = {}
+        for i, t in enumerate(self.types):
+            out.setdefault(t.name, []).append(i)
+        return {name: np.array(idx) for name, idx in out.items()}
+
+    @classmethod
+    def homogeneous(cls, n_cores: int, core_type: CoreType = BIG) -> "HeterogeneousMap":
+        """All cores of one type (the default chip)."""
+        if n_cores <= 0:
+            raise ValueError(f"n_cores must be positive, got {n_cores}")
+        return cls([core_type] * n_cores)
+
+
+def big_little_map(n_cores: int, big_fraction: float = 0.5) -> HeterogeneousMap:
+    """A big.LITTLE chip: the first ``round(big_fraction * n)`` cores are
+    big, the rest little (contiguous clusters, as real SoCs place them)."""
+    if n_cores <= 0:
+        raise ValueError(f"n_cores must be positive, got {n_cores}")
+    if not (0 <= big_fraction <= 1):
+        raise ValueError(f"big_fraction must be in [0, 1], got {big_fraction}")
+    n_big = int(round(big_fraction * n_cores))
+    return HeterogeneousMap([BIG] * n_big + [LITTLE] * (n_cores - n_big))

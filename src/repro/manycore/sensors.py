@@ -1,0 +1,133 @@
+"""Sensor models: what the controller actually gets to see.
+
+Real power-management firmware reads quantized, noisy telemetry, not the
+simulator's ground truth.  The paper's controller is explicitly model-free
+partly *because* analytic models calibrated offline drift against such
+telemetry.  Each sensor wraps a ground-truth vector with:
+
+* multiplicative Gaussian noise (relative to reading),
+* quantization to a fixed step (ADC/firmware register resolution), and
+* transient faults: per-sample *dropouts* (the register reads zero — a
+  failed I2C/PECI transaction) and *stuck* samples (the register was not
+  updated, so the previous reading repeats).
+
+A default-constructed spec makes the sensor exact, which tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SensorSpec", "Sensor", "SensorSuite"]
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Noise/quantization description of one telemetry channel.
+
+    Attributes
+    ----------
+    relative_noise:
+        Standard deviation of multiplicative Gaussian noise (0 = exact).
+    quantum:
+        Quantization step in the channel's unit (0 = continuous).
+    floor:
+        Readings are clamped below at this value (sensors don't report
+        negative power).
+    dropout_rate:
+        Probability, per core per epoch, that the reading is lost and
+        returns zero.
+    stuck_rate:
+        Probability, per core per epoch, that the reading repeats the
+        previous epoch's value instead of updating.
+    """
+
+    relative_noise: float = 0.0
+    quantum: float = 0.0
+    floor: float = 0.0
+    dropout_rate: float = 0.0
+    stuck_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.relative_noise < 0:
+            raise ValueError(f"relative_noise must be >= 0, got {self.relative_noise}")
+        if self.quantum < 0:
+            raise ValueError(f"quantum must be >= 0, got {self.quantum}")
+        if not (0 <= self.dropout_rate <= 1):
+            raise ValueError(f"dropout_rate must be in [0, 1], got {self.dropout_rate}")
+        if not (0 <= self.stuck_rate <= 1):
+            raise ValueError(f"stuck_rate must be in [0, 1], got {self.stuck_rate}")
+
+
+class Sensor:
+    """One telemetry channel with its own RNG stream."""
+
+    def __init__(self, spec: SensorSpec, rng: np.random.Generator):
+        self._spec = spec
+        self._rng = rng
+        self._last: np.ndarray | None = None
+
+    @property
+    def spec(self) -> SensorSpec:
+        return self._spec
+
+    def read(self, truth: np.ndarray) -> np.ndarray:
+        """Produce a reading of ``truth`` through this sensor."""
+        truth = np.asarray(truth, dtype=float)
+        reading = truth
+        if self._spec.relative_noise > 0:
+            noise = self._rng.normal(1.0, self._spec.relative_noise, size=truth.shape)
+            reading = truth * noise
+        if self._spec.quantum > 0:
+            reading = np.round(reading / self._spec.quantum) * self._spec.quantum
+        reading = np.maximum(reading, self._spec.floor)
+        if self._spec.stuck_rate > 0 and self._last is not None:
+            stuck = self._rng.random(reading.shape) < self._spec.stuck_rate
+            reading = np.where(stuck, self._last, reading)
+        if self._spec.dropout_rate > 0:
+            dropped = self._rng.random(reading.shape) < self._spec.dropout_rate
+            reading = np.where(dropped, 0.0, reading)
+        if self._spec.stuck_rate > 0:
+            self._last = reading.copy()
+        return reading
+
+
+class SensorSuite:
+    """The telemetry set a power-management controller reads each epoch:
+    per-core power meters, retired-instruction counters, and thermal diodes.
+
+    Instruction counters are architectural and therefore exact by default;
+    power meters default to 2 % noise with 0.1 W registers, in line with
+    published RAPL error characterizations; thermal diodes default to 1 K
+    registers (digital thermal sensors report integer degrees).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        power_spec: SensorSpec | None = None,
+        perf_spec: SensorSpec | None = None,
+        temp_spec: SensorSpec | None = None,
+    ):
+        if power_spec is None:
+            power_spec = SensorSpec(relative_noise=0.02, quantum=0.1)
+        if perf_spec is None:
+            perf_spec = SensorSpec()
+        if temp_spec is None:
+            temp_spec = SensorSpec(quantum=1.0)
+        self.power = Sensor(power_spec, rng)
+        self.perf = Sensor(perf_spec, rng)
+        self.temperature = Sensor(temp_spec, rng)
+
+    @classmethod
+    def exact(cls) -> "SensorSuite":
+        """A noiseless suite for deterministic tests."""
+        rng = np.random.default_rng(0)
+        return cls(
+            rng,
+            power_spec=SensorSpec(),
+            perf_spec=SensorSpec(),
+            temp_spec=SensorSpec(),
+        )

@@ -1,0 +1,151 @@
+"""RC-grid thermal model of the many-core die.
+
+Each core is one thermal node with a vertical RC path to ambient and lateral
+resistances to its mesh neighbours (the standard lumped HotSpot-style
+abstraction at core granularity):
+
+    C dT_i/dt = P_i - (T_i - T_amb)/R_v - sum_j (T_i - T_j)/R_l
+
+Integration is forward Euler with automatic sub-stepping so the model stays
+stable even when the control epoch is long relative to the thermal time
+constant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.manycore.config import SystemConfig, TechnologyParams
+
+__all__ = ["ThermalModel", "mesh_neighbors"]
+
+
+def mesh_neighbors(n_cores: int, mesh_shape: Tuple[int, int]) -> List[Tuple[int, int]]:
+    """Undirected neighbour pairs ``(i, j)`` with ``i < j`` for a row-major
+    2-D mesh layout of ``n_cores`` cores on a ``rows x cols`` grid.
+
+    The last row may be partial; cores beyond ``n_cores`` simply do not
+    exist and contribute no edges.
+    """
+    rows, cols = mesh_shape
+    if rows * cols < n_cores:
+        raise ValueError(f"mesh {mesh_shape} too small for {n_cores} cores")
+    pairs = []
+    for idx in range(n_cores):
+        r, c = divmod(idx, cols)
+        right = idx + 1
+        if c + 1 < cols and right < n_cores:
+            pairs.append((idx, right))
+        down = idx + cols
+        if r + 1 < rows and down < n_cores:
+            pairs.append((idx, down))
+    return pairs
+
+
+class ThermalModel:
+    """Lumped RC thermal network over the core mesh.
+
+    Parameters
+    ----------
+    cfg:
+        System configuration supplying core count, mesh shape and the
+        technology's RC constants.
+
+    Notes
+    -----
+    The model keeps its own temperature state vector; :meth:`step` advances
+    it given the per-core power dissipated over an interval and returns the
+    new temperatures.  Use :meth:`reset` between simulation runs.
+    """
+
+    #: maximum Euler step as a fraction of the vertical RC time constant
+    _MAX_STEP_FRACTION = 0.2
+
+    def __init__(self, cfg: SystemConfig):
+        self._cfg = cfg
+        self._tech: TechnologyParams = cfg.technology
+        self._n = cfg.n_cores
+        self._pairs = mesh_neighbors(self._n, cfg.mesh_shape)
+        # Laplacian-like coupling matrix row sums, built sparse-by-hand:
+        # for each node, list of neighbour indices.
+        self._neighbor_idx: List[np.ndarray] = [np.empty(0, dtype=int)] * self._n
+        adj: List[List[int]] = [[] for _ in range(self._n)]
+        for i, j in self._pairs:
+            adj[i].append(j)
+            adj[j].append(i)
+        self._adjacency = [np.array(a, dtype=int) for a in adj]
+        self.temperatures = np.full(self._n, self._tech.t_ambient, dtype=float)
+
+    @property
+    def n_cores(self) -> int:
+        return self._n
+
+    def reset(self, temperature: float | None = None) -> None:
+        """Reset all nodes to ``temperature`` (ambient when omitted)."""
+        t0 = self._tech.t_ambient if temperature is None else float(temperature)
+        if t0 <= 0:
+            raise ValueError(f"temperature must be positive kelvin, got {t0}")
+        self.temperatures = np.full(self._n, t0, dtype=float)
+
+    def step(self, power: np.ndarray, dt: float) -> np.ndarray:
+        """Advance temperatures by ``dt`` seconds under per-core ``power``.
+
+        Parameters
+        ----------
+        power:
+            Per-core power in watts, shape ``(n_cores,)``.
+        dt:
+            Interval in seconds; internally sub-stepped for stability.
+
+        Returns
+        -------
+        numpy.ndarray
+            The updated temperature vector (also stored on the model).
+        """
+        power = np.asarray(power, dtype=float)
+        if power.shape != (self._n,):
+            raise ValueError(f"power must have shape ({self._n},), got {power.shape}")
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        tech = self._tech
+        tau = tech.r_thermal * tech.c_thermal
+        max_h = self._MAX_STEP_FRACTION * tau
+        n_sub = max(1, int(np.ceil(dt / max_h)))
+        h = dt / n_sub
+        temps = self.temperatures
+        inv_rv = 1.0 / tech.r_thermal
+        inv_rl = 1.0 / tech.r_lateral
+        inv_c = 1.0 / tech.c_thermal
+        for _ in range(n_sub):
+            lateral = np.zeros(self._n)
+            for i, nbrs in enumerate(self._adjacency):
+                if nbrs.size:
+                    lateral[i] = np.sum(temps[nbrs] - temps[i]) * inv_rl
+            dT = (power - (temps - tech.t_ambient) * inv_rv + lateral) * inv_c
+            temps = temps + h * dT
+        self.temperatures = temps
+        return temps
+
+    def steady_state(self, power: np.ndarray) -> np.ndarray:
+        """Solve the steady-state temperatures for constant ``power``.
+
+        Solves the linear system ``G T = P + G_amb T_amb`` where ``G`` is the
+        conductance matrix.  Useful for tests and warm-starting simulations.
+        """
+        power = np.asarray(power, dtype=float)
+        if power.shape != (self._n,):
+            raise ValueError(f"power must have shape ({self._n},), got {power.shape}")
+        tech = self._tech
+        g = np.zeros((self._n, self._n))
+        rhs = power + tech.t_ambient / tech.r_thermal
+        for i in range(self._n):
+            g[i, i] = 1.0 / tech.r_thermal
+        inv_rl = 1.0 / tech.r_lateral
+        for i, j in self._pairs:
+            g[i, i] += inv_rl
+            g[j, j] += inv_rl
+            g[i, j] -= inv_rl
+            g[j, i] -= inv_rl
+        return np.linalg.solve(g, rhs)

@@ -1,0 +1,163 @@
+"""Manufacturing process variation: core-to-core power variability.
+
+Scaled technologies exhibit within-die parameter variation: nominally
+identical cores differ in leakage (dominated by threshold-voltage spread,
+lognormally distributed) and in effective switched capacitance.  Variation
+is *spatially correlated* — neighbouring cores come from the same region of
+the reticle — which the model captures with a distance-weighted mixing of
+an i.i.d. Gaussian field over the mesh.
+
+Why it matters here: model-based controllers (MaxBIPS, greedy) predict
+power from *nominal* technology constants, so on a varied die their
+predictions carry a per-core systematic error; the model-free OD-RL agents
+simply learn each core's actual behaviour.  Experiment E9 measures how much
+that widens OD-RL's advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.manycore.config import SystemConfig
+from repro.manycore.thermal import mesh_neighbors
+
+__all__ = ["VariationParams", "CoreVariation", "sample_variation"]
+
+
+@dataclass(frozen=True)
+class VariationParams:
+    """Statistical description of within-die variation.
+
+    Attributes
+    ----------
+    leak_sigma:
+        Sigma of the lognormal leakage multiplier.  0.2–0.4 covers
+        published post-45 nm within-die leakage spreads (leakage varies by
+        2–3x across a die).
+    ceff_sigma:
+        Sigma of the (much tighter) lognormal dynamic-capacitance
+        multiplier; dynamic power varies far less than leakage.
+    spatial_mixing:
+        In [0, 1): how strongly each core's variation is mixed with its
+        mesh neighbours' per smoothing round.  0 = fully independent cores.
+    smoothing_rounds:
+        Number of neighbour-mixing rounds; more rounds = longer
+        correlation length.
+    """
+
+    leak_sigma: float = 0.3
+    ceff_sigma: float = 0.05
+    spatial_mixing: float = 0.5
+    smoothing_rounds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.leak_sigma < 0 or self.ceff_sigma < 0:
+            raise ValueError("sigmas must be >= 0")
+        if not (0 <= self.spatial_mixing < 1):
+            raise ValueError(
+                f"spatial_mixing must be in [0, 1), got {self.spatial_mixing}"
+            )
+        if self.smoothing_rounds < 0:
+            raise ValueError("smoothing_rounds must be >= 0")
+
+
+@dataclass(frozen=True)
+class CoreVariation:
+    """Per-core multipliers applied by the power model.
+
+    ``leak_mult[i]`` scales core *i*'s leakage, ``ceff_mult[i]`` its dynamic
+    power.  A value of 1.0 everywhere is the nominal (no-variation) die.
+    """
+
+    leak_mult: np.ndarray
+    ceff_mult: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.leak_mult.shape != self.ceff_mult.shape:
+            raise ValueError("multiplier arrays must have matching shapes")
+        if np.any(self.leak_mult <= 0) or np.any(self.ceff_mult <= 0):
+            raise ValueError("multipliers must be positive")
+
+    @property
+    def n_cores(self) -> int:
+        return int(self.leak_mult.shape[0])
+
+    @classmethod
+    def nominal(cls, n_cores: int) -> "CoreVariation":
+        """The no-variation die."""
+        if n_cores <= 0:
+            raise ValueError(f"n_cores must be positive, got {n_cores}")
+        return cls(np.ones(n_cores), np.ones(n_cores))
+
+
+def _spatially_smooth(
+    field: np.ndarray,
+    cfg: SystemConfig,
+    mixing: float,
+    rounds: int,
+) -> np.ndarray:
+    """Mix each node's value with its mesh neighbours' mean, ``rounds`` times."""
+    if rounds == 0 or mixing == 0:
+        return field
+    n = field.shape[0]
+    adjacency = [[] for _ in range(n)]
+    for i, j in mesh_neighbors(n, cfg.mesh_shape):
+        adjacency[i].append(j)
+        adjacency[j].append(i)
+    out = field.astype(float)
+    for _ in range(rounds):
+        mixed = out.copy()
+        for i, nbrs in enumerate(adjacency):
+            if nbrs:
+                mixed[i] = (1 - mixing) * out[i] + mixing * np.mean(out[nbrs])
+        out = mixed
+    return out
+
+
+def sample_variation(
+    cfg: SystemConfig,
+    params: Optional[VariationParams] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> CoreVariation:
+    """Draw one die's variation map.
+
+    Parameters
+    ----------
+    cfg:
+        System configuration (core count and mesh shape).
+    params:
+        Variation statistics; defaults to :class:`VariationParams`.
+    rng:
+        Random generator; pass a seeded one for a reproducible die.
+
+    Returns
+    -------
+    CoreVariation
+        Lognormal multipliers, spatially correlated over the mesh, each
+        normalized to a population mean of 1.0 so the *expected* chip power
+        matches the nominal die (variation redistributes power, it does not
+        systematically add it).
+    """
+    params = params if params is not None else VariationParams()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    n = cfg.n_cores
+
+    def lognormal_field(sigma: float) -> np.ndarray:
+        gaussian = rng.normal(0.0, 1.0, n)
+        gaussian = _spatially_smooth(
+            gaussian, cfg, params.spatial_mixing, params.smoothing_rounds
+        )
+        # Smoothing shrinks variance; restore unit scale before applying sigma.
+        std = gaussian.std()
+        if std > 0:
+            gaussian = gaussian / std
+        field = np.exp(sigma * gaussian)
+        return field / field.mean()
+
+    return CoreVariation(
+        leak_mult=lognormal_field(params.leak_sigma),
+        ceff_mult=lognormal_field(params.ceff_sigma),
+    )

@@ -1,0 +1,113 @@
+"""Voltage/frequency operating-point tables.
+
+Cores expose a discrete ladder of VF points, as commercial DVFS does
+(P-states).  Voltage scales roughly linearly with frequency over the
+conventional operating range, which makes dynamic power grow close to
+cubically with frequency — the property that makes budget allocation a
+non-trivial optimization.
+
+The module also models the cost of switching between points: a real PLL/VR
+takes on the order of tens of microseconds to relock, during which the core
+does no useful work.  Controllers that thrash between levels pay for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = [
+    "VFLevel",
+    "build_vf_table",
+    "transition_penalty",
+    "clamp_level",
+]
+
+# Conventional operating range loosely modelled on a 22 nm-class part.
+_F_MIN = 0.8e9
+_F_MAX = 2.4e9
+_V_MIN = 0.70
+_V_MAX = 1.10
+
+# Re-lock time per VF transition, independent of distance, plus a small
+# per-step ramp component (voltage regulators slew V gradually).
+_TRANSITION_BASE = 10e-6
+_TRANSITION_PER_STEP = 5e-6
+
+
+@dataclass(frozen=True)
+class VFLevel:
+    """One operating point: index into the ladder plus its physical values."""
+
+    index: int
+    frequency: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"index must be >= 0, got {self.index}")
+        if self.frequency <= 0 or self.voltage <= 0:
+            raise ValueError("frequency and voltage must be positive")
+
+
+def build_vf_table(
+    n_levels: int = 8,
+    f_range: Tuple[float, float] = (_F_MIN, _F_MAX),
+    v_range: Tuple[float, float] = (_V_MIN, _V_MAX),
+) -> Tuple[Tuple[float, float], ...]:
+    """Build an ascending ladder of ``(frequency_hz, voltage_v)`` pairs.
+
+    Frequency is spaced uniformly; voltage follows linearly, which is the
+    standard first-order fit to published P-state tables.
+
+    Parameters
+    ----------
+    n_levels:
+        Number of points; must be at least 2 (a single point would make DVFS
+        control meaningless).
+    f_range, v_range:
+        Inclusive ``(min, max)`` ranges for frequency (Hz) and voltage (V).
+
+    Returns
+    -------
+    tuple of (float, float)
+        Sorted ascending by frequency.
+    """
+    if n_levels < 2:
+        raise ValueError(f"n_levels must be >= 2, got {n_levels}")
+    f_lo, f_hi = f_range
+    v_lo, v_hi = v_range
+    if f_lo <= 0 or f_hi <= f_lo:
+        raise ValueError(f"invalid frequency range {f_range}")
+    if v_lo <= 0 or v_hi < v_lo:
+        raise ValueError(f"invalid voltage range {v_range}")
+    table = []
+    for i in range(n_levels):
+        t = i / (n_levels - 1)
+        table.append((f_lo + t * (f_hi - f_lo), v_lo + t * (v_hi - v_lo)))
+    return tuple(table)
+
+
+def transition_penalty(old_level: int, new_level: int) -> float:
+    """Seconds of stalled execution caused by one VF transition.
+
+    Zero when the level does not change; otherwise a fixed re-lock time plus
+    a component proportional to the number of ladder steps traversed (the
+    regulator slews voltage through intermediate values).
+    """
+    if old_level == new_level:
+        return 0.0
+    steps = abs(new_level - old_level)
+    return _TRANSITION_BASE + _TRANSITION_PER_STEP * steps
+
+
+def clamp_level(level: int, n_levels: int) -> int:
+    """Clamp a requested level index into the valid ladder range."""
+    if n_levels <= 0:
+        raise ValueError(f"n_levels must be positive, got {n_levels}")
+    return max(0, min(n_levels - 1, level))
+
+
+def levels_as_objects(vf_levels: Sequence[Tuple[float, float]]) -> Tuple[VFLevel, ...]:
+    """Wrap a raw VF table in :class:`VFLevel` records for typed access."""
+    return tuple(VFLevel(i, f, v) for i, (f, v) in enumerate(vf_levels))

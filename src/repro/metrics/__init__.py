@@ -1,0 +1,46 @@
+"""Evaluation metrics over simulation results."""
+
+from repro.metrics.convergence import epochs_to_converge, window_means
+from repro.metrics.fairness import (
+    jain_index,
+    per_core_throughput,
+    slowdowns,
+    worst_slowdown,
+)
+from repro.metrics.perf_metrics import (
+    decision_time_percentile,
+    energy_efficiency,
+    mean_decision_time,
+    throughput_bips,
+    throughput_per_over_budget_energy,
+)
+from repro.metrics.power_metrics import (
+    budget_utilization,
+    over_budget_energy,
+    over_budget_power,
+    overshoot_fraction,
+    peak_overshoot,
+)
+from repro.metrics.report import format_series, format_table, normalize_rows
+
+__all__ = [
+    "epochs_to_converge",
+    "window_means",
+    "jain_index",
+    "per_core_throughput",
+    "slowdowns",
+    "worst_slowdown",
+    "decision_time_percentile",
+    "energy_efficiency",
+    "mean_decision_time",
+    "throughput_bips",
+    "throughput_per_over_budget_energy",
+    "budget_utilization",
+    "over_budget_energy",
+    "over_budget_power",
+    "overshoot_fraction",
+    "peak_overshoot",
+    "format_series",
+    "format_table",
+    "normalize_rows",
+]

@@ -1,0 +1,70 @@
+"""Convergence detection for on-line learning curves.
+
+"How long until the controller is at steady state?" is itself an
+evaluation number (E6 reports it): an on-line scheme whose warm-up lasts
+longer than a workload's phases never actually converges in production.
+
+The detector is deliberately simple and deterministic: window-average the
+series, take the final window as the steady value, and report the first
+window from which *every* subsequent window stays inside a relative
+tolerance band around it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["window_means", "epochs_to_converge"]
+
+
+def window_means(series: np.ndarray, window: int) -> np.ndarray:
+    """Non-overlapping window averages; the tail remainder is dropped."""
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1 or series.size == 0:
+        raise ValueError("series must be a non-empty 1-D array")
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    n = series.size // window
+    if n == 0:
+        raise ValueError(
+            f"series of length {series.size} shorter than one window ({window})"
+        )
+    return series[: n * window].reshape(n, window).mean(axis=1)
+
+
+def epochs_to_converge(
+    series: np.ndarray,
+    window: int = 100,
+    tolerance: float = 0.05,
+) -> Optional[int]:
+    """First epoch index from which the windowed series stays within
+    ``tolerance`` (relative) of its final windowed value.
+
+    Returns
+    -------
+    int or None
+        Epoch count (a multiple of ``window``), or ``None`` if even the
+        last window is outside the band of the final value (i.e. the
+        series never settles).
+
+    Notes
+    -----
+    The band is relative to the final window's magnitude; for final values
+    near zero an absolute fallback of ``tolerance`` is used so the
+    definition stays total.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    means = window_means(series, window)
+    final = means[-1]
+    scale = max(abs(final), tolerance)
+    inside = np.abs(means - final) <= tolerance * scale
+    # Find the earliest window w such that inside[w:] is all True.
+    if not inside[-1]:  # pragma: no cover - inside[-1] is True by construction
+        return None
+    first = len(means) - 1
+    while first > 0 and inside[first - 1]:
+        first -= 1
+    return first * window

@@ -1,0 +1,71 @@
+"""Per-core fairness metrics.
+
+A budget allocator that chases chip throughput can starve individual
+cores — the global reallocation deliberately under-feeds memory-bound
+cores.  Whether that is acceptable depends on the deployment (throughput
+farm vs. latency-SLA tenants), so the evaluation reports it rather than
+hiding it:
+
+* **Jain's fairness index** over per-core throughput: 1.0 when all cores
+  retire equally, 1/n when one core gets everything.
+* **slowdown distribution** versus a reference run (e.g. uncapped): how
+  much each core individually lost to power management.
+
+Both operate on per-core series, so the simulation must be run with
+``record_per_core=True``... except throughput fairness, which only needs
+per-core instruction totals and is also derivable from a per-core trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["jain_index", "per_core_throughput", "slowdowns", "worst_slowdown"]
+
+
+def jain_index(values: np.ndarray) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    Bounded in ``[1/n, 1]``; scale-invariant.  All-zero input is defined
+    as perfectly fair (1.0) — nobody gets anything, equally.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("jain_index expects a non-empty 1-D array")
+    if np.any(values < 0):
+        raise ValueError("jain_index expects non-negative values")
+    total_sq = float(np.sum(values)) ** 2
+    denom = values.size * float(np.sum(values**2))
+    if denom == 0:
+        return 1.0
+    return total_sq / denom
+
+
+def per_core_throughput(core_instructions: np.ndarray, duration: float) -> np.ndarray:
+    """Per-core mean instructions/second from an ``(epochs, cores)`` series."""
+    core_instructions = np.asarray(core_instructions, dtype=float)
+    if core_instructions.ndim != 2:
+        raise ValueError("expected an (epochs, cores) instruction series")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    return core_instructions.sum(axis=0) / duration
+
+
+def slowdowns(managed: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Per-core slowdown of a managed run versus a reference run.
+
+    ``slowdown[i] = reference_throughput[i] / managed_throughput[i]``;
+    1.0 = unaffected, 2.0 = core runs at half its reference speed.
+    """
+    managed = np.asarray(managed, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if managed.shape != reference.shape:
+        raise ValueError("managed and reference shapes must match")
+    if np.any(managed <= 0):
+        raise ValueError("managed throughput must be positive for slowdowns")
+    return reference / managed
+
+
+def worst_slowdown(managed: np.ndarray, reference: np.ndarray) -> float:
+    """The most-starved core's slowdown — the number an SLA cares about."""
+    return float(np.max(slowdowns(managed, reference)))

@@ -1,0 +1,63 @@
+"""Performance and efficiency metrics (the paper's claim C2 family)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.power_metrics import over_budget_energy
+from repro.sim.results import SimulationResult
+
+__all__ = [
+    "throughput_bips",
+    "energy_efficiency",
+    "throughput_per_over_budget_energy",
+    "mean_decision_time",
+    "decision_time_percentile",
+]
+
+#: joules below which over-budget energy is treated as "fully compliant";
+#: keeps the throughput-per-OBE ratio finite for controllers that never
+#: overshoot.  One micro-joule is far below any physically meaningful
+#: violation at watt-scale budgets and millisecond epochs.
+OBE_FLOOR = 1e-6
+
+
+def throughput_bips(result: SimulationResult) -> float:
+    """Mean chip throughput in billions of instructions per second."""
+    return result.mean_throughput / 1e9
+
+
+def energy_efficiency(result: SimulationResult) -> float:
+    """Instructions per joule (equivalently BIPS per watt × 1e9)."""
+    if result.total_energy <= 0:
+        raise ValueError("run has no energy accounted; cannot compute efficiency")
+    return result.total_instructions / result.total_energy
+
+
+def throughput_per_over_budget_energy(
+    result: SimulationResult, floor: float = OBE_FLOOR
+) -> float:
+    """Total instructions divided by over-budget energy (claim C2a).
+
+    The paper's headline ratio: how much work the controller delivers per
+    joule it spends *violating* the budget.  A controller that never
+    violates scores ``total_instructions / floor`` — effectively a large
+    sentinel that still orders controllers sensibly.
+    """
+    if floor <= 0:
+        raise ValueError(f"floor must be positive, got {floor}")
+    obe = max(over_budget_energy(result), floor)
+    return result.total_instructions / obe
+
+
+def mean_decision_time(result: SimulationResult) -> float:
+    """Average controller wall-clock seconds per decision (claim C3)."""
+    return float(np.mean(result.decision_time))
+
+
+def decision_time_percentile(result: SimulationResult, q: float = 99.0) -> float:
+    """Tail controller decision latency — the number that must fit inside
+    a control epoch for the scheme to be deployable."""
+    if not (0 < q <= 100):
+        raise ValueError(f"q must be in (0, 100], got {q}")
+    return float(np.percentile(result.decision_time, q))

@@ -1,0 +1,52 @@
+"""Budget-compliance metrics (the paper's claim C1 family).
+
+All metrics take a :class:`~repro.sim.results.SimulationResult` and read the
+ground-truth chip power trace against the configured budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.results import SimulationResult
+
+__all__ = [
+    "over_budget_power",
+    "over_budget_energy",
+    "overshoot_fraction",
+    "peak_overshoot",
+    "budget_utilization",
+]
+
+
+def over_budget_power(result: SimulationResult) -> np.ndarray:
+    """Per-epoch power above the budget, watts (zero when compliant)."""
+    return np.maximum(result.chip_power - result.cfg.power_budget, 0.0)
+
+
+def over_budget_energy(result: SimulationResult) -> float:
+    """Total energy spent above the budget over the run, joules.
+
+    This is the integral the paper's "budget overshoot" comparisons use:
+    it weighs both how often and how far the controller exceeds TDP.
+    """
+    return float(np.sum(over_budget_power(result))) * result.cfg.epoch_time
+
+
+def overshoot_fraction(result: SimulationResult) -> float:
+    """Fraction of epochs whose chip power exceeds the budget."""
+    return float(np.mean(result.chip_power > result.cfg.power_budget))
+
+
+def peak_overshoot(result: SimulationResult) -> float:
+    """Worst single-epoch power excursion above the budget, watts."""
+    return float(np.max(over_budget_power(result)))
+
+
+def budget_utilization(result: SimulationResult) -> float:
+    """Mean chip power as a fraction of the budget.
+
+    Near 1.0 with zero overshoot is the ideal; well below 1.0 means
+    performance is being left on the table.
+    """
+    return float(np.mean(result.chip_power)) / result.cfg.power_budget

@@ -1,0 +1,29 @@
+"""Closed-loop simulation: controller interface, driver, results, runner."""
+
+from repro.sim.interface import Controller
+from repro.sim.islands import IslandedController, island_map
+from repro.sim.result_io import load_result, save_result
+from repro.sim.results import SimulationResult
+from repro.sim.runner import (
+    run_budget_sweep,
+    run_suite,
+    standard_controllers,
+)
+from repro.sim.simulator import run_controller, simulate
+from repro.sim.stats import MetricStatistics, run_seeds
+
+__all__ = [
+    "Controller",
+    "IslandedController",
+    "island_map",
+    "SimulationResult",
+    "run_budget_sweep",
+    "run_suite",
+    "standard_controllers",
+    "run_controller",
+    "simulate",
+    "MetricStatistics",
+    "run_seeds",
+    "load_result",
+    "save_result",
+]

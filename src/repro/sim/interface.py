@@ -1,0 +1,87 @@
+"""Controller interface.
+
+Every power-management policy — the paper's OD-RL and all baselines —
+implements :class:`Controller`.  The simulator drives the loop:
+
+    levels = controller.decide(observation_of_previous_epoch)
+    observation = chip.step(levels)
+
+``decide`` receives ``None`` on the very first epoch (no telemetry yet) and
+must return a full per-core VF-level vector.  Controllers must only consume
+the ``sensed_*`` observation fields plus the static :class:`SystemConfig`;
+ground-truth fields exist for metrics and tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.manycore.chip import EpochObservation
+from repro.manycore.config import SystemConfig
+
+__all__ = ["Controller"]
+
+
+class Controller(ABC):
+    """Abstract per-epoch DVFS policy for an N-core chip.
+
+    Parameters
+    ----------
+    cfg:
+        The system the controller manages.  Gives it the VF table, core
+        count, epoch length and the chip power budget — the same information
+        real power-management firmware is provisioned with.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in experiment tables.
+    """
+
+    #: overridden by concrete classes
+    name: str = "controller"
+
+    def __init__(self, cfg: SystemConfig):
+        if cfg.power_budget <= 0:
+            raise ValueError("controller requires a positive power budget")
+        if not cfg.vf_levels:
+            raise ValueError("controller requires a non-empty VF table")
+        self.cfg = cfg
+
+    @property
+    def n_cores(self) -> int:
+        return self.cfg.n_cores
+
+    @property
+    def n_levels(self) -> int:
+        return self.cfg.n_levels
+
+    def reset(self) -> None:
+        """Clear any learned/internal state before a fresh run.
+
+        The default is stateless; stateful controllers override.
+        """
+
+    @abstractmethod
+    def decide(self, obs: Optional[EpochObservation]) -> np.ndarray:
+        """Return the per-core VF level vector for the next epoch.
+
+        Parameters
+        ----------
+        obs:
+            Telemetry of the epoch that just finished, or ``None`` before
+            the first epoch.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer array of shape ``(n_cores,)`` with entries in
+            ``[0, n_levels)``.
+        """
+
+    def _full(self, level: int) -> np.ndarray:
+        """Convenience: every core at the same ``level``."""
+        return np.full(self.n_cores, int(level), dtype=int)

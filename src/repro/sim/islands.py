@@ -1,0 +1,146 @@
+"""Voltage/Frequency Island (VFI) granularity.
+
+Commercial many-cores rarely give every core its own voltage regulator;
+cores are grouped into islands that share one VF setting.  Island
+granularity is a classic design trade-off: per-core islands maximize
+control freedom but cost regulators; chip-wide control is cheap but cannot
+differentiate cores.
+
+:class:`IslandedController` runs *any* per-core controller at island
+granularity without changing the controller: it presents the inner
+controller with a **virtual chip** whose "cores" are the islands —
+
+* the virtual technology's ``ceff`` and ``leak_coeff`` are scaled by the
+  island size, so the virtual per-"core" power model matches a whole
+  island's draw (power telemetry is summed per island);
+* instruction telemetry is *averaged* per island, keeping IPC and
+  normalized-throughput semantics identical to the single-core case;
+* temperature telemetry is the island maximum (the binding constraint);
+
+and expands the inner controller's island-level decisions back to per-core
+level vectors.  Experiment E12 sweeps the island size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.manycore.chip import EpochObservation
+from repro.manycore.config import SystemConfig
+from repro.sim.interface import Controller
+
+__all__ = ["IslandedController", "island_map"]
+
+
+def island_map(n_cores: int, island_size: int) -> np.ndarray:
+    """Per-core island indices for contiguous islands of ``island_size``.
+
+    The last island may be smaller when ``island_size`` does not divide
+    ``n_cores``.
+    """
+    if n_cores <= 0:
+        raise ValueError(f"n_cores must be positive, got {n_cores}")
+    if island_size <= 0:
+        raise ValueError(f"island_size must be positive, got {island_size}")
+    return np.arange(n_cores) // island_size
+
+
+class IslandedController(Controller):
+    """Run an inner per-core controller at VFI (multi-core island)
+    granularity.
+
+    Parameters
+    ----------
+    cfg:
+        The *real* system configuration.
+    island_size:
+        Cores per island; 1 reproduces the inner controller exactly, and
+        ``n_cores`` gives chip-wide control.
+    inner_factory:
+        Callable building the inner controller from the *virtual*
+        :class:`SystemConfig`; defaults to
+        :class:`~repro.core.controller.ODRLController`.
+    """
+
+    def __init__(
+        self,
+        cfg: SystemConfig,
+        island_size: int,
+        inner_factory: Optional[Callable[[SystemConfig], Controller]] = None,
+    ):
+        super().__init__(cfg)
+        if island_size <= 0 or island_size > cfg.n_cores:
+            raise ValueError(
+                f"island_size must be in [1, n_cores], got {island_size}"
+            )
+        self.island_size = island_size
+        self._map = island_map(cfg.n_cores, island_size)
+        self.n_islands = int(self._map.max()) + 1
+        self._island_counts = np.bincount(self._map).astype(float)
+
+        # The virtual chip: one "core" per island with island-scaled power
+        # constants.  For simplicity islands are scaled by the nominal
+        # island size; a partial last island is slightly over-provisioned
+        # in the virtual model, which is conservative.
+        tech = cfg.technology
+        virtual_tech = replace(
+            tech,
+            ceff=tech.ceff * island_size,
+            leak_coeff=tech.leak_coeff * island_size,
+        )
+        self._virtual_cfg = replace(
+            cfg, n_cores=self.n_islands, technology=virtual_tech
+        )
+        if inner_factory is None:
+            from repro.core.controller import ODRLController
+
+            inner_factory = ODRLController
+        self.inner = inner_factory(self._virtual_cfg)
+        self.name = f"vfi{island_size}:{self.inner.name}"
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def _aggregate(self, obs: EpochObservation) -> EpochObservation:
+        """Collapse per-core telemetry into per-island virtual telemetry."""
+        def sum_by_island(values: np.ndarray) -> np.ndarray:
+            return np.bincount(self._map, weights=values, minlength=self.n_islands)
+
+        def mean_by_island(values: np.ndarray) -> np.ndarray:
+            return sum_by_island(values) / self._island_counts
+
+        def max_by_island(values: np.ndarray) -> np.ndarray:
+            out = np.full(self.n_islands, -np.inf)
+            np.maximum.at(out, self._map, values)
+            return out
+
+        # All cores in an island share a level; take the first per island.
+        first = np.zeros(self.n_islands, dtype=int)
+        seen = np.zeros(self.n_islands, dtype=bool)
+        for core in range(self.cfg.n_cores):
+            isl = self._map[core]
+            if not seen[isl]:
+                first[isl] = obs.levels[core]
+                seen[isl] = True
+
+        return EpochObservation(
+            epoch=obs.epoch,
+            time=obs.time,
+            levels=first,
+            power=sum_by_island(obs.power),
+            instructions=mean_by_island(obs.instructions),
+            temperature=max_by_island(obs.temperature),
+            mem_intensity=mean_by_island(obs.mem_intensity),
+            compute_intensity=mean_by_island(obs.compute_intensity),
+            sensed_power=sum_by_island(obs.sensed_power),
+            sensed_instructions=mean_by_island(obs.sensed_instructions),
+            sensed_temperature=max_by_island(obs.sensed_temperature),
+        )
+
+    def decide(self, obs: Optional[EpochObservation]) -> np.ndarray:
+        virtual_obs = None if obs is None else self._aggregate(obs)
+        island_levels = self.inner.decide(virtual_obs)
+        return island_levels[self._map]

@@ -1,0 +1,89 @@
+"""Persistence of simulation results.
+
+Evaluation sweeps are expensive; freezing each run's time series to disk
+lets metrics be recomputed, figures re-rendered, and runs diffed without
+re-simulating.  A :class:`~repro.sim.results.SimulationResult` round-trips
+through a single ``.npz`` file: numeric series as arrays, the identifying
+metadata as scalars, and enough of the :class:`SystemConfig` to rebuild an
+equivalent configuration (VF table, budget, epoch length, core count).
+
+The restored config uses the *current* default technology constants — the
+file stores behavioural series, not the physics that produced them, so a
+result saved under one technology should be compared, not re-simulated.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.manycore.config import SystemConfig
+from repro.sim.results import SimulationResult
+
+__all__ = ["save_result", "load_result"]
+
+_FORMAT_VERSION = 1
+
+
+def save_result(result: SimulationResult, path: Union[str, Path]) -> None:
+    """Write a simulation result to ``path`` as ``.npz``."""
+    path = Path(path)
+    payload = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "controller_name": np.array(result.controller_name),
+        "workload_name": np.array(result.workload_name),
+        "n_cores": np.array(result.cfg.n_cores),
+        "epoch_time": np.array(result.cfg.epoch_time),
+        "power_budget": np.array(result.cfg.power_budget),
+        "vf_levels": np.array(result.cfg.vf_levels),
+        "chip_power": result.chip_power,
+        "chip_instructions": result.chip_instructions,
+        "max_temperature": result.max_temperature,
+        "decision_time": result.decision_time,
+    }
+    for name in ("core_power", "core_levels", "core_instructions"):
+        value = getattr(result, name)
+        if value is not None:
+            payload[name] = value
+    np.savez_compressed(path, **payload)
+
+
+def load_result(path: Union[str, Path]) -> SimulationResult:
+    """Read a result previously written by :func:`save_result`.
+
+    Raises
+    ------
+    ValueError
+        On format-version mismatch.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported result format version {version}; expected "
+                f"{_FORMAT_VERSION}"
+            )
+        vf = tuple((float(f), float(v)) for f, v in data["vf_levels"])
+        cfg = SystemConfig(
+            n_cores=int(data["n_cores"]),
+            vf_levels=vf,
+            epoch_time=float(data["epoch_time"]),
+            power_budget=float(data["power_budget"]),
+        )
+        optional = {
+            name: (data[name].copy() if name in data else None)
+            for name in ("core_power", "core_levels", "core_instructions")
+        }
+        return SimulationResult(
+            cfg=cfg,
+            controller_name=str(data["controller_name"]),
+            workload_name=str(data["workload_name"]),
+            chip_power=data["chip_power"].copy(),
+            chip_instructions=data["chip_instructions"].copy(),
+            max_temperature=data["max_temperature"].copy(),
+            decision_time=data["decision_time"].copy(),
+            **optional,
+        )

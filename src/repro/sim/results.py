@@ -1,0 +1,115 @@
+"""Simulation result containers.
+
+A :class:`SimulationResult` stores per-epoch chip-level time series (always)
+plus optional per-core series, along with the configuration the run used —
+enough for every metric in :mod:`repro.metrics` to be computed after the
+fact without re-running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.manycore.config import SystemConfig
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Time series and totals from one closed-loop run.
+
+    Attributes
+    ----------
+    cfg:
+        The system configuration of the run.
+    controller_name:
+        Identifier of the policy that produced the run.
+    workload_name:
+        Name of the workload executed.
+    chip_power:
+        Ground-truth total chip power per epoch, watts, shape ``(E,)``.
+    chip_instructions:
+        Instructions retired chip-wide per epoch, shape ``(E,)``.
+    max_temperature:
+        Hottest core temperature per epoch, kelvin, shape ``(E,)``.
+    decision_time:
+        Controller wall-clock seconds spent deciding each epoch, ``(E,)``.
+    core_power:
+        Optional per-core power, shape ``(E, n_cores)`` (populated when the
+        simulator runs with ``record_per_core=True``).
+    core_levels:
+        Optional per-core VF levels, same shape, integer.
+    core_instructions:
+        Optional per-core instructions retired, same shape.
+    """
+
+    cfg: SystemConfig
+    controller_name: str
+    workload_name: str
+    chip_power: np.ndarray
+    chip_instructions: np.ndarray
+    max_temperature: np.ndarray
+    decision_time: np.ndarray
+    core_power: Optional[np.ndarray] = None
+    core_levels: Optional[np.ndarray] = None
+    core_instructions: Optional[np.ndarray] = None
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        e = self.chip_power.shape[0]
+        for name in ("chip_instructions", "max_temperature", "decision_time"):
+            arr = getattr(self, name)
+            if arr.shape[0] != e:
+                raise ValueError(f"{name} length {arr.shape[0]} != chip_power length {e}")
+
+    @property
+    def n_epochs(self) -> int:
+        return int(self.chip_power.shape[0])
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds."""
+        return self.n_epochs * self.cfg.epoch_time
+
+    @property
+    def total_energy(self) -> float:
+        """Chip energy over the run, joules."""
+        return float(np.sum(self.chip_power)) * self.cfg.epoch_time
+
+    @property
+    def total_instructions(self) -> float:
+        """Instructions retired chip-wide over the run."""
+        return float(np.sum(self.chip_instructions))
+
+    @property
+    def mean_throughput(self) -> float:
+        """Average instructions per second over the run."""
+        return self.total_instructions / self.duration
+
+    def tail(self, fraction: float) -> "SimulationResult":
+        """The last ``fraction`` of the run as a new result — used to score
+        steady-state behaviour after the learning warm-up."""
+        if not (0 < fraction <= 1):
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        start = self.n_epochs - max(1, int(round(self.n_epochs * fraction)))
+        return SimulationResult(
+            cfg=self.cfg,
+            controller_name=self.controller_name,
+            workload_name=self.workload_name,
+            chip_power=self.chip_power[start:],
+            chip_instructions=self.chip_instructions[start:],
+            max_temperature=self.max_temperature[start:],
+            decision_time=self.decision_time[start:],
+            core_power=None if self.core_power is None else self.core_power[start:],
+            core_levels=None if self.core_levels is None else self.core_levels[start:],
+            core_instructions=(
+                None
+                if self.core_instructions is None
+                else self.core_instructions[start:]
+            ),
+            extras=dict(self.extras),
+        )

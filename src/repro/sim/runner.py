@@ -1,0 +1,109 @@
+"""Experiment runner: controller factories and sweep helpers.
+
+The evaluation compares the same controller set across many workloads,
+budgets, and core counts.  This module centralizes the controller lineup
+(so every experiment uses identical configurations) and the nested-loop
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Sequence
+
+from repro.manycore.config import SystemConfig
+from repro.sim.interface import Controller
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import run_controller
+from repro.workloads.phases import Workload
+
+__all__ = ["ControllerFactory", "standard_controllers", "run_suite", "run_budget_sweep"]
+
+ControllerFactory = Callable[[SystemConfig], Controller]
+
+
+def standard_controllers(seed: int = 0) -> Dict[str, ControllerFactory]:
+    """The evaluation's controller lineup, as factories over a config.
+
+    Order matters for table output: the contribution first, then the
+    reactive/optimizing baselines, then the static anchors.
+    """
+    # Imported here: repro.core and repro.baselines themselves import the
+    # Controller interface from this package, so a module-level import
+    # would be circular.
+    from repro.baselines import (
+        CentralizedRLController,
+        GreedyAscentController,
+        MaxBIPSController,
+        MaxSwapController,
+        PIDCappingController,
+        SteepestDropController,
+        StaticUniformController,
+        UncappedController,
+    )
+    from repro.core import ODRLController
+
+    return {
+        "od-rl": lambda cfg: ODRLController(cfg, seed=seed),
+        "pid": lambda cfg: PIDCappingController(cfg),
+        "greedy-ascent": lambda cfg: GreedyAscentController(cfg),
+        "steepest-drop": lambda cfg: SteepestDropController(cfg),
+        "max-swap": lambda cfg: MaxSwapController(cfg),
+        "maxbips": lambda cfg: MaxBIPSController(cfg),
+        "centralized-rl": lambda cfg: CentralizedRLController(cfg, seed=seed),
+        "static-uniform": lambda cfg: StaticUniformController(cfg),
+        "uncapped": lambda cfg: UncappedController(cfg),
+    }
+
+
+def run_suite(
+    cfg: SystemConfig,
+    workloads: Mapping[str, Workload],
+    controllers: Mapping[str, ControllerFactory],
+    n_epochs: int,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run every controller on every workload.
+
+    Returns
+    -------
+    dict
+        ``results[controller_name][workload_name] -> SimulationResult``.
+    """
+    if n_epochs <= 0:
+        raise ValueError(f"n_epochs must be positive, got {n_epochs}")
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for ctrl_name, factory in controllers.items():
+        results[ctrl_name] = {}
+        for wl_name, workload in workloads.items():
+            controller = factory(cfg)
+            results[ctrl_name][wl_name] = run_controller(
+                cfg, workload, controller, n_epochs
+            )
+    return results
+
+
+def run_budget_sweep(
+    base_cfg: SystemConfig,
+    budgets: Sequence[float],
+    workload: Workload,
+    controllers: Mapping[str, ControllerFactory],
+    n_epochs: int,
+) -> Dict[str, Dict[float, SimulationResult]]:
+    """Run every controller at each absolute budget (watts) on one workload.
+
+    Returns
+    -------
+    dict
+        ``results[controller_name][budget] -> SimulationResult``.
+    """
+    if not budgets:
+        raise ValueError("budgets must be non-empty")
+    results: Dict[str, Dict[float, SimulationResult]] = {}
+    for ctrl_name, factory in controllers.items():
+        results[ctrl_name] = {}
+        for budget in budgets:
+            cfg = base_cfg.with_budget(budget)
+            controller = factory(cfg)
+            results[ctrl_name][budget] = run_controller(
+                cfg, workload, controller, n_epochs
+            )
+    return results

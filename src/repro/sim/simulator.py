@@ -1,0 +1,130 @@
+"""Closed-loop simulation driver.
+
+Wires a :class:`~repro.manycore.chip.ManyCoreChip` to a
+:class:`~repro.sim.interface.Controller` and runs the control loop for a
+given number of epochs, recording the time series every metric needs.
+Controller decision latency is measured with ``time.perf_counter`` around
+the ``decide`` call only — that wall time is itself an evaluation output
+(the paper's scalability claim C3).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.manycore.chip import ManyCoreChip
+from repro.manycore.config import SystemConfig
+from repro.manycore.hetero import HeterogeneousMap
+from repro.manycore.memory import MemorySystem
+from repro.manycore.sensors import SensorSuite
+from repro.manycore.variation import CoreVariation
+from repro.sim.interface import Controller
+from repro.sim.results import SimulationResult
+from repro.workloads.phases import Workload
+
+__all__ = ["simulate", "run_controller"]
+
+
+def simulate(
+    chip: ManyCoreChip,
+    controller: Controller,
+    n_epochs: int,
+    record_per_core: bool = False,
+    reset: bool = True,
+) -> SimulationResult:
+    """Run the closed control loop for ``n_epochs``.
+
+    Parameters
+    ----------
+    chip:
+        The plant; its config must match the controller's.
+    controller:
+        The policy under test.
+    n_epochs:
+        Number of control epochs to simulate.
+    record_per_core:
+        Also record per-core power and level series (memory:
+        ``2 * E * n_cores`` doubles).
+    reset:
+        Reset both plant and controller first.  Pass ``False`` to continue
+        a run (e.g. to measure post-convergence behaviour separately).
+
+    Returns
+    -------
+    SimulationResult
+    """
+    if n_epochs <= 0:
+        raise ValueError(f"n_epochs must be positive, got {n_epochs}")
+    if chip.cfg.n_cores != controller.cfg.n_cores:
+        raise ValueError(
+            f"chip has {chip.cfg.n_cores} cores but controller was built "
+            f"for {controller.cfg.n_cores}"
+        )
+    if reset:
+        chip.reset()
+        controller.reset()
+
+    chip_power = np.empty(n_epochs)
+    chip_instructions = np.empty(n_epochs)
+    max_temperature = np.empty(n_epochs)
+    decision_time = np.empty(n_epochs)
+    core_power = np.empty((n_epochs, chip.n_cores)) if record_per_core else None
+    core_levels = (
+        np.empty((n_epochs, chip.n_cores), dtype=int) if record_per_core else None
+    )
+    core_instructions = (
+        np.empty((n_epochs, chip.n_cores)) if record_per_core else None
+    )
+
+    obs = None
+    for e in range(n_epochs):
+        t0 = time.perf_counter()
+        levels = controller.decide(obs)
+        decision_time[e] = time.perf_counter() - t0
+        obs = chip.step(levels)
+        chip_power[e] = obs.chip_power
+        chip_instructions[e] = obs.chip_instructions
+        max_temperature[e] = float(np.max(obs.temperature))
+        if record_per_core:
+            core_power[e] = obs.power
+            core_levels[e] = obs.levels
+            core_instructions[e] = obs.instructions
+
+    return SimulationResult(
+        cfg=chip.cfg,
+        controller_name=controller.name,
+        workload_name=chip.workload.name,
+        chip_power=chip_power,
+        chip_instructions=chip_instructions,
+        max_temperature=max_temperature,
+        decision_time=decision_time,
+        core_power=core_power,
+        core_levels=core_levels,
+        core_instructions=core_instructions,
+    )
+
+
+def run_controller(
+    cfg: SystemConfig,
+    workload: Workload,
+    controller: Controller,
+    n_epochs: int,
+    sensors: Optional[SensorSuite] = None,
+    record_per_core: bool = False,
+    variation: Optional[CoreVariation] = None,
+    memory_system: Optional[MemorySystem] = None,
+    hetero: Optional[HeterogeneousMap] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build the chip, run, return the result."""
+    chip = ManyCoreChip(
+        cfg,
+        workload,
+        sensors=sensors,
+        variation=variation,
+        memory_system=memory_system,
+        hetero=hetero,
+    )
+    return simulate(chip, controller, n_epochs, record_per_core=record_per_core)

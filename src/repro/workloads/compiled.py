@@ -1,0 +1,86 @@
+"""Precompiled workload sampling for large sweeps.
+
+``Workload.sample`` walks each core's phase list through a bisection per
+core per epoch — fine at 64 cores, but the Python-loop cost dominates
+simulations of hundreds of cores over thousands of epochs.
+:class:`CompiledWorkload` trades memory for speed: it evaluates the phase
+parameters for every (epoch, core) pair *once*, on a fixed epoch grid, and
+serves samples with a single array lookup.
+
+A compiled workload is exact (not an approximation) as long as it is
+sampled on the epoch grid it was compiled for: the chip samples workloads
+at ``t = k * epoch_time``, which is exactly the compiled grid.  Off-grid
+times fall back to the underlying workload.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.workloads.phases import Workload
+
+__all__ = ["CompiledWorkload"]
+
+
+class CompiledWorkload(Workload):
+    """A workload with its phase parameters pre-evaluated on an epoch grid.
+
+    Parameters
+    ----------
+    workload:
+        The source workload.
+    epoch_time:
+        Grid spacing in seconds (the simulation's control epoch).
+    n_epochs:
+        Number of grid points; sampling wraps cyclically past the horizon,
+        consistent with the underlying cyclic phase sequences only when the
+        horizon covers a whole number of cycles — so off-horizon times also
+        fall back to exact evaluation.
+    n_cores:
+        Chip width the table is compiled for.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        epoch_time: float,
+        n_epochs: int,
+        n_cores: int,
+    ):
+        if epoch_time <= 0:
+            raise ValueError(f"epoch_time must be positive, got {epoch_time}")
+        if n_epochs <= 0:
+            raise ValueError(f"n_epochs must be positive, got {n_epochs}")
+        if n_cores <= 0:
+            raise ValueError(f"n_cores must be positive, got {n_cores}")
+        super().__init__(workload.sequences, name=workload.name)
+        self._source = workload
+        self._epoch_time = epoch_time
+        self._n_epochs = n_epochs
+        self._n_cores = n_cores
+        mem = np.empty((n_epochs, n_cores))
+        comp = np.empty((n_epochs, n_cores))
+        for e in range(n_epochs):
+            m, c = workload.sample(e * epoch_time, n_cores)
+            mem[e] = m
+            comp[e] = c
+        self._mem = mem
+        self._comp = comp
+
+    @property
+    def horizon(self) -> float:
+        """Length of the compiled grid in seconds."""
+        return self._n_epochs * self._epoch_time
+
+    def sample(self, t: float, n_cores: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Grid-aligned lookups are O(1); everything else falls back to the
+        exact (slow) evaluation on the source workload."""
+        if n_cores != self._n_cores or t < 0 or t >= self.horizon:
+            return self._source.sample(t, n_cores)
+        index = t / self._epoch_time
+        rounded = int(round(index))
+        if abs(index - rounded) > 1e-9 or rounded >= self._n_epochs:
+            return self._source.sample(t, n_cores)
+        return self._mem[rounded].copy(), self._comp[rounded].copy()

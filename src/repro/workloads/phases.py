@@ -1,0 +1,137 @@
+"""Workload phase abstractions.
+
+A workload is described the way a trace-driven DVFS study sees it: each core
+executes a sequence of *phases*, and within a phase the core's memory
+intensity (long-latency accesses per instruction) and compute intensity
+(datapath utilisation) are stationary.  Real SPLASH-2/PARSEC applications
+exhibit exactly this phase structure, which is what the per-core RL agent
+learns to exploit.
+
+Phase sequences are cyclic: a simulation longer than the trace wraps around,
+the same convention trace-driven simulators use.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Phase", "CorePhaseSequence", "Workload"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A stationary interval of core behaviour.
+
+    Attributes
+    ----------
+    duration:
+        Phase length in seconds.
+    mem_intensity:
+        Long-latency memory accesses per instruction (typical range
+        0 — compute bound — up to ~0.03 for streaming memory-bound code).
+    compute_intensity:
+        Datapath utilisation in [0, 1]; drives switching activity.
+    """
+
+    duration: float
+    mem_intensity: float
+    compute_intensity: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.mem_intensity < 0:
+            raise ValueError(f"mem_intensity must be >= 0, got {self.mem_intensity}")
+        if not (0.0 <= self.compute_intensity <= 1.0):
+            raise ValueError(
+                f"compute_intensity must be in [0, 1], got {self.compute_intensity}"
+            )
+
+
+class CorePhaseSequence:
+    """Cyclic sequence of phases executed by one core.
+
+    Lookup by absolute time is O(log n) via a precomputed cumulative-duration
+    table.
+    """
+
+    def __init__(self, phases: Sequence[Phase]):
+        if not phases:
+            raise ValueError("a core phase sequence needs at least one phase")
+        self._phases: Tuple[Phase, ...] = tuple(phases)
+        cumulative = []
+        total = 0.0
+        for p in self._phases:
+            total += p.duration
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    @property
+    def phases(self) -> Tuple[Phase, ...]:
+        return self._phases
+
+    @property
+    def total_duration(self) -> float:
+        """Length of one pass through the sequence, in seconds."""
+        return self._total
+
+    def phase_at(self, t: float) -> Phase:
+        """The phase active at absolute time ``t`` (cyclic)."""
+        if t < 0:
+            raise ValueError(f"time must be >= 0, got {t}")
+        t = t % self._total
+        idx = bisect.bisect_right(self._cumulative, t)
+        if idx >= len(self._phases):  # numerical edge at exact wrap point
+            idx = len(self._phases) - 1
+        return self._phases[idx]
+
+    def __len__(self) -> int:
+        return len(self._phases)
+
+
+class Workload:
+    """A set of per-core phase sequences for an N-core chip.
+
+    If fewer sequences than cores are provided the sequences are tiled
+    round-robin — the convention for running a P-thread benchmark on more
+    cores than threads.
+    """
+
+    def __init__(self, sequences: Sequence[CorePhaseSequence], name: str = "workload"):
+        if not sequences:
+            raise ValueError("workload needs at least one core phase sequence")
+        self._sequences: Tuple[CorePhaseSequence, ...] = tuple(sequences)
+        self.name = name
+
+    @property
+    def sequences(self) -> Tuple[CorePhaseSequence, ...]:
+        return self._sequences
+
+    def sequence_for_core(self, core: int) -> CorePhaseSequence:
+        """Phase sequence assigned to ``core`` (round-robin tiled)."""
+        if core < 0:
+            raise ValueError(f"core index must be >= 0, got {core}")
+        return self._sequences[core % len(self._sequences)]
+
+    def sample(self, t: float, n_cores: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-core ``(mem_intensity, compute_intensity)`` arrays at time ``t``."""
+        if n_cores <= 0:
+            raise ValueError(f"n_cores must be positive, got {n_cores}")
+        mem = np.empty(n_cores)
+        comp = np.empty(n_cores)
+        for i in range(n_cores):
+            phase = self.sequence_for_core(i).phase_at(t)
+            mem[i] = phase.mem_intensity
+            comp[i] = phase.compute_intensity
+        return mem, comp
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Workload(name={self.name!r}, sequences={len(self._sequences)})"

@@ -1,0 +1,98 @@
+"""Named benchmark suite.
+
+Each entry is a synthetic stand-in for a SPLASH-2 / PARSEC application,
+parameterized to reproduce that application's published memory-boundedness
+and phase behaviour.  The names are kept so experiment tables read like the
+paper's.
+
+Use :func:`make_benchmark` for one workload or :func:`benchmark_names` to
+iterate the suite in experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.workloads.phases import CorePhaseSequence, Workload
+from repro.workloads import synthetic as syn
+
+__all__ = ["benchmark_names", "make_benchmark", "make_suite", "mixed_workload"]
+
+_SequenceFactory = Callable[[np.random.Generator], CorePhaseSequence]
+
+# name -> factory producing one core's phase sequence.  Parameters follow the
+# qualitative characterization of each application in the DVFS literature.
+_BENCHMARKS: Dict[str, _SequenceFactory] = {
+    # SPLASH-2
+    "barnes": lambda rng: syn.compute_bound_sequence(rng, n_phases=6, mean_duration=0.025),
+    "fmm": lambda rng: syn.compute_bound_sequence(rng, n_phases=8, mean_duration=0.02),
+    "ocean": lambda rng: syn.memory_bound_sequence(rng, n_phases=8, mean_duration=0.02),
+    "radix": lambda rng: syn.phased_sequence(rng, n_cycles=5, compute_duration=0.02, memory_duration=0.02),
+    "fft": lambda rng: syn.phased_sequence(rng, n_cycles=4, compute_duration=0.03, memory_duration=0.012),
+    "lu": lambda rng: syn.phased_sequence(rng, n_cycles=6, compute_duration=0.035, memory_duration=0.008),
+    # PARSEC
+    "blackscholes": lambda rng: syn.compute_bound_sequence(rng, n_phases=4, mean_duration=0.04),
+    "swaptions": lambda rng: syn.compute_bound_sequence(rng, n_phases=5, mean_duration=0.03),
+    "canneal": lambda rng: syn.memory_bound_sequence(rng, n_phases=10, mean_duration=0.012),
+    "streamcluster": lambda rng: syn.memory_bound_sequence(rng, n_phases=6, mean_duration=0.03),
+    "fluidanimate": lambda rng: syn.bursty_sequence(rng, n_phases=14, mean_duration=0.007),
+    "x264": lambda rng: syn.bursty_sequence(rng, n_phases=16, mean_duration=0.006),
+    # Adversarial filler
+    "randmix": lambda rng: syn.random_mix_sequence(rng, n_phases=10, mean_duration=0.015),
+}
+
+
+def benchmark_names() -> List[str]:
+    """All benchmark names, in the canonical reporting order."""
+    return list(_BENCHMARKS)
+
+
+def make_benchmark(name: str, n_cores: int, seed: int = 0) -> Workload:
+    """Build the named benchmark for an ``n_cores`` chip.
+
+    Every core gets its own independently-sampled phase sequence from the
+    benchmark's generator (threads of the same application behave similarly
+    but not identically), with phase offsets decorrelated by the per-core
+    RNG streams.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not in the suite.
+    """
+    if name not in _BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(_BENCHMARKS)}"
+        )
+    if n_cores <= 0:
+        raise ValueError(f"n_cores must be positive, got {n_cores}")
+    factory = _BENCHMARKS[name]
+    root = np.random.default_rng(seed)
+    sequences = [factory(np.random.default_rng(root.integers(2**63))) for _ in range(n_cores)]
+    return Workload(sequences, name=name)
+
+
+def make_suite(n_cores: int, seed: int = 0) -> Dict[str, Workload]:
+    """Build the whole suite, one workload per benchmark name."""
+    return {
+        name: make_benchmark(name, n_cores, seed=seed + i)
+        for i, name in enumerate(_BENCHMARKS)
+    }
+
+
+def mixed_workload(n_cores: int, seed: int = 0) -> Workload:
+    """Heterogeneous multiprogrammed mix: cores draw round-robin from all
+    benchmark generators.  This is the stress case for global budget
+    reallocation — compute-bound and memory-bound cores coexist, so moving
+    watts between them has first-order payoff."""
+    if n_cores <= 0:
+        raise ValueError(f"n_cores must be positive, got {n_cores}")
+    root = np.random.default_rng(seed)
+    factories = list(_BENCHMARKS.values())
+    sequences = [
+        factories[i % len(factories)](np.random.default_rng(root.integers(2**63)))
+        for i in range(n_cores)
+    ]
+    return Workload(sequences, name="mixed")

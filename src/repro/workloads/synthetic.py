@@ -1,0 +1,178 @@
+"""Synthetic phase-trace generators.
+
+Since the original SPLASH-2/PARSEC traces are not redistributable, workloads
+are generated synthetically with the phase statistics that matter to a DVFS
+controller: the level of memory intensity, how strongly it varies over time,
+and on what timescale.  Every generator takes a ``numpy.random.Generator``
+so traces are exactly reproducible from a seed.
+
+Memory-intensity scale: values are long-latency accesses per instruction.
+``0.0`` is pure compute; ``0.02`` at 2.4 GHz and 80 ns memory latency means
+~3.8 stall cycles per instruction — heavily memory bound.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.workloads.phases import CorePhaseSequence, Phase
+
+__all__ = [
+    "compute_bound_sequence",
+    "memory_bound_sequence",
+    "phased_sequence",
+    "bursty_sequence",
+    "random_mix_sequence",
+]
+
+# Bounds for sampled phase parameters.
+_MEM_MAX = 0.03
+_MIN_PHASE = 1e-3  # seconds; at the default 1 ms epoch a phase spans >= 1 epoch
+
+
+def _clip_mem(x: float) -> float:
+    return float(np.clip(x, 0.0, _MEM_MAX))
+
+
+def _clip_comp(x: float) -> float:
+    return float(np.clip(x, 0.05, 1.0))
+
+
+def compute_bound_sequence(
+    rng: np.random.Generator,
+    n_phases: int = 8,
+    mean_duration: float = 0.02,
+) -> CorePhaseSequence:
+    """CPU-bound behaviour: negligible memory stalls, high activity.
+
+    Models benchmarks like *swaptions* or *blackscholes* — frequency buys
+    nearly linear throughput, so these cores are where budget should flow.
+    """
+    phases = _sample_phases(
+        rng,
+        n_phases,
+        mean_duration,
+        mem_mean=0.0005,
+        mem_spread=0.0005,
+        comp_mean=0.9,
+        comp_spread=0.08,
+    )
+    return CorePhaseSequence(phases)
+
+
+def memory_bound_sequence(
+    rng: np.random.Generator,
+    n_phases: int = 8,
+    mean_duration: float = 0.02,
+) -> CorePhaseSequence:
+    """Streaming, memory-bound behaviour (e.g. *ocean*, *canneal*).
+
+    Throughput saturates early with frequency; high VF levels waste power.
+    """
+    phases = _sample_phases(
+        rng,
+        n_phases,
+        mean_duration,
+        mem_mean=0.018,
+        mem_spread=0.005,
+        comp_mean=0.45,
+        comp_spread=0.1,
+    )
+    return CorePhaseSequence(phases)
+
+
+def phased_sequence(
+    rng: np.random.Generator,
+    n_cycles: int = 4,
+    compute_duration: float = 0.03,
+    memory_duration: float = 0.015,
+) -> CorePhaseSequence:
+    """Alternating compute/memory program phases (e.g. *fft*, *radix* with
+    their local-sort then all-to-all structure).
+
+    This is the pattern that separates learning controllers from static
+    ones: the right VF level flips between extremes on a regular cadence.
+    """
+    if n_cycles < 1:
+        raise ValueError(f"n_cycles must be >= 1, got {n_cycles}")
+    phases: List[Phase] = []
+    for _ in range(n_cycles):
+        phases.append(
+            Phase(
+                duration=max(_MIN_PHASE, compute_duration * rng.uniform(0.8, 1.2)),
+                mem_intensity=_clip_mem(rng.normal(0.001, 0.0005)),
+                compute_intensity=_clip_comp(rng.normal(0.85, 0.05)),
+            )
+        )
+        phases.append(
+            Phase(
+                duration=max(_MIN_PHASE, memory_duration * rng.uniform(0.8, 1.2)),
+                mem_intensity=_clip_mem(rng.normal(0.02, 0.003)),
+                compute_intensity=_clip_comp(rng.normal(0.4, 0.05)),
+            )
+        )
+    return CorePhaseSequence(phases)
+
+
+def bursty_sequence(
+    rng: np.random.Generator,
+    n_phases: int = 12,
+    mean_duration: float = 0.008,
+) -> CorePhaseSequence:
+    """Short, erratic phases with heavy-tailed durations (e.g. *x264*,
+    graph workloads).  Stresses controller reaction time."""
+    if n_phases < 1:
+        raise ValueError(f"n_phases must be >= 1, got {n_phases}")
+    phases: List[Phase] = []
+    for _ in range(n_phases):
+        # Pareto-ish duration: mostly short, occasionally long.
+        dur = max(_MIN_PHASE, mean_duration * float(rng.pareto(2.0) + 0.5))
+        if rng.random() < 0.5:
+            mem, comp = rng.normal(0.002, 0.001), rng.normal(0.8, 0.1)
+        else:
+            mem, comp = rng.normal(0.015, 0.006), rng.normal(0.5, 0.15)
+        phases.append(Phase(dur, _clip_mem(mem), _clip_comp(comp)))
+    return CorePhaseSequence(phases)
+
+
+def random_mix_sequence(
+    rng: np.random.Generator,
+    n_phases: int = 10,
+    mean_duration: float = 0.015,
+) -> CorePhaseSequence:
+    """Uniformly random behaviour over the whole parameter space — the
+    adversarial case with no structure to learn beyond slack tracking."""
+    phases = _sample_phases(
+        rng,
+        n_phases,
+        mean_duration,
+        mem_mean=0.01,
+        mem_spread=0.009,
+        comp_mean=0.6,
+        comp_spread=0.25,
+    )
+    return CorePhaseSequence(phases)
+
+
+def _sample_phases(
+    rng: np.random.Generator,
+    n_phases: int,
+    mean_duration: float,
+    mem_mean: float,
+    mem_spread: float,
+    comp_mean: float,
+    comp_spread: float,
+) -> List[Phase]:
+    if n_phases < 1:
+        raise ValueError(f"n_phases must be >= 1, got {n_phases}")
+    if mean_duration <= 0:
+        raise ValueError(f"mean_duration must be positive, got {mean_duration}")
+    phases = []
+    for _ in range(n_phases):
+        dur = max(_MIN_PHASE, float(rng.exponential(mean_duration)))
+        mem = _clip_mem(float(rng.normal(mem_mean, mem_spread)))
+        comp = _clip_comp(float(rng.normal(comp_mean, comp_spread)))
+        phases.append(Phase(dur, mem, comp))
+    return phases

@@ -1,0 +1,87 @@
+"""Workload trace serialization.
+
+Traces round-trip through a small JSON schema so experiments can be frozen
+to disk and replayed exactly (e.g. to compare controllers on the literal
+same trace, or to inspect a pathological case).
+
+Schema::
+
+    {
+      "name": "ocean",
+      "version": 1,
+      "cores": [
+        [[duration, mem_intensity, compute_intensity], ...],   # core 0
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.workloads.phases import CorePhaseSequence, Phase, Workload
+
+__all__ = ["workload_to_dict", "workload_from_dict", "save_workload", "load_workload"]
+
+_SCHEMA_VERSION = 1
+
+
+def workload_to_dict(workload: Workload) -> dict:
+    """Serialize a workload to the JSON-compatible dict form."""
+    return {
+        "name": workload.name,
+        "version": _SCHEMA_VERSION,
+        "cores": [
+            [[p.duration, p.mem_intensity, p.compute_intensity] for p in seq.phases]
+            for seq in workload.sequences
+        ],
+    }
+
+
+def workload_from_dict(data: dict) -> Workload:
+    """Reconstruct a workload from its dict form.
+
+    Raises
+    ------
+    ValueError
+        On schema-version mismatch or structurally invalid payloads.
+    """
+    version = data.get("version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema version {version!r}; expected {_SCHEMA_VERSION}"
+        )
+    cores = data.get("cores")
+    if not isinstance(cores, list) or not cores:
+        raise ValueError("trace must contain a non-empty 'cores' list")
+    sequences = []
+    for core_idx, phase_list in enumerate(cores):
+        if not isinstance(phase_list, list) or not phase_list:
+            raise ValueError(f"core {core_idx} has no phases")
+        phases = []
+        for entry in phase_list:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise ValueError(
+                    f"core {core_idx}: each phase must be [duration, mem, compute], got {entry!r}"
+                )
+            phases.append(Phase(*map(float, entry)))
+        sequences.append(CorePhaseSequence(phases))
+    return Workload(sequences, name=str(data.get("name", "workload")))
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> None:
+    """Write a workload trace to ``path`` as JSON."""
+    path = Path(path)
+    with path.open("w") as f:
+        json.dump(workload_to_dict(workload), f)
+
+
+def load_workload(path: Union[str, Path]) -> Workload:
+    """Read a workload trace previously written by :func:`save_workload`."""
+    path = Path(path)
+    with path.open() as f:
+        data = json.load(f)
+    return workload_from_dict(data)

@@ -1,0 +1,127 @@
+"""Tests for repro.baselines.maxbips."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MaxBIPSController, solve_dp, solve_exhaustive
+from repro.baselines.estimator import LevelPredictions
+from repro.manycore import default_system
+from repro.sim import run_controller
+from repro.workloads import mixed_workload
+
+
+def predictions(power, ips):
+    return LevelPredictions(power=np.asarray(power, float), ips=np.asarray(ips, float))
+
+
+def total(pred, levels, field):
+    arr = getattr(pred, field)
+    return sum(arr[i, l] for i, l in enumerate(levels))
+
+
+class TestExhaustive:
+    def test_optimal_small_case(self):
+        pred = predictions(
+            [[1.0, 2.0], [1.0, 3.0]],
+            [[1.0, 3.0], [1.0, 2.0]],
+        )
+        # Budget 4: best feasible is core0@1 + core1@0 (ips 4, power 3).
+        levels = solve_exhaustive(pred, budget=4.0)
+        assert list(levels) == [1, 0]
+
+    def test_respects_budget(self):
+        rng = np.random.default_rng(0)
+        power = np.sort(rng.uniform(0.5, 3.0, (4, 3)), axis=1)
+        ips = np.sort(rng.uniform(0.5, 3.0, (4, 3)), axis=1)
+        pred = predictions(power, ips)
+        levels = solve_exhaustive(pred, budget=6.0)
+        assert total(pred, levels, "power") <= 6.0
+
+    def test_infeasible_returns_bottom(self):
+        pred = predictions([[2.0, 3.0]], [[1.0, 2.0]])
+        assert list(solve_exhaustive(pred, budget=0.5)) == [0]
+
+    def test_refuses_huge_spaces(self):
+        pred = predictions(np.ones((30, 8)), np.ones((30, 8)))
+        with pytest.raises(ValueError, match="exhaustive"):
+            solve_exhaustive(pred, budget=100.0)
+
+
+class TestDP:
+    def test_matches_exhaustive_on_random_instances(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            power = np.sort(rng.uniform(0.5, 3.0, (4, 3)), axis=1)
+            ips = np.sort(rng.uniform(0.5, 3.0, (4, 3)), axis=1)
+            pred = predictions(power, ips)
+            # Keep the instance feasible: all-bottom must fit the budget.
+            budget = float(np.sum(power[:, 0]) + rng.uniform(1.0, 5.0))
+            exact = solve_exhaustive(pred, budget)
+            dp = solve_dp(pred, budget, n_quanta=2000)
+            # DP is conservative (ceil quantization) but near-optimal.
+            assert total(pred, dp, "power") <= budget + 1e-9
+            assert total(pred, dp, "ips") >= 0.98 * total(pred, exact, "ips")
+
+    def test_never_exceeds_budget(self):
+        rng = np.random.default_rng(3)
+        power = np.sort(rng.uniform(0.5, 3.0, (8, 4)), axis=1)
+        ips = np.sort(rng.uniform(0.5, 3.0, (8, 4)), axis=1)
+        pred = predictions(power, ips)
+        bottom = float(np.sum(power[:, 0]))
+        for margin in (1.0, 5.0, 12.0):
+            budget = bottom + margin
+            levels = solve_dp(pred, budget, n_quanta=500)
+            assert total(pred, levels, "power") <= budget + 1e-9
+
+    def test_loose_budget_gives_top(self):
+        pred = predictions(
+            np.tile([[1.0, 2.0, 3.0]], (3, 1)),
+            np.tile([[1.0, 2.0, 3.0]], (3, 1)),
+        )
+        levels = solve_dp(pred, budget=100.0, n_quanta=200)
+        assert np.all(levels == 2)
+
+    def test_infeasible_returns_bottom(self):
+        pred = predictions([[2.0, 3.0], [2.0, 3.0]], [[1.0, 2.0], [1.0, 2.0]])
+        assert list(solve_dp(pred, budget=1.0)) == [0, 0]
+
+    def test_rejects_bad_quanta(self):
+        pred = predictions([[1.0, 2.0]], [[1.0, 2.0]])
+        with pytest.raises(ValueError, match="n_quanta"):
+            solve_dp(pred, budget=5.0, n_quanta=1)
+
+
+class TestController:
+    @pytest.fixture
+    def cfg(self):
+        return default_system(n_cores=6, n_levels=4, budget_fraction=0.6)
+
+    def test_auto_quanta_scales_with_cores(self):
+        small = MaxBIPSController(default_system(n_cores=8))
+        large = MaxBIPSController(default_system(n_cores=128))
+        assert large.n_quanta > small.n_quanta
+
+    def test_rejects_bad_method(self, cfg):
+        with pytest.raises(ValueError, match="method"):
+            MaxBIPSController(cfg, method="magic")
+
+    def test_closed_loop_near_budget_no_model_overshoot(self, cfg):
+        result = run_controller(cfg, mixed_workload(6, seed=1), MaxBIPSController(cfg), n_epochs=300)
+        tail = result.tail(0.5)
+        assert tail.chip_power.mean() < 1.05 * cfg.power_budget
+        assert tail.chip_power.mean() > 0.6 * cfg.power_budget
+
+    def test_exhaustive_method_small_system(self):
+        cfg = default_system(n_cores=4, n_levels=3, budget_fraction=0.6)
+        ctl = MaxBIPSController(cfg, method="exhaustive")
+        result = run_controller(cfg, mixed_workload(4, seed=1), ctl, n_epochs=50)
+        assert result.n_epochs == 50
+
+    def test_dp_beats_or_matches_greedy_throughput(self, cfg):
+        # The optimizer should never lose meaningfully to the heuristic on
+        # the same telemetry stream.
+        from repro.baselines import GreedyAscentController
+        wl = mixed_workload(6, seed=2)
+        opt = run_controller(cfg, wl, MaxBIPSController(cfg), n_epochs=300)
+        greedy = run_controller(cfg, wl, GreedyAscentController(cfg), n_epochs=300)
+        assert opt.total_instructions >= 0.93 * greedy.total_instructions

@@ -1,0 +1,108 @@
+"""Tests for repro.baselines.static_."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    PriorityController,
+    StaticUniformController,
+    UncappedController,
+)
+from repro.baselines.estimator import PowerPerfEstimator
+from repro.manycore import default_system
+from repro.sim import run_controller
+from repro.workloads import mixed_workload
+
+
+@pytest.fixture
+def cfg():
+    return default_system(n_cores=8, n_levels=4, budget_fraction=0.6)
+
+
+class TestStaticUniform:
+    def test_fixed_level_every_epoch(self, cfg):
+        ctl = StaticUniformController(cfg)
+        l1 = ctl.decide(None)
+        wl = mixed_workload(8, seed=1)
+        result = run_controller(cfg, wl, ctl, n_epochs=20)
+        l2 = ctl.decide(None)
+        assert np.array_equal(l1, l2)
+        assert np.all(l1 == ctl.level)
+
+    def test_level_is_highest_feasible(self, cfg):
+        ctl = StaticUniformController(cfg)
+        pred = PowerPerfEstimator(cfg).cold_predictions(cfg.n_cores)
+        totals = pred.power.sum(axis=0)
+        assert totals[ctl.level] <= cfg.power_budget
+        if ctl.level + 1 < cfg.n_levels:
+            assert totals[ctl.level + 1] > cfg.power_budget
+
+    def test_tight_budget_pins_bottom(self, cfg):
+        from repro.manycore import idle_chip_power
+        tight = cfg.with_budget(idle_chip_power(cfg) * 1.01)
+        ctl = StaticUniformController(tight)
+        assert ctl.level == 0
+
+    def test_loose_budget_pins_top(self, cfg):
+        from repro.manycore import peak_chip_power
+        loose = cfg.with_budget(peak_chip_power(cfg) * 1.1)
+        ctl = StaticUniformController(loose)
+        assert ctl.level == cfg.n_levels - 1
+
+    def test_never_overshoots_in_practice(self, cfg):
+        # Worst-case provisioning: true power must stay under budget.
+        ctl = StaticUniformController(cfg)
+        result = run_controller(cfg, mixed_workload(8, seed=2), ctl, n_epochs=300)
+        assert np.all(result.chip_power <= cfg.power_budget)
+
+
+class TestUncapped:
+    def test_always_top(self, cfg):
+        ctl = UncappedController(cfg)
+        assert np.all(ctl.decide(None) == cfg.n_levels - 1)
+
+    def test_max_throughput_anchor(self, cfg):
+        # No other controller may beat uncapped on raw throughput.
+        wl = mixed_workload(8, seed=3)
+        uncapped = run_controller(cfg, wl, UncappedController(cfg), n_epochs=200)
+        static = run_controller(cfg, wl, StaticUniformController(cfg), n_epochs=200)
+        assert uncapped.total_instructions >= static.total_instructions
+
+
+class TestPriority:
+    def test_split_levels(self, cfg):
+        ctl = PriorityController(cfg)
+        levels = ctl.decide(None)
+        assert set(np.unique(levels)).issubset({0, cfg.n_levels - 1})
+
+    def test_respects_priority_order(self, cfg):
+        priority = [7, 6, 5, 4, 3, 2, 1, 0]
+        ctl = PriorityController(cfg, priority=priority)
+        levels = ctl.decide(None)
+        top = cfg.n_levels - 1
+        # Sprinting cores must be a prefix of the priority order.
+        sprinters = [c for c in priority if levels[c] == top]
+        assert sprinters == priority[: len(sprinters)]
+
+    def test_some_cores_sprint_at_default_budget(self, cfg):
+        levels = PriorityController(cfg).decide(None)
+        assert np.any(levels == cfg.n_levels - 1)
+        assert np.any(levels == 0)
+
+    def test_worst_case_power_fits_budget(self, cfg):
+        ctl = PriorityController(cfg)
+        levels = ctl.decide(None)
+        pred = PowerPerfEstimator(cfg).cold_predictions(cfg.n_cores)
+        total = sum(pred.power[i, lv] for i, lv in enumerate(levels))
+        assert total <= cfg.power_budget + 1e-9
+
+    def test_rejects_bad_priority(self, cfg):
+        with pytest.raises(ValueError, match="permutation"):
+            PriorityController(cfg, priority=[0, 0, 1, 2, 3, 4, 5, 6])
+
+    def test_decide_returns_copy(self, cfg):
+        ctl = PriorityController(cfg)
+        a = ctl.decide(None)
+        a[:] = 99
+        b = ctl.decide(None)
+        assert b.max() <= cfg.n_levels - 1

@@ -1,0 +1,41 @@
+"""Shared fixtures: small, fast system configurations used across the suite."""
+
+import numpy as np
+import pytest
+
+from repro.manycore import SensorSuite, default_system
+from repro.workloads import mixed_workload
+
+
+@pytest.fixture
+def small_cfg():
+    """8 cores, 4 VF levels, 60 % budget — big enough for heterogeneity,
+    small enough for sub-second tests."""
+    return default_system(n_cores=8, n_levels=4, budget_fraction=0.6)
+
+
+@pytest.fixture
+def tiny_cfg():
+    """4 cores, 3 VF levels — for exhaustive-search comparisons."""
+    return default_system(n_cores=4, n_levels=3, budget_fraction=0.6)
+
+
+@pytest.fixture
+def std_cfg():
+    """16 cores, 8 levels — the default VF ladder at reduced core count."""
+    return default_system(n_cores=16, n_levels=8, budget_fraction=0.6)
+
+
+@pytest.fixture
+def small_workload(small_cfg):
+    return mixed_workload(small_cfg.n_cores, seed=7)
+
+
+@pytest.fixture
+def exact_sensors():
+    return SensorSuite.exact()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

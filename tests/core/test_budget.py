@@ -1,0 +1,106 @@
+"""Tests for repro.core.budget (global power-budget reallocation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import reallocate_budget, uniform_allocation
+
+
+class TestUniformAllocation:
+    def test_even_split(self):
+        alloc = uniform_allocation(40.0, 8)
+        assert alloc.shape == (8,)
+        assert np.allclose(alloc, 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_allocation(0.0, 4)
+        with pytest.raises(ValueError):
+            uniform_allocation(10.0, 0)
+
+
+class TestReallocateBudget:
+    def setup_method(self):
+        self.floors = np.full(4, 1.0)
+        self.caps = np.full(4, 5.0)
+
+    def test_conserves_budget(self):
+        scores = np.array([1.0, 2.0, 3.0, 4.0])
+        alloc = reallocate_budget(12.0, scores, self.floors, self.caps)
+        assert alloc.sum() == pytest.approx(12.0)
+
+    def test_respects_floors_and_caps(self):
+        scores = np.array([0.0, 0.0, 0.0, 100.0])
+        alloc = reallocate_budget(12.0, scores, self.floors, self.caps)
+        assert np.all(alloc >= self.floors - 1e-12)
+        assert np.all(alloc <= self.caps + 1e-12)
+
+    def test_proportional_to_scores(self):
+        scores = np.array([1.0, 3.0, 1.0, 1.0])
+        alloc = reallocate_budget(10.0, scores, self.floors, self.caps)
+        extra = alloc - self.floors
+        # Core 1 gets 3x the extra of the others.
+        assert extra[1] == pytest.approx(3 * extra[0])
+        assert extra[0] == pytest.approx(extra[2])
+
+    def test_zero_scores_fall_back_to_uniform(self):
+        alloc = reallocate_budget(8.0, np.zeros(4), self.floors, self.caps)
+        assert np.allclose(alloc, 2.0)
+
+    def test_water_filling_redistributes_cap_overflow(self):
+        # Core 3's score hogs everything but hits its cap; the overflow must
+        # flow to the others.
+        scores = np.array([1.0, 1.0, 1.0, 1000.0])
+        alloc = reallocate_budget(16.0, scores, self.floors, self.caps)
+        assert alloc[3] == pytest.approx(5.0)
+        assert alloc.sum() == pytest.approx(16.0)
+        assert np.all(alloc[:3] > self.floors[0])
+
+    def test_budget_above_total_caps_saturates(self):
+        scores = np.ones(4)
+        alloc = reallocate_budget(1000.0, scores, self.floors, self.caps)
+        assert np.allclose(alloc, self.caps)
+
+    def test_budget_exactly_floors(self):
+        alloc = reallocate_budget(4.0, np.ones(4), self.floors, self.caps)
+        assert np.allclose(alloc, self.floors)
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            reallocate_budget(3.0, np.ones(4), self.floors, self.caps)
+
+    def test_heterogeneous_floors_caps(self):
+        floors = np.array([0.5, 1.0, 1.5, 2.0])
+        caps = np.array([1.0, 3.0, 2.0, 6.0])
+        scores = np.array([5.0, 1.0, 5.0, 1.0])
+        alloc = reallocate_budget(9.0, scores, floors, caps)
+        assert alloc.sum() == pytest.approx(9.0)
+        assert np.all(alloc >= floors - 1e-12)
+        assert np.all(alloc <= caps + 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            reallocate_budget(10.0, np.ones(3), self.floors, self.caps)
+        with pytest.raises(ValueError, match="non-negative"):
+            reallocate_budget(10.0, np.array([1, -1, 1, 1.0]), self.floors, self.caps)
+        with pytest.raises(ValueError, match="floors"):
+            reallocate_budget(10.0, np.ones(4), np.full(4, 6.0), self.caps)
+
+    def test_single_core(self):
+        alloc = reallocate_budget(3.0, np.array([1.0]), np.array([1.0]), np.array([5.0]))
+        assert alloc[0] == pytest.approx(3.0)
+
+    def test_deterministic(self):
+        scores = np.array([2.0, 1.0, 4.0, 3.0])
+        a = reallocate_budget(14.0, scores, self.floors, self.caps)
+        b = reallocate_budget(14.0, scores, self.floors, self.caps)
+        assert np.array_equal(a, b)
+
+    def test_monotone_in_score(self):
+        # Raising one core's score must not lower its allocation.
+        base_scores = np.array([1.0, 1.0, 1.0, 1.0])
+        alloc_base = reallocate_budget(12.0, base_scores, self.floors, self.caps)
+        boosted = base_scores.copy()
+        boosted[2] = 2.0
+        alloc_boost = reallocate_budget(12.0, boosted, self.floors, self.caps)
+        assert alloc_boost[2] > alloc_base[2]

@@ -1,0 +1,197 @@
+"""Tests for repro.core.controller (the OD-RL controller)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ODRLController, RewardParams, StateEncoder
+from repro.manycore import ManyCoreChip, default_system
+from repro.sim import run_controller, simulate
+from repro.workloads import mixed_workload
+
+
+@pytest.fixture
+def cfg():
+    return default_system(n_cores=8, n_levels=4, budget_fraction=0.6)
+
+
+@pytest.fixture
+def wl(cfg):
+    return mixed_workload(cfg.n_cores, seed=7)
+
+
+class TestConstruction:
+    def test_defaults(self, cfg):
+        ctl = ODRLController(cfg)
+        assert ctl.name == "od-rl"
+        assert ctl.action_mode == "relative"
+        assert ctl.agents.n_agents == cfg.n_cores
+
+    def test_absolute_mode_action_space(self, cfg):
+        ctl = ODRLController(cfg, action_mode="absolute")
+        assert ctl.agents.n_actions == cfg.n_levels
+
+    def test_relative_mode_action_space(self, cfg):
+        ctl = ODRLController(cfg, action_mode="relative")
+        assert ctl.agents.n_actions == len(ODRLController.RELATIVE_DELTAS)
+
+    def test_rejects_bad_action_mode(self, cfg):
+        with pytest.raises(ValueError, match="action_mode"):
+            ODRLController(cfg, action_mode="sideways")
+
+    def test_td_rule_options(self, cfg):
+        assert ODRLController(cfg, td_rule="sarsa").agents.td_rule == "sarsa"
+        assert ODRLController(cfg).agents.td_rule == "q"
+        with pytest.raises(ValueError, match="td_rule"):
+            ODRLController(cfg, td_rule="monte-carlo")
+
+    def test_sarsa_controls_budget_too(self, cfg, wl):
+        import numpy as np
+        ctl = ODRLController(cfg, td_rule="sarsa", seed=0)
+        result = run_controller(cfg, wl, ctl, n_epochs=600)
+        tail = result.tail(0.3)
+        over = np.maximum(tail.chip_power - cfg.power_budget, 0)
+        assert over.mean() < 0.03 * cfg.power_budget
+        assert tail.chip_power.mean() > 0.6 * cfg.power_budget
+
+    def test_rejects_negative_realloc_period(self, cfg):
+        with pytest.raises(ValueError, match="realloc_period"):
+            ODRLController(cfg, realloc_period=-1)
+
+    def test_rejects_infeasible_budget(self, cfg):
+        bad = cfg.with_budget(0.1)
+        with pytest.raises(ValueError, match="infeasible"):
+            ODRLController(bad)
+
+    def test_initial_allocation_uniform_within_bounds(self, cfg):
+        ctl = ODRLController(cfg)
+        assert ctl.allocation.shape == (cfg.n_cores,)
+        assert np.all(ctl.allocation >= ctl._floors - 1e-12)
+        assert np.all(ctl.allocation <= ctl._caps + 1e-12)
+        assert np.allclose(ctl.allocation, ctl.allocation[0])
+
+
+class TestDecide:
+    def test_first_decision_mid_ladder(self, cfg):
+        ctl = ODRLController(cfg)
+        levels = ctl.decide(None)
+        assert levels.shape == (cfg.n_cores,)
+        assert np.all(levels == cfg.n_levels // 2)
+
+    def test_decisions_in_range(self, cfg, wl):
+        ctl = ODRLController(cfg, seed=2)
+        chip = ManyCoreChip(cfg, wl)
+        obs = None
+        for _ in range(60):
+            levels = ctl.decide(obs)
+            assert np.all((levels >= 0) & (levels < cfg.n_levels))
+            obs = chip.step(levels)
+
+    def test_relative_steps_bounded(self, cfg, wl):
+        ctl = ODRLController(cfg, seed=2)
+        chip = ManyCoreChip(cfg, wl)
+        obs = None
+        prev = None
+        max_delta = max(abs(d) for d in ODRLController.RELATIVE_DELTAS)
+        for _ in range(40):
+            levels = ctl.decide(obs)
+            if prev is not None and obs is not None:
+                assert np.all(np.abs(levels - obs.levels) <= max_delta)
+            obs = chip.step(levels)
+            prev = levels
+
+    def test_reset_clears_learning(self, cfg, wl):
+        ctl = ODRLController(cfg, seed=2)
+        run_controller(cfg, wl, ctl, n_epochs=100)
+        assert ctl.agents.step_count > 0
+        ctl.reset()
+        assert ctl.agents.step_count == 0
+        assert ctl.guard == 0.0
+        assert np.allclose(ctl.allocation, ctl.allocation[0])
+
+    def test_deterministic_given_seed(self, cfg, wl):
+        r1 = run_controller(cfg, wl, ODRLController(cfg, seed=3), n_epochs=150)
+        r2 = run_controller(cfg, wl, ODRLController(cfg, seed=3), n_epochs=150)
+        assert np.array_equal(r1.chip_power, r2.chip_power)
+
+    def test_seed_changes_trajectory(self, cfg, wl):
+        r1 = run_controller(cfg, wl, ODRLController(cfg, seed=3), n_epochs=150)
+        r2 = run_controller(cfg, wl, ODRLController(cfg, seed=4), n_epochs=150)
+        assert not np.array_equal(r1.chip_power, r2.chip_power)
+
+
+class TestBudgetReallocation:
+    def test_allocation_conserved(self, cfg, wl):
+        ctl = ODRLController(cfg, realloc_period=5, seed=1)
+        run_controller(cfg, wl, ctl, n_epochs=100)
+        assert ctl.allocation.sum() <= cfg.power_budget + 1e-9
+        assert np.all(ctl.allocation >= ctl._floors - 1e-12)
+        assert np.all(ctl.allocation <= ctl._caps + 1e-12)
+
+    def test_realloc_moves_shares(self, cfg, wl):
+        ctl = ODRLController(cfg, realloc_period=5, seed=1)
+        initial = ctl.allocation.copy()
+        run_controller(cfg, wl, ctl, n_epochs=100)
+        assert not np.allclose(ctl.allocation, initial)
+
+    def test_compute_bound_cores_get_more(self, cfg):
+        # Half the cores compute-bound, half memory-bound: after learning
+        # the compute-bound half should hold more budget.
+        from repro.workloads import CorePhaseSequence, Phase, Workload
+
+        compute = CorePhaseSequence([Phase(1.0, 0.0005, 0.9)])
+        memory = CorePhaseSequence([Phase(1.0, 0.02, 0.4)])
+        w = Workload([compute] * 4 + [memory] * 4)
+        ctl = ODRLController(cfg, realloc_period=10, seed=1)
+        run_controller(cfg, w, ctl, n_epochs=300)
+        assert ctl.allocation[:4].mean() > ctl.allocation[4:].mean()
+
+    def test_no_realloc_keeps_uniform(self, cfg, wl):
+        ctl = ODRLController(cfg, realloc_period=0, seed=1)
+        run_controller(cfg, wl, ctl, n_epochs=100)
+        assert np.allclose(ctl.allocation, ctl.allocation[0])
+
+    def test_guard_bounded(self, cfg, wl):
+        ctl = ODRLController(cfg, seed=1)
+        run_controller(cfg, wl, ctl, n_epochs=300)
+        assert 0.0 <= ctl.guard <= ODRLController.GUARD_MAX
+
+
+class TestControlQuality:
+    def test_steady_state_power_under_budget(self, cfg, wl):
+        ctl = ODRLController(cfg, seed=0)
+        result = run_controller(cfg, wl, ctl, n_epochs=800)
+        tail = result.tail(0.3)
+        # Mean steady-state power within budget; brief excursions tolerated.
+        assert tail.chip_power.mean() < cfg.power_budget
+        over = np.maximum(tail.chip_power - cfg.power_budget, 0)
+        assert over.mean() / cfg.power_budget < 0.02
+
+    def test_utilizes_budget(self, cfg, wl):
+        ctl = ODRLController(cfg, seed=0)
+        result = run_controller(cfg, wl, ctl, n_epochs=800)
+        tail = result.tail(0.3)
+        assert tail.chip_power.mean() > 0.6 * cfg.power_budget
+
+    def test_beats_static_bottom(self, cfg, wl):
+        # OD-RL must outperform pinning everything to the bottom level.
+        from repro.manycore import ManyCoreChip
+
+        ctl = ODRLController(cfg, seed=0)
+        result = run_controller(cfg, wl, ctl, n_epochs=600)
+        chip = ManyCoreChip(cfg, wl)
+        bottom_instr = 0.0
+        for _ in range(600):
+            obs = chip.step(np.zeros(cfg.n_cores, dtype=int))
+            bottom_instr += obs.chip_instructions
+        assert result.total_instructions > bottom_instr
+
+    def test_adapts_budget_increase(self, cfg, wl):
+        # Loosening the budget mid-run should raise power use.
+        ctl = ODRLController(cfg, seed=0)
+        chip = ManyCoreChip(cfg, wl)
+        res1 = simulate(chip, ctl, 500)
+        loose = cfg.with_budget(cfg.power_budget * 1.3)
+        ctl2 = ODRLController(loose, seed=0)
+        chip2 = ManyCoreChip(loose, wl)
+        res2 = simulate(chip2, ctl2, 500)
+        assert res2.tail(0.3).chip_power.mean() > res1.tail(0.3).chip_power.mean()

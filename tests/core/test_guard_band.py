@@ -1,0 +1,78 @@
+"""Tests for the adaptive guard band inside ODRLController.
+
+The guard is the integral controller closing chip-level compliance: shares
+are drawn from ``(1 - guard) * budget`` and the guard integrates the
+observed over-budget epoch rate against its target.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ODRLController
+from repro.manycore import default_system
+from repro.sim import run_controller
+from repro.workloads import CorePhaseSequence, Phase, Workload, make_benchmark
+
+
+def homogeneous_compute(n):
+    """The adversarial case: every core compute-bound, identical."""
+    seq = CorePhaseSequence([Phase(1.0, 0.0005, 0.9)])
+    return Workload([seq] * n, name="homogeneous-compute")
+
+
+@pytest.fixture
+def cfg():
+    return default_system(n_cores=16, budget_fraction=0.6)
+
+
+class TestGuardDynamics:
+    def test_grows_under_homogeneous_pressure(self, cfg):
+        ctl = ODRLController(cfg, seed=0)
+        run_controller(cfg, homogeneous_compute(16), ctl, 1000)
+        # All cores press simultaneously: the guard must have engaged.
+        assert ctl.guard > 0.0
+
+    def test_near_zero_on_memory_bound(self, cfg):
+        # Memory-bound cores never reach the budget; no overshoot signal,
+        # no guard.
+        ctl = ODRLController(cfg, seed=0)
+        run_controller(cfg, make_benchmark("ocean", 16, seed=0), ctl, 600)
+        assert ctl.guard == pytest.approx(0.0, abs=0.02)
+
+    def test_never_exceeds_maximum(self, cfg):
+        ctl = ODRLController(cfg, seed=0)
+        # Pathologically tight budget so the chip overshoots persistently.
+        tight = cfg.with_budget(float(np.sum(ctl._floors)) * 1.05)
+        ctl_tight = ODRLController(tight, seed=0)
+        run_controller(tight, homogeneous_compute(16), ctl_tight, 600)
+        assert ctl_tight.guard <= ODRLController.GUARD_MAX + 1e-12
+
+    def test_guard_reduces_homogeneous_overshoot(self, cfg):
+        # With the guard's gain zeroed, homogeneous compute workloads
+        # overshoot far more: the guard is what closes chip compliance.
+        wl = homogeneous_compute(16)
+        with_guard = ODRLController(cfg, seed=0)
+        r_guard = run_controller(cfg, wl, with_guard, 1200)
+
+        no_guard = ODRLController(cfg, seed=0)
+        no_guard.GUARD_GAIN = 0.0
+        r_free = run_controller(cfg, wl, no_guard, 1200)
+
+        def tail_obe(result):
+            t = result.tail(0.4)
+            return float(np.maximum(t.chip_power - cfg.power_budget, 0).sum())
+
+        assert tail_obe(r_guard) < 0.5 * tail_obe(r_free) + 1e-9
+
+    def test_allocation_shrinks_with_guard(self, cfg):
+        ctl = ODRLController(cfg, seed=0)
+        run_controller(cfg, homogeneous_compute(16), ctl, 800)
+        if ctl.guard > 0.01:
+            distributable = (1 - ctl.guard) * cfg.power_budget
+            assert ctl.allocation.sum() <= distributable + 1e-6
+
+    def test_reset_clears_guard(self, cfg):
+        ctl = ODRLController(cfg, seed=0)
+        run_controller(cfg, homogeneous_compute(16), ctl, 600)
+        ctl.reset()
+        assert ctl.guard == 0.0

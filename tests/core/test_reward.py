@@ -1,0 +1,165 @@
+"""Tests for repro.core.reward."""
+
+import numpy as np
+import pytest
+
+from repro.core import RewardParams, compute_reward, max_epoch_instructions
+from repro.manycore import default_system
+
+
+@pytest.fixture
+def cfg():
+    return default_system(n_cores=4)
+
+
+@pytest.fixture
+def params():
+    return RewardParams()
+
+
+class TestRewardParams:
+    def test_defaults(self, params):
+        assert params.overshoot_weight >= 0
+        assert params.chip_overshoot_weight >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="overshoot_weight"):
+            RewardParams(overshoot_weight=-1)
+        with pytest.raises(ValueError, match="chip_overshoot_weight"):
+            RewardParams(chip_overshoot_weight=-1)
+
+
+class TestMaxEpochInstructions:
+    def test_matches_top_frequency(self, cfg):
+        f_top = cfg.vf_levels[-1][0]
+        assert max_epoch_instructions(cfg) == pytest.approx(
+            f_top / cfg.base_cpi * cfg.epoch_time
+        )
+
+    def test_upper_bounds_any_phase(self, cfg):
+        from repro.manycore import instructions_per_second
+
+        scale = max_epoch_instructions(cfg)
+        for f, _ in cfg.vf_levels:
+            for mu in (0.0, 0.01, 0.03):
+                instr = float(
+                    instructions_per_second(cfg, np.array(f), np.array(mu))
+                ) * cfg.epoch_time
+                assert instr <= scale + 1e-9
+
+
+class TestComputeReward:
+    def test_max_reward_is_one(self, params):
+        scale = 100.0
+        r = compute_reward(
+            params,
+            instructions=np.array([100.0]),
+            power=np.array([1.0]),
+            allocation=np.array([2.0]),
+            instructions_scale=scale,
+        )
+        assert r.item() == pytest.approx(1.0)
+
+    def test_no_penalty_under_allocation(self, params):
+        r_under = compute_reward(
+            params, np.array([50.0]), np.array([1.0]), np.array([2.0]), 100.0
+        )
+        r_at = compute_reward(
+            params, np.array([50.0]), np.array([2.0]), np.array([2.0]), 100.0
+        )
+        assert r_under.item() == r_at.item() == pytest.approx(0.5)
+
+    def test_overshoot_penalized_linearly(self, params):
+        r0 = compute_reward(params, np.array([50.0]), np.array([2.0]), np.array([2.0]), 100.0)
+        r1 = compute_reward(params, np.array([50.0]), np.array([2.2]), np.array([2.0]), 100.0)
+        r2 = compute_reward(params, np.array([50.0]), np.array([2.4]), np.array([2.0]), 100.0)
+        d1 = r0.item() - r1.item()
+        d2 = r1.item() - r2.item()
+        assert d1 > 0
+        assert d1 == pytest.approx(d2)
+        assert d1 == pytest.approx(params.overshoot_weight * 0.1)
+
+    def test_monotone_in_throughput(self, params):
+        r_lo = compute_reward(params, np.array([10.0]), np.array([1.0]), np.array([2.0]), 100.0)
+        r_hi = compute_reward(params, np.array([90.0]), np.array([1.0]), np.array([2.0]), 100.0)
+        assert r_hi.item() > r_lo.item()
+
+    def test_vectorized(self, params):
+        r = compute_reward(
+            params,
+            np.array([10.0, 50.0, 90.0]),
+            np.array([1.0, 4.0, 1.0]),
+            np.array([2.0, 2.0, 2.0]),
+            100.0,
+        )
+        assert r.shape == (3,)
+        # Middle core is 100% over its share: with the default weight its
+        # penalty (1.0) dominates its throughput term (0.5).
+        assert r[1] < r[0] < r[2]
+
+    def test_chip_overshoot_term_shared(self):
+        params = RewardParams(overshoot_weight=0.0, chip_overshoot_weight=2.0)
+        # Chip budget 4 W, chip power 5 W -> chip_over = 0.25 -> penalty 0.5
+        # subtracted from every core equally.
+        r = compute_reward(
+            params,
+            np.array([0.0, 0.0]),
+            np.array([2.5, 2.5]),
+            np.array([3.0, 3.0]),
+            100.0,
+            chip_budget=4.0,
+        )
+        assert np.allclose(r, -0.5)
+
+    def test_chip_term_disabled_by_zero_budget(self):
+        params = RewardParams(overshoot_weight=0.0, chip_overshoot_weight=2.0)
+        r = compute_reward(
+            params, np.array([0.0]), np.array([10.0]), np.array([1.0]), 100.0,
+            chip_budget=0.0,
+        )
+        assert r.item() == 0.0
+
+    def test_chip_term_disabled_by_zero_weight(self):
+        params = RewardParams(overshoot_weight=0.0, chip_overshoot_weight=0.0)
+        r = compute_reward(
+            params, np.array([0.0]), np.array([10.0]), np.array([1.0]), 100.0,
+            chip_budget=5.0,
+        )
+        assert r.item() == 0.0
+
+    def test_energy_weight_penalizes_power_draw(self):
+        params = RewardParams(overshoot_weight=0.0, energy_weight=0.5)
+        r_low = compute_reward(
+            params, np.array([50.0]), np.array([1.0]), np.array([2.0]), 100.0
+        )
+        r_high = compute_reward(
+            params, np.array([50.0]), np.array([1.8]), np.array([2.0]), 100.0
+        )
+        # Same throughput, more power: lower reward, linearly in P/alloc.
+        assert r_high.item() < r_low.item()
+        assert r_low.item() - r_high.item() == pytest.approx(0.5 * 0.8 / 2.0)
+
+    def test_energy_weight_zero_is_paper_objective(self, params):
+        with_zero = compute_reward(
+            RewardParams(energy_weight=0.0),
+            np.array([50.0]), np.array([1.0]), np.array([2.0]), 100.0,
+        )
+        default = compute_reward(
+            params, np.array([50.0]), np.array([1.0]), np.array([2.0]), 100.0
+        )
+        assert with_zero.item() == default.item()
+
+    def test_energy_weight_validation(self):
+        with pytest.raises(ValueError, match="energy_weight"):
+            RewardParams(energy_weight=-0.1)
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError, match="instructions_scale"):
+            compute_reward(params, np.array([1.0]), np.array([1.0]), np.array([1.0]), 0.0)
+        with pytest.raises(ValueError, match="allocation"):
+            compute_reward(params, np.array([1.0]), np.array([1.0]), np.array([0.0]), 1.0)
+        with pytest.raises(ValueError, match="chip_budget"):
+            compute_reward(
+                params, np.array([1.0]), np.array([1.0]), np.array([1.0]), 1.0,
+                chip_budget=-1.0,
+            )

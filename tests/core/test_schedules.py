@@ -1,0 +1,93 @@
+"""Tests for repro.core.schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConstantSchedule, ExponentialDecay, HarmonicDecay
+
+
+class TestConstantSchedule:
+    def test_constant(self):
+        s = ConstantSchedule(0.3)
+        assert s(0) == 0.3
+        assert s(10**6) == 0.3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(-0.1)
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ValueError, match="step"):
+            ConstantSchedule(0.5)(-1)
+
+
+class TestExponentialDecay:
+    def test_starts_at_start(self):
+        s = ExponentialDecay(start=0.5, floor=0.05, decay=0.99)
+        assert s(0) == pytest.approx(0.5)
+
+    def test_decays_toward_floor(self):
+        s = ExponentialDecay(start=0.5, floor=0.05, decay=0.9)
+        assert s(1) < s(0)
+        assert s(10_000) == pytest.approx(0.05, abs=1e-9)
+
+    def test_monotone_nonincreasing(self):
+        s = ExponentialDecay(start=0.4, floor=0.02, decay=0.95)
+        values = [s(k) for k in range(50)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_never_below_floor(self):
+        s = ExponentialDecay(start=0.4, floor=0.1, decay=0.5)
+        assert all(s(k) >= 0.1 for k in range(100))
+
+    def test_array_input(self):
+        s = ExponentialDecay(start=0.4, floor=0.0, decay=0.9)
+        out = s.value(np.array([0, 1, 2]))
+        assert np.allclose(out, [0.4, 0.36, 0.324])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(start=0.1, floor=0.2, decay=0.9)  # floor > start
+        with pytest.raises(ValueError):
+            ExponentialDecay(start=0.5, floor=0.1, decay=0.0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(start=0.5, floor=0.1, decay=1.5)
+
+
+class TestHarmonicDecay:
+    def test_starts_at_start(self):
+        s = HarmonicDecay(start=1.0, half_life=10)
+        assert s(0) == pytest.approx(1.0)
+
+    def test_half_at_half_life(self):
+        s = HarmonicDecay(start=1.0, half_life=10)
+        assert s(10) == pytest.approx(0.5)
+
+    def test_floor_respected(self):
+        s = HarmonicDecay(start=1.0, half_life=1, floor=0.2)
+        assert s(10**6) == 0.2
+
+    def test_array_input_scalar_output_types(self):
+        s = HarmonicDecay(start=0.9, half_life=10.0, floor=0.05)
+        scalar = s.value(5)
+        assert isinstance(scalar, float)
+        arr = s.value(np.array([0, 10, 10**9]))
+        assert arr.shape == (3,)
+        assert arr[0] == pytest.approx(0.9)
+        assert arr[2] == pytest.approx(0.05)
+
+    def test_robbins_monro_when_floor_zero(self):
+        # sum(alpha) diverges, sum(alpha^2) converges for 1/(1+k/h).
+        s = HarmonicDecay(start=1.0, half_life=1.0)
+        ks = np.arange(0, 100_000)
+        alphas = s.value(ks)
+        assert alphas.sum() > 10.0  # grows like log(n), unbounded
+        assert np.sum(alphas**2) < 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarmonicDecay(start=0.0, half_life=10)
+        with pytest.raises(ValueError):
+            HarmonicDecay(start=1.0, half_life=0)
+        with pytest.raises(ValueError):
+            HarmonicDecay(start=1.0, half_life=10, floor=-0.1)

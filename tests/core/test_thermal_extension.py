@@ -1,0 +1,77 @@
+"""Tests for the thermal-limit extension of ODRLController (E10 feature)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ODRLController
+from repro.manycore import ManyCoreChip, default_system
+from repro.sim import run_controller
+from repro.workloads import mixed_workload
+
+
+@pytest.fixture
+def cfg():
+    # Loose budget so power capping alone does not keep the die cool.
+    return default_system(n_cores=16, budget_fraction=0.9)
+
+
+@pytest.fixture
+def wl(cfg):
+    return mixed_workload(cfg.n_cores, seed=2)
+
+
+class TestConstruction:
+    def test_limit_stored(self, cfg):
+        ctl = ODRLController(cfg, thermal_limit=340.0)
+        assert ctl.thermal_limit == 340.0
+
+    def test_none_by_default(self, cfg):
+        assert ODRLController(cfg).thermal_limit is None
+
+    def test_rejects_limit_below_ambient(self, cfg):
+        with pytest.raises(ValueError, match="ambient"):
+            ODRLController(cfg, thermal_limit=cfg.technology.t_ambient - 5)
+
+
+class TestBehaviour:
+    def test_limit_contains_peak_temperature(self, cfg, wl):
+        limit = 331.0
+        unlimited = run_controller(cfg, wl, ODRLController(cfg, seed=0), 1200)
+        limited = run_controller(
+            cfg, wl, ODRLController(cfg, thermal_limit=limit, seed=0), 1200
+        )
+        hot_unlimited = unlimited.max_temperature[-300:].max()
+        hot_limited = limited.max_temperature[-300:].max()
+        assert hot_unlimited > limit + 2.0  # the limit genuinely binds
+        assert hot_limited < hot_unlimited - 2.0
+        assert hot_limited < limit + 1.5  # held at/near the line
+
+    def test_costs_some_throughput(self, cfg, wl):
+        unlimited = run_controller(cfg, wl, ODRLController(cfg, seed=0), 800)
+        limited = run_controller(
+            cfg, wl, ODRLController(cfg, thermal_limit=331.0, seed=0), 800
+        )
+        assert limited.total_instructions < unlimited.total_instructions
+        # ... but not catastrophically (the agents still run warm cores).
+        assert limited.total_instructions > 0.7 * unlimited.total_instructions
+
+    def test_reflex_steps_hot_cores_down(self, cfg, wl):
+        ctl = ODRLController(cfg, thermal_limit=325.0, seed=0)
+        chip = ManyCoreChip(cfg, wl)
+        obs = None
+        for _ in range(400):
+            levels = ctl.decide(obs)
+            if obs is not None:
+                hot = obs.sensed_temperature >= 325.0
+                if np.any(hot):
+                    # Hot cores must not go up.
+                    assert np.all(levels[hot] <= obs.levels[hot])
+            obs = chip.step(levels)
+
+    def test_nonbinding_limit_is_noop(self, cfg, wl):
+        # A limit the die never approaches must not change behaviour.
+        base = run_controller(cfg, wl, ODRLController(cfg, seed=3), 400)
+        high = run_controller(
+            cfg, wl, ODRLController(cfg, thermal_limit=400.0, seed=3), 400
+        )
+        assert np.array_equal(base.chip_power, high.chip_power)

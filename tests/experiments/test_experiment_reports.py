@@ -1,0 +1,70 @@
+"""Report-format tests: every experiment's rendered report is complete.
+
+The benchmark harness's deliverable is the printed table/series; these
+tests pin the structure (headers, controller rows, claim annotations) on
+cheap small-scale runs so a formatting regression cannot silently ship a
+wrong or empty table.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_e1,
+    run_e2,
+    run_e5,
+    run_e8,
+    run_e12,
+    run_e14,
+)
+
+
+class TestReportContent:
+    @pytest.fixture(scope="class")
+    def e1(self):
+        return run_e1(n_cores=8, n_epochs=100, controllers=("od-rl", "pid"), n_points=5)
+
+    def test_e1_series_layout(self, e1):
+        lines = e1.report.splitlines()
+        assert lines[0].startswith("E1:")
+        header = lines[1]
+        for column in ("time_s", "od-rl", "pid", "budget"):
+            assert column in header
+        # 5 downsampled points -> 5 data rows after title+header+rule.
+        assert len(lines) == 3 + 5
+
+    def test_e1_str_includes_id_and_title(self, e1):
+        text = str(e1)
+        assert text.startswith("[E1]")
+        assert "Chip power vs. time" in text
+
+    def test_e2_claim_annotation(self):
+        e2 = run_e2(
+            n_cores=8, n_epochs=150, benchmarks=("barnes",),
+            controllers=("od-rl", "pid"),
+        )
+        assert "claim C1" in e2.report
+        assert "98%" in e2.report
+        assert "barnes" in e2.report
+        # Three tables separated by blank lines.
+        assert e2.report.count("E2") >= 3
+
+    def test_e5_claim_annotation(self):
+        e5 = run_e5(core_counts=(4, 8), n_epochs=12, warmup_epochs=3)
+        assert "claim C3" in e5.report
+        assert "speedup" in e5.report
+        assert "cores" in e5.report
+
+    def test_e8_lists_all_variants(self):
+        e8 = run_e8(n_cores=8, n_epochs=120)
+        for label in ("default", "no-realloc", "lam=0.5", "actions=absolute"):
+            assert label in e8.report
+
+    def test_e12_marks_chip_wide(self):
+        e12 = run_e12(n_cores=8, n_epochs=120, island_sizes=(1, 4))
+        assert "chip-wide" in e12.report
+        assert "island=1" in e12.report
+
+    def test_e14_anchors_eta_zero(self):
+        e14 = run_e14(n_cores=8, n_epochs=120, etas=(0.3,))
+        assert "eta=0" in e14.report
+        assert "eta=0.3" in e14.report

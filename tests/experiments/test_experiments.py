@@ -1,0 +1,269 @@
+"""Small-scale runs of every reconstructed experiment with shape assertions.
+
+These use reduced core counts / epochs so the whole module stays fast; the
+full-scale runs live in benchmarks/.  What is asserted here is structure
+(every table cell present) plus the *direction* of each paper claim, which
+holds even at reduced scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    run_e1,
+    run_e2,
+    run_e3,
+    run_e4,
+    run_e5,
+    run_e6,
+    run_e7,
+    run_e8,
+    run_e9,
+    run_e10,
+    run_e11,
+    run_e12,
+    run_e13,
+    run_e14,
+)
+
+BENCH = ("barnes", "ocean", "fft")
+CTRLS = ("od-rl", "pid", "greedy-ascent")
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        # E1-E8 reconstruct the paper; E9-E14 are the extension studies.
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
+
+
+class TestE1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_e1(n_cores=12, n_epochs=300, controllers=("od-rl", "pid", "uncapped"), n_points=10)
+
+    def test_traces_complete(self, result):
+        assert result.experiment_id == "E1"
+        assert set(result.data["traces"]) == {"od-rl", "pid", "uncapped"}
+        for trace in result.data["traces"].values():
+            assert len(trace) == 10
+            assert np.all(np.isfinite(trace))
+
+    def test_uncapped_exceeds_budget(self, result):
+        budget = result.data["budget"]
+        assert result.data["traces"]["uncapped"].mean() > budget
+
+    def test_report_mentions_budget(self, result):
+        assert "budget" in result.report
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_points"):
+            run_e1(n_points=1)
+        with pytest.raises(KeyError, match="unknown controller"):
+            run_e1(controllers=("nonsense",), n_cores=4, n_epochs=10)
+
+
+class TestE2E3E4:
+    @pytest.fixture(scope="class")
+    def e2(self):
+        return run_e2(n_cores=12, n_epochs=600, benchmarks=BENCH, controllers=CTRLS, seed=0)
+
+    def test_e2_table_complete(self, e2):
+        for ctrl in CTRLS:
+            assert set(e2.data["obe"][ctrl]) == set(BENCH)
+
+    def test_e2_odrl_beats_pid_overshoot(self, e2):
+        # The core C1 direction: OD-RL overshoots less than PID overall.
+        ours = sum(e2.data["obe"]["od-rl"].values())
+        pid = sum(e2.data["obe"]["pid"].values())
+        assert ours < pid
+
+    def test_e2_requires_odrl(self):
+        with pytest.raises(ValueError, match="od-rl"):
+            run_e2(controllers=("pid",), n_cores=4, n_epochs=10)
+
+    def test_e2_rejects_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="benchmarks"):
+            run_e2(benchmarks=("quake",), n_cores=4, n_epochs=10)
+
+    def test_e3_reuses_results(self, e2):
+        e3 = run_e3(n_cores=12, n_epochs=600, benchmarks=BENCH, controllers=CTRLS,
+                    results=e2.data["results"])
+        assert set(e3.data["tpobe"]["od-rl"]) == set(BENCH)
+        # C2a direction: OD-RL beats PID on throughput per over-budget
+        # energy on at least one benchmark (the claim is "up to").
+        adv = e3.data["advantage_vs_baseline"]["pid"]
+        assert max(adv.values()) > 1.0
+
+    def test_e4_reuses_results(self, e2):
+        e4 = run_e4(n_cores=12, n_epochs=600, benchmarks=BENCH, controllers=CTRLS,
+                    results=e2.data["results"])
+        eff = e4.data["efficiency"]
+        for ctrl in CTRLS:
+            assert all(v > 0 for v in eff[ctrl].values())
+        # C2b direction: OD-RL at least matches the baselines somewhere.
+        assert e4.data["max_gain"] > 0
+
+
+class TestE5:
+    @pytest.fixture(scope="class")
+    def e5(self):
+        return run_e5(core_counts=(8, 32), n_epochs=20, warmup_epochs=5)
+
+    def test_latency_series_complete(self, e5):
+        for name, series in e5.data["latency"].items():
+            assert len(series) == 2
+            assert all(v > 0 for v in series)
+
+    def test_speedup_positive_and_growing(self, e5):
+        speedups = e5.data["speedups"]
+        assert speedups[-1] > 1.0
+        assert speedups[-1] > speedups[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ascending"):
+            run_e5(core_counts=(32, 8), n_epochs=10)
+        with pytest.raises(ValueError, match="warmup"):
+            run_e5(core_counts=(8,), n_epochs=10, warmup_epochs=10)
+        with pytest.raises(ValueError, match="od-rl"):
+            run_e5(controllers=("pid",), core_counts=(8,), n_epochs=10, warmup_epochs=2)
+
+
+class TestE6:
+    def test_convergence_improves(self):
+        e6 = run_e6(n_cores=12, n_epochs=1200, n_windows=8, seed=1)
+        conv = e6.data["converged"]
+        # Throughput must not degrade from the first to the last quarter,
+        # and steady utilization must be meaningful.
+        assert conv["bips_last_quarter"] >= 0.95 * conv["bips_first_quarter"]
+        assert conv["util_last_quarter"] > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_windows"):
+            run_e6(n_windows=1)
+
+
+class TestE7:
+    def test_budget_sweep_shapes_and_monotonicity(self):
+        e7 = run_e7(n_cores=8, n_epochs=250, budget_fractions=(0.5, 0.8),
+                    controllers=("od-rl", "pid"))
+        bips = e7.data["bips"]
+        for name in ("od-rl", "pid"):
+            assert len(bips[name]) == 2
+            # Looser budget must not reduce throughput.
+            assert bips[name][1] >= bips[name][0] * 0.98
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fractions"):
+            run_e7(budget_fractions=(0.0, 0.5))
+
+
+class TestE9:
+    def test_variation_robustness(self):
+        e9 = run_e9(n_cores=12, n_epochs=500, controllers=("od-rl", "greedy-ascent"), seed=0)
+        obe = e9.data["obe"]
+        bips = e9.data["bips"]
+        for ctrl in ("od-rl", "greedy-ascent"):
+            assert set(obe[ctrl]) == {"nominal", "varied"}
+        # The contribution's robustness claim: OD-RL's throughput moves by
+        # under 5% between the nominal and varied dies, and its compliance
+        # stays intact.
+        drift = abs(bips["od-rl"]["varied"] - bips["od-rl"]["nominal"])
+        assert drift < 0.05 * bips["od-rl"]["nominal"]
+        assert obe["od-rl"]["varied"] < 0.1 * max(obe["greedy-ascent"]["varied"], 1e-9) + 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="leak_sigma"):
+            run_e9(leak_sigma=-1.0)
+        with pytest.raises(ValueError, match="od-rl"):
+            run_e9(controllers=("pid",), n_cores=4, n_epochs=10)
+
+
+class TestE10:
+    def test_thermal_limit_binds_and_contains(self):
+        e10 = run_e10(n_cores=12, n_epochs=1200, seed=0)
+        m = e10.data["metrics"]
+        limit = e10.data["thermal_limit"]
+        assert m["power-only"]["peak_T_K"] > limit  # the limit binds
+        assert m["thermal-limited"]["peak_T_K"] < m["power-only"]["peak_T_K"]
+        assert m["thermal-limited"]["mean_excess_K"] < m["power-only"]["mean_excess_K"]
+        assert m["thermal-limited"]["bips"] > 0.6 * m["power-only"]["bips"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="thermal_limit"):
+            run_e10(thermal_limit=0.0)
+
+
+class TestE11:
+    def test_contention_structure(self):
+        e11 = run_e11(n_cores=12, n_epochs=700, seed=0)
+        bips = e11.data["bips"]
+        assert set(bips) == {"uncontended", "contended"}
+        # Contention must cost throughput in absolute terms ...
+        assert bips["contended"]["realloc"] < bips["uncontended"]["realloc"]
+        # ... and reallocation must help in both regimes.
+        for regime in bips:
+            assert e11.data["realloc_gain"][regime] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="per_core_bandwidth"):
+            run_e11(per_core_bandwidth=0.0)
+
+
+class TestE12:
+    def test_granularity_sweep(self):
+        e12 = run_e12(n_cores=12, n_epochs=600, island_sizes=(1, 4), seed=0)
+        bips = e12.data["bips_by_size"]
+        assert set(bips) == {1, 4, 12}  # chip-wide always appended
+        assert bips[1] > 0 and bips[12] > 0
+        assert bips[12] <= bips[1] * 1.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="island sizes"):
+            run_e12(island_sizes=(0, 4))
+
+
+class TestE13:
+    def test_biglittle_structure(self):
+        e13 = run_e13(n_cores=12, n_epochs=600, seed=0)
+        m = e13.data["metrics"]
+        assert set(m) == {"od-rl", "pid", "greedy-ascent", "maxbips"}
+        shares = e13.data["allocation_by_type"]
+        assert set(shares) == {"big", "little"}
+        # Big cores get more budget than little ones.
+        assert shares["big"] > shares["little"]
+        # Compliance direction vs PID at the tight budget.
+        assert m["od-rl"]["obe_J"] <= m["pid"]["obe_J"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="big_fraction"):
+            run_e13(big_fraction=1.0)
+
+
+class TestE14:
+    def test_frontier_trades_throughput_for_efficiency(self):
+        e14 = run_e14(n_cores=12, n_epochs=800, etas=(0.0, 0.4), seed=0)
+        frontier = e14.data["frontier"]
+        assert set(frontier) == {0.0, 0.4}
+        # The knob moves both metrics in the expected directions.
+        assert frontier[0.4]["bips"] < frontier[0.0]["bips"]
+        assert frontier[0.4]["instr_per_J"] > frontier[0.0]["instr_per_J"]
+
+    def test_anchor_always_included(self):
+        e14 = run_e14(n_cores=8, n_epochs=200, etas=(0.3,), seed=0)
+        assert 0.0 in e14.data["frontier"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="energy weights"):
+            run_e14(etas=(-0.1,))
+
+
+class TestE8:
+    def test_ablation_table(self):
+        e8 = run_e8(n_cores=8, n_epochs=400, seed=0)
+        metrics = e8.data["metrics"]
+        assert len(metrics) >= 6
+        for row in metrics.values():
+            assert set(row) == {"bips", "obe_J", "utilization", "instr_per_J"}
+            assert row["bips"] > 0
+            assert 0 < row["utilization"] <= 1.2

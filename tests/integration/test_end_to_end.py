@@ -1,0 +1,153 @@
+"""Integration tests: the whole stack, closed loop, comparative properties.
+
+These are the "does the reproduction tell the paper's story" tests — each
+asserts a relationship between controllers that the evaluation depends on,
+on a mid-sized system.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GreedyAscentController,
+    MaxBIPSController,
+    ODRLController,
+    PIDCappingController,
+    StaticUniformController,
+    UncappedController,
+    default_system,
+    energy_efficiency,
+    mixed_workload,
+    over_budget_energy,
+    overshoot_fraction,
+    run_controller,
+    throughput_bips,
+)
+
+N_CORES = 16
+N_EPOCHS = 1200
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return default_system(n_cores=N_CORES, budget_fraction=0.6)
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return mixed_workload(N_CORES, seed=42)
+
+
+@pytest.fixture(scope="module")
+def runs(cfg, wl):
+    controllers = {
+        "od-rl": ODRLController(cfg, seed=0),
+        "pid": PIDCappingController(cfg),
+        "greedy": GreedyAscentController(cfg),
+        "maxbips": MaxBIPSController(cfg),
+        "static": StaticUniformController(cfg),
+        "uncapped": UncappedController(cfg),
+    }
+    return {
+        name: run_controller(cfg, wl, ctl, n_epochs=N_EPOCHS)
+        for name, ctl in controllers.items()
+    }
+
+
+class TestComparativeStory:
+    def test_uncapped_violates_budget_constantly(self, runs, cfg):
+        assert overshoot_fraction(runs["uncapped"]) > 0.9
+
+    def test_odrl_overshoot_far_below_pid(self, runs):
+        # Claim C1 direction at integration scale.
+        assert over_budget_energy(runs["od-rl"]) < 0.3 * over_budget_energy(runs["pid"])
+
+    def test_odrl_energy_efficiency_leads_reactive_baselines(self, runs):
+        eff = {k: energy_efficiency(r) for k, r in runs.items()}
+        assert eff["od-rl"] > eff["pid"]
+        assert eff["od-rl"] > eff["greedy"]
+
+    def test_odrl_throughput_competitive(self, runs):
+        # OD-RL sacrifices some throughput for compliance, but must stay
+        # within 20% of the model-based optimizer.
+        assert throughput_bips(runs["od-rl"]) > 0.8 * throughput_bips(runs["maxbips"])
+
+    def test_odrl_beats_static_provisioning(self, runs):
+        assert throughput_bips(runs["od-rl"]) > throughput_bips(runs["static"])
+
+    def test_reactive_controllers_beat_static(self, runs):
+        for name in ("pid", "greedy", "maxbips"):
+            assert throughput_bips(runs[name]) > throughput_bips(runs["static"])
+
+    def test_all_steady_means_near_or_below_budget(self, runs, cfg):
+        for name, result in runs.items():
+            if name == "uncapped":
+                continue
+            tail = result.tail(0.3)
+            assert tail.chip_power.mean() <= 1.08 * cfg.power_budget, name
+
+    def test_odrl_decision_cost_far_below_maxbips(self, runs):
+        # Medians resist scheduler noise when the suite runs under load.
+        odrl = float(np.median(runs["od-rl"].decision_time[10:]))
+        maxbips = float(np.median(runs["maxbips"].decision_time[10:]))
+        assert maxbips / odrl > 2.0
+
+
+class TestThermalCoupling:
+    def test_temperature_tracks_power_across_controllers(self, runs):
+        hot = runs["uncapped"].max_temperature[-50:].mean()
+        cool = runs["static"].max_temperature[-50:].mean()
+        assert hot > cool
+
+    def test_temperatures_physical(self, runs, cfg):
+        for result in runs.values():
+            assert np.all(result.max_temperature >= cfg.technology.t_ambient - 1e-6)
+            assert np.all(result.max_temperature < 420.0)  # below silicon limits
+
+
+class TestReproducibility:
+    def test_full_run_bit_reproducible(self, cfg, wl):
+        a = run_controller(cfg, wl, ODRLController(cfg, seed=9), n_epochs=300)
+        b = run_controller(cfg, wl, ODRLController(cfg, seed=9), n_epochs=300)
+        assert np.array_equal(a.chip_power, b.chip_power)
+        assert np.array_equal(a.chip_instructions, b.chip_instructions)
+        assert np.array_equal(a.max_temperature, b.max_temperature)
+
+
+class TestNoisySensors:
+    def test_odrl_survives_sensor_faults(self, cfg, wl):
+        # 1% dropped power readings plus 2% stuck readings: the learner
+        # must stay controlled (dropouts read as "zero power", i.e. huge
+        # slack, the dangerous direction).
+        from repro.manycore import SensorSpec, SensorSuite
+
+        faulty = SensorSuite(
+            np.random.default_rng(2),
+            power_spec=SensorSpec(
+                relative_noise=0.02, quantum=0.1, dropout_rate=0.01, stuck_rate=0.02
+            ),
+        )
+        result = run_controller(
+            cfg, wl, ODRLController(cfg, seed=0), n_epochs=800, sensors=faulty
+        )
+        tail = result.tail(0.3)
+        over = np.maximum(tail.chip_power - cfg.power_budget, 0)
+        assert over.mean() < 0.05 * cfg.power_budget
+        assert tail.chip_power.mean() > 0.55 * cfg.power_budget
+
+    def test_odrl_robust_to_sensor_noise(self, cfg, wl):
+        from repro.manycore import SensorSpec, SensorSuite
+
+        noisy = SensorSuite(
+            np.random.default_rng(1),
+            power_spec=SensorSpec(relative_noise=0.05, quantum=0.1),
+        )
+        result = run_controller(
+            cfg, wl, ODRLController(cfg, seed=0), n_epochs=800, sensors=noisy
+        )
+        tail = result.tail(0.3)
+        over = np.maximum(tail.chip_power - cfg.power_budget, 0)
+        # Still controlled: mean overshoot below 3% of budget despite 5%
+        # power-sensor noise.
+        assert over.mean() < 0.03 * cfg.power_budget
+        assert tail.chip_power.mean() > 0.6 * cfg.power_budget

@@ -1,0 +1,161 @@
+"""Tests for repro.manycore.hetero (big.LITTLE core types)."""
+
+import numpy as np
+import pytest
+
+from repro.manycore import (
+    BIG,
+    LITTLE,
+    CoreType,
+    HeterogeneousMap,
+    ManyCoreChip,
+    big_little_map,
+    default_system,
+)
+from repro.workloads import CorePhaseSequence, Phase, Workload
+
+
+@pytest.fixture
+def cfg():
+    return default_system(n_cores=8, n_levels=4)
+
+
+def constant_workload(n, mem=0.001, comp=0.9):
+    return Workload([CorePhaseSequence([Phase(1.0, mem, comp)])] * n)
+
+
+class TestCoreType:
+    def test_reference_types(self):
+        assert BIG.freq_scale == 1.0
+        assert LITTLE.freq_scale < 1.0
+        assert LITTLE.ceff_scale < BIG.ceff_scale
+        assert LITTLE.cpi_scale > BIG.cpi_scale
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="freq_scale"):
+            CoreType(name="bad", freq_scale=0.0)
+        with pytest.raises(ValueError, match="cpi_scale"):
+            CoreType(name="bad", cpi_scale=-1.0)
+
+
+class TestHeterogeneousMap:
+    def test_homogeneous(self):
+        m = HeterogeneousMap.homogeneous(4)
+        assert m.n_cores == 4
+        assert np.all(m.freq_scale == 1.0)
+        assert np.all(m.cpi_scale == 1.0)
+
+    def test_big_little_split(self):
+        m = big_little_map(8, big_fraction=0.25)
+        assert [t.name for t in m.types] == ["big"] * 2 + ["little"] * 6
+        idx = m.type_indices()
+        assert list(idx["big"]) == [0, 1]
+        assert len(idx["little"]) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousMap([])
+        with pytest.raises(ValueError, match="big_fraction"):
+            big_little_map(8, big_fraction=1.5)
+        with pytest.raises(ValueError, match="n_cores"):
+            big_little_map(0)
+
+
+class TestChipIntegration:
+    def test_little_cores_slower_and_cooler(self, cfg):
+        m = big_little_map(8, big_fraction=0.5)
+        chip = ManyCoreChip(cfg, constant_workload(8), hetero=m)
+        top = np.full(8, cfg.n_levels - 1)
+        for _ in range(10):
+            obs = chip.step(top)
+        big_idx, little_idx = np.arange(4), np.arange(4, 8)
+        assert obs.instructions[little_idx].mean() < obs.instructions[big_idx].mean()
+        assert obs.power[little_idx].mean() < obs.power[big_idx].mean()
+
+    def test_homogeneous_map_is_default_behaviour(self, cfg):
+        wl = constant_workload(8)
+        plain = ManyCoreChip(cfg, wl)
+        mapped = ManyCoreChip(cfg, wl, hetero=HeterogeneousMap.homogeneous(8))
+        levels = np.full(8, 2)
+        oa, ob = plain.step(levels), mapped.step(levels)
+        assert np.array_equal(oa.power, ob.power)
+        assert np.array_equal(oa.instructions, ob.instructions)
+
+    def test_mismatched_map_rejected(self, cfg):
+        with pytest.raises(ValueError, match="cores"):
+            ManyCoreChip(cfg, constant_workload(8), hetero=big_little_map(4))
+
+    def test_little_core_efficiency(self, cfg):
+        # On a memory-bound phase, a little core is more energy-efficient
+        # (instructions per joule) than a big core at the same level.
+        m = big_little_map(8, big_fraction=0.5)
+        chip = ManyCoreChip(cfg, constant_workload(8, mem=0.02, comp=0.5), hetero=m)
+        for _ in range(10):
+            obs = chip.step(np.full(8, cfg.n_levels - 1))
+        eff = obs.instructions / obs.power
+        assert eff[4:].mean() > eff[:4].mean()
+
+
+class TestControllerIntegration:
+    def test_odrl_bounds_scaled(self, cfg):
+        from repro.core import ODRLController
+
+        m = big_little_map(8, big_fraction=0.5)
+        ctl = ODRLController(cfg, hetero=m)
+        assert ctl._caps[0] > ctl._caps[-1]  # big cap above little cap
+        assert ctl._floors[0] > ctl._floors[-1]
+
+    def test_odrl_controls_hetero_chip(self, cfg):
+        from repro.core import ODRLController
+        from repro.sim import run_controller
+        from repro.workloads import mixed_workload
+
+        m = big_little_map(8, big_fraction=0.5)
+        ctl = ODRLController(cfg, hetero=m, seed=0)
+        result = run_controller(
+            cfg, mixed_workload(8, seed=1), ctl, 600, hetero=m
+        )
+        tail = result.tail(0.3)
+        over = np.maximum(tail.chip_power - cfg.power_budget, 0)
+        assert over.mean() < 0.03 * cfg.power_budget
+
+    def test_estimator_with_map_predicts_little_cores(self, cfg):
+        from repro.baselines import PowerPerfEstimator
+        from repro.manycore import SensorSuite
+
+        m = big_little_map(8, big_fraction=0.5)
+        est = PowerPerfEstimator(cfg, hetero=m)
+        chip = ManyCoreChip(
+            cfg, constant_workload(8), sensors=SensorSuite.exact(), hetero=m
+        )
+        obs = None
+        for _ in range(5):
+            obs = chip.step(np.full(8, 2))
+        pred = est.predict(obs)
+        # Predictions at the observed level track truth for both core types.
+        assert np.allclose(pred.power[:, 2], obs.power, rtol=0.12)
+        measured_ips = obs.instructions / cfg.epoch_time
+        assert np.allclose(pred.ips[:, 2], measured_ips, rtol=0.05)
+
+    def test_estimator_map_size_checked(self, cfg):
+        from repro.baselines import PowerPerfEstimator
+
+        with pytest.raises(ValueError, match="cores"):
+            PowerPerfEstimator(cfg, hetero=big_little_map(4))
+
+    def test_greedy_prefers_big_cores_on_compute(self, cfg):
+        # Given the map, the model-based allocator should sprint the big
+        # cores first on a uniform compute-bound workload.
+        from repro.baselines import GreedyAscentController
+        from repro.manycore import SensorSuite
+
+        m = big_little_map(8, big_fraction=0.5)
+        ctl = GreedyAscentController(cfg, hetero=m)
+        chip = ManyCoreChip(
+            cfg, constant_workload(8), sensors=SensorSuite.exact(), hetero=m
+        )
+        obs = None
+        for _ in range(30):
+            levels = ctl.decide(obs)
+            obs = chip.step(levels)
+        assert obs.levels[:4].mean() >= obs.levels[4:].mean()

@@ -1,0 +1,104 @@
+"""Tests for repro.manycore.sensors."""
+
+import numpy as np
+import pytest
+
+from repro.manycore import Sensor, SensorSpec, SensorSuite
+
+
+class TestSensorSpec:
+    def test_defaults_exact(self):
+        spec = SensorSpec()
+        assert spec.relative_noise == 0.0
+        assert spec.quantum == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SensorSpec(relative_noise=-0.1)
+        with pytest.raises(ValueError):
+            SensorSpec(quantum=-1.0)
+
+
+class TestSensor:
+    def test_exact_sensor_is_identity(self, rng):
+        s = Sensor(SensorSpec(), rng)
+        truth = np.array([1.5, 2.25, 0.0])
+        assert np.array_equal(s.read(truth), truth)
+
+    def test_quantization(self, rng):
+        s = Sensor(SensorSpec(quantum=0.5), rng)
+        reading = s.read(np.array([1.1, 1.4, 1.26]))
+        assert np.allclose(reading, [1.0, 1.5, 1.5])
+
+    def test_noise_is_zero_mean_multiplicative(self):
+        rng = np.random.default_rng(0)
+        s = Sensor(SensorSpec(relative_noise=0.05), rng)
+        truth = np.full(20000, 10.0)
+        reading = s.read(truth)
+        assert reading.mean() == pytest.approx(10.0, rel=0.01)
+        assert reading.std() == pytest.approx(0.5, rel=0.1)
+
+    def test_floor_clamps(self):
+        rng = np.random.default_rng(0)
+        s = Sensor(SensorSpec(relative_noise=2.0, floor=0.0), rng)
+        reading = s.read(np.full(1000, 0.01))
+        assert np.all(reading >= 0.0)
+
+    def test_deterministic_given_seed(self):
+        s1 = Sensor(SensorSpec(relative_noise=0.1), np.random.default_rng(42))
+        s2 = Sensor(SensorSpec(relative_noise=0.1), np.random.default_rng(42))
+        truth = np.arange(1.0, 5.0)
+        assert np.array_equal(s1.read(truth), s2.read(truth))
+
+
+class TestFaultInjection:
+    def test_dropout_zeroes_fraction_of_readings(self):
+        rng = np.random.default_rng(0)
+        s = Sensor(SensorSpec(dropout_rate=0.2), rng)
+        truth = np.full(10000, 5.0)
+        reading = s.read(truth)
+        frac_zero = np.mean(reading == 0.0)
+        assert 0.15 < frac_zero < 0.25
+        assert np.all((reading == 0.0) | (reading == 5.0))
+
+    def test_stuck_repeats_previous(self):
+        rng = np.random.default_rng(0)
+        s = Sensor(SensorSpec(stuck_rate=0.5), rng)
+        first = s.read(np.full(2000, 1.0))
+        assert np.all(first == 1.0)  # nothing to be stuck at yet
+        second = s.read(np.full(2000, 2.0))
+        stuck_frac = np.mean(second == 1.0)
+        assert 0.4 < stuck_frac < 0.6
+        assert np.all((second == 1.0) | (second == 2.0))
+
+    def test_zero_rates_no_faults(self, rng):
+        s = Sensor(SensorSpec(), rng)
+        truth = np.linspace(1, 5, 50)
+        assert np.array_equal(s.read(truth), truth)
+        assert np.array_equal(s.read(truth), truth)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="dropout_rate"):
+            SensorSpec(dropout_rate=1.5)
+        with pytest.raises(ValueError, match="stuck_rate"):
+            SensorSpec(stuck_rate=-0.1)
+
+
+class TestSensorSuite:
+    def test_exact_suite(self):
+        suite = SensorSuite.exact()
+        truth = np.array([3.3, 4.4])
+        assert np.array_equal(suite.power.read(truth), truth)
+        assert np.array_equal(suite.perf.read(truth), truth)
+
+    def test_default_suite_noisy_power_exact_perf(self, rng):
+        suite = SensorSuite(rng)
+        assert suite.power.spec.relative_noise > 0
+        assert suite.power.spec.quantum > 0
+        assert suite.perf.spec.relative_noise == 0.0
+
+    def test_default_power_reading_close_to_truth(self, rng):
+        suite = SensorSuite(rng)
+        truth = np.full(5000, 5.0)
+        reading = suite.power.read(truth)
+        assert reading.mean() == pytest.approx(5.0, rel=0.02)

@@ -1,0 +1,141 @@
+"""Tests for repro.manycore.thermal."""
+
+import numpy as np
+import pytest
+
+from repro.manycore import ThermalModel, default_system, mesh_neighbors
+
+
+@pytest.fixture
+def cfg():
+    return default_system(n_cores=9)  # 3x3 mesh
+
+
+class TestMeshNeighbors:
+    def test_3x3_mesh_edges(self):
+        pairs = mesh_neighbors(9, (3, 3))
+        # 3x3 grid has 12 undirected edges.
+        assert len(pairs) == 12
+        assert all(i < j for i, j in pairs)
+        assert (0, 1) in pairs and (0, 3) in pairs
+        assert (4, 5) in pairs and (4, 7) in pairs
+
+    def test_partial_last_row(self):
+        # 5 cores on a 2x3 grid: core 5 does not exist.
+        pairs = mesh_neighbors(5, (2, 3))
+        assert (2, 5) not in pairs
+        assert (1, 2) in pairs and (1, 4) in pairs
+
+    def test_single_core_no_edges(self):
+        assert mesh_neighbors(1, (1, 1)) == []
+
+    def test_rejects_too_small_mesh(self):
+        with pytest.raises(ValueError, match="too small"):
+            mesh_neighbors(10, (3, 3))
+
+    def test_degree_bounded_by_four(self):
+        pairs = mesh_neighbors(25, (5, 5))
+        degree = np.zeros(25, dtype=int)
+        for i, j in pairs:
+            degree[i] += 1
+            degree[j] += 1
+        assert degree.max() <= 4
+
+
+class TestThermalModel:
+    def test_starts_at_ambient(self, cfg):
+        model = ThermalModel(cfg)
+        assert np.allclose(model.temperatures, cfg.technology.t_ambient)
+
+    def test_zero_power_stays_at_ambient(self, cfg):
+        model = ThermalModel(cfg)
+        temps = model.step(np.zeros(9), dt=1.0)
+        assert np.allclose(temps, cfg.technology.t_ambient, atol=1e-9)
+
+    def test_heating_under_power(self, cfg):
+        model = ThermalModel(cfg)
+        temps = model.step(np.full(9, 3.0), dt=0.05)
+        assert np.all(temps > cfg.technology.t_ambient)
+
+    def test_cooling_back_toward_ambient(self, cfg):
+        model = ThermalModel(cfg)
+        model.step(np.full(9, 3.0), dt=0.5)
+        hot = model.temperatures.copy()
+        model.step(np.zeros(9), dt=0.5)
+        assert np.all(model.temperatures < hot)
+
+    def test_converges_to_steady_state(self, cfg):
+        model = ThermalModel(cfg)
+        power = np.linspace(1.0, 4.0, 9)
+        expected = model.steady_state(power)
+        for _ in range(100):
+            model.step(power, dt=0.2)
+        assert np.allclose(model.temperatures, expected, atol=0.05)
+
+    def test_uniform_power_steady_state_analytic(self, cfg):
+        # With identical power everywhere, lateral flows vanish and each
+        # node sits at T_amb + P * R_vertical.
+        model = ThermalModel(cfg)
+        tech = cfg.technology
+        expected = tech.t_ambient + 2.5 * tech.r_thermal
+        temps = model.steady_state(np.full(9, 2.5))
+        assert np.allclose(temps, expected, atol=1e-9)
+
+    def test_lateral_coupling_spreads_heat(self, cfg):
+        # Heat only the centre core of the 3x3 mesh: in steady state its
+        # neighbours must be warmer than the corners.
+        model = ThermalModel(cfg)
+        power = np.zeros(9)
+        power[4] = 5.0
+        temps = model.steady_state(power)
+        assert temps[4] > temps[1] > temps[0]
+        assert np.all(temps > cfg.technology.t_ambient - 1e-9)
+
+    def test_hot_neighbour_raises_cold_core(self, cfg):
+        model = ThermalModel(cfg)
+        power = np.zeros(9)
+        power[4] = 5.0
+        for _ in range(50):
+            model.step(power, dt=0.2)
+        assert model.temperatures[1] > cfg.technology.t_ambient + 0.1
+
+    def test_substepping_stability_long_dt(self, cfg):
+        # A dt much longer than the RC constant must not blow up.
+        model = ThermalModel(cfg)
+        temps = model.step(np.full(9, 4.0), dt=10.0)
+        steady = model.steady_state(np.full(9, 4.0))
+        assert np.all(np.isfinite(temps))
+        assert np.allclose(temps, steady, atol=0.5)
+
+    def test_reset(self, cfg):
+        model = ThermalModel(cfg)
+        model.step(np.full(9, 4.0), dt=1.0)
+        model.reset()
+        assert np.allclose(model.temperatures, cfg.technology.t_ambient)
+        model.reset(temperature=350.0)
+        assert np.allclose(model.temperatures, 350.0)
+
+    def test_reset_rejects_nonpositive(self, cfg):
+        model = ThermalModel(cfg)
+        with pytest.raises(ValueError, match="kelvin"):
+            model.reset(temperature=-3.0)
+
+    def test_step_validates_shapes(self, cfg):
+        model = ThermalModel(cfg)
+        with pytest.raises(ValueError, match="shape"):
+            model.step(np.zeros(4), dt=0.1)
+        with pytest.raises(ValueError, match="dt"):
+            model.step(np.zeros(9), dt=0.0)
+
+    def test_steady_state_validates_shape(self, cfg):
+        model = ThermalModel(cfg)
+        with pytest.raises(ValueError, match="shape"):
+            model.steady_state(np.zeros(3))
+
+    def test_energy_balance_at_steady_state(self, cfg):
+        # In steady state, power in equals heat flowing to ambient.
+        model = ThermalModel(cfg)
+        power = np.linspace(0.5, 3.0, 9)
+        temps = model.steady_state(power)
+        outflow = np.sum((temps - cfg.technology.t_ambient) / cfg.technology.r_thermal)
+        assert outflow == pytest.approx(np.sum(power), rel=1e-9)

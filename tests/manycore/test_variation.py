@@ -1,0 +1,145 @@
+"""Tests for repro.manycore.variation."""
+
+import numpy as np
+import pytest
+
+from repro.manycore import (
+    CoreVariation,
+    ManyCoreChip,
+    VariationParams,
+    default_system,
+    sample_variation,
+)
+from repro.workloads import mixed_workload
+
+
+@pytest.fixture
+def cfg():
+    return default_system(n_cores=16)
+
+
+class TestVariationParams:
+    def test_defaults(self):
+        p = VariationParams()
+        assert p.leak_sigma > p.ceff_sigma  # leakage varies far more
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariationParams(leak_sigma=-0.1)
+        with pytest.raises(ValueError, match="spatial_mixing"):
+            VariationParams(spatial_mixing=1.0)
+        with pytest.raises(ValueError):
+            VariationParams(smoothing_rounds=-1)
+
+
+class TestCoreVariation:
+    def test_nominal_is_ones(self):
+        v = CoreVariation.nominal(8)
+        assert np.all(v.leak_mult == 1.0)
+        assert np.all(v.ceff_mult == 1.0)
+        assert v.n_cores == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="matching"):
+            CoreVariation(np.ones(4), np.ones(5))
+        with pytest.raises(ValueError, match="positive"):
+            CoreVariation(np.array([1.0, 0.0]), np.ones(2))
+        with pytest.raises(ValueError):
+            CoreVariation.nominal(0)
+
+
+class TestSampleVariation:
+    def test_mean_normalized(self, cfg):
+        v = sample_variation(cfg, rng=np.random.default_rng(1))
+        assert v.leak_mult.mean() == pytest.approx(1.0)
+        assert v.ceff_mult.mean() == pytest.approx(1.0)
+
+    def test_leakage_spread_realistic(self, cfg):
+        # Sigma 0.3 lognormal: max/min ratio across 16 cores typically 2-4x.
+        v = sample_variation(cfg, rng=np.random.default_rng(1))
+        ratio = v.leak_mult.max() / v.leak_mult.min()
+        assert 1.5 < ratio < 10.0
+
+    def test_ceff_tighter_than_leakage(self, cfg):
+        v = sample_variation(cfg, rng=np.random.default_rng(1))
+        assert v.ceff_mult.std() < v.leak_mult.std()
+
+    def test_reproducible(self, cfg):
+        a = sample_variation(cfg, rng=np.random.default_rng(7))
+        b = sample_variation(cfg, rng=np.random.default_rng(7))
+        assert np.array_equal(a.leak_mult, b.leak_mult)
+
+    def test_different_seeds_differ(self, cfg):
+        a = sample_variation(cfg, rng=np.random.default_rng(1))
+        b = sample_variation(cfg, rng=np.random.default_rng(2))
+        assert not np.array_equal(a.leak_mult, b.leak_mult)
+
+    def test_spatial_correlation(self, cfg):
+        # With smoothing, mesh neighbours must correlate more than random
+        # pairs.  Average over several dies to beat sampling noise.
+        from repro.manycore import mesh_neighbors
+
+        params = VariationParams(leak_sigma=0.3, spatial_mixing=0.6, smoothing_rounds=3)
+        pairs = mesh_neighbors(cfg.n_cores, cfg.mesh_shape)
+        neighbor_diffs, random_diffs = [], []
+        rng = np.random.default_rng(0)
+        for seed in range(20):
+            v = sample_variation(cfg, params, rng=np.random.default_rng(seed))
+            logs = np.log(v.leak_mult)
+            for i, j in pairs:
+                neighbor_diffs.append(abs(logs[i] - logs[j]))
+            for _ in range(len(pairs)):
+                i, j = rng.choice(cfg.n_cores, 2, replace=False)
+                random_diffs.append(abs(logs[i] - logs[j]))
+        assert np.mean(neighbor_diffs) < np.mean(random_diffs)
+
+    def test_zero_sigma_is_nominal(self, cfg):
+        v = sample_variation(
+            cfg, VariationParams(leak_sigma=0.0, ceff_sigma=0.0),
+            rng=np.random.default_rng(3),
+        )
+        assert np.allclose(v.leak_mult, 1.0)
+        assert np.allclose(v.ceff_mult, 1.0)
+
+
+class TestChipIntegration:
+    def test_varied_die_changes_power(self, cfg):
+        wl = mixed_workload(16, seed=1)
+        variation = sample_variation(cfg, rng=np.random.default_rng(5))
+        nominal = ManyCoreChip(cfg, wl)
+        varied = ManyCoreChip(cfg, wl, variation=variation)
+        levels = np.full(16, 7)
+        for _ in range(5):
+            obs_n = nominal.step(levels)
+            obs_v = varied.step(levels)
+        assert not np.allclose(obs_n.power, obs_v.power)
+
+    def test_leaky_cores_draw_more(self, cfg):
+        wl = mixed_workload(16, seed=1)
+        mult = np.ones(16)
+        mult[3] = 2.5
+        variation = CoreVariation(leak_mult=mult, ceff_mult=np.ones(16))
+        nominal = ManyCoreChip(cfg, wl)
+        varied = ManyCoreChip(cfg, wl, variation=variation)
+        levels = np.full(16, 7)
+        obs_n = nominal.step(levels)
+        obs_v = varied.step(levels)
+        assert obs_v.power[3] > obs_n.power[3]
+        others = [i for i in range(16) if i != 3]
+        assert np.allclose(obs_v.power[others], obs_n.power[others])
+
+    def test_mismatched_core_count_rejected(self, cfg):
+        wl = mixed_workload(16, seed=1)
+        with pytest.raises(ValueError, match="cores"):
+            ManyCoreChip(cfg, wl, variation=CoreVariation.nominal(8))
+
+    def test_instructions_unaffected_by_variation(self, cfg):
+        # Variation changes power, not the performance model.
+        wl = mixed_workload(16, seed=1)
+        variation = sample_variation(cfg, rng=np.random.default_rng(5))
+        nominal = ManyCoreChip(cfg, wl)
+        varied = ManyCoreChip(cfg, wl, variation=variation)
+        levels = np.full(16, 4)
+        obs_n = nominal.step(levels)
+        obs_v = varied.step(levels)
+        assert np.array_equal(obs_n.instructions, obs_v.instructions)

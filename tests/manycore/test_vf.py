@@ -1,0 +1,92 @@
+"""Tests for repro.manycore.vf."""
+
+import pytest
+
+from repro.manycore import build_vf_table, clamp_level, transition_penalty
+from repro.manycore.vf import VFLevel, levels_as_objects
+
+
+class TestBuildVFTable:
+    def test_default_shape(self):
+        table = build_vf_table()
+        assert len(table) == 8
+        assert all(len(entry) == 2 for entry in table)
+
+    def test_ascending_frequency_and_voltage(self):
+        table = build_vf_table(n_levels=10)
+        freqs = [f for f, _ in table]
+        volts = [v for _, v in table]
+        assert freqs == sorted(freqs)
+        assert volts == sorted(volts)
+        assert len(set(freqs)) == len(freqs)  # strictly increasing
+
+    def test_endpoints_match_ranges(self):
+        table = build_vf_table(n_levels=5, f_range=(1e9, 3e9), v_range=(0.6, 1.2))
+        assert table[0] == pytest.approx((1e9, 0.6))
+        assert table[-1] == pytest.approx((3e9, 1.2))
+
+    def test_voltage_linear_in_frequency(self):
+        table = build_vf_table(n_levels=9)
+        f0, v0 = table[0]
+        f1, v1 = table[-1]
+        slope = (v1 - v0) / (f1 - f0)
+        for f, v in table:
+            assert v == pytest.approx(v0 + slope * (f - f0))
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError, match="n_levels"):
+            build_vf_table(n_levels=1)
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError, match="frequency"):
+            build_vf_table(f_range=(2e9, 1e9))
+        with pytest.raises(ValueError, match="voltage"):
+            build_vf_table(v_range=(1.2, 0.6))
+
+
+class TestTransitionPenalty:
+    def test_no_change_is_free(self):
+        assert transition_penalty(3, 3) == 0.0
+
+    def test_positive_for_any_change(self):
+        assert transition_penalty(0, 1) > 0
+        assert transition_penalty(5, 2) > 0
+
+    def test_symmetric(self):
+        assert transition_penalty(1, 6) == transition_penalty(6, 1)
+
+    def test_monotone_in_distance(self):
+        p1 = transition_penalty(0, 1)
+        p3 = transition_penalty(0, 3)
+        p7 = transition_penalty(0, 7)
+        assert p1 < p3 < p7
+
+    def test_penalty_below_typical_epoch(self):
+        # The worst transition must not consume a whole default (1 ms) epoch.
+        assert transition_penalty(0, 7) < 1e-3
+
+
+class TestClampLevel:
+    @pytest.mark.parametrize("level,expected", [(-5, 0), (0, 0), (3, 3), (7, 7), (12, 7)])
+    def test_clamps_into_range(self, level, expected):
+        assert clamp_level(level, 8) == expected
+
+    def test_rejects_empty_ladder(self):
+        with pytest.raises(ValueError, match="n_levels"):
+            clamp_level(0, 0)
+
+
+class TestVFLevelObjects:
+    def test_wraps_table(self):
+        table = build_vf_table(n_levels=4)
+        objs = levels_as_objects(table)
+        assert len(objs) == 4
+        assert objs[2].index == 2
+        assert objs[2].frequency == table[2][0]
+        assert objs[2].voltage == table[2][1]
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            VFLevel(index=-1, frequency=1e9, voltage=1.0)
+        with pytest.raises(ValueError):
+            VFLevel(index=0, frequency=0.0, voltage=1.0)

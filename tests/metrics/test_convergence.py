@@ -1,0 +1,70 @@
+"""Tests for repro.metrics.convergence."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import epochs_to_converge, window_means
+
+
+class TestWindowMeans:
+    def test_basic(self):
+        means = window_means(np.array([1.0, 3.0, 5.0, 7.0]), window=2)
+        assert np.allclose(means, [2.0, 6.0])
+
+    def test_tail_remainder_dropped(self):
+        means = window_means(np.arange(7, dtype=float), window=3)
+        assert means.shape == (2,)
+        assert np.allclose(means, [1.0, 4.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            window_means(np.ones(10), window=0)
+        with pytest.raises(ValueError, match="non-empty"):
+            window_means(np.array([]), window=1)
+        with pytest.raises(ValueError, match="shorter"):
+            window_means(np.ones(3), window=5)
+
+
+class TestEpochsToConverge:
+    def test_constant_series_converges_immediately(self):
+        series = np.full(1000, 5.0)
+        assert epochs_to_converge(series, window=100) == 0
+
+    def test_step_series(self):
+        # 300 epochs at 1.0, then 700 at 10.0: converged from epoch 300.
+        series = np.concatenate([np.ones(300), np.full(700, 10.0)])
+        assert epochs_to_converge(series, window=100) == 300
+
+    def test_ramp_converges_late(self):
+        series = np.concatenate([np.linspace(0, 10, 800), np.full(400, 10.0)])
+        t = epochs_to_converge(series, window=100, tolerance=0.02)
+        assert 600 <= t <= 900
+
+    def test_noise_within_tolerance_ignored(self):
+        rng = np.random.default_rng(0)
+        series = 10.0 + rng.normal(0, 0.05, 2000)
+        assert epochs_to_converge(series, window=100, tolerance=0.05) == 0
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            epochs_to_converge(np.ones(100), window=10, tolerance=0.0)
+
+    def test_near_zero_final_value_total(self):
+        # Final value ~0: the absolute fallback keeps the definition total.
+        series = np.concatenate([np.ones(200), np.zeros(800)])
+        t = epochs_to_converge(series, window=100)
+        assert t == 200
+
+    def test_on_real_learning_curve(self):
+        from repro.core import ODRLController
+        from repro.manycore import default_system
+        from repro.sim import run_controller
+        from repro.workloads import mixed_workload
+
+        cfg = default_system(n_cores=8)
+        result = run_controller(
+            cfg, mixed_workload(8, seed=1), ODRLController(cfg, seed=0), 1000
+        )
+        t = epochs_to_converge(result.chip_power, window=100, tolerance=0.1)
+        assert t is not None
+        assert t <= 600  # converges within the first 60% of the run

@@ -1,0 +1,99 @@
+"""Tests for repro.metrics.fairness."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import jain_index, per_core_throughput, slowdowns, worst_slowdown
+
+
+class TestJainIndex:
+    def test_equal_shares_perfectly_fair(self):
+        assert jain_index(np.full(8, 3.0)) == pytest.approx(1.0)
+
+    def test_single_winner_minimally_fair(self):
+        values = np.zeros(10)
+        values[3] = 5.0
+        assert jain_index(values) == pytest.approx(0.1)
+
+    def test_scale_invariant(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert jain_index(values) == pytest.approx(jain_index(values * 7.7))
+
+    def test_known_value(self):
+        # x = [1, 2, 3]: (6)^2 / (3 * 14) = 36/42
+        assert jain_index(np.array([1.0, 2.0, 3.0])) == pytest.approx(36 / 42)
+
+    def test_all_zero_defined_fair(self):
+        assert jain_index(np.zeros(4)) == 1.0
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            values = rng.uniform(0, 10, rng.integers(2, 20))
+            j = jain_index(values)
+            assert 1 / values.size - 1e-12 <= j <= 1 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_index(np.array([]))
+        with pytest.raises(ValueError):
+            jain_index(np.array([[1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            jain_index(np.array([1.0, -2.0]))
+
+
+class TestPerCoreThroughput:
+    def test_sums_over_epochs(self):
+        series = np.array([[1.0, 2.0], [3.0, 4.0]])
+        tput = per_core_throughput(series, duration=2.0)
+        assert np.allclose(tput, [2.0, 3.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="epochs"):
+            per_core_throughput(np.array([1.0, 2.0]), 1.0)
+        with pytest.raises(ValueError, match="duration"):
+            per_core_throughput(np.ones((2, 2)), 0.0)
+
+
+class TestSlowdowns:
+    def test_identity_when_equal(self):
+        t = np.array([1e9, 2e9])
+        assert np.allclose(slowdowns(t, t), 1.0)
+
+    def test_per_core_ratio(self):
+        managed = np.array([1e9, 1e9])
+        reference = np.array([2e9, 1e9])
+        assert np.allclose(slowdowns(managed, reference), [2.0, 1.0])
+        assert worst_slowdown(managed, reference) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shapes"):
+            slowdowns(np.ones(2), np.ones(3))
+        with pytest.raises(ValueError, match="positive"):
+            slowdowns(np.array([0.0]), np.array([1.0]))
+
+
+class TestIntegrationWithSimulation:
+    def test_odrl_fairness_measured(self):
+        from repro.baselines import UncappedController
+        from repro.core import ODRLController
+        from repro.manycore import default_system
+        from repro.sim import run_controller
+        from repro.workloads import mixed_workload
+
+        cfg = default_system(n_cores=8, budget_fraction=0.6)
+        wl = mixed_workload(8, seed=1)
+        managed = run_controller(
+            cfg, wl, ODRLController(cfg, seed=0), 400, record_per_core=True
+        )
+        reference = run_controller(
+            cfg, wl, UncappedController(cfg), 400, record_per_core=True
+        )
+        tput_m = per_core_throughput(managed.core_instructions, managed.duration)
+        tput_r = per_core_throughput(reference.core_instructions, reference.duration)
+        fairness = jain_index(tput_m)
+        assert 0.5 < fairness <= 1.0
+        # Power capping slows cores relative to uncapped, unevenly.
+        worst = worst_slowdown(tput_m, tput_r)
+        assert worst >= 1.0
+        assert worst < 5.0  # nobody is starved outright

@@ -1,0 +1,93 @@
+"""Tests for repro.metrics.perf_metrics."""
+
+import numpy as np
+import pytest
+
+from repro.manycore import default_system
+from repro.metrics import (
+    decision_time_percentile,
+    energy_efficiency,
+    mean_decision_time,
+    throughput_bips,
+    throughput_per_over_budget_energy,
+)
+from repro.sim import SimulationResult
+
+
+def make_result(power, instructions, decision_time=None, budget=10.0):
+    power = np.asarray(power, dtype=float)
+    instructions = np.asarray(instructions, dtype=float)
+    n = power.shape[0]
+    if decision_time is None:
+        decision_time = np.full(n, 1e-4)
+    cfg = default_system(n_cores=2).with_budget(budget)
+    return SimulationResult(
+        cfg=cfg,
+        controller_name="t",
+        workload_name="w",
+        chip_power=power,
+        chip_instructions=instructions,
+        max_temperature=np.full(n, 330.0),
+        decision_time=np.asarray(decision_time, dtype=float),
+    )
+
+
+class TestThroughput:
+    def test_bips(self):
+        r = make_result([5.0, 5.0], [2e6, 4e6])
+        expected = 6e6 / (2 * r.cfg.epoch_time) / 1e9
+        assert throughput_bips(r) == pytest.approx(expected)
+
+
+class TestEnergyEfficiency:
+    def test_instructions_per_joule(self):
+        r = make_result([10.0, 10.0], [1e6, 3e6])
+        energy = 20.0 * r.cfg.epoch_time
+        assert energy_efficiency(r) == pytest.approx(4e6 / energy)
+
+    def test_rejects_zero_energy(self):
+        r = make_result([0.0], [1e6])
+        with pytest.raises(ValueError, match="energy"):
+            energy_efficiency(r)
+
+
+class TestThroughputPerOBE:
+    def test_finite_with_overshoot(self):
+        r = make_result([12.0, 10.0], [1e6, 1e6])  # 2 W over for one epoch
+        obe = 2.0 * r.cfg.epoch_time
+        assert throughput_per_over_budget_energy(r) == pytest.approx(2e6 / obe)
+
+    def test_floor_for_compliant_controller(self):
+        r = make_result([5.0, 5.0], [1e6, 1e6])
+        val = throughput_per_over_budget_energy(r, floor=1e-6)
+        assert val == pytest.approx(2e6 / 1e-6)
+
+    def test_ordering_property(self):
+        # Less over-budget energy at equal work => strictly better score.
+        tight = make_result([10.5, 10.0], [1e6, 1e6])
+        loose = make_result([12.0, 12.0], [1e6, 1e6])
+        assert throughput_per_over_budget_energy(tight) > throughput_per_over_budget_energy(loose)
+
+    def test_rejects_bad_floor(self):
+        r = make_result([5.0], [1e6])
+        with pytest.raises(ValueError, match="floor"):
+            throughput_per_over_budget_energy(r, floor=0.0)
+
+
+class TestDecisionTime:
+    def test_mean(self):
+        r = make_result([5.0] * 4, [1e6] * 4, decision_time=[1e-4, 2e-4, 3e-4, 4e-4])
+        assert mean_decision_time(r) == pytest.approx(2.5e-4)
+
+    def test_percentile(self):
+        times = np.linspace(1e-5, 1e-3, 100)
+        r = make_result([5.0] * 100, [1e6] * 100, decision_time=times)
+        assert decision_time_percentile(r, 50) == pytest.approx(np.percentile(times, 50))
+        assert decision_time_percentile(r, 99) > decision_time_percentile(r, 50)
+
+    def test_percentile_validation(self):
+        r = make_result([5.0], [1e6])
+        with pytest.raises(ValueError, match="q"):
+            decision_time_percentile(r, 0)
+        with pytest.raises(ValueError, match="q"):
+            decision_time_percentile(r, 101)

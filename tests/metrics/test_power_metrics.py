@@ -1,0 +1,77 @@
+"""Tests for repro.metrics.power_metrics."""
+
+import numpy as np
+import pytest
+
+from repro.manycore import default_system
+from repro.metrics import (
+    budget_utilization,
+    over_budget_energy,
+    over_budget_power,
+    overshoot_fraction,
+    peak_overshoot,
+)
+from repro.sim import SimulationResult
+
+
+def result_with_power(power, budget=10.0):
+    power = np.asarray(power, dtype=float)
+    cfg = default_system(n_cores=2).with_budget(budget)
+    n = power.shape[0]
+    return SimulationResult(
+        cfg=cfg,
+        controller_name="t",
+        workload_name="w",
+        chip_power=power,
+        chip_instructions=np.ones(n),
+        max_temperature=np.full(n, 330.0),
+        decision_time=np.zeros(n),
+    )
+
+
+class TestOverBudgetPower:
+    def test_zero_when_compliant(self):
+        r = result_with_power([5.0, 9.9, 10.0])
+        assert np.all(over_budget_power(r) == 0)
+
+    def test_positive_part_only(self):
+        r = result_with_power([8.0, 12.0, 10.5])
+        assert np.allclose(over_budget_power(r), [0.0, 2.0, 0.5])
+
+
+class TestOverBudgetEnergy:
+    def test_integral(self):
+        r = result_with_power([8.0, 12.0, 11.0])
+        expected = (2.0 + 1.0) * r.cfg.epoch_time
+        assert over_budget_energy(r) == pytest.approx(expected)
+
+    def test_zero_for_compliant_run(self):
+        assert over_budget_energy(result_with_power([1.0, 2.0])) == 0.0
+
+
+class TestOvershootFraction:
+    def test_counts_epochs(self):
+        r = result_with_power([8.0, 12.0, 11.0, 9.0])
+        assert overshoot_fraction(r) == pytest.approx(0.5)
+
+    def test_exactly_at_budget_not_over(self):
+        assert overshoot_fraction(result_with_power([10.0, 10.0])) == 0.0
+
+
+class TestPeakOvershoot:
+    def test_max_excursion(self):
+        r = result_with_power([8.0, 13.5, 11.0])
+        assert peak_overshoot(r) == pytest.approx(3.5)
+
+    def test_zero_when_compliant(self):
+        assert peak_overshoot(result_with_power([9.0])) == 0.0
+
+
+class TestBudgetUtilization:
+    def test_mean_over_budget(self):
+        r = result_with_power([5.0, 15.0])
+        assert budget_utilization(r) == pytest.approx(1.0)
+
+    def test_under_utilization(self):
+        r = result_with_power([2.0, 4.0])
+        assert budget_utilization(r) == pytest.approx(0.3)

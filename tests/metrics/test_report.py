@@ -1,0 +1,81 @@
+"""Tests for repro.metrics.report."""
+
+import pytest
+
+from repro.metrics import format_series, format_table, normalize_rows
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            {"a": {"x": 1.0, "y": 2.0}, "b": {"x": 3.0, "y": 4.0}},
+            columns=["x", "y"],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "x" in lines[1] and "y" in lines[1]
+        assert len(lines) == 5  # title, header, rule, two rows
+
+    def test_missing_cells_render_dash(self):
+        text = format_table({"a": {"x": 1.0}}, columns=["x", "y"])
+        assert "-" in text.splitlines()[-1]
+
+    def test_custom_format(self):
+        text = format_table({"a": {"x": 0.123456}}, columns=["x"], fmt="{:.2f}")
+        assert "0.12" in text
+
+    def test_no_title(self):
+        text = format_table({"a": {"x": 1.0}}, columns=["x"])
+        assert text.splitlines()[0].endswith("x")
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table({"a": {}}, columns=[])
+
+    def test_alignment(self):
+        text = format_table(
+            {"short": {"col": 1.0}, "a-much-longer-row-name": {"col": 2.0}},
+            columns=["col"],
+        )
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all lines equal width
+
+
+class TestFormatSeries:
+    def test_rows_per_x(self):
+        text = format_series([1.0, 2.0], {"s": [10.0, 20.0]}, x_label="t")
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("t")
+        assert len(lines) == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series([1.0, 2.0], {"s": [10.0]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="series"):
+            format_series([1.0], {})
+
+
+class TestNormalizeRows:
+    def test_ratio_to_reference(self):
+        rows = {"ref": {"x": 2.0, "y": 4.0}, "other": {"x": 4.0, "y": 2.0}}
+        out = normalize_rows(rows, "ref")
+        assert out["ref"] == {"x": 1.0, "y": 1.0}
+        assert out["other"] == {"x": 2.0, "y": 0.5}
+
+    def test_zero_reference_gives_inf(self):
+        rows = {"ref": {"x": 0.0}, "other": {"x": 5.0}}
+        out = normalize_rows(rows, "ref")
+        assert out["other"]["x"] == float("inf")
+        assert out["ref"]["x"] == 1.0
+
+    def test_missing_reference_raises(self):
+        with pytest.raises(KeyError, match="reference"):
+            normalize_rows({"a": {"x": 1.0}}, "nope")
+
+    def test_skips_columns_absent_from_reference(self):
+        rows = {"ref": {"x": 2.0}, "other": {"x": 4.0, "extra": 9.0}}
+        out = normalize_rows(rows, "ref")
+        assert "extra" not in out["other"]

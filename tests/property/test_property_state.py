@@ -1,0 +1,66 @@
+"""Property-based tests: the state encoder is a total, bounded function."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import StateEncoder
+
+VARIANTS = ("slack", "slack_ipc", "slack_ipc_level")
+
+
+@st.composite
+def telemetry(draw):
+    n = draw(st.integers(1, 32))
+    power = draw(arrays(float, n, elements=st.floats(0.0, 100.0, allow_nan=False)))
+    alloc = draw(arrays(float, n, elements=st.floats(0.01, 100.0, allow_nan=False)))
+    ipc = draw(arrays(float, n, elements=st.floats(0.0, 2.0, allow_nan=False)))
+    levels = draw(arrays(np.int64, n, elements=st.integers(-5, 20)))
+    return power, alloc, ipc, levels
+
+
+@given(telemetry(), st.sampled_from(VARIANTS), st.integers(2, 16))
+@settings(max_examples=200, deadline=None)
+def test_states_always_in_range(t, variant, n_levels):
+    power, alloc, ipc, levels = t
+    enc = StateEncoder.variant(variant, n_levels)
+    states = enc.encode(power, alloc, ipc, levels)
+    assert states.shape == power.shape
+    assert np.all(states >= 0)
+    assert np.all(states < enc.n_states)
+
+
+@given(telemetry(), st.sampled_from(VARIANTS), st.integers(2, 16))
+@settings(max_examples=100, deadline=None)
+def test_encoding_is_pure(t, variant, n_levels):
+    power, alloc, ipc, levels = t
+    enc = StateEncoder.variant(variant, n_levels)
+    assert np.array_equal(
+        enc.encode(power, alloc, ipc, levels),
+        enc.encode(power, alloc, ipc, levels),
+    )
+
+
+@given(telemetry(), st.integers(2, 16))
+@settings(max_examples=100, deadline=None)
+def test_slack_only_invariant_to_ipc_and_level(t, n_levels):
+    power, alloc, ipc, levels = t
+    enc = StateEncoder.variant("slack", n_levels)
+    a = enc.encode(power, alloc, ipc, levels)
+    b = enc.encode(power, alloc, ipc * 0.0, levels * 0)
+    assert np.array_equal(a, b)
+
+
+@given(telemetry(), st.integers(2, 16), st.floats(1.5, 10.0))
+@settings(max_examples=100, deadline=None)
+def test_slack_bin_monotone_in_power(t, n_levels, factor):
+    """More power (same allocation) never moves a core to a HIGHER-slack bin."""
+    power, alloc, ipc, levels = t
+    enc = StateEncoder.variant("slack", n_levels)
+    lo = enc.encode(power, alloc, ipc, levels)
+    hi = enc.encode(power * factor + 0.1, alloc, ipc, levels)
+    # slack-only encoder: the state index IS the slack bin; more power means
+    # less slack, i.e. a lower (or equal) bin index... bins are indexed by
+    # np.digitize over ascending slack edges, so lower slack -> lower index.
+    assert np.all(hi <= lo)

@@ -1,0 +1,87 @@
+"""Property-based tests: thermal model physical invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.manycore import ThermalModel, default_system
+
+
+def model_for(n_cores):
+    return ThermalModel(default_system(n_cores=n_cores))
+
+
+@st.composite
+def power_vector(draw):
+    n = draw(st.integers(1, 25))
+    p = draw(arrays(float, n, elements=st.floats(0.0, 10.0, allow_nan=False)))
+    return n, p
+
+
+@given(power_vector(), st.floats(1e-4, 5.0))
+@settings(max_examples=60, deadline=None)
+def test_temperatures_never_below_ambient(pv, dt):
+    """With non-negative power everywhere, no node can dip below ambient."""
+    n, power = pv
+    model = model_for(n)
+    temps = model.step(power, dt)
+    assert np.all(temps >= model._tech.t_ambient - 1e-9)
+
+
+@given(power_vector())
+@settings(max_examples=60, deadline=None)
+def test_steady_state_is_fixed_point(pv):
+    n, power = pv
+    model = model_for(n)
+    steady = model.steady_state(power)
+    model.temperatures = steady.copy()
+    after = model.step(power, dt=0.5)
+    assert np.allclose(after, steady, atol=1e-6)
+
+
+@given(power_vector(), st.floats(0.1, 2.0))
+@settings(max_examples=60, deadline=None)
+def test_more_power_means_hotter_steady_state(pv, extra):
+    n, power = pv
+    model = model_for(n)
+    base = model.steady_state(power)
+    hotter = model.steady_state(power + extra)
+    assert np.all(hotter > base)
+
+
+@given(power_vector())
+@settings(max_examples=60, deadline=None)
+def test_total_heat_balance(pv):
+    """Steady state: total inflow equals total outflow to ambient."""
+    n, power = pv
+    model = model_for(n)
+    temps = model.steady_state(power)
+    tech = model._tech
+    outflow = float(np.sum((temps - tech.t_ambient) / tech.r_thermal))
+    assert outflow == np.float64(outflow)
+    assert abs(outflow - float(np.sum(power))) < 1e-6 * max(1.0, float(np.sum(power)))
+
+
+@given(power_vector(), st.integers(1, 20))
+@settings(max_examples=40, deadline=None)
+def test_step_composition(pv, k):
+    """Stepping k times by dt approximates stepping once by k*dt.
+
+    The two paths use different Euler sub-step grids, so agreement is only
+    up to first-order integration error — the tolerance reflects that, and
+    the point of the property is that the trajectories cannot diverge.
+    """
+    n, power = pv
+    dt = 0.01
+    a = model_for(n)
+    b = model_for(n)
+    for _ in range(k):
+        a.step(power, dt)
+    b.step(power, k * dt)
+    # First-order error scales with the total temperature rise at play;
+    # 5 % of full scale guards against divergence without asserting more
+    # accuracy than forward Euler on different grids can deliver.
+    rise_scale = float(np.max(power)) * a._tech.r_thermal
+    tolerance = 0.1 + 0.05 * rise_scale
+    assert np.allclose(a.temperatures, b.temperatures, atol=tolerance)

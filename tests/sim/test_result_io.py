@@ -1,0 +1,83 @@
+"""Tests for repro.sim.result_io."""
+
+import numpy as np
+import pytest
+
+from repro.core import ODRLController
+from repro.manycore import default_system
+from repro.metrics import over_budget_energy, throughput_bips
+from repro.sim import run_controller
+from repro.sim.result_io import load_result, save_result
+from repro.workloads import mixed_workload
+
+
+@pytest.fixture
+def result():
+    cfg = default_system(n_cores=6, n_levels=4)
+    return run_controller(
+        cfg, mixed_workload(6, seed=2), ODRLController(cfg, seed=0), 120,
+        record_per_core=True,
+    )
+
+
+class TestRoundTrip:
+    def test_series_preserved(self, result, tmp_path):
+        path = tmp_path / "run.npz"
+        save_result(result, path)
+        restored = load_result(path)
+        assert np.array_equal(restored.chip_power, result.chip_power)
+        assert np.array_equal(restored.chip_instructions, result.chip_instructions)
+        assert np.array_equal(restored.max_temperature, result.max_temperature)
+        assert np.array_equal(restored.decision_time, result.decision_time)
+        assert np.array_equal(restored.core_power, result.core_power)
+        assert np.array_equal(restored.core_levels, result.core_levels)
+        assert np.array_equal(restored.core_instructions, result.core_instructions)
+
+    def test_metadata_preserved(self, result, tmp_path):
+        path = tmp_path / "run.npz"
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.controller_name == result.controller_name
+        assert restored.workload_name == result.workload_name
+        assert restored.cfg.n_cores == result.cfg.n_cores
+        assert restored.cfg.power_budget == pytest.approx(result.cfg.power_budget)
+        assert restored.cfg.vf_levels == result.cfg.vf_levels
+
+    def test_metrics_identical_after_reload(self, result, tmp_path):
+        path = tmp_path / "run.npz"
+        save_result(result, path)
+        restored = load_result(path)
+        assert throughput_bips(restored) == pytest.approx(throughput_bips(result))
+        assert over_budget_energy(restored) == pytest.approx(
+            over_budget_energy(result)
+        )
+
+    def test_without_per_core(self, tmp_path):
+        cfg = default_system(n_cores=4, n_levels=4)
+        r = run_controller(
+            cfg, mixed_workload(4, seed=1), ODRLController(cfg, seed=0), 50
+        )
+        path = tmp_path / "light.npz"
+        save_result(r, path)
+        restored = load_result(path)
+        assert restored.core_power is None
+        assert restored.core_levels is None
+
+    def test_tail_works_on_restored(self, result, tmp_path):
+        path = tmp_path / "run.npz"
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.tail(0.5).n_epochs == result.tail(0.5).n_epochs
+
+
+class TestValidation:
+    def test_rejects_future_format(self, result, tmp_path):
+        path = tmp_path / "run.npz"
+        save_result(result, path)
+        # Corrupt the version field.
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["format_version"] = np.array(99)
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="format version"):
+            load_result(path)

@@ -1,0 +1,73 @@
+"""Tests for repro.sim.results."""
+
+import numpy as np
+import pytest
+
+from repro.manycore import default_system
+from repro.sim import SimulationResult
+
+
+def make_result(n_epochs=10, n_cores=4, per_core=False):
+    cfg = default_system(n_cores=n_cores)
+    return SimulationResult(
+        cfg=cfg,
+        controller_name="test",
+        workload_name="wl",
+        chip_power=np.linspace(10, 20, n_epochs),
+        chip_instructions=np.full(n_epochs, 1e6),
+        max_temperature=np.full(n_epochs, 330.0),
+        decision_time=np.full(n_epochs, 1e-4),
+        core_power=np.ones((n_epochs, n_cores)) if per_core else None,
+        core_levels=np.zeros((n_epochs, n_cores), dtype=int) if per_core else None,
+    )
+
+
+class TestSimulationResult:
+    def test_derived_quantities(self):
+        r = make_result(n_epochs=10)
+        assert r.n_epochs == 10
+        assert r.duration == pytest.approx(10 * r.cfg.epoch_time)
+        assert r.total_instructions == pytest.approx(1e7)
+        assert r.mean_throughput == pytest.approx(1e7 / r.duration)
+        assert r.total_energy == pytest.approx(np.sum(r.chip_power) * r.cfg.epoch_time)
+
+    def test_mismatched_lengths_rejected(self):
+        cfg = default_system(n_cores=2)
+        with pytest.raises(ValueError, match="length"):
+            SimulationResult(
+                cfg=cfg,
+                controller_name="x",
+                workload_name="y",
+                chip_power=np.zeros(5),
+                chip_instructions=np.zeros(4),
+                max_temperature=np.zeros(5),
+                decision_time=np.zeros(5),
+            )
+
+    def test_tail_selects_suffix(self):
+        r = make_result(n_epochs=10)
+        t = r.tail(0.3)
+        assert t.n_epochs == 3
+        assert np.array_equal(t.chip_power, r.chip_power[-3:])
+        assert t.controller_name == r.controller_name
+
+    def test_tail_full(self):
+        r = make_result(n_epochs=10)
+        assert r.tail(1.0).n_epochs == 10
+
+    def test_tail_keeps_per_core(self):
+        r = make_result(n_epochs=10, per_core=True)
+        t = r.tail(0.5)
+        assert t.core_power.shape == (5, 4)
+        assert t.core_levels.shape == (5, 4)
+
+    def test_tail_at_least_one_epoch(self):
+        r = make_result(n_epochs=10)
+        assert r.tail(0.01).n_epochs >= 1
+
+    def test_tail_validation(self):
+        r = make_result()
+        with pytest.raises(ValueError, match="fraction"):
+            r.tail(0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            r.tail(1.5)

@@ -1,0 +1,63 @@
+"""Tests for repro.sim.runner."""
+
+import pytest
+
+from repro.manycore import default_system
+from repro.sim import run_budget_sweep, run_suite, standard_controllers
+from repro.workloads import make_benchmark, mixed_workload
+
+
+@pytest.fixture
+def cfg():
+    return default_system(n_cores=4, n_levels=4, budget_fraction=0.6)
+
+
+class TestStandardControllers:
+    def test_lineup_members(self):
+        lineup = standard_controllers()
+        for name in ("od-rl", "pid", "greedy-ascent", "steepest-drop", "maxbips"):
+            assert name in lineup
+
+    def test_factories_build_matching_controllers(self, cfg):
+        for name, factory in standard_controllers(seed=1).items():
+            ctl = factory(cfg)
+            assert ctl.name == name
+            assert ctl.cfg.n_cores == cfg.n_cores
+
+    def test_od_rl_listed_first(self):
+        assert next(iter(standard_controllers())) == "od-rl"
+
+
+class TestRunSuite:
+    def test_nested_structure(self, cfg):
+        lineup = standard_controllers(seed=0)
+        chosen = {k: lineup[k] for k in ("od-rl", "pid")}
+        workloads = {
+            "fft": make_benchmark("fft", 4, seed=0),
+            "ocean": make_benchmark("ocean", 4, seed=0),
+        }
+        results = run_suite(cfg, workloads, chosen, n_epochs=30)
+        assert set(results) == {"od-rl", "pid"}
+        for ctrl in results.values():
+            assert set(ctrl) == {"fft", "ocean"}
+            for res in ctrl.values():
+                assert res.n_epochs == 30
+
+    def test_rejects_nonpositive_epochs(self, cfg):
+        with pytest.raises(ValueError, match="n_epochs"):
+            run_suite(cfg, {}, {}, n_epochs=0)
+
+
+class TestRunBudgetSweep:
+    def test_budgets_applied(self, cfg):
+        lineup = standard_controllers(seed=0)
+        chosen = {"pid": lineup["pid"]}
+        budgets = [cfg.power_budget * 0.8, cfg.power_budget * 1.2]
+        results = run_budget_sweep(cfg, budgets, mixed_workload(4, seed=0), chosen, n_epochs=30)
+        assert set(results["pid"]) == set(budgets)
+        for budget, res in results["pid"].items():
+            assert res.cfg.power_budget == budget
+
+    def test_rejects_empty_budgets(self, cfg):
+        with pytest.raises(ValueError, match="budgets"):
+            run_budget_sweep(cfg, [], mixed_workload(4, seed=0), {}, n_epochs=10)

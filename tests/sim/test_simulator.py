@@ -1,0 +1,128 @@
+"""Tests for repro.sim.simulator and repro.sim.interface."""
+
+import numpy as np
+import pytest
+
+from repro.manycore import ManyCoreChip, default_system
+from repro.sim import Controller, run_controller, simulate
+from repro.workloads import mixed_workload
+
+
+class FixedController(Controller):
+    """Test double: always the same level; counts decide() calls."""
+
+    name = "fixed"
+
+    def __init__(self, cfg, level=1):
+        super().__init__(cfg)
+        self.level = level
+        self.calls = 0
+        self.resets = 0
+
+    def reset(self):
+        self.resets += 1
+
+    def decide(self, obs):
+        self.calls += 1
+        return self._full(self.level)
+
+
+@pytest.fixture
+def cfg():
+    return default_system(n_cores=4, n_levels=4)
+
+
+@pytest.fixture
+def wl():
+    return mixed_workload(4, seed=9)
+
+
+class TestControllerInterface:
+    def test_requires_budget(self, cfg):
+        from dataclasses import replace
+        with pytest.raises(ValueError, match="budget"):
+            FixedController(replace(cfg, power_budget=0.0))
+
+    def test_requires_vf_table(self):
+        from repro.manycore import SystemConfig
+        with pytest.raises(ValueError, match="VF table"):
+            FixedController(SystemConfig(n_cores=4, power_budget=10.0))
+
+    def test_full_helper(self, cfg):
+        ctl = FixedController(cfg, level=2)
+        assert np.array_equal(ctl._full(2), np.full(4, 2))
+
+
+class TestSimulate:
+    def test_runs_requested_epochs(self, cfg, wl):
+        chip = ManyCoreChip(cfg, wl)
+        ctl = FixedController(cfg)
+        result = simulate(chip, ctl, 25)
+        assert result.n_epochs == 25
+        assert ctl.calls == 25
+
+    def test_reset_called_by_default(self, cfg, wl):
+        chip = ManyCoreChip(cfg, wl)
+        ctl = FixedController(cfg)
+        simulate(chip, ctl, 5)
+        assert ctl.resets == 1
+        assert chip.epoch == 5
+
+    def test_no_reset_continues(self, cfg, wl):
+        chip = ManyCoreChip(cfg, wl)
+        ctl = FixedController(cfg)
+        simulate(chip, ctl, 5)
+        simulate(chip, ctl, 5, reset=False)
+        assert chip.epoch == 10
+        assert ctl.resets == 1
+
+    def test_records_metadata(self, cfg, wl):
+        chip = ManyCoreChip(cfg, wl)
+        result = simulate(chip, FixedController(cfg), 5)
+        assert result.controller_name == "fixed"
+        assert result.workload_name == "mixed"
+        assert result.cfg is cfg
+
+    def test_per_core_recording(self, cfg, wl):
+        chip = ManyCoreChip(cfg, wl)
+        result = simulate(chip, FixedController(cfg), 7, record_per_core=True)
+        assert result.core_power.shape == (7, 4)
+        assert result.core_levels.shape == (7, 4)
+        assert np.all(result.core_levels == 1)
+        # Per-core powers sum to the chip trace.
+        assert np.allclose(result.core_power.sum(axis=1), result.chip_power)
+
+    def test_decision_time_positive(self, cfg, wl):
+        chip = ManyCoreChip(cfg, wl)
+        result = simulate(chip, FixedController(cfg), 5)
+        assert np.all(result.decision_time >= 0)
+
+    def test_mismatched_core_counts_rejected(self, cfg, wl):
+        chip = ManyCoreChip(cfg, wl)
+        other = FixedController(default_system(n_cores=8))
+        with pytest.raises(ValueError, match="cores"):
+            simulate(chip, other, 5)
+
+    def test_rejects_nonpositive_epochs(self, cfg, wl):
+        chip = ManyCoreChip(cfg, wl)
+        with pytest.raises(ValueError, match="n_epochs"):
+            simulate(chip, FixedController(cfg), 0)
+
+
+class TestRunController:
+    def test_convenience_wrapper(self, cfg, wl):
+        result = run_controller(cfg, wl, FixedController(cfg), n_epochs=10)
+        assert result.n_epochs == 10
+
+    def test_first_decide_gets_none(self, cfg, wl):
+        seen = []
+
+        class Spy(FixedController):
+            def decide(self, obs):
+                seen.append(obs)
+                return super().decide(obs)
+
+        run_controller(cfg, wl, Spy(cfg), n_epochs=3)
+        assert seen[0] is None
+        assert seen[1] is not None
+        assert seen[1].epoch == 0

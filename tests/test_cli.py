@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment", "E2"])
+        assert args.cores == 32
+        assert args.epochs == 1000
+        assert args.seed == 0
+
+    def test_compare_flags(self):
+        args = build_parser().parse_args(
+            ["compare", "--cores", "8", "--benchmark", "fft", "--budget-fraction", "0.5"]
+        )
+        assert args.cores == 8
+        assert args.benchmark == "fft"
+        assert args.budget_fraction == 0.5
+
+
+class TestListCommand:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("E1", "E5", "E10"):
+            assert eid in out
+        assert "mixed" in out
+        assert "barnes" in out
+
+
+class TestExperimentCommand:
+    def test_runs_small_experiment(self, capsys):
+        code = main(["experiment", "E1", "--cores", "8", "--epochs", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[E1]" in out
+        assert "budget" in out
+
+    def test_lowercase_id_accepted(self, capsys):
+        assert main(["experiment", "e1", "--cores", "8", "--epochs", "60"]) == 0
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestCompareCommand:
+    def test_runs_comparison(self, capsys):
+        code = main(["compare", "--cores", "6", "--epochs", "80"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "od-rl" in out
+        assert "BIPS" in out
+
+    def test_named_benchmark(self, capsys):
+        code = main(["compare", "--cores", "6", "--epochs", "60", "--benchmark", "ocean"])
+        assert code == 0
+        assert "'ocean'" in capsys.readouterr().out
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["compare", "--benchmark", "quake"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err

@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` entry point (subprocess-level)."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestMainModule:
+    def test_list(self):
+        proc = run_cli("list")
+        assert proc.returncode == 0
+        assert "E1" in proc.stdout
+        assert "E14" in proc.stdout
+
+    def test_no_command_shows_usage(self):
+        proc = run_cli()
+        assert proc.returncode == 2
+        assert "usage" in proc.stderr.lower()
+
+    def test_unknown_experiment_exit_code(self):
+        proc = run_cli("experiment", "E99")
+        assert proc.returncode == 2
+        assert "unknown experiment" in proc.stderr
+
+    @pytest.mark.slow
+    def test_small_experiment_end_to_end(self):
+        proc = run_cli("experiment", "E1", "--cores", "6", "--epochs", "50")
+        assert proc.returncode == 0
+        assert "[E1]" in proc.stdout

@@ -1,0 +1,80 @@
+"""Public-API surface tests.
+
+Guards the package's contract: everything `__all__` promises exists, the
+version is set, and the documented quickstart runs verbatim.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = (
+    "repro.core",
+    "repro.manycore",
+    "repro.workloads",
+    "repro.baselines",
+    "repro.sim",
+    "repro.metrics",
+    "repro.experiments",
+)
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert getattr(module, name, None) is not None, f"{module_name}.{name}"
+
+    def test_all_controllers_exported_top_level(self):
+        for name in (
+            "ODRLController",
+            "PIDCappingController",
+            "GreedyAscentController",
+            "SteepestDropController",
+            "MaxBIPSController",
+            "CentralizedRLController",
+            "StaticUniformController",
+            "PriorityController",
+            "UncappedController",
+        ):
+            assert hasattr(repro, name)
+
+    def test_docstrings_on_public_classes(self):
+        # Every public top-level item carries a docstring.
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            obj = getattr(repro, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+
+class TestQuickstart:
+    def test_readme_quickstart_runs(self):
+        from repro import (
+            ODRLController,
+            default_system,
+            mixed_workload,
+            over_budget_energy,
+            run_controller,
+            throughput_bips,
+        )
+
+        cfg = default_system(n_cores=8, budget_fraction=0.6)
+        workload = mixed_workload(8, seed=0)
+        controller = ODRLController(cfg, seed=0)
+        result = run_controller(cfg, workload, controller, n_epochs=200)
+        steady = result.tail(0.5)
+        assert throughput_bips(steady) > 0
+        assert over_budget_energy(steady) >= 0

@@ -1,0 +1,92 @@
+"""Tests for repro.workloads.compiled."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import CompiledWorkload, mixed_workload
+
+
+@pytest.fixture
+def source():
+    return mixed_workload(8, seed=4)
+
+
+@pytest.fixture
+def compiled(source):
+    return CompiledWorkload(source, epoch_time=1e-3, n_epochs=200, n_cores=8)
+
+
+class TestEquivalence:
+    def test_exact_on_grid(self, source, compiled):
+        for e in (0, 1, 57, 199):
+            t = e * 1e-3
+            ms, cs = source.sample(t, 8)
+            mc, cc = compiled.sample(t, 8)
+            assert np.array_equal(ms, mc)
+            assert np.array_equal(cs, cc)
+
+    def test_fallback_off_grid(self, source, compiled):
+        t = 13.37e-3 + 4.2e-4  # between grid points
+        ms, cs = source.sample(t, 8)
+        mc, cc = compiled.sample(t, 8)
+        assert np.array_equal(ms, mc)
+        assert np.array_equal(cs, cc)
+
+    def test_fallback_past_horizon(self, source, compiled):
+        t = 0.25  # beyond 200 epochs * 1 ms
+        ms, _ = source.sample(t, 8)
+        mc, _ = compiled.sample(t, 8)
+        assert np.array_equal(ms, mc)
+
+    def test_fallback_different_core_count(self, source, compiled):
+        ms, _ = source.sample(0.0, 4)
+        mc, _ = compiled.sample(0.0, 4)
+        assert np.array_equal(ms, mc)
+
+    def test_simulation_identical(self, source, compiled):
+        # A full closed-loop run must be bit-identical on either workload.
+        from repro.core import ODRLController
+        from repro.manycore import default_system
+        from repro.sim import run_controller
+
+        cfg = default_system(n_cores=8)
+        a = run_controller(cfg, source, ODRLController(cfg, seed=1), 200)
+        b = run_controller(cfg, compiled, ODRLController(cfg, seed=1), 200)
+        assert np.array_equal(a.chip_power, b.chip_power)
+        assert np.array_equal(a.chip_instructions, b.chip_instructions)
+
+
+class TestPerformance:
+    def test_grid_lookup_faster_than_source(self, source):
+        import time
+
+        compiled = CompiledWorkload(source, 1e-3, 500, 8)
+        t0 = time.perf_counter()
+        for e in range(500):
+            source.sample(e * 1e-3, 8)
+        slow = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for e in range(500):
+            compiled.sample(e * 1e-3, 8)
+        fast = time.perf_counter() - t0
+        assert fast < slow
+
+    def test_returns_copies(self, compiled):
+        m1, _ = compiled.sample(0.0, 8)
+        m1[:] = -1
+        m2, _ = compiled.sample(0.0, 8)
+        assert np.all(m2 >= 0)
+
+
+class TestValidation:
+    def test_rejects_bad_args(self, source):
+        with pytest.raises(ValueError, match="epoch_time"):
+            CompiledWorkload(source, 0.0, 10, 8)
+        with pytest.raises(ValueError, match="n_epochs"):
+            CompiledWorkload(source, 1e-3, 0, 8)
+        with pytest.raises(ValueError, match="n_cores"):
+            CompiledWorkload(source, 1e-3, 10, 0)
+
+    def test_preserves_name_and_sequences(self, source, compiled):
+        assert compiled.name == source.name
+        assert len(compiled) == len(source)

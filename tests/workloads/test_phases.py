@@ -1,0 +1,111 @@
+"""Tests for repro.workloads.phases."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import CorePhaseSequence, Phase, Workload
+
+
+def seq(*durations):
+    return CorePhaseSequence(
+        [Phase(duration=d, mem_intensity=0.001 * i, compute_intensity=0.5) for i, d in enumerate(durations)]
+    )
+
+
+class TestPhase:
+    def test_valid(self):
+        p = Phase(duration=0.01, mem_intensity=0.005, compute_intensity=0.7)
+        assert p.duration == 0.01
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            Phase(duration=0.0, mem_intensity=0.0, compute_intensity=0.5)
+
+    def test_rejects_negative_mem(self):
+        with pytest.raises(ValueError, match="mem_intensity"):
+            Phase(duration=0.1, mem_intensity=-0.01, compute_intensity=0.5)
+
+    def test_rejects_out_of_range_compute(self):
+        with pytest.raises(ValueError, match="compute_intensity"):
+            Phase(duration=0.1, mem_intensity=0.0, compute_intensity=1.2)
+
+    def test_frozen(self):
+        p = Phase(duration=0.1, mem_intensity=0.0, compute_intensity=0.5)
+        with pytest.raises(AttributeError):
+            p.duration = 0.2
+
+
+class TestCorePhaseSequence:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CorePhaseSequence([])
+
+    def test_total_duration(self):
+        s = seq(0.1, 0.2, 0.3)
+        assert s.total_duration == pytest.approx(0.6)
+        assert len(s) == 3
+
+    def test_phase_lookup_within_pass(self):
+        s = seq(0.1, 0.2, 0.3)
+        assert s.phase_at(0.05) is s.phases[0]
+        assert s.phase_at(0.15) is s.phases[1]
+        assert s.phase_at(0.45) is s.phases[2]
+
+    def test_boundary_belongs_to_next_phase(self):
+        s = seq(0.1, 0.2)
+        assert s.phase_at(0.1) is s.phases[1]
+
+    def test_cyclic_wraparound(self):
+        # Binary-exact durations so the wrap point is numerically crisp.
+        s = seq(0.25, 0.5)
+        assert s.phase_at(0.75) is s.phases[0]  # exact wrap
+        assert s.phase_at(0.85) is s.phases[0]
+        assert s.phase_at(1.1) is s.phases[1]
+        assert s.phase_at(7.6) is s.phases[0]  # 7.6 % 0.75 = 0.1
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="time"):
+            seq(0.1).phase_at(-1.0)
+
+    def test_single_phase_always_active(self):
+        s = seq(0.5)
+        for t in (0.0, 0.25, 0.5, 10.0):
+            assert s.phase_at(t) is s.phases[0]
+
+
+class TestWorkload:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Workload([])
+
+    def test_round_robin_tiling(self):
+        s0, s1 = seq(0.1), seq(0.2)
+        w = Workload([s0, s1])
+        assert w.sequence_for_core(0) is s0
+        assert w.sequence_for_core(1) is s1
+        assert w.sequence_for_core(2) is s0
+        assert w.sequence_for_core(5) is s1
+
+    def test_rejects_negative_core(self):
+        with pytest.raises(ValueError, match="core index"):
+            Workload([seq(0.1)]).sequence_for_core(-1)
+
+    def test_sample_shapes_and_values(self):
+        phases = [
+            Phase(duration=1.0, mem_intensity=0.01, compute_intensity=0.3),
+            Phase(duration=1.0, mem_intensity=0.02, compute_intensity=0.8),
+        ]
+        w = Workload([CorePhaseSequence([p]) for p in phases])
+        mem, comp = w.sample(0.0, 4)
+        assert mem.shape == comp.shape == (4,)
+        assert np.allclose(mem, [0.01, 0.02, 0.01, 0.02])
+        assert np.allclose(comp, [0.3, 0.8, 0.3, 0.8])
+
+    def test_sample_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError, match="n_cores"):
+            Workload([seq(0.1)]).sample(0.0, 0)
+
+    def test_len_and_name(self):
+        w = Workload([seq(0.1), seq(0.2)], name="demo")
+        assert len(w) == 2
+        assert w.name == "demo"

@@ -1,0 +1,102 @@
+"""Tests for repro.workloads.profile."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import make_benchmark
+from repro.workloads.profile import (
+    WorkloadProfile,
+    characterize,
+    generate_from_profile,
+)
+
+
+@pytest.fixture
+def ocean_profile():
+    return characterize(make_benchmark("ocean", 16, seed=0))
+
+
+class TestCharacterize:
+    def test_profile_fields(self, ocean_profile):
+        p = ocean_profile
+        assert p.name == "ocean"
+        assert p.n_cores == 16
+        assert p.phases_per_core >= 1
+        assert p.duration_mean > 0
+        assert 0 <= p.compute_mean <= 1
+
+    def test_memory_class_visible_in_profile(self):
+        memory = characterize(make_benchmark("ocean", 8, seed=0))
+        compute = characterize(make_benchmark("barnes", 8, seed=0))
+        assert memory.mem_mean > 5 * compute.mem_mean
+
+    def test_deterministic(self):
+        a = characterize(make_benchmark("fft", 8, seed=3))
+        b = characterize(make_benchmark("fft", 8, seed=3))
+        assert a == b
+
+
+class TestGenerate:
+    def test_statistics_match(self, ocean_profile):
+        # Generate a large clone; pooled stats should approximate the
+        # profile (clipping biases memory stats slightly).
+        clone = generate_from_profile(
+            ocean_profile, np.random.default_rng(1), n_cores=200
+        )
+        fitted = characterize(clone)
+        assert fitted.mem_mean == pytest.approx(ocean_profile.mem_mean, rel=0.15)
+        assert fitted.compute_mean == pytest.approx(
+            ocean_profile.compute_mean, rel=0.1
+        )
+        assert fitted.duration_mean == pytest.approx(
+            ocean_profile.duration_mean, rel=0.2
+        )
+
+    def test_reproducible(self, ocean_profile):
+        a = generate_from_profile(ocean_profile, np.random.default_rng(5))
+        b = generate_from_profile(ocean_profile, np.random.default_rng(5))
+        for sa, sb in zip(a.sequences, b.sequences):
+            assert sa.phases == sb.phases
+
+    def test_core_count_override(self, ocean_profile):
+        w = generate_from_profile(ocean_profile, np.random.default_rng(0), n_cores=5)
+        assert len(w) == 5
+        with pytest.raises(ValueError, match="n_cores"):
+            generate_from_profile(ocean_profile, np.random.default_rng(0), n_cores=0)
+
+    def test_generated_workload_runs(self, ocean_profile):
+        from repro.manycore import ManyCoreChip, default_system
+
+        w = generate_from_profile(ocean_profile, np.random.default_rng(2), n_cores=8)
+        cfg = default_system(n_cores=8)
+        chip = ManyCoreChip(cfg, w)
+        obs = chip.step(np.full(8, 7))
+        assert obs.chip_instructions > 0
+
+    def test_synthetic_behaves_like_source(self, ocean_profile):
+        # The control-relevant property: the synthetic clone's throughput
+        # saturation vs frequency matches the source class (memory-bound).
+        from repro.manycore import ManyCoreChip, default_system
+
+        cfg = default_system(n_cores=8)
+        clone = generate_from_profile(
+            ocean_profile, np.random.default_rng(3), n_cores=8
+        )
+        hi_chip, lo_chip = ManyCoreChip(cfg, clone), ManyCoreChip(cfg, clone)
+        hi = lo = 0.0
+        for _ in range(40):
+            hi += hi_chip.step(np.full(8, 7)).chip_instructions
+            lo += lo_chip.step(np.zeros(8, dtype=int)).chip_instructions
+        assert hi / lo < 2.0  # saturating, like ocean itself
+
+
+class TestValidation:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", 0, 2, 0.01, 0.0, 0.0, 0.0, 0.5, 0.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", 4, 0.5, 0.01, 0.0, 0.0, 0.0, 0.5, 0.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", 4, 2, 0.0, 0.0, 0.0, 0.0, 0.5, 0.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", 4, 2, 0.01, 0.0, 0.0, 0.0, 1.5, 0.0)

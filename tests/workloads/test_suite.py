@@ -1,0 +1,80 @@
+"""Tests for repro.workloads.suite (the named benchmark suite)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import benchmark_names, make_benchmark, make_suite, mixed_workload
+
+
+class TestBenchmarkNames:
+    def test_nonempty_and_known_members(self):
+        names = benchmark_names()
+        assert len(names) >= 10
+        for expected in ("barnes", "ocean", "fft", "blackscholes", "canneal", "x264"):
+            assert expected in names
+
+    def test_stable_order(self):
+        assert benchmark_names() == benchmark_names()
+
+
+class TestMakeBenchmark:
+    def test_builds_workload_for_core_count(self):
+        w = make_benchmark("ocean", n_cores=12, seed=0)
+        assert len(w) == 12
+        assert w.name == "ocean"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            make_benchmark("doom", n_cores=4)
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError, match="n_cores"):
+            make_benchmark("fft", n_cores=0)
+
+    def test_reproducible(self):
+        a = make_benchmark("radix", 8, seed=5)
+        b = make_benchmark("radix", 8, seed=5)
+        for sa, sb in zip(a.sequences, b.sequences):
+            assert sa.phases == sb.phases
+
+    def test_seed_changes_trace(self):
+        a = make_benchmark("radix", 8, seed=5)
+        b = make_benchmark("radix", 8, seed=6)
+        assert any(sa.phases != sb.phases for sa, sb in zip(a.sequences, b.sequences))
+
+    def test_cores_decorrelated(self):
+        w = make_benchmark("barnes", 8, seed=0)
+        assert w.sequences[0].phases != w.sequences[1].phases
+
+    def test_benchmark_memory_character_preserved(self):
+        ocean = make_benchmark("ocean", 16, seed=0)
+        barnes = make_benchmark("barnes", 16, seed=0)
+        mem_ocean = np.mean([p.mem_intensity for s in ocean.sequences for p in s.phases])
+        mem_barnes = np.mean([p.mem_intensity for s in barnes.sequences for p in s.phases])
+        assert mem_ocean > 5 * mem_barnes
+
+
+class TestMakeSuite:
+    def test_covers_all_benchmarks(self):
+        suite = make_suite(4, seed=0)
+        assert set(suite) == set(benchmark_names())
+        for name, w in suite.items():
+            assert len(w) == 4
+            assert w.name == name
+
+
+class TestMixedWorkload:
+    def test_heterogeneous(self):
+        w = mixed_workload(16, seed=0)
+        mems = [np.mean([p.mem_intensity for p in s.phases]) for s in w.sequences]
+        assert max(mems) > 4 * (min(mems) + 1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="n_cores"):
+            mixed_workload(0)
+
+    def test_reproducible(self):
+        a = mixed_workload(8, seed=2)
+        b = mixed_workload(8, seed=2)
+        for sa, sb in zip(a.sequences, b.sequences):
+            assert sa.phases == sb.phases

@@ -1,0 +1,77 @@
+"""Characterization tests: every named benchmark drives the plant sensibly.
+
+Parametrized over the whole suite — each benchmark must build at arbitrary
+core counts, produce valid phases, and land in its documented
+memory-boundedness class when actually executed on the chip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.manycore import ManyCoreChip, default_system
+from repro.workloads import benchmark_names, make_benchmark
+
+# Documented workload classes (docs/modeling.md §5).
+MEMORY_BOUND = {"ocean", "canneal", "streamcluster"}
+COMPUTE_BOUND = {"barnes", "fmm", "blackscholes", "swaptions"}
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+class TestEveryBenchmark:
+    def test_builds_at_odd_core_counts(self, name):
+        for n in (1, 3, 7):
+            w = make_benchmark(name, n, seed=0)
+            assert len(w) == n
+            mem, comp = w.sample(0.0, n)
+            assert mem.shape == (n,)
+            assert np.all(mem >= 0)
+            assert np.all((comp >= 0) & (comp <= 1))
+
+    def test_runs_on_chip(self, name):
+        cfg = default_system(n_cores=4, n_levels=4)
+        chip = ManyCoreChip(cfg, make_benchmark(name, 4, seed=0))
+        for _ in range(20):
+            obs = chip.step(np.full(4, 3))
+        assert obs.chip_power > 0
+        assert obs.chip_instructions > 0
+
+    def test_sampling_respects_phase_durations(self, name):
+        w = make_benchmark(name, 2, seed=0)
+        seq = w.sequence_for_core(0)
+        # Probing the middle of every phase returns that phase.
+        cumulative = 0.0
+        for p in seq.phases:
+            assert seq.phase_at(cumulative + p.duration / 2) is p
+            cumulative += p.duration
+
+
+class TestClassCharacterization:
+    @pytest.fixture(scope="class")
+    def throughput_by_benchmark(self):
+        """Frequency-scaling gain per benchmark: IPS(top) / IPS(bottom)."""
+        cfg = default_system(n_cores=8, n_levels=8)
+        gains = {}
+        for name in benchmark_names():
+            chip_hi = ManyCoreChip(cfg, make_benchmark(name, 8, seed=0))
+            chip_lo = ManyCoreChip(cfg, make_benchmark(name, 8, seed=0))
+            hi = lo = 0.0
+            for _ in range(40):
+                hi += chip_hi.step(np.full(8, 7)).chip_instructions
+                lo += chip_lo.step(np.zeros(8, dtype=int)).chip_instructions
+            gains[name] = hi / lo
+        return gains
+
+    def test_compute_bound_scale_with_frequency(self, throughput_by_benchmark):
+        # Top/bottom frequency ratio is 3x; compute-bound benchmarks must
+        # capture most of it.
+        for name in COMPUTE_BOUND:
+            assert throughput_by_benchmark[name] > 2.4, name
+
+    def test_memory_bound_saturate(self, throughput_by_benchmark):
+        for name in MEMORY_BOUND:
+            assert throughput_by_benchmark[name] < 2.0, name
+
+    def test_classes_are_separated(self, throughput_by_benchmark):
+        worst_compute = min(throughput_by_benchmark[n] for n in COMPUTE_BOUND)
+        best_memory = max(throughput_by_benchmark[n] for n in MEMORY_BOUND)
+        assert worst_compute > best_memory

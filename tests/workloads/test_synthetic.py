@@ -1,0 +1,101 @@
+"""Tests for repro.workloads.synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    bursty_sequence,
+    compute_bound_sequence,
+    memory_bound_sequence,
+    phased_sequence,
+    random_mix_sequence,
+)
+
+GENERATORS = [
+    compute_bound_sequence,
+    memory_bound_sequence,
+    phased_sequence,
+    bursty_sequence,
+    random_mix_sequence,
+]
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+class TestCommonProperties:
+    def test_reproducible_from_seed(self, gen):
+        a = gen(np.random.default_rng(3))
+        b = gen(np.random.default_rng(3))
+        assert len(a) == len(b)
+        for pa, pb in zip(a.phases, b.phases):
+            assert pa == pb
+
+    def test_different_seeds_differ(self, gen):
+        a = gen(np.random.default_rng(1))
+        b = gen(np.random.default_rng(2))
+        assert any(pa != pb for pa, pb in zip(a.phases, b.phases))
+
+    def test_phases_valid(self, gen):
+        s = gen(np.random.default_rng(0))
+        for p in s.phases:
+            assert p.duration >= 1e-3
+            assert 0.0 <= p.mem_intensity <= 0.03
+            assert 0.05 <= p.compute_intensity <= 1.0
+
+
+class TestCharacterization:
+    def test_compute_bound_low_memory(self):
+        s = compute_bound_sequence(np.random.default_rng(0), n_phases=20)
+        mems = [p.mem_intensity for p in s.phases]
+        comps = [p.compute_intensity for p in s.phases]
+        assert np.mean(mems) < 0.003
+        assert np.mean(comps) > 0.7
+
+    def test_memory_bound_high_memory(self):
+        s = memory_bound_sequence(np.random.default_rng(0), n_phases=20)
+        mems = [p.mem_intensity for p in s.phases]
+        assert np.mean(mems) > 0.01
+
+    def test_memory_vs_compute_separation(self):
+        rng = np.random.default_rng(0)
+        c = compute_bound_sequence(rng, n_phases=20)
+        m = memory_bound_sequence(rng, n_phases=20)
+        assert max(p.mem_intensity for p in c.phases) < min(
+            p.mem_intensity for p in m.phases
+        )
+
+    def test_phased_alternates(self):
+        s = phased_sequence(np.random.default_rng(0), n_cycles=4)
+        assert len(s) == 8
+        mems = [p.mem_intensity for p in s.phases]
+        # Even indices compute-ish, odd indices memory-ish.
+        assert all(mems[i] < mems[i + 1] for i in range(0, 8, 2))
+
+    def test_phased_rejects_zero_cycles(self):
+        with pytest.raises(ValueError, match="n_cycles"):
+            phased_sequence(np.random.default_rng(0), n_cycles=0)
+
+    def test_bursty_has_duration_spread(self):
+        s = bursty_sequence(np.random.default_rng(0), n_phases=40)
+        durs = np.array([p.duration for p in s.phases])
+        assert durs.max() / durs.min() > 3.0
+
+    def test_bursty_rejects_zero_phases(self):
+        with pytest.raises(ValueError, match="n_phases"):
+            bursty_sequence(np.random.default_rng(0), n_phases=0)
+
+    def test_random_mix_spans_space(self):
+        s = random_mix_sequence(np.random.default_rng(0), n_phases=50)
+        mems = np.array([p.mem_intensity for p in s.phases])
+        assert mems.std() > 0.003
+
+    def test_generators_respect_phase_count(self):
+        for gen in (compute_bound_sequence, memory_bound_sequence, random_mix_sequence):
+            s = gen(np.random.default_rng(0), n_phases=7)
+            assert len(s) == 7
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            compute_bound_sequence(rng, n_phases=0)
+        with pytest.raises(ValueError):
+            memory_bound_sequence(rng, mean_duration=0.0)

@@ -1,0 +1,68 @@
+"""Tests for repro.workloads.trace_io."""
+
+import json
+
+import pytest
+
+from repro.workloads import (
+    load_workload,
+    make_benchmark,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        w = make_benchmark("fft", 4, seed=9)
+        w2 = workload_from_dict(workload_to_dict(w))
+        assert w2.name == "fft"
+        assert len(w2) == len(w)
+        for sa, sb in zip(w.sequences, w2.sequences):
+            assert sa.phases == sb.phases
+
+    def test_file_round_trip(self, tmp_path):
+        w = make_benchmark("canneal", 6, seed=3)
+        path = tmp_path / "trace.json"
+        save_workload(w, path)
+        w2 = load_workload(path)
+        assert w2.name == w.name
+        for sa, sb in zip(w.sequences, w2.sequences):
+            assert sa.phases == sb.phases
+
+    def test_file_is_plain_json(self, tmp_path):
+        w = make_benchmark("lu", 2, seed=0)
+        path = tmp_path / "trace.json"
+        save_workload(w, path)
+        with path.open() as f:
+            data = json.load(f)
+        assert data["version"] == 1
+        assert len(data["cores"]) == 2
+
+
+class TestValidation:
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError, match="version"):
+            workload_from_dict({"version": 99, "cores": [[[0.1, 0.0, 0.5]]]})
+
+    def test_rejects_missing_cores(self):
+        with pytest.raises(ValueError, match="cores"):
+            workload_from_dict({"version": 1})
+
+    def test_rejects_empty_core(self):
+        with pytest.raises(ValueError, match="no phases"):
+            workload_from_dict({"version": 1, "cores": [[]]})
+
+    def test_rejects_malformed_phase(self):
+        with pytest.raises(ValueError, match="duration, mem, compute"):
+            workload_from_dict({"version": 1, "cores": [[[0.1, 0.0]]]})
+
+    def test_rejects_invalid_phase_values(self):
+        # Negative duration must fail Phase validation, not silently load.
+        with pytest.raises(ValueError):
+            workload_from_dict({"version": 1, "cores": [[[-0.1, 0.0, 0.5]]]})
+
+    def test_default_name(self):
+        w = workload_from_dict({"version": 1, "cores": [[[0.1, 0.0, 0.5]]]})
+        assert w.name == "workload"
