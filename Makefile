@@ -1,8 +1,10 @@
 # Developer entry points.  Everything assumes `pip install -e .
 # --no-build-isolation` has run once (plus pytest, pytest-benchmark,
-# hypothesis for the test/bench targets).
+# hypothesis for the test/bench targets; ruff + mypy — `pip install -e
+# .[lint]` — for the lint/typecheck targets, which skip with a warning
+# when the tools are absent).
 
-.PHONY: test bench examples experiments lint-clean
+.PHONY: test bench examples experiments lint typecheck check clean
 
 test:
 	pytest tests/
@@ -21,5 +23,16 @@ examples:
 experiments:
 	python -m repro list
 
-lint-clean:
+lint:
+	@if command -v ruff >/dev/null 2>&1; then ruff check .; \
+	else echo "ruff not installed (pip install -e .[lint]); skipping"; fi
+	python -m tools.lint src/ tests/ benchmarks/
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then mypy src/repro; \
+	else echo "mypy not installed (pip install -e .[lint]); skipping"; fi
+
+check: lint typecheck test
+
+clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

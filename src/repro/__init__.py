@@ -24,6 +24,8 @@ Quickstart::
     print(result.mean_throughput / 1e9, "BIPS")
 """
 
+from repro.contracts import InvariantViolation, validation_enabled
+
 from repro.baselines import (
     CentralizedRLController,
     GreedyAscentController,
@@ -86,6 +88,8 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "InvariantViolation",
+    "validation_enabled",
     "CentralizedRLController",
     "GreedyAscentController",
     "MaxBIPSController",

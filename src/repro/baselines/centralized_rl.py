@@ -45,7 +45,7 @@ class CentralizedRLController(Controller):
 
     name = "centralized-rl"
 
-    def __init__(self, cfg: SystemConfig, gamma: float = 0.5, seed: int = 0):
+    def __init__(self, cfg: SystemConfig, gamma: float = 0.5, seed: int = 0) -> None:
         super().__init__(cfg)
         self.encoder = StateEncoder.variant("slack_ipc", cfg.n_levels)
         self.reward_params = RewardParams()

@@ -73,7 +73,7 @@ class PowerPerfEstimator:
         cfg: SystemConfig,
         assumed_temperature: float | None = None,
         hetero: HeterogeneousMap | None = None,
-    ):
+    ) -> None:
         if not cfg.vf_levels:
             raise ValueError("SystemConfig must carry a non-empty VF table")
         self.cfg = cfg

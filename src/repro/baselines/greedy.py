@@ -101,7 +101,7 @@ class GreedyAscentController(Controller):
 
     name = "greedy-ascent"
 
-    def __init__(self, cfg: SystemConfig, hetero: HeterogeneousMap | None = None):
+    def __init__(self, cfg: SystemConfig, hetero: HeterogeneousMap | None = None) -> None:
         super().__init__(cfg)
         self._estimator = PowerPerfEstimator(cfg, hetero=hetero)
 
@@ -118,7 +118,7 @@ class SteepestDropController(Controller):
 
     name = "steepest-drop"
 
-    def __init__(self, cfg: SystemConfig, hetero: HeterogeneousMap | None = None):
+    def __init__(self, cfg: SystemConfig, hetero: HeterogeneousMap | None = None) -> None:
         super().__init__(cfg)
         self._estimator = PowerPerfEstimator(cfg, hetero=hetero)
 

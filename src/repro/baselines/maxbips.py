@@ -161,7 +161,7 @@ class MaxBIPSController(Controller):
         method: str = "dp",
         n_quanta: int | None = None,
         hetero: HeterogeneousMap | None = None,
-    ):
+    ) -> None:
         super().__init__(cfg)
         if method not in ("dp", "exhaustive"):
             raise ValueError(f"method must be 'dp' or 'exhaustive', got {method!r}")

@@ -17,7 +17,7 @@ per upgrade candidate); rounds are capped linearly in n.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -31,7 +31,12 @@ from repro.sim.interface import Controller
 __all__ = ["solve_max_swap", "MaxSwapController"]
 
 
-def _best_swap(power, ips, levels, headroom):
+def _best_swap(
+    power: np.ndarray,
+    ips: np.ndarray,
+    levels: np.ndarray,
+    headroom: float,
+) -> Optional[Tuple[float, int, int]]:
     """Find the best feasible (downgrade i, upgrade j) pair.
 
     Returns ``(gain, i, j)`` or ``None`` when no pair improves predicted
@@ -131,7 +136,12 @@ def solve_max_swap(
     return levels
 
 
-def _greedy_ascent_from(pred, budget, levels, total):
+def _greedy_ascent_from(
+    pred: LevelPredictions,
+    budget: float,
+    levels: np.ndarray,
+    total: float,
+) -> Tuple[np.ndarray, float]:
     """Continue greedy ascent from an existing assignment."""
     power, ips = pred.power, pred.ips
     n, n_levels = power.shape
@@ -164,7 +174,7 @@ class MaxSwapController(Controller):
 
     name = "max-swap"
 
-    def __init__(self, cfg: SystemConfig, hetero: HeterogeneousMap | None = None):
+    def __init__(self, cfg: SystemConfig, hetero: HeterogeneousMap | None = None) -> None:
         super().__init__(cfg)
         self._estimator = PowerPerfEstimator(cfg, hetero=hetero)
 

@@ -46,7 +46,7 @@ class PIDCappingController(Controller):
 
     name = "pid"
 
-    def __init__(self, cfg: SystemConfig, kp: float = 2.0, ki: float = 1.5):
+    def __init__(self, cfg: SystemConfig, kp: float = 2.0, ki: float = 1.5) -> None:
         super().__init__(cfg)
         if kp < 0 or ki < 0:
             raise ValueError("gains must be non-negative")

@@ -32,7 +32,7 @@ class StaticUniformController(Controller):
 
     name = "static-uniform"
 
-    def __init__(self, cfg: SystemConfig):
+    def __init__(self, cfg: SystemConfig) -> None:
         super().__init__(cfg)
         predictions = PowerPerfEstimator(cfg).cold_predictions(cfg.n_cores)
         chip_power_by_level = predictions.power.sum(axis=0)
@@ -74,7 +74,7 @@ class PriorityController(Controller):
 
     name = "priority"
 
-    def __init__(self, cfg: SystemConfig, priority: Optional[Sequence[int]] = None):
+    def __init__(self, cfg: SystemConfig, priority: Optional[Sequence[int]] = None) -> None:
         super().__init__(cfg)
         if priority is None:
             priority = range(cfg.n_cores)

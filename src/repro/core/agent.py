@@ -31,6 +31,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.contracts import check_q_table, validation_enabled
 from repro.core.schedules import ExponentialDecay, HarmonicDecay, Schedule
 
 __all__ = ["QLearningPopulation", "default_epsilon_schedule", "default_alpha_schedule"]
@@ -73,6 +74,9 @@ class QLearningPopulation:
         reward makes untried actions look attractive, so every action in a
         visited state gets tried systematically ("optimism in the face of
         uncertainty") — the crucial ingredient once epsilon has decayed.
+    validate:
+        Arm the finite-Q-table contract after every TD update (see
+        :mod:`repro.contracts`); ``None`` defers to ``REPRO_VALIDATE``.
     """
 
     def __init__(
@@ -86,7 +90,8 @@ class QLearningPopulation:
         rng: Optional[np.random.Generator] = None,
         optimistic_init: float = 1.0,
         td_rule: str = "q",
-    ):
+        validate: Optional[bool] = None,
+    ) -> None:
         if n_agents < 1 or n_states < 1 or n_actions < 1:
             raise ValueError(
                 f"table dimensions must be >= 1, got "
@@ -104,6 +109,7 @@ class QLearningPopulation:
         self.epsilon = epsilon if epsilon is not None else default_epsilon_schedule()
         self.alpha = alpha if alpha is not None else default_alpha_schedule()
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.validate = validation_enabled(validate)
         self._init = float(optimistic_init)
         self.q = np.full((n_agents, n_states, n_actions), self._init, dtype=float)
         self.visits = np.zeros((n_agents, n_states, n_actions), dtype=np.int64)
@@ -185,6 +191,14 @@ class QLearningPopulation:
         self.q[self._agent_idx, states, actions] += a * td
         self.visits[self._agent_idx, states, actions] += 1
         self.step_count += 1
+        if self.validate:
+            # Only the cells written this step can newly become non-finite
+            # (the table starts finite and bootstrap reads other, already
+            # validated cells), so checking the updated slice maintains the
+            # whole-table invariant at O(n_agents) instead of O(table).
+            check_q_table(
+                self.q[self._agent_idx, states, actions], step=self.step_count
+            )
 
     def greedy_policy(self) -> np.ndarray:
         """Current greedy action per (agent, state), shape

@@ -20,7 +20,11 @@ and both are far below the combinatorial search baselines.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
+
+from repro.contracts import check_budget_conservation, validation_enabled
 
 __all__ = ["reallocate_budget", "uniform_allocation"]
 
@@ -41,6 +45,7 @@ def reallocate_budget(
     scores: np.ndarray,
     floors: np.ndarray,
     caps: np.ndarray,
+    validate: Optional[bool] = None,
 ) -> np.ndarray:
     """Divide ``total_budget`` across cores by score, respecting bounds.
 
@@ -58,6 +63,9 @@ def reallocate_budget(
     caps:
         Maximum useful watts per core (its top-VF draw).  ``caps >= floors``
         required.
+    validate:
+        Arm the watt-conservation contract on the result (see
+        :mod:`repro.contracts`); ``None`` defers to ``REPRO_VALIDATE``.
 
     Returns
     -------
@@ -120,4 +128,11 @@ def reallocate_budget(
         if not np.any(overflow_mask & active):
             break
         active = headroom > 1e-12
+    if validation_enabled(validate):
+        check_budget_conservation(
+            allocation,
+            min(total_budget, float(np.sum(caps))),
+            floors_w=floors,
+            caps_w=caps,
+        )
     return allocation

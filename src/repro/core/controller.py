@@ -110,7 +110,7 @@ class ODRLController(Controller):
         thermal_limit: Optional[float] = None,
         hetero: Optional[HeterogeneousMap] = None,
         seed: int = 0,
-    ):
+    ) -> None:
         super().__init__(cfg)
         if realloc_period < 0:
             raise ValueError(f"realloc_period must be >= 0, got {realloc_period}")

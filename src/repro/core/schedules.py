@@ -12,20 +12,26 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
 __all__ = ["Schedule", "ConstantSchedule", "ExponentialDecay", "HarmonicDecay"]
+
+#: Scalar step count or an array of per-cell visit counts.
+StepLike = Union[int, np.ndarray]
+#: Scalar value for a scalar step, array for an array of steps.
+ValueLike = Union[float, np.ndarray]
 
 
 class Schedule(ABC):
     """A value as a function of a (scalar or array) step count."""
 
     @abstractmethod
-    def value(self, step):
+    def value(self, step: StepLike) -> ValueLike:
         """Value at non-negative ``step`` (int or numpy integer array)."""
 
-    def __call__(self, step):
+    def __call__(self, step: StepLike) -> ValueLike:
         if np.any(np.asarray(step) < 0):
             raise ValueError(f"step must be >= 0, got {step}")
         return self.value(step)
@@ -41,7 +47,7 @@ class ConstantSchedule(Schedule):
         if self.constant < 0:
             raise ValueError(f"constant must be >= 0, got {self.constant}")
 
-    def value(self, step):
+    def value(self, step: StepLike) -> ValueLike:
         return self.constant
 
 
@@ -65,7 +71,7 @@ class ExponentialDecay(Schedule):
         if not (0 < self.decay <= 1):
             raise ValueError(f"decay must be in (0, 1], got {self.decay}")
 
-    def value(self, step):
+    def value(self, step: StepLike) -> ValueLike:
         return self.floor + (self.start - self.floor) * self.decay**step
 
 
@@ -90,7 +96,7 @@ class HarmonicDecay(Schedule):
         if self.floor < 0:
             raise ValueError(f"floor must be >= 0, got {self.floor}")
 
-    def value(self, step):
+    def value(self, step: StepLike) -> ValueLike:
         raw = self.start / (1.0 + np.asarray(step) / self.half_life)
         clipped = np.maximum(self.floor, raw)
         return float(clipped) if np.ndim(step) == 0 else clipped

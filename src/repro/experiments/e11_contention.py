@@ -14,7 +14,7 @@ The experiment measures the throughput gain of OD-RL's global reallocation
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core import ODRLController
 from repro.experiments.base import ExperimentResult
@@ -47,7 +47,7 @@ def run_e11(
     cfg = default_system(n_cores=n_cores, budget_fraction=budget_fraction)
     workload = mixed_workload(n_cores, seed=seed)
 
-    def memory_for(regime: str):
+    def memory_for(regime: str) -> Optional[MemorySystem]:
         if regime == "uncontended":
             return None
         return MemorySystem(

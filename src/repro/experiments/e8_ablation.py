@@ -16,7 +16,7 @@ from typing import Dict
 
 from repro.core import ODRLController, RewardParams, StateEncoder
 from repro.experiments.base import ExperimentResult
-from repro.manycore.config import default_system
+from repro.manycore.config import SystemConfig, default_system
 from repro.metrics.perf_metrics import energy_efficiency, throughput_bips
 from repro.metrics.power_metrics import budget_utilization, over_budget_energy
 from repro.metrics.report import format_table
@@ -28,7 +28,7 @@ __all__ = ["run_e8", "ablation_variants"]
 _METRIC_COLUMNS = ("bips", "obe_J", "utilization", "instr_per_J")
 
 
-def ablation_variants(cfg, seed: int = 0) -> Dict[str, ODRLController]:
+def ablation_variants(cfg: SystemConfig, seed: int = 0) -> Dict[str, ODRLController]:
     """All OD-RL variants evaluated in E8, keyed by a descriptive label."""
     return {
         "default (realloc=10, slack_ipc, rel, lam=1)": ODRLController(cfg, seed=seed),

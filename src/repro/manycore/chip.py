@@ -23,6 +23,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.contracts import (
+    check_level_indices,
+    check_power_samples,
+    validation_enabled,
+)
 from repro.manycore.config import SystemConfig
 from repro.manycore.core import activity_factor, instructions_per_second
 from repro.manycore.hetero import HeterogeneousMap
@@ -116,6 +121,11 @@ class ManyCoreChip:
         Optional per-core :class:`HeterogeneousMap` of core types
         (big.LITTLE-class chips); ``None`` means all cores are the nominal
         type.
+    validate:
+        Arm the per-epoch runtime invariant contracts (finite non-negative
+        power, in-range VF levels — see :mod:`repro.contracts`).  ``None``
+        (default) defers to the ``REPRO_VALIDATE`` environment variable;
+        the resolved switch is the public ``validate`` attribute.
     """
 
     def __init__(
@@ -127,7 +137,8 @@ class ManyCoreChip:
         variation: CoreVariation | None = None,
         memory_system: MemorySystem | None = None,
         hetero: HeterogeneousMap | None = None,
-    ):
+        validate: bool | None = None,
+    ) -> None:
         if not cfg.vf_levels:
             raise ValueError("SystemConfig must carry a non-empty VF table")
         if cfg.power_budget <= 0:
@@ -160,6 +171,7 @@ class ManyCoreChip:
         self._freqs = np.array([f for f, _ in cfg.vf_levels])
         self._volts = np.array([v for _, v in cfg.vf_levels])
         self.levels = np.full(cfg.n_cores, start, dtype=int)
+        self.validate = validation_enabled(validate)
         self.epoch = 0
         self.time = 0.0
         self.total_energy = 0.0
@@ -248,6 +260,13 @@ class ManyCoreChip:
             * self.variation.leak_mult
             * self.hetero.leak_scale
         )
+
+        if self.validate:
+            check_level_indices(clamped, n_levels, epoch=self.epoch)
+            check_power_samples(power, epoch=self.epoch)
+            check_power_samples(
+                self.thermal.temperatures, epoch=self.epoch, quantity="temperature_k"
+            )
 
         self.thermal.step(power, dt)
         self.time += dt

@@ -147,7 +147,7 @@ class SystemConfig:
         return len(self.vf_levels)
 
     def with_budget(self, power_budget: float) -> "SystemConfig":
-        """Return a copy with a different chip power budget."""
+        """Return a copy with ``power_budget`` (watts) as the chip TDP."""
         if power_budget <= 0:
             raise ValueError(f"power_budget must be positive, got {power_budget}")
         return replace(self, power_budget=power_budget)

@@ -28,6 +28,8 @@ reallocation profitable.
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
 from repro.manycore.config import SystemConfig
@@ -43,13 +45,14 @@ def compute_fraction(
     cfg: SystemConfig,
     frequency: np.ndarray,
     mem_intensity: np.ndarray,
-    base_cpi=None,
+    base_cpi: Union[float, np.ndarray, None] = None,
 ) -> np.ndarray:
     """Fraction of cycles spent on useful work (not memory stalls).
 
     Equals ``CPI_base / CPI(f)``; 1.0 for a pure-compute phase, approaching
-    0 as memory stalls dominate.  ``base_cpi`` (scalar or per-core array)
-    overrides ``cfg.base_cpi`` for heterogeneous chips.
+    0 as memory stalls dominate.  ``frequency`` is the per-core clock in
+    hertz; ``base_cpi`` (scalar or per-core array) overrides
+    ``cfg.base_cpi`` for heterogeneous chips.
     """
     frequency = np.asarray(frequency, dtype=float)
     mem_intensity = np.asarray(mem_intensity, dtype=float)
@@ -68,7 +71,7 @@ def instructions_per_second(
     cfg: SystemConfig,
     frequency: np.ndarray,
     mem_intensity: np.ndarray,
-    base_cpi=None,
+    base_cpi: Union[float, np.ndarray, None] = None,
 ) -> np.ndarray:
     """Retired instructions per second at ``frequency`` for a phase with the
     given memory intensity (accesses per instruction).
@@ -95,7 +98,7 @@ def activity_factor(
     frequency: np.ndarray,
     mem_intensity: np.ndarray,
     compute_intensity: np.ndarray,
-    base_cpi=None,
+    base_cpi: Union[float, np.ndarray, None] = None,
 ) -> np.ndarray:
     """Switching-activity factor feeding the dynamic power model.
 

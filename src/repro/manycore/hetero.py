@@ -75,7 +75,7 @@ class HeterogeneousMap:
         Per-core sequence of :class:`CoreType` records.
     """
 
-    def __init__(self, types: Sequence[CoreType]):
+    def __init__(self, types: Sequence[CoreType]) -> None:
         if not types:
             raise ValueError("HeterogeneousMap needs at least one core")
         self.types: Tuple[CoreType, ...] = tuple(types)

@@ -72,7 +72,7 @@ class MemorySystem:
     #: bisection iterations; the bracket is fixed so 40 gives ~1e-12 width
     _BISECTION_STEPS = 40
 
-    def __init__(self, params: MemorySystemParams):
+    def __init__(self, params: MemorySystemParams) -> None:
         self.params = params
         self.latency_multiplier = 1.0
         self.utilization = 0.0

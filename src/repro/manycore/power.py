@@ -80,7 +80,11 @@ def core_power(
     activity: np.ndarray,
     temperature: np.ndarray,
 ) -> np.ndarray:
-    """Total per-core power: dynamic plus leakage."""
+    """Total per-core power in watts: dynamic plus leakage.
+
+    ``voltage`` is in volts, ``frequency`` in hertz, ``activity`` a
+    dimensionless switching factor, ``temperature`` in kelvin.
+    """
     return dynamic_power(tech, voltage, frequency, activity) + leakage_power(
         tech, voltage, temperature
     )

@@ -64,7 +64,7 @@ class SensorSpec:
 class Sensor:
     """One telemetry channel with its own RNG stream."""
 
-    def __init__(self, spec: SensorSpec, rng: np.random.Generator):
+    def __init__(self, spec: SensorSpec, rng: np.random.Generator) -> None:
         self._spec = spec
         self._rng = rng
         self._last: np.ndarray | None = None
@@ -110,7 +110,10 @@ class SensorSuite:
         power_spec: SensorSpec | None = None,
         perf_spec: SensorSpec | None = None,
         temp_spec: SensorSpec | None = None,
-    ):
+    ) -> None:
+        """``power_spec``, ``perf_spec`` and ``temp_spec`` override the
+        per-channel error models (power readings in watts, temperature in
+        kelvin); ``None`` selects the defaults described on the class."""
         if power_spec is None:
             power_spec = SensorSpec(relative_noise=0.02, quantum=0.1)
         if perf_spec is None:

@@ -63,7 +63,7 @@ class ThermalModel:
     #: maximum Euler step as a fraction of the vertical RC time constant
     _MAX_STEP_FRACTION = 0.2
 
-    def __init__(self, cfg: SystemConfig):
+    def __init__(self, cfg: SystemConfig) -> None:
         self._cfg = cfg
         self._tech: TechnologyParams = cfg.technology
         self._n = cfg.n_cores

@@ -132,6 +132,9 @@ def sample_variation(
         Variation statistics; defaults to :class:`VariationParams`.
     rng:
         Random generator; pass a seeded one for a reproducible die.
+        Required: the old fallback silently returned the *same* die
+        (seed 0) on every call, which would make every "across dies"
+        experiment a single-die experiment.
 
     Returns
     -------
@@ -142,7 +145,12 @@ def sample_variation(
         systematically add it).
     """
     params = params if params is not None else VariationParams()
-    rng = rng if rng is not None else np.random.default_rng(0)
+    if rng is None:
+        raise ValueError(
+            "sample_variation requires an explicit numpy.random.Generator; "
+            "pass np.random.default_rng(seed) so the sampled die is "
+            "reproducible and distinct across seeds"
+        )
     n = cfg.n_cores
 
     def lognormal_field(sigma: float) -> np.ndarray:

@@ -42,7 +42,10 @@ def jain_index(values: np.ndarray) -> float:
 
 
 def per_core_throughput(core_instructions: np.ndarray, duration: float) -> np.ndarray:
-    """Per-core mean instructions/second from an ``(epochs, cores)`` series."""
+    """Per-core mean instructions/second from an ``(epochs, cores)`` series.
+
+    ``duration`` is the simulated time the series spans, in seconds.
+    """
     core_instructions = np.asarray(core_instructions, dtype=float)
     if core_instructions.ndim != 2:
         raise ValueError("expected an (epochs, cores) instruction series")

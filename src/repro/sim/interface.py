@@ -44,7 +44,7 @@ class Controller(ABC):
     #: overridden by concrete classes
     name: str = "controller"
 
-    def __init__(self, cfg: SystemConfig):
+    def __init__(self, cfg: SystemConfig) -> None:
         if cfg.power_budget <= 0:
             raise ValueError("controller requires a positive power budget")
         if not cfg.vf_levels:

@@ -70,7 +70,7 @@ class IslandedController(Controller):
         cfg: SystemConfig,
         island_size: int,
         inner_factory: Optional[Callable[[SystemConfig], Controller]] = None,
-    ):
+    ) -> None:
         super().__init__(cfg)
         if island_size <= 0 or island_size > cfg.n_cores:
             raise ValueError(

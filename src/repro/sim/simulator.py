@@ -15,6 +15,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.contracts import (
+    check_power_samples,
+    check_time_monotone,
+    validation_enabled,
+)
 from repro.manycore.chip import ManyCoreChip
 from repro.manycore.config import SystemConfig
 from repro.manycore.hetero import HeterogeneousMap
@@ -34,6 +39,7 @@ def simulate(
     n_epochs: int,
     record_per_core: bool = False,
     reset: bool = True,
+    validate: Optional[bool] = None,
 ) -> SimulationResult:
     """Run the closed control loop for ``n_epochs``.
 
@@ -51,6 +57,11 @@ def simulate(
     reset:
         Reset both plant and controller first.  Pass ``False`` to continue
         a run (e.g. to measure post-convergence behaviour separately).
+    validate:
+        Arm the runtime invariant contracts (see :mod:`repro.contracts`)
+        for this run, overriding the ``REPRO_VALIDATE`` environment
+        variable; also forwarded to the chip's per-epoch checks.  ``None``
+        (default) defers to the environment.
 
     Returns
     -------
@@ -66,6 +77,9 @@ def simulate(
     if reset:
         chip.reset()
         controller.reset()
+    validating = validation_enabled(validate)
+    if validate is not None:
+        chip.validate = validate
 
     chip_power = np.empty(n_epochs)
     chip_instructions = np.empty(n_epochs)
@@ -80,11 +94,16 @@ def simulate(
     )
 
     obs = None
+    last_time_s = float("-inf")
     for e in range(n_epochs):
         t0 = time.perf_counter()
         levels = controller.decide(obs)
         decision_time[e] = time.perf_counter() - t0
         obs = chip.step(levels)
+        if validating:
+            check_power_samples(obs.power, epoch=e)
+            check_time_monotone(last_time_s, obs.time, epoch=e)
+            last_time_s = obs.time
         chip_power[e] = obs.chip_power
         chip_instructions[e] = obs.chip_instructions
         max_temperature[e] = float(np.max(obs.temperature))
@@ -117,6 +136,7 @@ def run_controller(
     variation: Optional[CoreVariation] = None,
     memory_system: Optional[MemorySystem] = None,
     hetero: Optional[HeterogeneousMap] = None,
+    validate: Optional[bool] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build the chip, run, return the result."""
     chip = ManyCoreChip(
@@ -126,5 +146,8 @@ def run_controller(
         variation=variation,
         memory_system=memory_system,
         hetero=hetero,
+        validate=validate,
     )
-    return simulate(chip, controller, n_epochs, record_per_core=record_per_core)
+    return simulate(
+        chip, controller, n_epochs, record_per_core=record_per_core, validate=validate
+    )

@@ -66,7 +66,7 @@ class MetricStatistics:
         """
         if not (0 < level < 1):
             raise ValueError(f"level must be in (0, 1), got {level}")
-        if self.n < 2 or self.std == 0.0:
+        if self.n < 2 or self.std <= 0.0:
             return (self.mean, self.mean)
         half_width = scipy_stats.t.ppf(0.5 + level / 2, self.n - 1) * self.std / np.sqrt(self.n)
         return (self.mean - half_width, self.mean + half_width)

@@ -48,7 +48,7 @@ class CompiledWorkload(Workload):
         epoch_time: float,
         n_epochs: int,
         n_cores: int,
-    ):
+    ) -> None:
         if epoch_time <= 0:
             raise ValueError(f"epoch_time must be positive, got {epoch_time}")
         if n_epochs <= 0:

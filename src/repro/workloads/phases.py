@@ -59,7 +59,7 @@ class CorePhaseSequence:
     table.
     """
 
-    def __init__(self, phases: Sequence[Phase]):
+    def __init__(self, phases: Sequence[Phase]) -> None:
         if not phases:
             raise ValueError("a core phase sequence needs at least one phase")
         self._phases: Tuple[Phase, ...] = tuple(phases)
@@ -102,7 +102,7 @@ class Workload:
     cores than threads.
     """
 
-    def __init__(self, sequences: Sequence[CorePhaseSequence], name: str = "workload"):
+    def __init__(self, sequences: Sequence[CorePhaseSequence], name: str = "workload") -> None:
         if not sequences:
             raise ValueError("workload needs at least one core phase sequence")
         self._sequences: Tuple[CorePhaseSequence, ...] = tuple(sequences)

@@ -49,6 +49,7 @@ def compute_bound_sequence(
 
     Models benchmarks like *swaptions* or *blackscholes* — frequency buys
     nearly linear throughput, so these cores are where budget should flow.
+    ``mean_duration`` is the mean phase length in seconds.
     """
     phases = _sample_phases(
         rng,
@@ -70,6 +71,7 @@ def memory_bound_sequence(
     """Streaming, memory-bound behaviour (e.g. *ocean*, *canneal*).
 
     Throughput saturates early with frequency; high VF levels waste power.
+    ``mean_duration`` is the mean phase length in seconds.
     """
     phases = _sample_phases(
         rng,
@@ -94,6 +96,8 @@ def phased_sequence(
 
     This is the pattern that separates learning controllers from static
     ones: the right VF level flips between extremes on a regular cadence.
+    ``compute_duration`` and ``memory_duration`` are the nominal phase
+    lengths in seconds.
     """
     if n_cycles < 1:
         raise ValueError(f"n_cycles must be >= 1, got {n_cycles}")
@@ -122,7 +126,8 @@ def bursty_sequence(
     mean_duration: float = 0.008,
 ) -> CorePhaseSequence:
     """Short, erratic phases with heavy-tailed durations (e.g. *x264*,
-    graph workloads).  Stresses controller reaction time."""
+    graph workloads).  Stresses controller reaction time.
+    ``mean_duration`` is the mean phase length in seconds."""
     if n_phases < 1:
         raise ValueError(f"n_phases must be >= 1, got {n_phases}")
     phases: List[Phase] = []
@@ -143,7 +148,8 @@ def random_mix_sequence(
     mean_duration: float = 0.015,
 ) -> CorePhaseSequence:
     """Uniformly random behaviour over the whole parameter space — the
-    adversarial case with no structure to learn beyond slack tracking."""
+    adversarial case with no structure to learn beyond slack tracking.
+    ``mean_duration`` is the mean phase length in seconds."""
     phases = _sample_phases(
         rng,
         n_phases,

@@ -1,0 +1,26 @@
+# repro-lint: skip-file -- REPRO001 fixture: deliberately bad RNG usage.
+"""Known-good and known-bad snippets for the global-numpy-RNG rule."""
+
+import numpy as np
+from numpy import random as npr
+from numpy.random import normal  # BAD
+
+__all__ = ["good", "bad", "suppressed"]
+
+
+def good(rng: np.random.Generator) -> float:
+    gen = np.random.default_rng(42)
+    seq = np.random.SeedSequence(7)
+    return float(rng.normal()) + float(gen.integers(10)) + len(seq.spawn(1))
+
+
+def bad() -> float:
+    x = np.random.normal()  # BAD
+    y = np.random.randint(3)  # BAD
+    gen = np.random.default_rng()  # BAD
+    z = npr.random()  # BAD
+    return x + y + z + float(gen.random()) + normal()
+
+
+def suppressed() -> float:
+    return float(np.random.normal())  # noqa: REPRO001

@@ -1,0 +1,26 @@
+# repro-lint: skip-file -- REPRO002 fixture: deliberate float equality.
+"""Known-good and known-bad snippets for the float-equality rule."""
+
+import math
+
+__all__ = ["good", "bad", "suppressed"]
+
+
+def good(a: float, b: float, n: int) -> bool:
+    close = math.isclose(a, b)
+    ordered = a <= 0.0
+    integral = n == 1
+    return close and ordered and integral
+
+
+def bad(x: float, y: float) -> bool:
+    exact = x == 1.5  # BAD
+    flipped = 0.0 != y  # BAD
+    cast = float(y) == x  # BAD
+    negative = x == -2.5  # BAD
+    chained = 0.0 == x == y  # BAD
+    return exact or flipped or cast or negative or chained
+
+
+def suppressed(x: float) -> bool:
+    return x == 0.0  # noqa: REPRO002

@@ -1,0 +1,30 @@
+# repro-lint: skip-file -- REPRO003 fixture: deliberate mutable defaults.
+"""Known-good and known-bad snippets for the mutable-default rule."""
+
+from typing import List, Optional
+
+__all__ = ["good", "bad_list", "bad_dict", "bad_call", "bad_kwonly", "suppressed"]
+
+
+def good(items: Optional[List[int]] = None, n: int = 3, name: str = "x") -> List[int]:
+    return list(items or []) + [n]
+
+
+def bad_list(items=[]):  # BAD
+    return items
+
+
+def bad_dict(cache={}):  # BAD
+    return cache
+
+
+def bad_call(acc=list()):  # BAD
+    return acc
+
+
+def bad_kwonly(*, seen=set()):  # BAD
+    return seen
+
+
+def suppressed(memo={}):  # noqa: REPRO003
+    return memo

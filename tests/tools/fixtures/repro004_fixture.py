@@ -1,0 +1,6 @@
+# repro-lint: skip-file -- REPRO004 fixture: public module without __all__.
+"""A public module that forgets to declare its export surface."""
+
+
+def public_function() -> int:
+    return 1

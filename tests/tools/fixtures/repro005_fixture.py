@@ -1,0 +1,40 @@
+# repro-lint: skip-file -- REPRO005 fixture: unit-less physical quantities.
+"""Known-good and known-bad snippets for the unit-suffix rule."""
+
+__all__ = ["good_suffixed", "good_documented", "bad", "suppressed"]
+
+
+def good_suffixed(power_w: float, epoch_time_s: float, freq_hz: float) -> float:
+    return power_w * epoch_time_s * (1.0 + freq_hz * 0.0)
+
+
+def good_documented(power: float, duration: float) -> float:
+    """Energy from mean power over an interval.
+
+    Parameters
+    ----------
+    power:
+        Average power in watts.
+    duration:
+        Interval length in seconds.
+    """
+    return power * duration
+
+
+def bad(
+    power,  # BAD
+    total_energy,  # BAD
+    epoch_time,  # BAD
+    n_epochs,
+):
+    return power * total_energy * epoch_time * n_epochs
+
+
+def _private_helper(power):
+    return power
+
+
+def suppressed(
+    chip_power,  # noqa: REPRO005
+):
+    return chip_power

@@ -1,0 +1,22 @@
+# repro-lint: skip-file -- REPRO006 fixture: wall-clock timing.
+"""Known-good and known-bad snippets for the wall-clock-timing rule."""
+
+import time
+from time import time as wall_clock
+
+__all__ = ["good", "bad", "suppressed"]
+
+
+def good() -> float:
+    start = time.perf_counter()
+    return time.perf_counter() - start
+
+
+def bad() -> float:
+    t0 = time.time()  # BAD
+    t1 = wall_clock()  # BAD
+    return t1 - t0
+
+
+def suppressed() -> float:
+    return time.time()  # noqa: REPRO006

@@ -1,0 +1,1 @@
+"""Developer tooling for the OD-RL reproduction (not shipped with the package)."""

@@ -1,0 +1,22 @@
+"""Domain-aware lint pass for the OD-RL reproduction.
+
+Run as ``python -m tools.lint src/ tests/ benchmarks/``.  The rules
+(REPRO001–REPRO006) encode reproducibility and numerical-correctness
+discipline the generic linters cannot express; see ``docs/correctness.md``
+for the rule catalogue and how to add one.
+"""
+
+from tools.lint.engine import LintModule, Rule, Violation, lint_file, lint_paths
+from tools.lint.registry import all_rules, get_rule, register, rule_ids
+
+__all__ = [
+    "LintModule",
+    "Rule",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "all_rules",
+    "get_rule",
+    "register",
+    "rule_ids",
+]

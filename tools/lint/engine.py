@@ -1,0 +1,252 @@
+"""Core machinery for the domain-specific lint pass.
+
+The engine is deliberately tiny: a :class:`LintModule` bundles one parsed
+source file with the helpers every rule needs (numpy import aliases, the
+raw source lines for ``# noqa`` handling), a :class:`Rule` is a named
+check over that bundle, and :func:`lint_paths` walks files, runs the
+rules that apply, and filters suppressed violations.
+
+Rules live in :mod:`tools.lint.rules`; each registers itself with
+:mod:`tools.lint.registry` on import.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = [
+    "Violation",
+    "LintModule",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+]
+
+#: Constructors under ``numpy.random`` that are fine to reference: they
+#: build explicit, seedable generator objects rather than drawing from the
+#: hidden global stream.
+SEEDABLE_RNG_NAMES: FrozenSet[str] = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+_NOQA_RE = re.compile(r"#\s*noqa(?P<codes>\s*:\s*[A-Za-z0-9, ]+)?", re.IGNORECASE)
+
+#: File-level opt-out: a line containing this pragma within the first few
+#: lines of a file (e.g. lint-rule test fixtures full of deliberately bad
+#: code) excludes the whole file from the lint pass.
+SKIP_FILE_PRAGMA = "repro-lint: skip-file"
+_PRAGMA_SCAN_LINES = 5
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class LintModule:
+    """A parsed source file plus the context shared by every rule."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    #: Names bound to the ``numpy`` module in this file (e.g. ``np``).
+    numpy_aliases: Set[str] = field(default_factory=set)
+    #: Names bound to the ``numpy.random`` module (e.g. ``npr``).
+    numpy_random_aliases: Set[str] = field(default_factory=set)
+    #: Names bound to the ``time`` module (e.g. ``t``).
+    time_aliases: Set[str] = field(default_factory=set)
+    #: Local names that refer to ``time.time`` via ``from time import time``.
+    wall_clock_names: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: Path, source: Optional[str] = None) -> "LintModule":
+        text = path.read_text() if source is None else source
+        tree = ast.parse(text, filename=str(path))
+        mod = cls(path=path, source=text, tree=tree, lines=text.splitlines())
+        mod._collect_import_aliases()
+        return mod
+
+    def _collect_import_aliases(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        self.numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            self.numpy_random_aliases.add(alias.asname)
+                        else:
+                            # ``import numpy.random`` binds the top-level name.
+                            self.numpy_aliases.add("numpy")
+                    elif alias.name == "time":
+                        self.time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.numpy_random_aliases.add(alias.asname or "random")
+                elif node.module == "time":
+                    for alias in node.names:
+                        if alias.name == "time":
+                            self.wall_clock_names.add(alias.asname or "time")
+
+    def is_numpy_random(self, node: ast.expr) -> bool:
+        """Does ``node`` refer to the ``numpy.random`` module object?"""
+        if isinstance(node, ast.Name):
+            return node.id in self.numpy_random_aliases
+        if isinstance(node, ast.Attribute):
+            return node.attr == "random" and (
+                isinstance(node.value, ast.Name)
+                and node.value.id in self.numpy_aliases
+            )
+        return False
+
+    def docstring_of(self, node: ast.AST) -> str:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Module)
+        ):
+            return ast.get_docstring(node) or ""
+        return ""
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`rule_id` / :attr:`summary` and implement
+    :meth:`check`.  :meth:`applies_to` lets path-scoped rules (e.g. the
+    ``src/repro``-only RNG discipline) opt out of files they do not
+    govern; tests may still call :meth:`check` directly on any fixture.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def applies_to(self, path: Path) -> bool:
+        return True
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    # -- helpers shared by subclasses ------------------------------------
+    def violation(
+        self, module: LintModule, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+def _path_has_segments(path: Path, *segments: str) -> bool:
+    """True when ``segments`` appear consecutively in ``path``'s parts."""
+    parts = path.parts
+    k = len(segments)
+    return any(parts[i : i + k] == segments for i in range(len(parts) - k + 1))
+
+
+def in_src_repro(path: Path) -> bool:
+    return _path_has_segments(path, "src", "repro")
+
+
+def in_tests(path: Path) -> bool:
+    return "tests" in path.parts
+
+
+def _suppressed(module: LintModule, violation: Violation) -> bool:
+    """``# noqa`` / ``# noqa: REPROxxx`` on the flagged line suppresses it."""
+    if not (1 <= violation.line <= len(module.lines)):
+        return False
+    match = _NOQA_RE.search(module.lines[violation.line - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True  # bare ``# noqa`` silences every rule on the line
+    listed = {c.strip().upper() for c in codes.lstrip(" :").split(",") if c.strip()}
+    return violation.rule_id.upper() in listed
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule],
+    source: Optional[str] = None,
+    respect_scope: bool = True,
+) -> List[Violation]:
+    """Run ``rules`` over one file, dropping ``# noqa``-suppressed hits."""
+    try:
+        module = LintModule.parse(path, source=source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule_id="REPRO000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    if any(
+        SKIP_FILE_PRAGMA in line
+        for line in module.lines[:_PRAGMA_SCAN_LINES]
+    ):
+        return []
+    out: List[Violation] = []
+    for rule in rules:
+        if respect_scope and not rule.applies_to(path):
+            continue
+        for violation in rule.check(module):
+            if not _suppressed(module, violation):
+                out.append(violation)
+    out.sort(key=lambda v: (v.line, v.col, v.rule_id))
+    return out
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` stream."""
+    seen: Dict[Path, None] = {}
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if "__pycache__" not in sub.parts:
+                    seen.setdefault(sub, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+    return iter(seen)
+
+
+def lint_paths(paths: Iterable[Path], rules: Sequence[Rule]) -> List[Violation]:
+    """Lint every python file reachable from ``paths``."""
+    out: List[Violation] = []
+    for file_path in iter_python_files(paths):
+        out.extend(lint_file(file_path, rules))
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return out

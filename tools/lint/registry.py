@@ -1,0 +1,40 @@
+"""Rule registry: rules self-register at import time via :func:`register`."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from tools.lint.engine import Rule
+
+__all__ = ["register", "all_rules", "rule_ids", "get_rule"]
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``rule_cls`` to the global registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} must define a rule_id")
+    if rule_cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """One fresh instance of every registered rule, sorted by id."""
+    import tools.lint.rules  # noqa: F401  (import side effect: registration)
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    import tools.lint.rules  # noqa: F401
+
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    import tools.lint.rules  # noqa: F401
+
+    return _REGISTRY[rule_id]()

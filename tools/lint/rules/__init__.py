@@ -1,0 +1,17 @@
+"""Domain-specific lint rules; importing this package registers them all."""
+
+from tools.lint.rules.repro001_global_rng import GlobalNumpyRandom
+from tools.lint.rules.repro002_float_equality import FloatEquality
+from tools.lint.rules.repro003_mutable_defaults import MutableDefaults
+from tools.lint.rules.repro004_module_all import ModuleDeclaresAll
+from tools.lint.rules.repro005_unit_suffixes import UnitSuffixes
+from tools.lint.rules.repro006_wall_clock import WallClockTiming
+
+__all__ = [
+    "GlobalNumpyRandom",
+    "FloatEquality",
+    "MutableDefaults",
+    "ModuleDeclaresAll",
+    "UnitSuffixes",
+    "WallClockTiming",
+]

@@ -1,0 +1,75 @@
+"""REPRO001 — no global numpy RNG inside ``src/repro``.
+
+Every E1–E14 result must be reproducible from a seed.  Drawing from the
+hidden global stream (``np.random.normal(...)``) or building a generator
+without a seed argument (``np.random.default_rng()``) makes a run's
+randomness depend on import order and prior calls.  Stochastic code must
+take a ``numpy.random.Generator`` parameter, the discipline
+``workloads/synthetic.py`` already follows.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from tools.lint.engine import (
+    SEEDABLE_RNG_NAMES,
+    LintModule,
+    Rule,
+    Violation,
+    in_src_repro,
+)
+from tools.lint.registry import register
+
+__all__ = ["GlobalNumpyRandom"]
+
+
+@register
+class GlobalNumpyRandom(Rule):
+    rule_id = "REPRO001"
+    summary = (
+        "no global numpy RNG in src/repro — take a seeded Generator parameter"
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        return in_src_repro(path)
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and module.is_numpy_random(
+                node.value
+            ):
+                if node.attr not in SEEDABLE_RNG_NAMES:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"use of the global numpy RNG `np.random.{node.attr}`; "
+                        "pass a numpy.random.Generator instead",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in SEEDABLE_RNG_NAMES:
+                        yield self.violation(
+                            module,
+                            node,
+                            f"import of global-RNG routine "
+                            f"`numpy.random.{alias.name}`; "
+                            "pass a numpy.random.Generator instead",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "default_rng"
+                    and module.is_numpy_random(func.value)
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        "`default_rng()` without a seed argument is "
+                        "irreproducible; pass an explicit seed or Generator",
+                    )

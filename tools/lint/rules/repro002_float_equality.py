@@ -1,0 +1,65 @@
+"""REPRO002 — no ``==`` / ``!=`` against float values in library code.
+
+A budget share or power sample that is *almost* the expected value is the
+normal case after floating-point accumulation; exact equality silently
+flips branches.  Use :func:`math.isclose` / :func:`numpy.isclose` (or an
+ordered comparison when the semantics allow).  Test files are exempt:
+asserting an exactly-constructed value is idiomatic there.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from tools.lint.engine import LintModule, Rule, Violation, in_tests
+from tools.lint.registry import register
+
+__all__ = ["FloatEquality"]
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """Syntactically float-valued: a float literal or a float() cast."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "float16",
+            "float32",
+            "float64",
+        ):
+            return True
+    return False
+
+
+@register
+class FloatEquality(Rule):
+    rule_id = "REPRO002"
+    summary = "no float == / != outside tests — use math.isclose / np.isclose"
+
+    def applies_to(self, path: Path) -> bool:
+        return not in_tests(path)
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floatish(left) or _is_floatish(right):
+                    sym = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.violation(
+                        module,
+                        node,
+                        f"float `{sym}` comparison; use math.isclose / "
+                        "np.isclose (or an ordered comparison)",
+                    )
+                    break

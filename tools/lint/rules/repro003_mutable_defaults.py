@@ -1,0 +1,56 @@
+"""REPRO003 — no mutable default arguments.
+
+A ``def f(acc=[])`` default is evaluated once at definition time and
+shared across calls; state leaks between epochs, runs and tests.  Use
+``None`` and construct inside the function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.engine import LintModule, Rule, Violation
+from tools.lint.registry import register
+
+__all__ = ["MutableDefaults"]
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+)
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaults(Rule):
+    rule_id = "REPRO003"
+    summary = "no mutable default arguments — use None and construct inside"
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    yield self.violation(
+                        module,
+                        default,
+                        f"mutable default argument in `{node.name}` is shared "
+                        "across calls; default to None and construct inside",
+                    )

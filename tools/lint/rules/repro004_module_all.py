@@ -1,0 +1,56 @@
+"""REPRO004 — every public module under ``src/repro`` declares ``__all__``.
+
+The package's public surface is what experiments and downstream users
+script against; an explicit ``__all__`` keeps ``from repro.x import *``
+and the docs honest and makes accidental re-exports a lint failure
+rather than an API commitment.  Modules whose name starts with ``_``
+(including ``__main__``) are private and exempt; ``__init__.py`` is a
+public module and is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from tools.lint.engine import LintModule, Rule, Violation, in_src_repro
+from tools.lint.registry import register
+
+__all__ = ["ModuleDeclaresAll"]
+
+
+def _declares_all(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+            ):
+                return True
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+                return True
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+                return True
+    return False
+
+
+@register
+class ModuleDeclaresAll(Rule):
+    rule_id = "REPRO004"
+    summary = "public modules under src/repro must declare __all__"
+
+    def applies_to(self, path: Path) -> bool:
+        if not in_src_repro(path):
+            return False
+        name = path.stem
+        return name == "__init__" or not name.startswith("_")
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        if not _declares_all(module.tree):
+            yield self.violation(
+                module,
+                module.tree,
+                f"public module `{module.path.name}` does not declare __all__",
+            )

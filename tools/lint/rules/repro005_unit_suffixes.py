@@ -1,0 +1,117 @@
+"""REPRO005 — physical quantities carry units in their names or docs.
+
+A watts-vs-milliwatts or seconds-vs-epochs mixup is invisible to the type
+checker and to every test that only checks shapes.  Any public-function
+parameter whose name says it carries power, energy, time or frequency
+must either end in a unit suffix (``_w``, ``_j``, ``_s``, ``_hz``, …) or
+be described in the function docstring (numpy-style Parameters section),
+where the unit belongs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator, List
+
+from tools.lint.engine import LintModule, Rule, Violation, in_src_repro
+from tools.lint.registry import register
+
+__all__ = ["UnitSuffixes", "QUANTITY_WORDS", "UNIT_SUFFIXES"]
+
+#: Name tokens that mark a parameter as a physical quantity.
+QUANTITY_WORDS = frozenset(
+    {
+        "power",
+        "energy",
+        "time",
+        "latency",
+        "duration",
+        "period",
+        "freq",
+        "frequency",
+    }
+)
+
+#: Accepted unit suffix tokens (last ``_``-separated token of the name).
+UNIT_SUFFIXES = frozenset(
+    {
+        "w",
+        "mw",
+        "kw",
+        "j",
+        "mj",
+        "kj",
+        "s",
+        "ms",
+        "us",
+        "ns",
+        "hz",
+        "khz",
+        "mhz",
+        "ghz",
+        "k",
+        "c",
+        "v",
+    }
+)
+
+
+def _needs_units(name: str) -> bool:
+    tokens = name.lower().split("_")
+    if tokens[-1] in UNIT_SUFFIXES:
+        return False
+    return any(tok in QUANTITY_WORDS for tok in tokens)
+
+
+@register
+class UnitSuffixes(Rule):
+    rule_id = "REPRO005"
+    summary = (
+        "power/energy/time parameters need a unit suffix (_w/_j/_s/_hz) "
+        "or a docstring entry"
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        return in_src_repro(path)
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_") and node.name != "__init__":
+                continue
+            doc = module.docstring_of(node)
+            if not doc and node.name == "__init__":
+                # Constructor parameters are conventionally documented on
+                # the class docstring.
+                doc = self._enclosing_class_doc(module, node)
+            params: List[ast.arg] = (
+                node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+            )
+            for param in params:
+                name = param.arg
+                if name in ("self", "cls") or not _needs_units(name):
+                    continue
+                if doc and re.search(rf"\b{re.escape(name)}\b", doc):
+                    continue
+                yield Violation(
+                    path=str(module.path),
+                    line=param.lineno,
+                    col=param.col_offset,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"parameter `{name}` of `{node.name}` carries a "
+                        "physical quantity but has no unit suffix "
+                        "(_w/_j/_s/_hz/...) and is not described in the "
+                        "docstring"
+                    ),
+                )
+
+    @staticmethod
+    def _enclosing_class_doc(module: LintModule, func: ast.AST) -> str:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and func in node.body:
+                return ast.get_docstring(node) or ""
+        return ""

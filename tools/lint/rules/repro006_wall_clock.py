@@ -1,0 +1,47 @@
+"""REPRO006 — no ``time.time()`` for latency measurement.
+
+``time.time()`` is wall-clock time: it is low resolution on some
+platforms and jumps under NTP adjustment, which corrupts the paper's C3
+controller-latency measurements.  Use ``time.perf_counter()`` for every
+interval; the rare legitimate wall-clock timestamp (result metadata)
+takes a ``# noqa: REPRO006`` with a comment saying why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.engine import LintModule, Rule, Violation
+from tools.lint.registry import register
+
+__all__ = ["WallClockTiming"]
+
+
+@register
+class WallClockTiming(Rule):
+    rule_id = "REPRO006"
+    summary = "use time.perf_counter, not time.time, for timing"
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            hit = False
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module.time_aliases
+            ):
+                hit = True
+            elif isinstance(func, ast.Name) and func.id in module.wall_clock_names:
+                hit = True
+            if hit:
+                yield self.violation(
+                    module,
+                    node,
+                    "`time.time()` is wall-clock time; use "
+                    "`time.perf_counter()` for interval measurement",
+                )
