@@ -4,10 +4,21 @@
 # .[lint]` — for the lint/typecheck targets, which skip with a warning
 # when the tools are absent).
 
-.PHONY: test bench examples experiments lint typecheck check clean
+.PHONY: test bench examples experiments faults lint typecheck check clean
 
 test:
 	pytest tests/
+
+faults:
+	pytest tests/faults/ -q
+	REPRO_VALIDATE=1 python -c "\
+	from repro import ODRLController, default_system, mixed_workload, run_controller; \
+	from repro.faults import FaultCampaign; \
+	cfg = default_system(n_cores=16, budget_fraction=0.5); \
+	r = run_controller(cfg, mixed_workload(16, seed=0), ODRLController(cfg, seed=0), 80, \
+	faults=FaultCampaign.random(16, 80, rate=0.1, seed=3, n_crashes=1), \
+	watchdog=True, checkpoint_period=20); \
+	print('faulted smoke run OK:', r.extras['faults'])"
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,31 @@
+"""Bench E15 — extension: fault resilience and graceful degradation."""
+
+from conftest import N_CORES, SEED, save_report
+
+from repro.experiments import run_e15
+
+
+def test_bench_e15_faults(benchmark):
+    result = benchmark.pedantic(
+        run_e15,
+        kwargs={"n_cores": N_CORES, "n_epochs": 600, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result)
+    print()
+    print(result)
+    # Every sweep cell is populated and finite.
+    for table in ("bips", "obe", "loss"):
+        for controller, row in result.data[table].items():
+            assert all(v == v for v in row.values()), (table, controller)
+    # Both RL arms keep over-budget energy far below the model-based
+    # baselines at every fault rate (the paper's C1 claim survives faults).
+    obe = result.data["obe"]
+    worst_rl = max(max(obe["od-rl"].values()), max(obe["od-rl-raw"].values()))
+    best_model = min(
+        min(obe["greedy-ascent"].values()), min(obe["pid"].values())
+    )
+    assert worst_rl < best_model
+    # Checkpointed crash recovery lands near the no-crash steady state.
+    assert result.data["crash_recovery_ratio"] > 0.9

@@ -32,7 +32,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list experiments and workload benchmarks")
 
     exp = sub.add_parser("experiment", help="run one experiment and print its report")
-    exp.add_argument("experiment_id", help="E1..E12 (see DESIGN.md)")
+    exp.add_argument("experiment_id", help="E1..E15 (see DESIGN.md)")
     exp.add_argument("--cores", type=int, default=32, help="core count (default 32)")
     exp.add_argument("--epochs", type=int, default=1000, help="epochs per run (default 1000)")
     exp.add_argument("--seed", type=int, default=0, help="workload/learning seed")
@@ -75,6 +75,7 @@ def _cmd_list() -> int:
         "E12": "VFI granularity sweep (extension)",
         "E13": "heterogeneous big.LITTLE chip (extension)",
         "E14": "energy/performance frontier (extension)",
+        "E15": "fault resilience and graceful degradation (extension)",
     }
     for eid in EXPERIMENTS:
         print(f"  {eid:4s} {titles.get(eid, '')}")

@@ -32,6 +32,7 @@ __all__ = [
     "check_power_samples",
     "check_budget_conservation",
     "check_level_indices",
+    "check_observation_sane",
     "check_q_table",
     "check_time_monotone",
 ]
@@ -201,6 +202,51 @@ def check_q_table(
             epoch=step,
             core=agent,
         )
+
+
+def check_observation_sane(
+    sensed_power_w: np.ndarray,
+    sensed_instructions: np.ndarray,
+    sensed_temperature_k: np.ndarray,
+    levels: np.ndarray,
+    n_levels: int,
+    epoch: Optional[int] = None,
+) -> None:
+    """The telemetry handed to a controller must be physically plausible.
+
+    Sensed power must be finite and non-negative (a dropout legitimately
+    reads zero — that is a *valid* faulty reading, handled by the telemetry
+    sanitizer, not an invariant violation); sensed instruction counts must
+    be finite and non-negative; sensed temperatures must be finite (a
+    blacked-out diode reads zero kelvin, again finite); and the applied VF
+    levels must index the VF table.  This is the gate between the plant and
+    the controller: it catches simulator/injector bugs that would otherwise
+    surface as mysterious learning divergence.
+    """
+    check_power_samples(sensed_power_w, epoch=epoch, quantity="sensed_power_w")
+    instructions = np.asarray(sensed_instructions)
+    bad = ~np.isfinite(instructions) | (instructions < 0)
+    if bad.any():
+        core = _first_bad_index(bad)
+        value = instructions.reshape(-1)[core] if core is not None else None
+        raise InvariantViolation(
+            "sensed_instructions",
+            f"implausible sample {value!r}",
+            epoch=epoch,
+            core=core,
+        )
+    temperature = np.asarray(sensed_temperature_k)
+    bad = ~np.isfinite(temperature)
+    if bad.any():
+        core = _first_bad_index(bad)
+        value = temperature.reshape(-1)[core] if core is not None else None
+        raise InvariantViolation(
+            "sensed_temperature_k",
+            f"non-finite sample {value!r}",
+            epoch=epoch,
+            core=core,
+        )
+    check_level_indices(levels, n_levels, epoch=epoch)
 
 
 def check_time_monotone(

@@ -156,6 +156,7 @@ class QLearningPopulation:
         rewards: np.ndarray,
         next_states: np.ndarray,
         next_actions: Optional[np.ndarray] = None,
+        mask: Optional[np.ndarray] = None,
     ) -> None:
         """One synchronous TD update across all agents.
 
@@ -164,6 +165,11 @@ class QLearningPopulation:
         next_actions:
             Required when ``td_rule == "sarsa"`` — the actions actually
             taken in ``next_states``; ignored for Q-learning.
+        mask:
+            Optional boolean per-agent mask; agents where it is False are
+            skipped entirely (no Q write, no visit increment).  The
+            telemetry sanitizer uses this so agents never learn from
+            fabricated samples (see :mod:`repro.faults.sanitizer`).
         """
         states = self._check_states(states)
         next_states = self._check_states(next_states)
@@ -184,12 +190,21 @@ class QLearningPopulation:
             bootstrap = self.q[self._agent_idx, next_states, next_actions]
         else:
             bootstrap = np.max(self.q[self._agent_idx, next_states], axis=1)
-        cell_visits = self.visits[self._agent_idx, states, actions]
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != (self.n_agents,):
+                raise ValueError(f"mask must have shape ({self.n_agents},)")
+            idx = self._agent_idx[mask]
+        else:
+            idx = self._agent_idx
+        row_states = states[idx]
+        row_actions = actions[idx]
+        cell_visits = self.visits[idx, row_states, row_actions]
         a = self.alpha.value(cell_visits)
-        target = rewards + self.gamma * bootstrap
-        td = target - self.q[self._agent_idx, states, actions]
-        self.q[self._agent_idx, states, actions] += a * td
-        self.visits[self._agent_idx, states, actions] += 1
+        target = rewards[idx] + self.gamma * bootstrap[idx]
+        td = target - self.q[idx, row_states, row_actions]
+        self.q[idx, row_states, row_actions] += a * td
+        self.visits[idx, row_states, row_actions] += 1
         self.step_count += 1
         if self.validate:
             # Only the cells written this step can newly become non-finite
@@ -197,8 +212,28 @@ class QLearningPopulation:
             # validated cells), so checking the updated slice maintains the
             # whole-table invariant at O(n_agents) instead of O(table).
             check_q_table(
-                self.q[self._agent_idx, states, actions], step=self.step_count
+                self.q[idx, row_states, row_actions], step=self.step_count
             )
+
+    def repair_nonfinite(self) -> np.ndarray:
+        """Safe-state reflex: reinitialize any agent whose table went bad.
+
+        Scans every agent's Q-table for non-finite values; corrupted
+        agents get their table refilled with the optimistic init and their
+        visit counts cleared — the agent restarts learning from scratch
+        while the other agents keep theirs.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean mask, shape ``(n_agents,)``, of the agents that were
+            reinitialized (all-False when every table is finite).
+        """
+        bad = ~np.isfinite(self.q).all(axis=(1, 2))
+        if bad.any():
+            self.q[bad] = self._init
+            self.visits[bad] = 0
+        return bad
 
     def greedy_policy(self) -> np.ndarray:
         """Current greedy action per (agent, state), shape

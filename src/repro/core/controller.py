@@ -22,14 +22,16 @@ and consumes only sensed telemetry.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.core.agent import QLearningPopulation
 from repro.core.budget import reallocate_budget, uniform_allocation
+from repro.core.policy_io import restore_snapshot, snapshot_policy
 from repro.core.reward import RewardParams, compute_reward, max_epoch_instructions
 from repro.core.state import StateEncoder
+from repro.faults.sanitizer import SanitizerPolicy, TelemetrySanitizer
 from repro.manycore.chip import EpochObservation
 from repro.manycore.config import SystemConfig
 from repro.manycore.hetero import HeterogeneousMap
@@ -80,6 +82,20 @@ class ODRLController(Controller):
         management reflex that steps any core at/above the limit down one
         level regardless of its agent's choice (the safety net real DTM
         firmware provides while a learner converges).
+    degradation:
+        Arm the graceful-degradation layer (default on): sensed telemetry
+        passes through a :class:`~repro.faults.sanitizer.TelemetrySanitizer`
+        before any learning, TD updates skip cores whose samples were
+        repaired (never learn from fabricated readings), and a safe-state
+        reflex reinitializes any agent whose Q-table goes non-finite and
+        parks its core at the bottom VF level for one epoch.  With healthy
+        telemetry the layer is bit-for-bit transparent.  ``False`` feeds
+        raw sensed telemetry straight into learning (the "od-rl-raw"
+        arm of experiment E15).
+    sanitizer_policy:
+        Thresholds for the telemetry sanitizer (staleness window, validity
+        bounds); ``None`` selects :class:`~repro.faults.sanitizer.
+        SanitizerPolicy` defaults.  Ignored when ``degradation`` is off.
     seed:
         Seeds both exploration and any stochastic tie-breaking.
     """
@@ -109,6 +125,8 @@ class ODRLController(Controller):
         td_rule: str = "q",
         thermal_limit: Optional[float] = None,
         hetero: Optional[HeterogeneousMap] = None,
+        degradation: bool = True,
+        sanitizer_policy: Optional[SanitizerPolicy] = None,
         seed: int = 0,
     ) -> None:
         super().__init__(cfg)
@@ -150,6 +168,8 @@ class ODRLController(Controller):
             optimistic_init=1.0 / (1.0 - gamma),
             td_rule=td_rule,
         )
+        self.degradation = degradation
+        self.sanitizer = TelemetrySanitizer(cfg.n_cores, sanitizer_policy)
         self._freqs = np.array([f for f, _ in cfg.vf_levels])
         self._instr_scale = max_epoch_instructions(cfg)
         self._floors, self._caps = self._power_bounds(cfg, hetero)
@@ -205,6 +225,9 @@ class ODRLController(Controller):
         self.allocation = np.clip(self.allocation, self._floors, self._caps)
         self._prev_states: Optional[np.ndarray] = None
         self._prev_actions: Optional[np.ndarray] = None
+        self._prev_trusted: Optional[np.ndarray] = None
+        self.sanitizer.reset()
+        self.agents_repaired = 0
         self._epoch = 0
         self._window_ipc = np.zeros(self.n_cores)
         self._window_epochs = 0
@@ -225,9 +248,23 @@ class ODRLController(Controller):
             self._prev_actions = None
             return start
 
-        power = obs.sensed_power
-        instructions = obs.sensed_instructions
         levels = obs.levels
+        if self.degradation:
+            telemetry = self.sanitizer.sanitize(
+                obs.sensed_power,
+                obs.sensed_instructions,
+                obs.sensed_temperature,
+                self.allocation,
+            )
+            power = telemetry.power
+            instructions = telemetry.instructions
+            temperature = telemetry.temperature
+            trusted = telemetry.trusted
+        else:
+            power = obs.sensed_power
+            instructions = obs.sensed_instructions
+            temperature = obs.sensed_temperature
+            trusted = np.ones(self.n_cores, dtype=bool)
         freq = self._freqs[levels]
         cycles = freq * self.cfg.epoch_time
         ipc = instructions / np.maximum(cycles, 1.0)
@@ -241,7 +278,7 @@ class ODRLController(Controller):
             chip_budget=self.cfg.power_budget,
         )
         if self.thermal_limit is not None:
-            excess = np.maximum(0.0, obs.sensed_temperature - self.thermal_limit)
+            excess = np.maximum(0.0, temperature - self.thermal_limit)
             rewards = rewards - self.THERMAL_PENALTY_PER_K * excess
 
         # Coarse level: windowed IPC drives the budget shares; the adaptive
@@ -276,24 +313,70 @@ class ODRLController(Controller):
             self._window_over_epochs = 0
 
         states = self.encoder.encode(power, self.allocation, ipc, levels)
+        if self.degradation:
+            # Safe-state reflex: a corrupted Q-table (non-finite rows) is
+            # wiped before it can steer an action or absorb an update.
+            repaired = self.agents.repair_nonfinite()
+            if repaired.any():
+                self.agents_repaired += int(np.sum(repaired))
+        else:
+            repaired = np.zeros(self.n_cores, dtype=bool)
         actions = self.agents.act(states)
         if self._prev_states is not None and self._prev_actions is not None:
+            mask: Optional[np.ndarray] = None
+            if self.degradation:
+                prev_trusted = (
+                    self._prev_trusted
+                    if self._prev_trusted is not None
+                    else np.ones(self.n_cores, dtype=bool)
+                )
+                # An update is only as good as the telemetry on both of its
+                # ends; repaired agents' stale (state, action) pair refers
+                # to the table that was just wiped.
+                mask = trusted & prev_trusted & ~repaired
             self.agents.update(
                 self._prev_states,
                 self._prev_actions,
                 rewards,
                 states,
                 next_actions=actions,
+                mask=mask,
             )
         self._prev_states = states
         self._prev_actions = actions
+        self._prev_trusted = trusted
         self._epoch += 1
         next_levels = self._actions_to_levels(actions, levels)
+        if repaired.any():
+            # Park freshly reinitialized agents at the safe bottom level
+            # for one epoch while their table restarts from scratch.
+            next_levels = np.where(repaired, 0, next_levels)
         if self.thermal_limit is not None:
             # DTM reflex: a core at/over the limit steps down no matter
             # what its agent chose; the agent still learns from the reward.
-            hot = obs.sensed_temperature >= self.thermal_limit
+            hot = temperature >= self.thermal_limit
             next_levels = np.where(
                 hot, np.maximum(levels - 1, 0), next_levels
             )
         return next_levels
+
+    def checkpoint(self) -> Dict[str, np.ndarray]:
+        """Snapshot the learned state for crash/restart recovery.
+
+        The in-memory form of :func:`repro.core.policy_io.save_policy`;
+        :class:`repro.faults.watchdog.WatchdogController` calls this
+        periodically and hands the snapshot back via :meth:`restore` after
+        a controller crash, so a restart warm-starts from the last
+        checkpoint instead of relearning from scratch.
+        """
+        return snapshot_policy(self)
+
+    def restore(self, snapshot: Dict[str, np.ndarray]) -> None:
+        """Load a :meth:`checkpoint` snapshot (after a :meth:`reset`).
+
+        Restores tables, budget shares, guard band and the reallocation
+        window; the one-epoch TD pipeline (previous state/action) stays
+        cleared, so the first post-restore epoch acts without updating —
+        exactly the information a real restart would have.
+        """
+        restore_snapshot(self, snapshot)

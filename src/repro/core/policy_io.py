@@ -4,8 +4,18 @@ An on-line learner pays a warm-up cost after every cold start.  Real
 deployments avoid that by checkpointing the learned tables — firmware
 flashes the policy learned at burn-in, or migrates it across reboots.
 These helpers serialize an :class:`~repro.core.controller.ODRLController`'s
-learned state (Q-tables, visit counts, budget shares, guard band) to a
-single ``.npz`` file and restore it into a *compatible* controller.
+learned state (Q-tables, visit counts, budget shares, guard band, and the
+coarse-level reallocation window) and restore it into a *compatible*
+controller.
+
+Two granularities share one format:
+
+* :func:`snapshot_policy` / :func:`restore_snapshot` — in-memory
+  dictionaries of arrays, the currency of crash/restart checkpointing
+  (:class:`repro.faults.watchdog.WatchdogController` keeps one and hands
+  it back after a crash);
+* :func:`save_policy` / :func:`load_policy` — the same snapshot written
+  to / read from a single ``.npz`` file.
 
 Compatibility is structural: same core count, state-space size, action
 count and action mode.  Loading into a mismatched controller raises rather
@@ -15,18 +25,90 @@ than silently mis-indexing tables.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import TYPE_CHECKING, Dict, Union
 
 import numpy as np
 
-from repro.core.controller import ODRLController
+if TYPE_CHECKING:
+    from repro.core.controller import ODRLController
 
-__all__ = ["save_policy", "load_policy"]
+__all__ = ["save_policy", "load_policy", "snapshot_policy", "restore_snapshot"]
 
-_FORMAT_VERSION = 1
+#: Version 2 added the coarse-level window accumulators and epoch counter
+#: (crash/restart resumes mid-window instead of restarting the window).
+_FORMAT_VERSION = 2
 
 
-def save_policy(controller: ODRLController, path: Union[str, Path]) -> None:
+def snapshot_policy(controller: "ODRLController") -> Dict[str, np.ndarray]:
+    """Capture the controller's learned state as a dict of arrays.
+
+    The snapshot is a deep copy: later learning does not mutate it.
+    """
+    return {
+        "format_version": np.array(_FORMAT_VERSION),
+        "n_cores": np.array(controller.n_cores),
+        "n_states": np.array(controller.agents.n_states),
+        "n_actions": np.array(controller.agents.n_actions),
+        "action_mode": np.array(controller.action_mode),
+        "q": controller.agents.q.copy(),
+        "visits": controller.agents.visits.copy(),
+        "step_count": np.array(controller.agents.step_count),
+        "allocation": controller.allocation.copy(),
+        "guard": np.array(controller.guard),
+        "epoch": np.array(controller._epoch),
+        "window_ipc": controller._window_ipc.copy(),
+        "window_epochs": np.array(controller._window_epochs),
+        "window_over_epochs": np.array(controller._window_over_epochs),
+    }
+
+
+def restore_snapshot(
+    controller: "ODRLController", snapshot: Dict[str, np.ndarray]
+) -> None:
+    """Restore a :func:`snapshot_policy` capture into ``controller``.
+
+    Raises
+    ------
+    ValueError
+        On format-version mismatch or structural incompatibility (core
+        count, table dimensions, action mode).
+    """
+    version = int(snapshot["format_version"])
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported policy format version {version}; expected "
+            f"{_FORMAT_VERSION}"
+        )
+    checks = (
+        ("n_cores", controller.n_cores),
+        ("n_states", controller.agents.n_states),
+        ("n_actions", controller.agents.n_actions),
+    )
+    for key, expected in checks:
+        found = int(snapshot[key])
+        if found != expected:
+            raise ValueError(
+                f"policy {key} mismatch: file has {found}, controller "
+                f"has {expected}"
+            )
+    mode = str(snapshot["action_mode"])
+    if mode != controller.action_mode:
+        raise ValueError(
+            f"policy action_mode mismatch: file has {mode!r}, controller "
+            f"has {controller.action_mode!r}"
+        )
+    controller.agents.q = snapshot["q"].copy()
+    controller.agents.visits = snapshot["visits"].copy()
+    controller.agents.step_count = int(snapshot["step_count"])
+    controller.allocation = snapshot["allocation"].copy()
+    controller.guard = float(snapshot["guard"])
+    controller._epoch = int(snapshot["epoch"])
+    controller._window_ipc = snapshot["window_ipc"].copy()
+    controller._window_epochs = int(snapshot["window_epochs"])
+    controller._window_over_epochs = int(snapshot["window_over_epochs"])
+
+
+def save_policy(controller: "ODRLController", path: Union[str, Path]) -> None:
     """Write the controller's learned state to ``path`` (``.npz``).
 
     Parameters
@@ -36,23 +118,10 @@ def save_policy(controller: ODRLController, path: Union[str, Path]) -> None:
     path:
         Destination file; conventionally ``*.npz``.
     """
-    path = Path(path)
-    np.savez(
-        path,
-        format_version=np.array(_FORMAT_VERSION),
-        n_cores=np.array(controller.n_cores),
-        n_states=np.array(controller.agents.n_states),
-        n_actions=np.array(controller.agents.n_actions),
-        action_mode=np.array(controller.action_mode),
-        q=controller.agents.q,
-        visits=controller.agents.visits,
-        step_count=np.array(controller.agents.step_count),
-        allocation=controller.allocation,
-        guard=np.array(controller.guard),
-    )
+    np.savez(Path(path), **snapshot_policy(controller))
 
 
-def load_policy(controller: ODRLController, path: Union[str, Path]) -> None:
+def load_policy(controller: "ODRLController", path: Union[str, Path]) -> None:
     """Restore learned state saved by :func:`save_policy` into ``controller``.
 
     Raises
@@ -61,34 +130,5 @@ def load_policy(controller: ODRLController, path: Union[str, Path]) -> None:
         On format-version mismatch or structural incompatibility (core
         count, table dimensions, action mode).
     """
-    path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
-        version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported policy format version {version}; expected "
-                f"{_FORMAT_VERSION}"
-            )
-        checks = (
-            ("n_cores", controller.n_cores),
-            ("n_states", controller.agents.n_states),
-            ("n_actions", controller.agents.n_actions),
-        )
-        for key, expected in checks:
-            found = int(data[key])
-            if found != expected:
-                raise ValueError(
-                    f"policy {key} mismatch: file has {found}, controller "
-                    f"has {expected}"
-                )
-        mode = str(data["action_mode"])
-        if mode != controller.action_mode:
-            raise ValueError(
-                f"policy action_mode mismatch: file has {mode!r}, controller "
-                f"has {controller.action_mode!r}"
-            )
-        controller.agents.q = data["q"].copy()
-        controller.agents.visits = data["visits"].copy()
-        controller.agents.step_count = int(data["step_count"])
-        controller.allocation = data["allocation"].copy()
-        controller.guard = float(data["guard"])
+    with np.load(Path(path), allow_pickle=False) as data:
+        restore_snapshot(controller, {key: data[key] for key in data.files})

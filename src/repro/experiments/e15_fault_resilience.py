@@ -1,0 +1,257 @@
+"""E15 (extension) — fault resilience and graceful degradation.
+
+Not in the original paper, but the deployment question its thesis invites:
+a distributed learner on a thousand-core die will, in practice, face dead
+cores, wedged voltage regulators, blacked-out telemetry and the occasional
+controller crash.  E15 measures what those faults cost each policy and what
+the degradation layer (telemetry sanitizer + safe-state reflex +
+watchdog/checkpointing, see ``docs/robustness.md``) buys back.
+
+Two studies:
+
+1. **Fault-rate sweep** — the same seeded campaigns (core deaths, actuator
+   drop/stuck faults, telemetry blackouts) at increasing densities, run
+   against OD-RL with the degradation layer, OD-RL with raw telemetry
+   ("od-rl-raw", the ablation), and the greedy-ascent and PID baselines.
+   Every controller runs under the watchdog, so differences come from how
+   each policy digests faulty telemetry, not from crash handling.
+2. **Crash/restart study** — controller crashes only, comparing a
+   checkpointing restart against a cold restart and the no-crash
+   reference, scored on steady-state (tail) throughput.
+
+E15 deliberately stresses the telemetry path: the budget is tight enough
+(default 45 % of peak) that cores genuinely press their shares, and the
+power meters suffer heavy per-sample dropout/stuck faults on top of the
+campaign.  Under those conditions raw OD-RL reads dropout zeros as "far
+under budget", learns to push levels up, and both overshoots and loses
+more throughput to the resulting policy churn than the sanitized arm does.
+
+Campaigns are drawn with :meth:`repro.faults.campaign.FaultCampaign.random`
+from seeds derived deterministically from ``seed``: identical arguments
+give bit-for-bit identical runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.faults.campaign import FaultCampaign
+from repro.manycore.config import SystemConfig, default_system
+from repro.manycore.sensors import SensorSpec, SensorSuite
+from repro.metrics.perf_metrics import throughput_bips
+from repro.metrics.power_metrics import over_budget_energy
+from repro.metrics.report import format_table
+from repro.sim.interface import Controller
+from repro.sim.simulator import run_controller
+from repro.workloads.suite import mixed_workload
+
+__all__ = ["run_e15"]
+
+#: steady-state scoring window for the crash study (fraction of the run)
+_TAIL_FRACTION = 0.25
+
+#: the power-meter error model E15 stresses the controllers with: RAPL-like
+#: noise/quantization plus heavy per-sample dropout and stuck registers
+_POWER_SENSOR = SensorSpec(
+    relative_noise=0.02, quantum=0.1, dropout_rate=0.10, stuck_rate=0.02
+)
+
+
+def _sensors(seed: int) -> SensorSuite:
+    """A fresh, deterministically seeded sensor suite for one run."""
+    return SensorSuite(np.random.default_rng(seed + 123), power_spec=_POWER_SENSOR)
+
+
+def _lineup(seed: int) -> Dict[str, Callable[[SystemConfig], Controller]]:
+    """E15's controller arms: OD-RL with/without degradation + baselines."""
+    from repro.baselines import GreedyAscentController, PIDCappingController
+    from repro.core import ODRLController
+
+    def od_rl(cfg: SystemConfig) -> Controller:
+        return ODRLController(cfg, seed=seed)
+
+    def od_rl_raw(cfg: SystemConfig) -> Controller:
+        controller = ODRLController(cfg, degradation=False, seed=seed)
+        controller.name = "od-rl-raw"
+        return controller
+
+    return {
+        "od-rl": od_rl,
+        "od-rl-raw": od_rl_raw,
+        "greedy-ascent": lambda cfg: GreedyAscentController(cfg),
+        "pid": lambda cfg: PIDCappingController(cfg),
+    }
+
+
+def _rate_label(rate: float) -> str:
+    return f"{100 * rate:g}%"
+
+
+def run_e15(
+    n_cores: int = 64,
+    n_epochs: int = 600,
+    budget_fraction: float = 0.45,
+    fault_rates: Sequence[float] = (0.0, 0.02, 0.05, 0.10),
+    checkpoint_period: int = 50,
+    n_crashes: int = 3,
+    controllers: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run E15: fault-rate sweep plus crash/restart recovery study.
+
+    Parameters
+    ----------
+    n_cores, n_epochs, budget_fraction:
+        System size, run length in control epochs, and the power budget as
+        a fraction of the uncapped peak.
+    fault_rates:
+        Target fraction of (core, epoch) samples affected per fault class
+        in the sweep campaigns.
+    checkpoint_period:
+        Watchdog checkpoint cadence in epochs for the crash study's
+        checkpointing arm.
+    n_crashes:
+        Scheduled controller crashes in the crash study.
+    controllers:
+        Subset of the lineup to run (default: all four arms); must include
+        ``"od-rl"`` and ``"od-rl-raw"`` — the sweep exists to compare them.
+    seed:
+        Seeds workload, campaigns and learners; same seed, same bits.
+
+    ``data['bips']`` and ``data['obe']`` map
+    ``controller -> {rate_label: value}``; ``data['loss']`` holds each
+    controller's throughput loss relative to its own run at the first
+    (reference) fault rate; ``data['crash']`` maps ``arm -> tail BIPS``
+    with ``data['crash_recovery_ratio']`` the checkpointing arm's tail
+    throughput relative to the no-crash reference.
+    """
+    if n_epochs < 2:
+        raise ValueError(f"n_epochs must be >= 2, got {n_epochs}")
+    if any(not (0 <= r < 1) for r in fault_rates):
+        raise ValueError(f"fault rates must be in [0, 1), got {fault_rates!r}")
+    lineup = _lineup(seed)
+    names = list(controllers) if controllers else list(lineup)
+    for required in ("od-rl", "od-rl-raw"):
+        if required not in names:
+            raise ValueError(f"E15 requires {required!r} among the controllers")
+    unknown = [n for n in names if n not in lineup]
+    if unknown:
+        raise ValueError(f"unknown controllers {unknown!r}; choose from {list(lineup)}")
+
+    cfg = default_system(n_cores=n_cores, budget_fraction=budget_fraction)
+    workload = mixed_workload(n_cores, seed=seed)
+
+    bips: Dict[str, Dict[str, float]] = {name: {} for name in names}
+    obe: Dict[str, Dict[str, float]] = {name: {} for name in names}
+    rate_labels = [_rate_label(rate) for rate in fault_rates]
+    for i, rate in enumerate(fault_rates):
+        campaign = FaultCampaign.random(
+            n_cores, n_epochs, rate=rate, seed=seed + 1000 * (i + 1)
+        )
+        for name in names:
+            result = run_controller(
+                cfg,
+                workload,
+                lineup[name](cfg),
+                n_epochs,
+                sensors=_sensors(seed),
+                faults=campaign,
+                watchdog=True,
+            )
+            bips[name][_rate_label(rate)] = throughput_bips(result)
+            obe[name][_rate_label(rate)] = over_budget_energy(result)
+
+    reference = rate_labels[0]
+    loss: Dict[str, Dict[str, float]] = {
+        name: {
+            label: bips[name][reference] - bips[name][label]
+            for label in rate_labels
+        }
+        for name in names
+    }
+
+    crash_campaign = FaultCampaign.random(
+        n_cores, n_epochs, rate=0.0, seed=seed + 7, n_crashes=n_crashes
+    )
+    crash_arms = {
+        "no-crash": (FaultCampaign.none(n_cores), checkpoint_period),
+        "crash+checkpoint": (crash_campaign, checkpoint_period),
+        "crash+cold-restart": (crash_campaign, 0),
+    }
+    crash_bips: Dict[str, float] = {}
+    for arm, (campaign, period) in crash_arms.items():
+        result = run_controller(
+            cfg,
+            workload,
+            lineup["od-rl"](cfg),
+            n_epochs,
+            sensors=_sensors(seed),
+            faults=campaign,
+            watchdog=True,
+            checkpoint_period=period,
+        )
+        crash_bips[arm] = throughput_bips(result.tail(_TAIL_FRACTION))
+    recovery_ratio = crash_bips["crash+checkpoint"] / max(
+        crash_bips["no-crash"], 1e-12
+    )
+
+    report = "\n\n".join(
+        [
+            format_table(
+                bips,
+                rate_labels,
+                title=(
+                    f"E15: throughput (BIPS) vs combined fault rate, "
+                    f"{n_cores} cores, {n_epochs} epochs (all controllers "
+                    f"under the watchdog)"
+                ),
+                fmt="{:.2f}",
+                row_header="controller",
+            ),
+            format_table(
+                loss,
+                rate_labels,
+                title=(
+                    f"E15: throughput lost to faults (BIPS, vs each "
+                    f"controller's own {reference} run)"
+                ),
+                fmt="{:.3f}",
+                row_header="controller",
+            ),
+            format_table(
+                obe,
+                rate_labels,
+                title="E15: over-budget energy (J) vs combined fault rate",
+                fmt="{:.4f}",
+                row_header="controller",
+            ),
+            format_table(
+                {"od-rl tail BIPS": crash_bips},
+                list(crash_arms),
+                title=(
+                    f"E15: crash/restart study — steady-state (last "
+                    f"{int(100 * _TAIL_FRACTION)}%) throughput with "
+                    f"{n_crashes} scheduled crashes; checkpoint recovery "
+                    f"ratio {recovery_ratio:.3f} of no-crash"
+                ),
+                fmt="{:.2f}",
+            ),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="E15",
+        title="Fault resilience and graceful degradation (extension)",
+        report=report,
+        data={
+            "bips": bips,
+            "obe": obe,
+            "loss": loss,
+            "fault_rates": list(fault_rates),
+            "crash": crash_bips,
+            "crash_recovery_ratio": recovery_ratio,
+            "checkpoint_period": checkpoint_period,
+        },
+    )

@@ -1,0 +1,98 @@
+"""Stateful application of a :class:`FaultCampaign` to the plant.
+
+The campaign is a pure schedule; the injector owns the little state that
+injection needs — most importantly the level a *stuck* actuator froze at,
+which is only known at runtime (it is whatever level was in force when the
+fault began).  The :class:`~repro.manycore.chip.ManyCoreChip` consults the
+injector every epoch:
+
+1. :meth:`effective_levels` filters the controller's level command through
+   the actuator faults (dropped commands leave the level unchanged; stuck
+   actuators hold their frozen level);
+2. :meth:`dead_mask` marks cores that retire nothing and draw leakage
+   only;
+3. :meth:`blackout_channels` names the sensor channels blinded this
+   epoch.
+
+The injector also keeps per-class counters of affected (core, epoch)
+samples so a run can report the *realized* fault density next to the
+campaign's target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+import numpy as np
+
+from repro.faults.campaign import FaultCampaign
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Applies one campaign to one run; reset between runs.
+
+    Parameters
+    ----------
+    campaign:
+        The fault schedule to apply.
+    """
+
+    def __init__(self, campaign: FaultCampaign) -> None:
+        self.campaign = campaign
+        self._stuck_levels = np.full(campaign.n_cores, -1, dtype=int)
+        self.counts: Dict[str, int] = {"dead": 0, "dropped": 0, "stuck": 0, "blackout": 0}
+
+    @property
+    def n_cores(self) -> int:
+        return self.campaign.n_cores
+
+    def reset(self) -> None:
+        """Forget runtime state (stuck-level captures, counters)."""
+        self._stuck_levels.fill(-1)
+        for key in self.counts:
+            self.counts[key] = 0
+
+    def effective_levels(
+        self, epoch: int, current: np.ndarray, commanded: np.ndarray
+    ) -> np.ndarray:
+        """The levels actually applied after actuator faults.
+
+        Parameters
+        ----------
+        epoch:
+            The epoch about to run.
+        current:
+            Levels in force during the previous epoch.
+        commanded:
+            The controller's (already clamped) level command.
+        """
+        dropped = self.campaign.drop_mask(epoch)
+        stuck = self.campaign.stuck_mask(epoch)
+        effective = np.where(dropped, current, commanded)
+        if stuck.any():
+            # A newly stuck actuator freezes at the level currently in
+            # force; the capture persists while the fault stays active.
+            newly = stuck & (self._stuck_levels < 0)
+            self._stuck_levels[newly] = current[newly]
+            effective = np.where(stuck, self._stuck_levels, effective)
+        # A cleared stuck fault releases its capture so a later stuck
+        # window re-freezes at the then-current level.
+        self._stuck_levels[~stuck] = -1
+        self.counts["dropped"] += int(np.sum(dropped))
+        self.counts["stuck"] += int(np.sum(stuck))
+        return effective.astype(int)
+
+    def dead_mask(self, epoch: int) -> np.ndarray:
+        """Cores dead during ``epoch`` (no retirement, leakage only)."""
+        mask = self.campaign.dead_mask(epoch)
+        self.counts["dead"] += int(np.sum(mask))
+        return mask
+
+    def blackout_channels(self, epoch: int) -> FrozenSet[str]:
+        """Sensor channels blacked out during ``epoch``."""
+        channels = self.campaign.blackout_channels(epoch)
+        if channels:
+            self.counts["blackout"] += self.n_cores * len(channels)
+        return channels

@@ -1,0 +1,173 @@
+"""Watchdog wrapper: the control loop survives its controller.
+
+Real power-management stacks put the policy behind a watchdog: if the
+policy process throws, wedges, or returns garbage, firmware applies a safe
+action and the chip keeps running.  :class:`WatchdogController` gives the
+simulator the same property.  It wraps any
+:class:`~repro.sim.interface.Controller` and, every epoch:
+
+* runs the inner ``decide`` inside a try/except; an exception (or a
+  malformed level vector) is **recorded** in ``failure_log`` and the
+  fallback action — hold the last applied levels, or the safe bottom
+  level before any decision exists — is applied instead;
+* after ``max_strikes`` *consecutive* failures, declares the inner
+  controller sick, resets it, and (when checkpointing is armed) restores
+  the last checkpoint — the safe-state reflex for a policy whose internal
+  state went bad;
+* simulates scheduled :class:`~repro.faults.campaign.ControllerCrash`
+  events: at a crash epoch the inner controller loses all in-memory state
+  (``reset``), then resumes from the last checkpoint if one exists;
+* checkpoints the inner controller every ``checkpoint_period`` epochs via
+  its ``checkpoint()``/``restore()`` methods (any controller without them
+  simply restarts cold — the honest behaviour for memoryless baselines).
+
+The wrapper is deterministic: same inner controller, same campaign, same
+trajectory, bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.manycore.chip import EpochObservation
+from repro.sim.interface import Controller
+
+__all__ = ["WatchdogController"]
+
+
+class WatchdogController(Controller):
+    """Fault-tolerant wrapper around another controller.
+
+    Parameters
+    ----------
+    inner:
+        The policy under protection; the wrapper reports the inner
+        controller's ``name`` so result tables stay readable.
+    max_strikes:
+        Consecutive failed ``decide`` calls tolerated before the inner
+        controller is reset (and restored from checkpoint, if any).
+    crash_epochs:
+        Epoch indices at which the inner controller crashes and restarts
+        (typically ``campaign.crash_epochs``).
+    checkpoint_period:
+        Take a checkpoint of the inner controller every this many epochs
+        (``0`` disables checkpointing; crashes then restart cold).
+    safe_level:
+        VF level applied when no previous decision exists to hold;
+        defaults to the bottom level, the safest point on the ladder.
+    """
+
+    def __init__(
+        self,
+        inner: Controller,
+        max_strikes: int = 3,
+        crash_epochs: Sequence[int] = (),
+        checkpoint_period: int = 0,
+        safe_level: int = 0,
+    ) -> None:
+        super().__init__(inner.cfg)
+        if max_strikes < 1:
+            raise ValueError(f"max_strikes must be >= 1, got {max_strikes}")
+        if checkpoint_period < 0:
+            raise ValueError(
+                f"checkpoint_period must be >= 0, got {checkpoint_period}"
+            )
+        if not (0 <= safe_level < inner.cfg.n_levels):
+            raise ValueError(
+                f"safe_level {safe_level} outside VF table of {inner.cfg.n_levels}"
+            )
+        self.inner = inner
+        self.name = inner.name
+        self.max_strikes = max_strikes
+        self.checkpoint_period = checkpoint_period
+        self.safe_level = safe_level
+        self._crash_epochs = frozenset(int(e) for e in crash_epochs)
+        self.reset()
+
+    def reset(self) -> None:
+        """Reset wrapper and inner controller for a fresh run."""
+        self.inner.reset()
+        self.failure_log: List[Tuple[int, str]] = []
+        self.recoveries = 0
+        self.resets = 0
+        self.crashes = 0
+        self._strikes = 0
+        self._epoch = 0
+        self._checkpoint: Optional[Dict[str, np.ndarray]] = None
+        self._last_levels: Optional[np.ndarray] = None
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        """Counters for :attr:`SimulationResult.extras` reporting."""
+        return {
+            "recoveries": self.recoveries,
+            "resets": self.resets,
+            "crashes": self.crashes,
+            "failures": len(self.failure_log),
+            "failure_log": list(self.failure_log),
+        }
+
+    def _fallback(self) -> np.ndarray:
+        if self._last_levels is not None:
+            return self._last_levels.copy()
+        return self._full(self.safe_level)
+
+    def _coerce(self, proposed: np.ndarray) -> np.ndarray:
+        """Validate the inner controller's output; raise on garbage."""
+        levels = np.asarray(proposed)
+        if levels.shape != (self.n_cores,):
+            raise ValueError(
+                f"controller returned shape {levels.shape}, expected "
+                f"({self.n_cores},)"
+            )
+        if not np.all(np.isfinite(np.asarray(levels, dtype=float))):
+            raise ValueError("controller returned non-finite levels")
+        return levels.astype(int)
+
+    def _reinitialize(self) -> None:
+        """Safe-state reflex: reset the inner policy, restore a checkpoint."""
+        self.inner.reset()
+        self._restore_checkpoint()
+
+    def _restore_checkpoint(self) -> None:
+        restore = getattr(self.inner, "restore", None)
+        if self._checkpoint is not None and callable(restore):
+            restore(self._checkpoint)
+
+    def _maybe_checkpoint(self) -> None:
+        checkpoint = getattr(self.inner, "checkpoint", None)
+        if (
+            self.checkpoint_period > 0
+            and self._epoch > 0
+            and self._epoch % self.checkpoint_period == 0
+            and callable(checkpoint)
+        ):
+            self._checkpoint = checkpoint()
+
+    def decide(self, obs: Optional[EpochObservation]) -> np.ndarray:
+        epoch = self._epoch
+        if epoch in self._crash_epochs:
+            # The controller process died: all in-memory state is gone.
+            # Restart resumes from the last checkpoint when one exists.
+            self.inner.reset()
+            self._restore_checkpoint()
+            self.crashes += 1
+            self._strikes = 0
+        try:
+            levels = self._coerce(self.inner.decide(obs))
+            self._strikes = 0
+            self._maybe_checkpoint()
+        except Exception as exc:  # the watchdog's whole job is to survive this
+            self.failure_log.append((epoch, repr(exc)))
+            self.recoveries += 1
+            self._strikes += 1
+            levels = self._fallback()
+            if self._strikes >= self.max_strikes:
+                self._reinitialize()
+                self.resets += 1
+                self._strikes = 0
+        self._last_levels = levels.copy()
+        self._epoch += 1
+        return levels

@@ -20,8 +20,14 @@ loop is firmware.  Budget violation accounting lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # runtime import is lazy: repro.faults imports the
+    # sim/controller layers, which import this module.
+    from repro.faults.campaign import FaultCampaign
+    from repro.faults.injector import FaultInjector
 
 from repro.contracts import (
     check_level_indices,
@@ -126,6 +132,15 @@ class ManyCoreChip:
         power, in-range VF levels — see :mod:`repro.contracts`).  ``None``
         (default) defers to the ``REPRO_VALIDATE`` environment variable;
         the resolved switch is the public ``validate`` attribute.
+    faults:
+        Optional fault-injection schedule (a
+        :class:`~repro.faults.campaign.FaultCampaign`, or a pre-built
+        :class:`~repro.faults.injector.FaultInjector`).  Injects core
+        death, VF actuator faults, and whole-epoch telemetry blackouts
+        into the plant; ``None`` (default) runs fault-free.  Controller
+        crashes in the campaign are the simulator's concern (see
+        :class:`repro.faults.watchdog.WatchdogController`), not the
+        plant's.
     """
 
     def __init__(
@@ -138,6 +153,7 @@ class ManyCoreChip:
         memory_system: MemorySystem | None = None,
         hetero: HeterogeneousMap | None = None,
         validate: bool | None = None,
+        faults: Union["FaultCampaign", "FaultInjector", None] = None,
     ) -> None:
         if not cfg.vf_levels:
             raise ValueError("SystemConfig must carry a non-empty VF table")
@@ -171,11 +187,30 @@ class ManyCoreChip:
         self._freqs = np.array([f for f, _ in cfg.vf_levels])
         self._volts = np.array([v for _, v in cfg.vf_levels])
         self.levels = np.full(cfg.n_cores, start, dtype=int)
+        self.faults = self._build_injector(faults)
         self.validate = validation_enabled(validate)
         self.epoch = 0
         self.time = 0.0
         self.total_energy = 0.0
         self.total_instructions = 0.0
+
+    def _build_injector(
+        self, faults: Union["FaultCampaign", "FaultInjector", None]
+    ) -> "FaultInjector | None":
+        if faults is None:
+            return None
+        # Imported here, not at module level: repro.faults pulls in the
+        # simulator/controller layers, which import this module.
+        from repro.faults.campaign import FaultCampaign
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(faults) if isinstance(faults, FaultCampaign) else faults
+        if injector.n_cores != self.cfg.n_cores:
+            raise ValueError(
+                f"fault campaign covers {injector.n_cores} cores but the chip "
+                f"has {self.cfg.n_cores}"
+            )
+        return injector
 
     @property
     def n_cores(self) -> int:
@@ -191,6 +226,8 @@ class ManyCoreChip:
         self.thermal.reset()
         if self.memory_system is not None:
             self.memory_system.reset()
+        if self.faults is not None:
+            self.faults.reset()
         self.epoch = 0
         self.time = 0.0
         self.total_energy = 0.0
@@ -219,6 +256,12 @@ class ManyCoreChip:
         clamped = np.array(
             [clamp_level(int(v), n_levels) for v in new_levels], dtype=int
         )
+        if self.faults is not None:
+            # Actuator faults filter the command: dropped commands leave
+            # the level unchanged, stuck actuators hold their frozen
+            # level.  Applied before the stall so an unchanged level pays
+            # no transition penalty — the command never reached hardware.
+            clamped = self.faults.effective_levels(self.epoch, self.levels, clamped)
         # Stall time paid by cores that switched level this epoch.
         stall = np.array(
             [
@@ -252,14 +295,23 @@ class ManyCoreChip:
         # Process-variation multipliers scale each core's components.
         activity = activity_factor(cfg, freq, mem, comp, base_cpi=self._base_cpi)
         temps = self.thermal.temperatures
-        power = (
+        dyn = (
             dynamic_power(cfg.technology, volt, freq, activity)
             * self.variation.ceff_mult
             * self.hetero.ceff_scale
-            + leakage_power(cfg.technology, volt, temps)
+        )
+        leak = (
+            leakage_power(cfg.technology, volt, temps)
             * self.variation.leak_mult
             * self.hetero.leak_scale
         )
+        if self.faults is not None:
+            dead = self.faults.dead_mask(self.epoch)
+            if dead.any():
+                # A dead core retires nothing and draws leakage only.
+                instructions = np.where(dead, 0.0, instructions)
+                dyn = np.where(dead, 0.0, dyn)
+        power = dyn + leak
 
         if self.validate:
             check_level_indices(clamped, n_levels, epoch=self.epoch)
@@ -274,6 +326,11 @@ class ManyCoreChip:
         self.total_energy += energy
         self.total_instructions += float(np.sum(instructions))
 
+        blackout = (
+            self.faults.blackout_channels(self.epoch)
+            if self.faults is not None
+            else frozenset()
+        )
         obs = EpochObservation(
             epoch=self.epoch,
             time=self.time,
@@ -283,10 +340,12 @@ class ManyCoreChip:
             temperature=self.thermal.temperatures.copy(),
             mem_intensity=mem,
             compute_intensity=comp,
-            sensed_power=self.sensors.power.read(power),
-            sensed_instructions=self.sensors.perf.read(instructions),
+            sensed_power=self.sensors.power.read(power, blackout="power" in blackout),
+            sensed_instructions=self.sensors.perf.read(
+                instructions, blackout="perf" in blackout
+            ),
             sensed_temperature=self.sensors.temperature.read(
-                self.thermal.temperatures
+                self.thermal.temperatures, blackout="temperature" in blackout
             ),
         )
         self.epoch += 1

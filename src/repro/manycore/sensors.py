@@ -73,9 +73,22 @@ class Sensor:
     def spec(self) -> SensorSpec:
         return self._spec
 
-    def read(self, truth: np.ndarray) -> np.ndarray:
-        """Produce a reading of ``truth`` through this sensor."""
+    def read(self, truth: np.ndarray, blackout: bool = False) -> np.ndarray:
+        """Produce a reading of ``truth`` through this sensor.
+
+        Parameters
+        ----------
+        truth:
+            Ground-truth vector to observe.
+        blackout:
+            Whole-epoch outage (see :mod:`repro.faults`): the reading is
+            lost — zeros are returned, no RNG is consumed, and the held
+            register keeps its previous value, so the sensor's random
+            stream and stuck-sample behaviour are unchanged by the outage.
+        """
         truth = np.asarray(truth, dtype=float)
+        if blackout:
+            return np.zeros_like(truth)
         reading = truth
         if self._spec.relative_noise > 0:
             noise = self._rng.normal(1.0, self._spec.relative_noise, size=truth.shape)
@@ -86,11 +99,14 @@ class Sensor:
         if self._spec.stuck_rate > 0 and self._last is not None:
             stuck = self._rng.random(reading.shape) < self._spec.stuck_rate
             reading = np.where(stuck, self._last, reading)
+        if self._spec.stuck_rate > 0:
+            # Latch the register *before* dropout: a stuck sample next
+            # epoch must replay the last real reading, never a dropout
+            # zero (a failed transaction does not overwrite the register).
+            self._last = reading.copy()
         if self._spec.dropout_rate > 0:
             dropped = self._rng.random(reading.shape) < self._spec.dropout_rate
             reading = np.where(dropped, 0.0, reading)
-        if self._spec.stuck_rate > 0:
-            self._last = reading.copy()
         return reading
 
 

@@ -11,11 +11,16 @@ the ``decide`` call only — that wall time is itself an evaluation output
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.faults.campaign import FaultCampaign
+    from repro.faults.injector import FaultInjector
 
 import numpy as np
 
 from repro.contracts import (
+    check_observation_sane,
     check_power_samples,
     check_time_monotone,
     validation_enabled,
@@ -40,6 +45,9 @@ def simulate(
     record_per_core: bool = False,
     reset: bool = True,
     validate: Optional[bool] = None,
+    watchdog: bool = False,
+    checkpoint_period: int = 0,
+    max_strikes: int = 3,
 ) -> SimulationResult:
     """Run the closed control loop for ``n_epochs``.
 
@@ -62,6 +70,20 @@ def simulate(
         for this run, overriding the ``REPRO_VALIDATE`` environment
         variable; also forwarded to the chip's per-epoch checks.  ``None``
         (default) defers to the environment.
+    watchdog:
+        Wrap the controller in a
+        :class:`~repro.faults.watchdog.WatchdogController` before running:
+        controller exceptions become recorded recoveries with a fallback
+        action, and any :class:`~repro.faults.campaign.ControllerCrash`
+        events in the chip's fault campaign are simulated (crash/restart
+        with checkpoint recovery).  Watchdog counters land in
+        ``result.extras["watchdog"]``.
+    checkpoint_period:
+        With ``watchdog``, checkpoint the controller every this many
+        epochs (``0`` disables; crashes then restart cold).
+    max_strikes:
+        With ``watchdog``, consecutive decide failures tolerated before
+        the controller is reset and restored from the last checkpoint.
 
     Returns
     -------
@@ -73,6 +95,20 @@ def simulate(
         raise ValueError(
             f"chip has {chip.cfg.n_cores} cores but controller was built "
             f"for {controller.cfg.n_cores}"
+        )
+    if watchdog:
+        # Imported here: repro.faults.watchdog depends on this package's
+        # Controller interface, so a module-level import would cycle.
+        from repro.faults.watchdog import WatchdogController
+
+        crash_epochs = (
+            chip.faults.campaign.crash_epochs if chip.faults is not None else ()
+        )
+        controller = WatchdogController(
+            controller,
+            max_strikes=max_strikes,
+            crash_epochs=crash_epochs,
+            checkpoint_period=checkpoint_period,
         )
     if reset:
         chip.reset()
@@ -103,6 +139,14 @@ def simulate(
         if validating:
             check_power_samples(obs.power, epoch=e)
             check_time_monotone(last_time_s, obs.time, epoch=e)
+            check_observation_sane(
+                obs.sensed_power,
+                obs.sensed_instructions,
+                obs.sensed_temperature,
+                obs.levels,
+                chip.cfg.n_levels,
+                epoch=e,
+            )
             last_time_s = obs.time
         chip_power[e] = obs.chip_power
         chip_instructions[e] = obs.chip_instructions
@@ -123,7 +167,34 @@ def simulate(
         core_power=core_power,
         core_levels=core_levels,
         core_instructions=core_instructions,
+        extras=_resilience_extras(chip, controller),
     )
+
+
+def _resilience_extras(chip: ManyCoreChip, controller: Controller) -> dict:
+    """Fault-injection and degradation counters for ``result.extras``.
+
+    Duck-typed so memoryless baselines (no sanitizer, no watchdog wrapper)
+    contribute nothing; keys appear only when the matching machinery ran.
+    """
+    extras: dict = {}
+    if chip.faults is not None and chip.faults.campaign.n_events > 0:
+        extras["faults"] = {
+            "n_events": chip.faults.campaign.n_events,
+            **chip.faults.counts,
+        }
+    stats = getattr(controller, "stats", None)
+    inner = getattr(controller, "inner", controller)
+    if stats is not None and inner is not controller:
+        extras["watchdog"] = stats
+    sanitizer = getattr(inner, "sanitizer", None)
+    if sanitizer is not None and getattr(inner, "degradation", False):
+        extras["degradation"] = {
+            "rejected_samples": sanitizer.rejected_samples,
+            "fallback_samples": sanitizer.fallback_samples,
+            "agents_repaired": getattr(inner, "agents_repaired", 0),
+        }
+    return extras
 
 
 def run_controller(
@@ -137,8 +208,17 @@ def run_controller(
     memory_system: Optional[MemorySystem] = None,
     hetero: Optional[HeterogeneousMap] = None,
     validate: Optional[bool] = None,
+    faults: Union["FaultCampaign", "FaultInjector", None] = None,
+    watchdog: bool = False,
+    checkpoint_period: int = 0,
+    max_strikes: int = 3,
 ) -> SimulationResult:
-    """Convenience wrapper: build the chip, run, return the result."""
+    """Convenience wrapper: build the chip, run, return the result.
+
+    ``faults`` attaches a fault campaign to the chip; ``watchdog``,
+    ``checkpoint_period`` and ``max_strikes`` are forwarded to
+    :func:`simulate` (checkpoint cadence in epochs).
+    """
     chip = ManyCoreChip(
         cfg,
         workload,
@@ -147,7 +227,15 @@ def run_controller(
         memory_system=memory_system,
         hetero=hetero,
         validate=validate,
+        faults=faults,
     )
     return simulate(
-        chip, controller, n_epochs, record_per_core=record_per_core, validate=validate
+        chip,
+        controller,
+        n_epochs,
+        record_per_core=record_per_core,
+        validate=validate,
+        watchdog=watchdog,
+        checkpoint_period=checkpoint_period,
+        max_strikes=max_strikes,
     )

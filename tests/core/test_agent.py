@@ -120,6 +120,71 @@ class TestUpdate:
             pop.update(np.zeros(2, dtype=int), np.array([0, 5]), np.zeros(2), np.zeros(2, dtype=int))
 
 
+class TestMaskedUpdate:
+    def test_masked_agents_are_skipped_entirely(self):
+        pop = make_pop(3, 2, 2, gamma=0.0, alpha=ConstantSchedule(1.0), optimistic_init=0.0)
+        mask = np.array([True, False, True])
+        pop.update(np.zeros(3, dtype=int), np.zeros(3, dtype=int),
+                   np.ones(3), np.zeros(3, dtype=int), mask=mask)
+        assert pop.q[0, 0, 0] == pytest.approx(1.0)
+        assert pop.q[1, 0, 0] == 0.0  # no Q write
+        assert pop.q[2, 0, 0] == pytest.approx(1.0)
+        assert pop.visits[1].sum() == 0  # no visit increment
+        assert pop.visits[0, 0, 0] == 1
+
+    def test_all_true_mask_is_bit_identical_to_no_mask(self):
+        def run(mask):
+            pop = make_pop(4, 3, 2)
+            rng = np.random.default_rng(11)
+            for _ in range(50):
+                states = rng.integers(0, 3, size=4)
+                actions = pop.act(states)
+                pop.update(states, actions, rng.random(4),
+                           rng.integers(0, 3, size=4), mask=mask)
+            return pop.q.copy(), pop.visits.copy()
+
+        q_none, v_none = run(mask=None)
+        q_true, v_true = run(mask=np.ones(4, dtype=bool))
+        assert np.array_equal(q_none, q_true)
+        assert np.array_equal(v_none, v_true)
+
+    def test_mask_shape_validation(self):
+        pop = make_pop(2, 2, 2)
+        with pytest.raises(ValueError, match="mask"):
+            pop.update(np.zeros(2, dtype=int), np.zeros(2, dtype=int),
+                       np.zeros(2), np.zeros(2, dtype=int),
+                       mask=np.ones(3, dtype=bool))
+
+
+class TestRepairNonfinite:
+    def test_all_finite_is_a_no_op(self):
+        pop = make_pop()
+        q_before = pop.q.copy()
+        bad = pop.repair_nonfinite()
+        assert not bad.any()
+        assert np.array_equal(pop.q, q_before)
+
+    def test_corrupted_agent_reinitialized_others_kept(self):
+        pop = make_pop(3, 2, 2, optimistic_init=1.0)
+        pop.update(np.zeros(3, dtype=int), np.zeros(3, dtype=int),
+                   np.ones(3), np.zeros(3, dtype=int))
+        survivor_q = pop.q[2].copy()
+        pop.q[1, 0, 1] = np.nan
+        bad = pop.repair_nonfinite()
+        np.testing.assert_array_equal(bad, [False, True, False])
+        assert np.all(pop.q[1] == 1.0)
+        assert pop.visits[1].sum() == 0
+        assert np.array_equal(pop.q[2], survivor_q)
+        assert pop.visits[2].sum() == 1
+
+    def test_inf_also_detected(self):
+        pop = make_pop(2, 2, 2, optimistic_init=0.0)
+        pop.q[0, 1, 0] = np.inf
+        bad = pop.repair_nonfinite()
+        np.testing.assert_array_equal(bad, [True, False])
+        assert np.isfinite(pop.q).all()
+
+
 class TestSarsa:
     def test_rule_validation(self):
         with pytest.raises(ValueError, match="td_rule"):

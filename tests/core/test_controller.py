@@ -156,6 +156,76 @@ class TestBudgetReallocation:
         assert 0.0 <= ctl.guard <= ODRLController.GUARD_MAX
 
 
+class TestDegradation:
+    def test_transparent_on_healthy_telemetry(self, cfg, wl):
+        """With exact sensors the sanitizer must change nothing: the
+        degradation layer is bit-for-bit transparent on clean data."""
+        from repro.manycore import SensorSuite
+
+        on = run_controller(
+            cfg, wl, ODRLController(cfg, seed=3), n_epochs=80,
+            sensors=SensorSuite.exact(),
+        )
+        off = run_controller(
+            cfg, wl, ODRLController(cfg, degradation=False, seed=3), n_epochs=80,
+            sensors=SensorSuite.exact(),
+        )
+        assert np.array_equal(on.chip_power, off.chip_power)
+        assert np.array_equal(on.chip_instructions, off.chip_instructions)
+
+    def test_untrusted_cores_do_not_learn(self, cfg, wl):
+        """A power dropout (sensed 0 W) must not drive a TD update."""
+        ctl = ODRLController(cfg, seed=4)
+        chip = ManyCoreChip(cfg, wl)
+        obs = chip.step(ctl.decide(None))
+        ctl.decide(obs)  # primes prev state/action
+        obs2 = chip.step(ctl._full(1))
+        steps_before = ctl.agents.step_count
+        visits_before = ctl.agents.visits.sum(axis=(1, 2)).copy()
+        obs2.sensed_power[0] = 0.0  # failed transaction on core 0
+        ctl.decide(obs2)
+        assert ctl.agents.step_count == steps_before + 1
+        visits_after = ctl.agents.visits.sum(axis=(1, 2))
+        assert visits_after[0] == visits_before[0]
+        assert np.all(visits_after[1:] == visits_before[1:] + 1)
+
+    def test_safe_state_reflex_repairs_and_parks(self, cfg, wl):
+        """Non-finite Q rows are reinitialized and the core parked at the
+        bottom level for the epoch."""
+        ctl = ODRLController(cfg, seed=4)
+        chip = ManyCoreChip(cfg, wl)
+        obs = chip.step(ctl.decide(None))
+        ctl.agents.q[2] = np.nan
+        levels = ctl.decide(obs)
+        assert np.isfinite(ctl.agents.q).all()
+        assert ctl.agents_repaired == 1
+        assert levels[2] == 0
+
+    def test_checkpoint_restore_roundtrip(self, cfg, wl):
+        ctl = ODRLController(cfg, seed=5)
+        run_controller(cfg, wl, ctl, n_epochs=60)
+        snapshot = ctl.checkpoint()
+        fresh = ODRLController(cfg, seed=99)
+        fresh.reset()
+        fresh.restore(snapshot)
+        assert np.array_equal(fresh.agents.q, ctl.agents.q)
+        assert np.array_equal(fresh.allocation, ctl.allocation)
+        assert fresh.guard == ctl.guard
+        assert fresh._epoch == ctl._epoch
+
+    def test_checkpoint_is_a_copy(self, cfg, wl):
+        """Mutating the controller after checkpoint() must not mutate the
+        snapshot — the watchdog holds it across epochs."""
+        ctl = ODRLController(cfg, seed=5)
+        run_controller(cfg, wl, ctl, n_epochs=30)
+        snapshot = ctl.checkpoint()
+        q_at_snapshot = snapshot["q"].copy()
+        ctl.agents.q += 1.0
+        ctl.allocation += 0.5
+        assert np.array_equal(snapshot["q"], q_at_snapshot)
+        assert not np.array_equal(snapshot["allocation"], ctl.allocation)
+
+
 class TestControlQuality:
     def test_steady_state_power_under_budget(self, cfg, wl):
         ctl = ODRLController(cfg, seed=0)

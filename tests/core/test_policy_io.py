@@ -73,6 +73,43 @@ class TestRoundTrip:
         assert over.mean() < 0.05 * cfg.power_budget
 
 
+class TestWindowState:
+    def test_v2_roundtrip_restores_realloc_window(self, cfg, trained, tmp_path):
+        """Format v2 carries the coarse-level window accumulators so a
+        restart resumes mid-window rather than restarting it."""
+        trained_ctl, _ = trained
+        path = tmp_path / "policy.npz"
+        save_policy(trained_ctl, path)
+        fresh = ODRLController(cfg, seed=42)
+        fresh.reset()
+        load_policy(fresh, path)
+        assert fresh._epoch == trained_ctl._epoch
+        assert np.array_equal(fresh._window_ipc, trained_ctl._window_ipc)
+        assert fresh._window_epochs == trained_ctl._window_epochs
+        assert fresh._window_over_epochs == trained_ctl._window_over_epochs
+
+    def test_snapshot_restore_roundtrip_in_memory(self, cfg, trained):
+        from repro.core.policy_io import restore_snapshot, snapshot_policy
+
+        trained_ctl, _ = trained
+        snapshot = snapshot_policy(trained_ctl)
+        fresh = ODRLController(cfg, seed=42)
+        fresh.reset()
+        restore_snapshot(fresh, snapshot)
+        assert np.array_equal(fresh.agents.q, trained_ctl.agents.q)
+        assert fresh.guard == trained_ctl.guard
+        assert fresh._epoch == trained_ctl._epoch
+
+    def test_format_version_mismatch_rejected(self, cfg, trained):
+        from repro.core.policy_io import restore_snapshot, snapshot_policy
+
+        trained_ctl, _ = trained
+        snapshot = snapshot_policy(trained_ctl)
+        snapshot["format_version"] = np.array(1)
+        with pytest.raises(ValueError, match="format version"):
+            restore_snapshot(ODRLController(cfg), snapshot)
+
+
 class TestValidation:
     def test_core_count_mismatch(self, trained, tmp_path):
         trained_ctl, _ = trained

@@ -25,6 +25,7 @@ from repro.experiments import (
     run_e12,
     run_e13,
     run_e14,
+    run_e15,
 )
 
 BENCH = ("barnes", "ocean", "fft")
@@ -33,8 +34,8 @@ CTRLS = ("od-rl", "pid", "greedy-ascent")
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        # E1-E8 reconstruct the paper; E9-E14 are the extension studies.
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
+        # E1-E8 reconstruct the paper; E9-E15 are the extension studies.
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)}
 
 
 class TestE1:
@@ -267,3 +268,61 @@ class TestE8:
             assert set(row) == {"bips", "obe_J", "utilization", "instr_per_J"}
             assert row["bips"] > 0
             assert 0 < row["utilization"] <= 1.2
+
+
+class TestE15:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_e15(
+            n_cores=8,
+            n_epochs=60,
+            fault_rates=(0.0, 0.1),
+            checkpoint_period=10,
+            n_crashes=1,
+            controllers=("od-rl", "od-rl-raw"),
+            seed=0,
+        )
+
+    def test_sweep_tables_complete(self, result):
+        assert result.experiment_id == "E15"
+        for table in ("bips", "obe", "loss"):
+            data = result.data[table]
+            assert set(data) == {"od-rl", "od-rl-raw"}
+            for row in data.values():
+                assert set(row) == {"0%", "10%"}
+                assert all(np.isfinite(v) for v in row.values())
+
+    def test_loss_zero_at_reference_rate(self, result):
+        for row in result.data["loss"].values():
+            assert row["0%"] == 0.0
+
+    def test_crash_study_arms(self, result):
+        crash = result.data["crash"]
+        assert set(crash) == {"no-crash", "crash+checkpoint", "crash+cold-restart"}
+        assert all(v > 0 for v in crash.values())
+        assert result.data["crash_recovery_ratio"] > 0
+
+    def test_report_has_all_four_tables(self, result):
+        assert result.report.count("E15:") == 4
+        assert "recovery" in result.report
+
+    def test_deterministic(self, result):
+        again = run_e15(
+            n_cores=8,
+            n_epochs=60,
+            fault_rates=(0.0, 0.1),
+            checkpoint_period=10,
+            n_crashes=1,
+            controllers=("od-rl", "od-rl-raw"),
+            seed=0,
+        )
+        assert again.data["bips"] == result.data["bips"]
+        assert again.data["crash"] == result.data["crash"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fault rates"):
+            run_e15(fault_rates=(1.5,))
+        with pytest.raises(ValueError, match="od-rl-raw"):
+            run_e15(controllers=("od-rl", "pid"))
+        with pytest.raises(ValueError, match="unknown"):
+            run_e15(controllers=("od-rl", "od-rl-raw", "nonsense"))

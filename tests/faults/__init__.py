@@ -1,0 +1,2 @@
+"""Tests for the fault-injection subsystem (campaigns, injector,
+sanitizer, watchdog)."""

@@ -1,0 +1,175 @@
+"""FaultCampaign: validation, active windows, per-epoch queries, seeded draws."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    SENSOR_CHANNELS,
+    ActuatorFault,
+    ControllerCrash,
+    CoreDeathFault,
+    FaultCampaign,
+    TelemetryBlackout,
+)
+
+
+class TestEventValidation:
+    def test_negative_core_rejected(self):
+        with pytest.raises(ValueError, match="core"):
+            CoreDeathFault(core=-1, start_epoch=0)
+        with pytest.raises(ValueError, match="core"):
+            ActuatorFault(core=-2, start_epoch=0)
+
+    def test_negative_start_epoch_rejected(self):
+        with pytest.raises(ValueError, match="start_epoch"):
+            CoreDeathFault(core=0, start_epoch=-1)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            ActuatorFault(core=0, start_epoch=0, duration=0)
+        with pytest.raises(ValueError, match="duration"):
+            TelemetryBlackout(start_epoch=0, duration=0)
+
+    def test_bad_actuator_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            ActuatorFault(core=0, start_epoch=0, mode="wobble")
+
+    def test_bad_blackout_channels_rejected(self):
+        with pytest.raises(ValueError, match="channels"):
+            TelemetryBlackout(start_epoch=0, channels=("power", "voltage"))
+        with pytest.raises(ValueError, match="channels"):
+            TelemetryBlackout(start_epoch=0, channels=())
+
+    def test_crash_before_first_epoch_rejected(self):
+        with pytest.raises(ValueError, match="crash"):
+            ControllerCrash(epoch=0)
+
+    def test_campaign_rejects_out_of_range_core(self):
+        with pytest.raises(ValueError, match="core 5"):
+            FaultCampaign(n_cores=4, core_deaths=(CoreDeathFault(core=5, start_epoch=0),))
+
+    def test_campaign_rejects_nonpositive_n_cores(self):
+        with pytest.raises(ValueError, match="n_cores"):
+            FaultCampaign(n_cores=0)
+
+
+class TestActiveWindows:
+    def test_finite_window(self):
+        fault = CoreDeathFault(core=0, start_epoch=3, duration=2)
+        assert [fault.active(e) for e in range(7)] == [
+            False, False, False, True, True, False, False,
+        ]
+
+    def test_permanent_fault_never_clears(self):
+        fault = ActuatorFault(core=1, start_epoch=4, duration=None)
+        assert not fault.active(3)
+        assert fault.active(4)
+        assert fault.active(10_000)
+
+    def test_blackout_window(self):
+        outage = TelemetryBlackout(start_epoch=2, duration=3)
+        assert [outage.active(e) for e in range(6)] == [
+            False, False, True, True, True, False,
+        ]
+
+
+class TestPerEpochQueries:
+    @pytest.fixture
+    def campaign(self):
+        return FaultCampaign(
+            n_cores=4,
+            core_deaths=(CoreDeathFault(core=2, start_epoch=1, duration=2),),
+            actuator_faults=(
+                ActuatorFault(core=0, start_epoch=0, duration=3, mode="drop"),
+                ActuatorFault(core=3, start_epoch=2, duration=None, mode="stuck"),
+            ),
+            blackouts=(
+                TelemetryBlackout(start_epoch=1, duration=1, channels=("power",)),
+                TelemetryBlackout(start_epoch=1, duration=2, channels=("perf",)),
+            ),
+            crashes=(ControllerCrash(epoch=5), ControllerCrash(epoch=2)),
+        )
+
+    def test_dead_mask(self, campaign):
+        np.testing.assert_array_equal(campaign.dead_mask(0), [False] * 4)
+        np.testing.assert_array_equal(campaign.dead_mask(1), [False, False, True, False])
+        np.testing.assert_array_equal(campaign.dead_mask(3), [False] * 4)
+
+    def test_drop_and_stuck_masks_are_disjoint_views(self, campaign):
+        np.testing.assert_array_equal(campaign.drop_mask(2), [True, False, False, False])
+        np.testing.assert_array_equal(campaign.stuck_mask(2), [False, False, False, True])
+        np.testing.assert_array_equal(campaign.drop_mask(3), [False] * 4)
+        np.testing.assert_array_equal(campaign.stuck_mask(99), [False, False, False, True])
+
+    def test_blackout_channels_union(self, campaign):
+        assert campaign.blackout_channels(0) == frozenset()
+        assert campaign.blackout_channels(1) == {"power", "perf"}
+        assert campaign.blackout_channels(2) == {"perf"}
+
+    def test_crashes(self, campaign):
+        assert campaign.crash_epochs == (2, 5)
+        assert campaign.crashes_at(2)
+        assert campaign.crashes_at(5)
+        assert not campaign.crashes_at(3)
+
+    def test_n_events(self, campaign):
+        assert campaign.n_events == 7
+
+    def test_none_is_empty(self):
+        empty = FaultCampaign.none(8)
+        assert empty.n_events == 0
+        assert not empty.dead_mask(0).any()
+        assert empty.blackout_channels(0) == frozenset()
+        assert empty.crash_epochs == ()
+
+
+class TestRandomCampaign:
+    def test_same_seed_same_campaign(self):
+        a = FaultCampaign.random(16, 200, rate=0.05, seed=42, n_crashes=2)
+        b = FaultCampaign.random(16, 200, rate=0.05, seed=42, n_crashes=2)
+        assert a == b
+
+    def test_different_seed_different_campaign(self):
+        a = FaultCampaign.random(16, 200, rate=0.05, seed=1)
+        b = FaultCampaign.random(16, 200, rate=0.05, seed=2)
+        assert a != b
+
+    def test_zero_rate_yields_only_crashes(self):
+        campaign = FaultCampaign.random(16, 100, rate=0.0, seed=0, n_crashes=3)
+        assert not campaign.core_deaths
+        assert not campaign.actuator_faults
+        assert not campaign.blackouts
+        assert len(campaign.crashes) == 3
+
+    def test_rate_scales_event_count(self):
+        low = FaultCampaign.random(64, 400, rate=0.02, seed=0)
+        high = FaultCampaign.random(64, 400, rate=0.10, seed=0)
+        assert 0 < low.n_events < high.n_events
+
+    def test_events_inside_run_dimensions(self):
+        campaign = FaultCampaign.random(8, 50, rate=0.2, seed=3, n_crashes=2)
+        for fault in (*campaign.core_deaths, *campaign.actuator_faults):
+            assert 0 <= fault.core < 8
+            assert 0 <= fault.start_epoch < 50
+        for outage in campaign.blackouts:
+            assert 0 <= outage.start_epoch < 50
+        for crash in campaign.crashes:
+            # crashes land in the middle half of the run
+            assert 50 // 4 <= crash.epoch < (3 * 50) // 4
+
+    def test_crash_epochs_distinct(self):
+        campaign = FaultCampaign.random(8, 100, rate=0.0, seed=9, n_crashes=5)
+        assert len(set(campaign.crash_epochs)) == 5
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultCampaign.random(8, 100, rate=1.0, seed=0)
+        with pytest.raises(ValueError, match="rate"):
+            FaultCampaign.random(8, 100, rate=-0.1, seed=0)
+        with pytest.raises(ValueError, match="n_epochs"):
+            FaultCampaign.random(8, 0, rate=0.1, seed=0)
+        with pytest.raises(ValueError, match="n_crashes"):
+            FaultCampaign.random(8, 100, rate=0.1, seed=0, n_crashes=-1)
+
+    def test_channels_constant_matches_sensor_suite(self):
+        assert SENSOR_CHANNELS == ("power", "perf", "temperature")

@@ -1,0 +1,151 @@
+"""TelemetrySanitizer: reject, hold-last-good, allocation-neutral fallback."""
+
+import numpy as np
+import pytest
+
+from repro.faults import SanitizedTelemetry, SanitizerPolicy, TelemetrySanitizer
+
+N = 4
+GOOD_POWER = np.array([2.0, 3.0, 1.5, 2.5])
+GOOD_INSTR = np.array([1e9, 2e9, 5e8, 1.5e9])
+GOOD_TEMP = np.array([320.0, 330.0, 315.0, 325.0])
+ALLOCATION = np.array([4.0, 4.0, 4.0, 4.0])
+
+
+def feed(sanitizer, power=GOOD_POWER, instructions=GOOD_INSTR, temperature=GOOD_TEMP):
+    return sanitizer.sanitize(power, instructions, temperature, ALLOCATION)
+
+
+class TestPolicyValidation:
+    def test_defaults_are_sane(self):
+        policy = SanitizerPolicy()
+        assert policy.max_staleness_epochs == 5
+        assert policy.power_floor_w > 0
+
+    def test_negative_staleness_rejected(self):
+        with pytest.raises(ValueError, match="max_staleness_epochs"):
+            SanitizerPolicy(max_staleness_epochs=-1)
+
+    def test_negative_power_floor_rejected(self):
+        with pytest.raises(ValueError, match="power_floor_w"):
+            SanitizerPolicy(power_floor_w=-0.1)
+
+    def test_sanitizer_rejects_nonpositive_core_count(self):
+        with pytest.raises(ValueError, match="n_cores"):
+            TelemetrySanitizer(0)
+
+
+class TestAcceptance:
+    def test_healthy_readings_pass_through_untouched(self):
+        out = feed(TelemetrySanitizer(N))
+        assert isinstance(out, SanitizedTelemetry)
+        np.testing.assert_array_equal(out.power, GOOD_POWER)
+        np.testing.assert_array_equal(out.instructions, GOOD_INSTR)
+        np.testing.assert_array_equal(out.temperature, GOOD_TEMP)
+        assert out.trusted.all()
+        assert not out.staleness.any()
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda p, i, t: (p * np.where(np.arange(N) == 1, np.nan, 1.0), i, t),
+            lambda p, i, t: (p + np.where(np.arange(N) == 1, np.inf, 0.0), i, t),
+            lambda p, i, t: (np.where(np.arange(N) == 1, 0.0, p), i, t),
+            lambda p, i, t: (p, np.where(np.arange(N) == 1, -1.0, i), t),
+            lambda p, i, t: (p, np.where(np.arange(N) == 1, np.nan, i), t),
+            lambda p, i, t: (p, i, np.where(np.arange(N) == 1, 50.0, t)),
+            lambda p, i, t: (p, i, np.where(np.arange(N) == 1, np.nan, t)),
+        ],
+        ids=[
+            "nan-power", "inf-power", "zero-power", "negative-instr",
+            "nan-instr", "cold-temp", "nan-temp",
+        ],
+    )
+    def test_implausible_reading_marks_core_untrusted(self, corrupt):
+        sanitizer = TelemetrySanitizer(N)
+        power, instructions, temperature = corrupt(
+            GOOD_POWER.copy(), GOOD_INSTR.copy(), GOOD_TEMP.copy()
+        )
+        out = feed(sanitizer, power, instructions, temperature)
+        np.testing.assert_array_equal(out.trusted, np.arange(N) != 1)
+        assert sanitizer.rejected_samples == 1
+        # outputs are always finite and physical, whatever came in
+        assert np.isfinite(out.power).all()
+        assert np.isfinite(out.instructions).all()
+        assert np.isfinite(out.temperature).all()
+
+
+class TestHoldAndFallback:
+    def test_hold_last_good_within_staleness_window(self):
+        sanitizer = TelemetrySanitizer(N, SanitizerPolicy(max_staleness_epochs=2))
+        feed(sanitizer)  # establish last-good
+        bad_power = GOOD_POWER.copy()
+        bad_power[0] = np.nan
+        for epoch in range(2):
+            out = feed(sanitizer, power=bad_power)
+            assert out.power[0] == GOOD_POWER[0]
+            assert out.instructions[0] == GOOD_INSTR[0]
+            assert not out.trusted[0]
+            assert out.staleness[0] == epoch + 1
+
+    def test_fallback_beyond_staleness_window(self):
+        sanitizer = TelemetrySanitizer(N, SanitizerPolicy(max_staleness_epochs=1))
+        feed(sanitizer)
+        bad_power = GOOD_POWER.copy()
+        bad_power[0] = 0.0
+        feed(sanitizer, power=bad_power)  # held
+        out = feed(sanitizer, power=bad_power)  # past the window
+        assert out.power[0] == ALLOCATION[0]
+        assert out.instructions[0] == 0.0
+        assert out.temperature[0] == sanitizer.policy.fallback_temperature_k
+        assert not out.trusted[0]
+        assert sanitizer.fallback_samples == 1
+
+    def test_core_with_no_history_falls_back_immediately(self):
+        sanitizer = TelemetrySanitizer(N)
+        bad_power = GOOD_POWER.copy()
+        bad_power[2] = np.nan
+        out = feed(sanitizer, power=bad_power)
+        assert out.power[2] == ALLOCATION[2]
+        assert out.instructions[2] == 0.0
+        assert sanitizer.fallback_samples == 1
+
+    def test_recovery_clears_staleness(self):
+        sanitizer = TelemetrySanitizer(N)
+        bad_power = GOOD_POWER.copy()
+        bad_power[0] = np.nan
+        feed(sanitizer, power=bad_power)
+        out = feed(sanitizer)
+        assert out.trusted.all()
+        assert out.staleness[0] == 0
+        assert out.power[0] == GOOD_POWER[0]
+
+    def test_counters_and_reset(self):
+        sanitizer = TelemetrySanitizer(N, SanitizerPolicy(max_staleness_epochs=0))
+        bad_power = np.zeros(N)
+        feed(sanitizer, power=bad_power)
+        assert sanitizer.rejected_samples == N
+        assert sanitizer.fallback_samples == N
+        sanitizer.reset()
+        assert sanitizer.rejected_samples == 0
+        assert sanitizer.fallback_samples == 0
+        # held state is forgotten too: the next bad epoch cannot hold
+        feed(sanitizer)
+        sanitizer.reset()
+        out = feed(sanitizer, power=bad_power)
+        np.testing.assert_array_equal(out.power, ALLOCATION)
+
+    def test_shape_mismatch_rejected(self):
+        sanitizer = TelemetrySanitizer(N)
+        with pytest.raises(ValueError, match="power"):
+            sanitizer.sanitize(np.ones(N + 1), GOOD_INSTR, GOOD_TEMP, ALLOCATION)
+        with pytest.raises(ValueError, match="allocation"):
+            sanitizer.sanitize(GOOD_POWER, GOOD_INSTR, GOOD_TEMP, np.ones(2))
+
+    def test_zero_instructions_with_live_power_is_trusted(self):
+        """An idle core (0 retired instructions, real power draw) is data,
+        not a dropout — only the power channel distinguishes failure."""
+        sanitizer = TelemetrySanitizer(N)
+        out = feed(sanitizer, instructions=np.zeros(N))
+        assert out.trusted.all()
+        np.testing.assert_array_equal(out.instructions, np.zeros(N))

@@ -1,0 +1,97 @@
+"""End-to-end acceptance for the fault-injection subsystem (E15 scale).
+
+These runs use the experiment's stress configuration — 64 cores, a tight
+budget, heavy power-sensor dropout — where the degradation layer's value
+is measurable: raw OD-RL reads dropout zeros as headroom, so it both
+overshoots and loses more throughput to policy churn than the sanitized
+arm.  Marked slow; the cheap structural checks live in
+tests/experiments and tests/faults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ODRLController
+from repro.experiments import run_e15
+from repro.faults import FaultCampaign
+from repro.manycore import default_system
+from repro.sim import run_controller
+from repro.workloads import mixed_workload
+
+pytestmark = pytest.mark.slow
+
+N_CORES = 64
+N_EPOCHS = 250
+FAULT_RATE = 0.05
+
+
+@pytest.fixture(scope="module")
+def e15():
+    return run_e15(
+        n_cores=N_CORES,
+        n_epochs=N_EPOCHS,
+        fault_rates=(0.0, FAULT_RATE),
+        controllers=("od-rl", "od-rl-raw"),
+        seed=0,
+    )
+
+
+class TestGracefulDegradation:
+    def test_degradation_loses_strictly_less_throughput(self, e15):
+        """At a 5% combined fault rate the sanitized arm gives up strictly
+        less throughput (vs its own fault-free run) than the raw arm."""
+        loss = e15.data["loss"]
+        assert loss["od-rl"]["5%"] < loss["od-rl-raw"]["5%"]
+
+    def test_degradation_overshoots_strictly_less(self, e15):
+        obe = e15.data["obe"]
+        assert obe["od-rl"]["5%"] < obe["od-rl-raw"]["5%"]
+        # and stays near-compliant in absolute terms
+        assert obe["od-rl"]["5%"] < 0.1
+
+    def test_faults_cost_throughput_at_all(self, e15):
+        """Sanity: the 5% campaign is a real stressor, not a no-op."""
+        assert e15.data["loss"]["od-rl-raw"]["5%"] > 0
+
+
+class TestCrashRecovery:
+    def test_checkpointed_restart_recovers_within_5_percent(self, e15):
+        """The crash/restart campaign with checkpointing lands within 5%
+        of the no-crash run's steady-state throughput."""
+        assert e15.data["crash_recovery_ratio"] > 0.95
+
+    def test_checkpoint_beats_cold_restart(self, e15):
+        crash = e15.data["crash"]
+        assert crash["crash+checkpoint"] >= crash["crash+cold-restart"]
+
+
+class TestReproducibility:
+    def test_identical_seed_faulted_runs_bit_for_bit(self):
+        """Same seeds, same campaign: the full faulted OD-RL control loop
+        (sanitizer + watchdog + checkpointing) replays bit-for-bit."""
+        cfg = default_system(n_cores=N_CORES, budget_fraction=0.45)
+        workload = mixed_workload(N_CORES, seed=0)
+        campaign = FaultCampaign.random(
+            N_CORES, 200, rate=FAULT_RATE, seed=17, n_crashes=2
+        )
+
+        def run():
+            from repro.experiments.e15_fault_resilience import _sensors
+
+            return run_controller(
+                cfg,
+                workload,
+                ODRLController(cfg, seed=0),
+                200,
+                sensors=_sensors(0),
+                faults=campaign,
+                watchdog=True,
+                checkpoint_period=50,
+            )
+
+        a, b = run(), run()
+        np.testing.assert_array_equal(a.chip_power, b.chip_power)
+        np.testing.assert_array_equal(a.chip_instructions, b.chip_instructions)
+        np.testing.assert_array_equal(a.max_temperature, b.max_temperature)
+        assert a.extras["watchdog"] == b.extras["watchdog"]
+        assert a.extras["degradation"] == b.extras["degradation"]

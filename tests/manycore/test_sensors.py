@@ -83,6 +83,58 @@ class TestFaultInjection:
         with pytest.raises(ValueError, match="stuck_rate"):
             SensorSpec(stuck_rate=-0.1)
 
+    def test_stuck_never_replays_a_dropout_zero(self):
+        """Regression: the held register is latched *before* dropout, so a
+        stuck sample replays the last real reading, never a dropped zero
+        (a failed transaction does not overwrite the register)."""
+        rng = np.random.default_rng(3)
+        s = Sensor(SensorSpec(dropout_rate=0.5, stuck_rate=0.5), rng)
+        for truth in (1.0, 2.0, 3.0, 4.0):
+            reading = s.read(np.full(5000, truth))
+            # every reading is either a dropout zero or some real epoch's
+            # truth value — a stuck-replayed zero would violate this
+            valid = (reading == 0.0) | (reading >= 1.0)
+            assert valid.all()
+            assert np.all(s._last >= 1.0)
+
+
+class TestBlackout:
+    def test_blackout_reads_zero(self, rng):
+        s = Sensor(SensorSpec(relative_noise=0.1), rng)
+        truth = np.linspace(1, 5, 8)
+        assert np.array_equal(s.read(truth, blackout=True), np.zeros(8))
+
+    def test_blackout_consumes_no_rng(self):
+        """A blacked-out epoch must not advance the random stream: with the
+        same truth every epoch, the outage run's later readings replay the
+        clean run's draws, shifted by one epoch."""
+        truth = np.linspace(1, 5, 16)
+
+        def trace(blackout_epochs):
+            s = Sensor(
+                SensorSpec(relative_noise=0.05, dropout_rate=0.1),
+                np.random.default_rng(7),
+            )
+            return [s.read(truth, blackout=(e in blackout_epochs)) for e in range(4)]
+
+        clean = trace(blackout_epochs=set())
+        dark = trace(blackout_epochs={1})
+        np.testing.assert_array_equal(clean[0], dark[0])
+        np.testing.assert_array_equal(dark[1], np.zeros(16))
+        np.testing.assert_array_equal(dark[2], clean[1])
+        np.testing.assert_array_equal(dark[3], clean[2])
+
+    def test_blackout_preserves_held_register(self):
+        """The stuck register keeps its pre-outage value through a
+        blackout — stuck samples afterwards replay real data, not zeros."""
+        s = Sensor(SensorSpec(stuck_rate=0.5), np.random.default_rng(5))
+        s.read(np.full(2000, 1.0))
+        held = s._last.copy()
+        s.read(np.full(2000, 9.0), blackout=True)
+        np.testing.assert_array_equal(s._last, held)
+        after = s.read(np.full(2000, 2.0))
+        assert np.all((after == 1.0) | (after == 2.0))
+
 
 class TestSensorSuite:
     def test_exact_suite(self):

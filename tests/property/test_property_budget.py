@@ -87,6 +87,60 @@ def test_scale_invariance_of_scores(problem):
 
 @given(allocation_problem())
 @settings(max_examples=100, deadline=None)
+def test_all_zero_scores_still_feasible(problem):
+    """All-zero IPC scores (e.g. every core dead or blacked out) must not
+    crash or break bounds/conservation — the degenerate case the fault
+    campaigns actually produce."""
+    budget, scores, floors, caps = problem
+    alloc = reallocate_budget(budget, np.zeros_like(scores), floors, caps)
+    assert np.all(np.isfinite(alloc))
+    assert np.all(alloc >= floors - 1e-9)
+    assert np.all(alloc <= caps + 1e-9)
+    target = min(budget, float(np.sum(caps)))
+    if np.any(caps - alloc > 1e-6):
+        assert float(np.sum(alloc)) >= target - 1e-6
+
+
+@given(allocation_problem())
+@settings(max_examples=100, deadline=None)
+def test_caps_equal_floors_pins_every_core(problem):
+    """Zero headroom anywhere: the only feasible point is the floor vector."""
+    budget, scores, floors, _ = problem
+    alloc = reallocate_budget(budget, scores, floors, floors)
+    assert np.allclose(alloc, floors, atol=1e-9)
+
+
+@given(
+    st.floats(0.0, 10.0, allow_nan=False),
+    st.floats(0.0, 5.0, allow_nan=False),
+    st.floats(0.0, 20.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_single_core_gets_clamped_budget(floor, headroom, extra):
+    """n=1: the core gets the budget clamped into [floor, cap]."""
+    cap = floor + headroom
+    budget = floor + extra
+    alloc = reallocate_budget(
+        budget, np.array([1.0]), np.array([floor]), np.array([cap])
+    )
+    assert alloc.shape == (1,)
+    assert floor - 1e-9 <= alloc[0] <= cap + 1e-9
+    assert alloc[0] >= min(budget, cap) - 1e-9
+
+
+@given(allocation_problem())
+@settings(max_examples=200, deadline=None)
+def test_terminates_and_returns_finite(problem):
+    """The water-filling loop always terminates with a finite vector, even
+    on adversarial score/floor/cap draws."""
+    budget, scores, floors, caps = problem
+    alloc = reallocate_budget(budget, scores, floors, caps)
+    assert alloc.shape == scores.shape
+    assert np.all(np.isfinite(alloc))
+
+
+@given(allocation_problem())
+@settings(max_examples=100, deadline=None)
 def test_zero_score_core_gets_floor_when_budget_tight(problem):
     budget, scores, floors, caps = problem
     n = len(scores)

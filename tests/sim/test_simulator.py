@@ -109,6 +109,92 @@ class TestSimulate:
             simulate(chip, FixedController(cfg), 0)
 
 
+class RaisingController(FixedController):
+    """Test double: throws on the epochs in ``fail_epochs``."""
+
+    name = "raising"
+
+    def __init__(self, cfg, fail_epochs, level=1):
+        super().__init__(cfg, level=level)
+        self.fail_epochs = set(fail_epochs)
+
+    def decide(self, obs):
+        epoch = self.calls
+        if epoch in self.fail_epochs:
+            self.calls += 1
+            raise RuntimeError("policy crashed")
+        return super().decide(obs)
+
+
+class TestWatchdogIntegration:
+    def test_unprotected_raising_controller_kills_the_run(self, cfg, wl):
+        with pytest.raises(RuntimeError, match="policy crashed"):
+            run_controller(cfg, wl, RaisingController(cfg, {3}), n_epochs=10)
+
+    def test_watchdog_survives_raising_controller(self, cfg, wl):
+        result = run_controller(
+            cfg, wl, RaisingController(cfg, {3, 7}), n_epochs=10, watchdog=True
+        )
+        assert result.n_epochs == 10
+        assert result.controller_name == "raising"
+        stats = result.extras["watchdog"]
+        assert stats["failures"] == 2
+        assert stats["recoveries"] == 2
+        assert [epoch for epoch, _ in stats["failure_log"]] == [3, 7]
+
+    def test_watchdog_fallback_holds_last_levels(self, cfg, wl):
+        result = run_controller(
+            cfg, wl, RaisingController(cfg, {4}, level=2), n_epochs=8,
+            watchdog=True, record_per_core=True,
+        )
+        # the failed epoch ran at the held level, not some default
+        assert np.all(result.core_levels[4] == 2)
+
+    def test_fault_extras_populated(self, cfg, wl):
+        from repro.faults import FaultCampaign
+
+        campaign = FaultCampaign.random(4, 30, rate=0.2, seed=5)
+        result = run_controller(
+            cfg, wl, FixedController(cfg), n_epochs=30,
+            faults=campaign, watchdog=True,
+        )
+        assert result.extras["faults"]["n_events"] == campaign.n_events
+        assert result.extras["watchdog"]["failures"] == 0
+
+    def test_no_faults_no_extras(self, cfg, wl):
+        result = run_controller(cfg, wl, FixedController(cfg), n_epochs=5)
+        assert result.extras == {}
+
+    def test_crash_epochs_fire_through_run_controller(self, cfg, wl):
+        from repro.faults import ControllerCrash, FaultCampaign
+
+        campaign = FaultCampaign(
+            n_cores=4, crashes=(ControllerCrash(epoch=2), ControllerCrash(epoch=5))
+        )
+        ctl = FixedController(cfg)
+        result = run_controller(
+            cfg, wl, ctl, n_epochs=10, faults=campaign, watchdog=True
+        )
+        assert result.extras["watchdog"]["crashes"] == 2
+        # wrapper construction + the run's reset, plus one per crash
+        assert ctl.resets == 2 + 2
+
+    def test_faulted_run_is_reproducible(self, cfg, wl):
+        from repro.faults import FaultCampaign
+
+        campaign = FaultCampaign.random(4, 40, rate=0.15, seed=2, n_crashes=1)
+
+        def run():
+            return run_controller(
+                cfg, wl, FixedController(cfg), n_epochs=40,
+                faults=campaign, watchdog=True, checkpoint_period=10,
+            )
+
+        a, b = run(), run()
+        assert np.array_equal(a.chip_power, b.chip_power)
+        assert np.array_equal(a.chip_instructions, b.chip_instructions)
+
+
 class TestRunController:
     def test_convenience_wrapper(self, cfg, wl):
         result = run_controller(cfg, wl, FixedController(cfg), n_epochs=10)

@@ -8,6 +8,7 @@ from repro.contracts import (
     InvariantViolation,
     check_budget_conservation,
     check_level_indices,
+    check_observation_sane,
     check_power_samples,
     check_q_table,
     check_time_monotone,
@@ -151,6 +152,66 @@ class TestQTable:
             rewards=np.array([0.5, 0.5]),
             next_states=np.array([1, 1]),
         )
+
+
+class TestObservationSane:
+    GOOD = dict(
+        sensed_power_w=np.array([2.0, 0.0, 3.0]),  # a dropout zero is valid
+        sensed_instructions=np.array([1e9, 0.0, 5e8]),
+        sensed_temperature_k=np.array([320.0, 318.0, 0.0]),  # blackout zero
+        levels=np.array([0, 1, 2]),
+        n_levels=4,
+    )
+
+    def test_clean_observation_silent(self):
+        check_observation_sane(**self.GOOD)
+
+    def test_negative_sensed_power_fires(self):
+        bad = dict(self.GOOD, sensed_power_w=np.array([2.0, -0.1, 3.0]))
+        with pytest.raises(InvariantViolation) as exc:
+            check_observation_sane(**bad, epoch=4)
+        assert exc.value.quantity == "sensed_power_w"
+        assert exc.value.core == 1
+        assert exc.value.epoch == 4
+
+    def test_nonfinite_instructions_fire(self):
+        bad = dict(self.GOOD, sensed_instructions=np.array([1e9, np.nan, 5e8]))
+        with pytest.raises(InvariantViolation) as exc:
+            check_observation_sane(**bad)
+        assert exc.value.quantity == "sensed_instructions"
+
+    def test_negative_instructions_fire(self):
+        bad = dict(self.GOOD, sensed_instructions=np.array([1e9, -1.0, 5e8]))
+        with pytest.raises(InvariantViolation):
+            check_observation_sane(**bad)
+
+    def test_nonfinite_temperature_fires(self):
+        bad = dict(self.GOOD, sensed_temperature_k=np.array([320.0, np.inf, 318.0]))
+        with pytest.raises(InvariantViolation) as exc:
+            check_observation_sane(**bad)
+        assert exc.value.quantity == "sensed_temperature_k"
+
+    def test_bad_levels_fire(self):
+        bad = dict(self.GOOD, levels=np.array([0, 4, 2]))
+        with pytest.raises(InvariantViolation):
+            check_observation_sane(**bad)
+
+    def test_validated_faulted_run_is_silent(self):
+        """The armed contract tolerates real fault-injected telemetry:
+        dropouts and blackouts are faulty *data*, not broken invariants."""
+        from repro.faults import FaultCampaign
+
+        cfg = default_system(n_cores=8, budget_fraction=0.6)
+        result = run_controller(
+            cfg,
+            mixed_workload(8, seed=1),
+            ODRLController(cfg, seed=1),
+            n_epochs=40,
+            faults=FaultCampaign.random(8, 40, rate=0.2, seed=4),
+            watchdog=True,
+            validate=True,
+        )
+        assert np.all(np.isfinite(result.chip_power))
 
 
 class TestTimeMonotone:

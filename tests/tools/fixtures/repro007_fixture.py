@@ -1,0 +1,47 @@
+# repro-lint: skip-file -- REPRO007 fixture: silent exception swallowing.
+"""Known-good and known-bad snippets for the silent-except rule."""
+
+__all__ = ["good_narrow", "good_handled", "bad_bare", "bad_noop", "suppressed"]
+
+
+def good_narrow(mapping: dict) -> int:
+    try:
+        return mapping["key"]
+    except KeyError:
+        return 0
+
+
+def good_handled(log: list) -> int:
+    try:
+        return 1 // 0
+    except Exception as exc:
+        log.append(repr(exc))
+        return 0
+
+
+def bad_bare() -> int:
+    try:
+        return 1 // 0
+    except:  # BAD
+        pass
+    return 0
+
+
+def bad_noop() -> int:
+    try:
+        return 1 // 0
+    except Exception:  # BAD
+        ...
+    try:
+        return 1 // 0
+    except (ValueError, BaseException):  # BAD
+        pass
+    return 0
+
+
+def suppressed() -> int:
+    try:
+        return 1 // 0
+    except Exception:  # noqa: REPRO007
+        pass
+    return 0

@@ -23,6 +23,7 @@ RULE_FIXTURES = {
     "REPRO004": "repro004_fixture.py",
     "REPRO005": "repro005_fixture.py",
     "REPRO006": "repro006_fixture.py",
+    "REPRO007": "repro007_fixture.py",
 }
 
 
@@ -112,6 +113,12 @@ class TestScoping:
             rule = get_rule(rule_id)
             assert rule.applies_to(Path("src/repro/core/agent.py"))
             assert rule.applies_to(Path("tests/core/test_agent.py"))
+
+    def test_repro007_only_in_src_repro(self):
+        rule = get_rule("REPRO007")
+        assert rule.applies_to(Path("src/repro/faults/watchdog.py"))
+        assert not rule.applies_to(Path("tests/faults/test_watchdog.py"))
+        assert not rule.applies_to(Path("tools/lint/engine.py"))
 
 
 class TestRepro004Detail:

@@ -6,6 +6,7 @@ from tools.lint.rules.repro003_mutable_defaults import MutableDefaults
 from tools.lint.rules.repro004_module_all import ModuleDeclaresAll
 from tools.lint.rules.repro005_unit_suffixes import UnitSuffixes
 from tools.lint.rules.repro006_wall_clock import WallClockTiming
+from tools.lint.rules.repro007_silent_except import SilentExcept
 
 __all__ = [
     "GlobalNumpyRandom",
@@ -14,4 +15,5 @@ __all__ = [
     "ModuleDeclaresAll",
     "UnitSuffixes",
     "WallClockTiming",
+    "SilentExcept",
 ]

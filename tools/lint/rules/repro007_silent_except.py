@@ -1,0 +1,81 @@
+"""REPRO007 — no silent exception swallowing inside ``src/repro``.
+
+A bare ``except:`` catches ``KeyboardInterrupt`` and ``SystemExit`` along
+with every real error, and an ``except Exception: pass`` turns an invariant
+violation into a silently corrupted run — the exact failure mode the fault
+subsystem exists to surface.  Exceptions a controller might raise are the
+watchdog's job (:mod:`repro.faults.watchdog`): it *records* every one in a
+failure log and counts the recovery.  Catching broadly is allowed only
+when the handler actually does something — logs, re-raises, substitutes a
+fallback; a body of ``pass``/``...`` is not handling, it is hiding.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from tools.lint.engine import LintModule, Rule, Violation, in_src_repro
+from tools.lint.registry import register
+
+__all__ = ["SilentExcept"]
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(expr: ast.expr) -> bool:
+    """Does the handler type name ``Exception``/``BaseException``?"""
+    if isinstance(expr, ast.Name):
+        return expr.id in _BROAD_NAMES
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in _BROAD_NAMES
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad(item) for item in expr.elts)
+    return False
+
+
+def _is_noop_body(body: list) -> bool:
+    """True when every statement is ``pass`` or a bare ``...`` expression."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+@register
+class SilentExcept(Rule):
+    rule_id = "REPRO007"
+    summary = (
+        "no bare `except:` or no-op `except Exception:` in src/repro — "
+        "handle, log, or let it propagate"
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        return in_src_repro(path)
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    module,
+                    node,
+                    "bare `except:` catches KeyboardInterrupt/SystemExit; "
+                    "name the exception type",
+                )
+            elif _is_broad(node.type) and _is_noop_body(node.body):
+                yield self.violation(
+                    module,
+                    node,
+                    "broad `except` with a pass/... body silently swallows "
+                    "errors; handle the exception or let it propagate",
+                )
