@@ -4,10 +4,21 @@
 # .[lint]` — for the lint/typecheck targets, which skip with a warning
 # when the tools are absent).
 
-.PHONY: test bench examples experiments faults lint typecheck check clean
+.PHONY: test bench examples experiments faults golden determinism coverage lint typecheck check clean
 
 test:
 	pytest tests/
+
+golden:
+	python -m tools.regen_golden
+
+determinism:
+	pytest tests/golden/ tests/parallel/ -q
+
+coverage:
+	@if python -c "import pytest_cov" >/dev/null 2>&1; then \
+	pytest tests/ --cov=repro --cov-report=term-missing; \
+	else echo "pytest-cov not installed (pip install -e .[test]); skipping"; fi
 
 faults:
 	pytest tests/faults/ -q

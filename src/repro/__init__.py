@@ -67,9 +67,16 @@ from repro.metrics import (
     throughput_bips,
     throughput_per_over_budget_energy,
 )
+from repro.parallel import (
+    ParallelExecutionError,
+    ResultCache,
+    RunCell,
+    trace_equal,
+)
 from repro.sim import (
     Controller,
     SimulationResult,
+    derive_controller_seeds,
     run_budget_sweep,
     run_controller,
     run_suite,
@@ -124,12 +131,17 @@ __all__ = [
     "throughput_bips",
     "throughput_per_over_budget_energy",
     "Controller",
+    "ParallelExecutionError",
+    "ResultCache",
+    "RunCell",
     "SimulationResult",
+    "derive_controller_seeds",
     "run_budget_sweep",
     "run_controller",
     "run_suite",
     "simulate",
     "standard_controllers",
+    "trace_equal",
     "Phase",
     "Workload",
     "benchmark_names",

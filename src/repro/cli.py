@@ -7,16 +7,35 @@ Three subcommands::
     python -m repro compare [options]         # controller comparison table
 
 Every experiment accepts ``--cores``, ``--epochs`` and ``--seed`` so a
-laptop-scale run is one flag away from the evaluation scale.
+laptop-scale run is one flag away from the evaluation scale, plus
+``--jobs N`` to shard the simulation grid across worker processes and
+``--cache DIR`` to reuse already-computed cells across invocations (both
+bit-identical to the default serial run — see ``docs/parallel.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_grid_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation grid (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory; repeated runs skip computed cells",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,11 +55,13 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--cores", type=int, default=32, help="core count (default 32)")
     exp.add_argument("--epochs", type=int, default=1000, help="epochs per run (default 1000)")
     exp.add_argument("--seed", type=int, default=0, help="workload/learning seed")
+    _add_grid_flags(exp)
 
     cmp_ = sub.add_parser("compare", help="run the controller lineup on one workload")
     cmp_.add_argument("--cores", type=int, default=32)
     cmp_.add_argument("--epochs", type=int, default=1000)
     cmp_.add_argument("--seed", type=int, default=0)
+    _add_grid_flags(cmp_)
     cmp_.add_argument(
         "--benchmark",
         default="mixed",
@@ -86,6 +107,7 @@ def _cmd_list() -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS
+    from repro.experiments.base import GridOptions
 
     eid = args.experiment_id.upper()
     if eid not in EXPERIMENTS:
@@ -103,6 +125,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     else:
         kwargs["n_cores"] = args.cores
         kwargs["n_epochs"] = args.epochs
+    if "grid" in inspect.signature(run).parameters:
+        kwargs["grid"] = GridOptions(jobs=args.jobs, cache=args.cache)
+    elif args.jobs != 1 or args.cache is not None:
+        print(
+            f"note: {eid} does not sweep a grid; --jobs/--cache ignored",
+            file=sys.stderr,
+        )
     result = run(**kwargs)
     print(result)
     return 0
@@ -119,7 +148,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         overshoot_fraction,
         throughput_bips,
     )
-    from repro.sim import run_controller, standard_controllers
+    from repro.sim import run_suite, standard_controllers
     from repro.workloads import benchmark_names, make_benchmark, mixed_workload
 
     if args.benchmark == "mixed":
@@ -138,9 +167,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         f"{args.cores} cores, TDP {cfg.power_budget:.1f} W, {args.epochs} epochs, "
         f"workload '{workload.name}'\n"
     )
+    lineup = standard_controllers(seed=args.seed)
+    results = run_suite(
+        cfg,
+        {workload.name: workload},
+        lineup,
+        n_epochs=args.epochs,
+        jobs=args.jobs,
+        cache=args.cache,
+    )
     rows = {}
-    for name, factory in standard_controllers(seed=args.seed).items():
-        result = run_controller(cfg, workload, factory(cfg), n_epochs=args.epochs)
+    for name in lineup:
+        result = results[name][workload.name]
         steady = result.tail(0.5)
         rows[name] = {
             "BIPS": throughput_bips(steady),

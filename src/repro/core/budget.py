@@ -117,7 +117,9 @@ def reallocate_budget(
             # No informative scores among active cores: share uniformly.
             weights = active.astype(float)
             total_weight = float(np.sum(weights))
-        grant = remaining * weights / total_weight
+        # Normalize before scaling: `remaining * weights` first would
+        # underflow subnormal weights to zero and strand their share.
+        grant = remaining * (weights / total_weight)
         overflow_mask = grant >= headroom
         grant = np.minimum(grant, headroom)
         allocation += grant

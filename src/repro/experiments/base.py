@@ -9,9 +9,41 @@ table or figure presents.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "GridOptions"]
+
+
+@dataclass(frozen=True)
+class GridOptions:
+    """How an experiment executes its simulation grid.
+
+    Threaded from the CLI's ``--jobs`` / ``--cache`` flags into every
+    experiment that sweeps a grid through
+    :func:`repro.sim.runner.run_suite` / ``run_budget_sweep``.  The
+    default (``jobs=1``, no cache) reproduces the historical serial
+    behaviour byte-for-byte.
+
+    Attributes
+    ----------
+    jobs:
+        Worker process count for grid cells (``1`` = in-process serial).
+    cache:
+        Result-cache directory (or a
+        :class:`repro.parallel.ResultCache`); ``None`` disables caching.
+    """
+
+    jobs: int = 1
+    cache: Optional[Union[str, Path, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def runner_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for ``run_suite`` / ``run_budget_sweep``."""
+        return {"jobs": self.jobs, "cache": self.cache}
 
 
 @dataclass

@@ -11,7 +11,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, GridOptions
 from repro.manycore.config import default_system
 from repro.metrics.report import format_series
 from repro.sim.runner import run_suite, standard_controllers
@@ -29,6 +29,7 @@ def run_e1(
     controllers: Optional[Sequence[str]] = None,
     n_points: int = 30,
     seed: int = 0,
+    grid: Optional[GridOptions] = None,
 ) -> ExperimentResult:
     """Run E1 and return the power-trace series.
 
@@ -43,6 +44,8 @@ def run_e1(
         Downsampled trace length in the report.
     seed:
         Workload and learning seed.
+    grid:
+        Parallel-execution / caching options for the simulation grid.
     """
     if n_points < 2:
         raise ValueError(f"n_points must be >= 2, got {n_points}")
@@ -54,7 +57,10 @@ def run_e1(
     if missing:
         raise KeyError(f"unknown controller names: {missing}")
     chosen = {n: lineup[n] for n in names}
-    results = run_suite(cfg, {"mixed": workload}, chosen, n_epochs)
+    results = run_suite(
+        cfg, {"mixed": workload}, chosen, n_epochs,
+        **(grid or GridOptions()).runner_kwargs(),
+    )
 
     # Downsample by block-averaging so short excursions still register.
     block = max(1, n_epochs // n_points)

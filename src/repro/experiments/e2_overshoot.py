@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, GridOptions
 from repro.manycore.config import default_system
 from repro.metrics.power_metrics import over_budget_energy, overshoot_fraction
 from repro.metrics.report import format_table
@@ -38,6 +38,7 @@ def run_e2(
     controllers: Optional[Sequence[str]] = None,
     seed: int = 0,
     results: Optional[Mapping[str, Mapping[str, SimulationResult]]] = None,
+    grid: Optional[GridOptions] = None,
 ) -> ExperimentResult:
     """Run E2: over-budget energy across the suite.
 
@@ -67,7 +68,10 @@ def run_e2(
         workloads = {b: make_benchmark(b, n_cores, seed=seed) for b in bench}
         lineup = standard_controllers(seed=seed)
         chosen = {n: lineup[n] for n in names}
-        results = run_suite(cfg, workloads, chosen, n_epochs)
+        results = run_suite(
+            cfg, workloads, chosen, n_epochs,
+            **(grid or GridOptions()).runner_kwargs(),
+        )
 
     obe: Dict[str, Dict[str, float]] = {}
     ofrac: Dict[str, Dict[str, float]] = {}

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, GridOptions
 from repro.experiments.e2_overshoot import DEFAULT_BENCHMARKS, DEFAULT_CONTROLLERS
 from repro.manycore.config import default_system
 from repro.metrics.perf_metrics import OBE_FLOOR, throughput_per_over_budget_energy
@@ -31,6 +31,7 @@ def run_e3(
     controllers: Optional[Sequence[str]] = None,
     seed: int = 0,
     results: Optional[Mapping[str, Mapping[str, SimulationResult]]] = None,
+    grid: Optional[GridOptions] = None,
 ) -> ExperimentResult:
     """Run E3: throughput per over-budget energy across the suite.
 
@@ -49,7 +50,10 @@ def run_e3(
         workloads = {b: make_benchmark(b, n_cores, seed=seed) for b in bench}
         lineup = standard_controllers(seed=seed)
         chosen = {n: lineup[n] for n in names}
-        results = run_suite(cfg, workloads, chosen, n_epochs)
+        results = run_suite(
+            cfg, workloads, chosen, n_epochs,
+            **(grid or GridOptions()).runner_kwargs(),
+        )
 
     tpobe: Dict[str, Dict[str, float]] = {
         ctrl: {

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, GridOptions
 from repro.experiments.e2_overshoot import DEFAULT_BENCHMARKS, DEFAULT_CONTROLLERS
 from repro.manycore.config import default_system
 from repro.metrics.perf_metrics import energy_efficiency, throughput_bips
@@ -29,6 +29,7 @@ def run_e4(
     controllers: Optional[Sequence[str]] = None,
     seed: int = 0,
     results: Optional[Mapping[str, Mapping[str, SimulationResult]]] = None,
+    grid: Optional[GridOptions] = None,
 ) -> ExperimentResult:
     """Run E4: energy efficiency (instructions/joule) across the suite."""
     bench = list(benchmarks) if benchmarks else list(DEFAULT_BENCHMARKS)
@@ -40,7 +41,10 @@ def run_e4(
         workloads = {b: make_benchmark(b, n_cores, seed=seed) for b in bench}
         lineup = standard_controllers(seed=seed)
         chosen = {n: lineup[n] for n in names}
-        results = run_suite(cfg, workloads, chosen, n_epochs)
+        results = run_suite(
+            cfg, workloads, chosen, n_epochs,
+            **(grid or GridOptions()).runner_kwargs(),
+        )
 
     eff: Dict[str, Dict[str, float]] = {
         ctrl: {b: energy_efficiency(results[ctrl][b]) for b in bench}

@@ -10,14 +10,18 @@ OD-RL's at the largest core count.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import tempfile
+import time
+from contextlib import ExitStack
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, GridOptions
 from repro.manycore.config import default_system
 from repro.metrics.perf_metrics import mean_decision_time
 from repro.metrics.report import format_series
 from repro.sim.runner import run_suite, standard_controllers
-from repro.workloads.suite import mixed_workload
+from repro.workloads.suite import make_benchmark, mixed_workload
 
 __all__ = ["run_e5"]
 
@@ -39,6 +43,7 @@ def run_e5(
     budget_fraction: float = 0.6,
     controllers: Optional[Sequence[str]] = None,
     seed: int = 0,
+    grid: Optional[GridOptions] = None,
 ) -> ExperimentResult:
     """Run E5: per-decision latency vs. core count.
 
@@ -51,6 +56,13 @@ def run_e5(
     warmup_epochs:
         Leading epochs dropped from the timing average (interpreter and
         cache warm-up would otherwise inflate the first decisions).
+    grid:
+        Parallel-execution options.  The latency sweep itself always runs
+        serially — co-scheduling workers would contaminate the
+        per-decision wall-clock measurement — but with ``grid.jobs > 1``
+        the experiment additionally benchmarks the sharded engine on a
+        64-core suite grid: serial vs. parallel wall-clock, plus a
+        cold-cache vs. warm-cache re-run (see ``data["parallel"]``).
     """
     counts = list(core_counts) if core_counts else list(_DEFAULT_CORE_COUNTS)
     if sorted(counts) != counts or len(set(counts)) != len(counts):
@@ -78,34 +90,112 @@ def run_e5(
     ]
     speedup_at_max = speedups[-1]
     series = {name: [v * 1e6 for v in vals] for name, vals in latency.items()}
-    report = "\n\n".join(
-        [
-            format_series(
-                [float(c) for c in counts],
-                series,
-                x_label="cores",
-                title="E5: mean decision latency (us) vs core count",
+    sections = [
+        format_series(
+            [float(c) for c in counts],
+            series,
+            x_label="cores",
+            title="E5: mean decision latency (us) vs core count",
+        ),
+        format_series(
+            [float(c) for c in counts],
+            {"maxbips/od-rl speedup": speedups},
+            x_label="cores",
+            title=(
+                "E5: OD-RL speedup over the centralized optimizer "
+                f"(paper claim C3: ~100x at hundreds of cores — measured "
+                f"{speedup_at_max:.0f}x at {counts[-1]} cores)"
             ),
-            format_series(
-                [float(c) for c in counts],
-                {"maxbips/od-rl speedup": speedups},
-                x_label="cores",
-                title=(
-                    "E5: OD-RL speedup over the centralized optimizer "
-                    f"(paper claim C3: ~100x at hundreds of cores — measured "
-                    f"{speedup_at_max:.0f}x at {counts[-1]} cores)"
-                ),
-            ),
-        ]
-    )
+        ),
+    ]
+    data: Dict[str, Any] = {
+        "core_counts": counts,
+        "latency": latency,
+        "speedups": speedups,
+        "speedup_at_max_cores": speedup_at_max,
+    }
+    if grid is not None and grid.jobs > 1:
+        parallel = _parallel_engine_benchmark(
+            grid, n_epochs=n_epochs, seed=seed
+        )
+        data["parallel"] = parallel
+        sections.append(
+            "E5: sharded engine on the {n}-core suite grid "
+            "({cells} cells, jobs={jobs})\n"
+            "  serial       {t_serial_s:8.2f} s\n"
+            "  parallel     {t_parallel_s:8.2f} s  ({engine_speedup:.2f}x)\n"
+            "  warm cache   {t_warm_s:8.2f} s  ({warm_fraction:.1%} of cold "
+            "parallel time)".format(
+                n=parallel["n_cores"],
+                cells=parallel["n_cells"],
+                jobs=parallel["jobs"],
+                t_serial_s=parallel["t_serial_s"],
+                t_parallel_s=parallel["t_parallel_s"],
+                engine_speedup=parallel["engine_speedup"],
+                t_warm_s=parallel["t_warm_s"],
+                warm_fraction=parallel["warm_fraction"],
+            )
+        )
     return ExperimentResult(
         experiment_id="E5",
         title="Controller runtime scalability",
-        report=report,
-        data={
-            "core_counts": counts,
-            "latency": latency,
-            "speedups": speedups,
-            "speedup_at_max_cores": speedup_at_max,
-        },
+        report="\n\n".join(sections),
+        data=data,
     )
+
+
+_SPEEDUP_GRID_CONTROLLERS = ("od-rl", "pid", "greedy-ascent", "static-uniform")
+_SPEEDUP_GRID_BENCHMARKS = ("fft", "ocean", "barnes", "x264")
+
+
+def _parallel_engine_benchmark(
+    grid: GridOptions,
+    n_epochs: int,
+    seed: int,
+    n_cores: int = 64,
+) -> Dict[str, Any]:
+    """Wall-clock the sharded engine against the serial loop.
+
+    Runs a 64-core controller × benchmark suite grid three ways: serial
+    (``jobs=1``, no cache), parallel cold (``grid.jobs``, empty cache),
+    and parallel warm (same cache, second invocation — every cell should
+    hit).  Wall-clock only; the trajectories themselves are bit-identical
+    by the determinism tests, so only the timings are interesting here.
+    """
+    lineup = standard_controllers(seed=seed)
+    chosen = {name: lineup[name] for name in _SPEEDUP_GRID_CONTROLLERS}
+    workloads = {
+        b: make_benchmark(b, n_cores, seed=seed) for b in _SPEEDUP_GRID_BENCHMARKS
+    }
+    cfg = default_system(n_cores=n_cores, budget_fraction=0.6)
+
+    with ExitStack() as stack:
+        if grid.cache is None:
+            cache_dir: Any = Path(
+                stack.enter_context(tempfile.TemporaryDirectory(prefix="e5-cache-"))
+            )
+        else:
+            cache_dir = grid.cache
+
+        t0_s = time.perf_counter()
+        run_suite(cfg, workloads, chosen, n_epochs)
+        t1_s = time.perf_counter()
+        run_suite(cfg, workloads, chosen, n_epochs, jobs=grid.jobs, cache=cache_dir)
+        t2_s = time.perf_counter()
+        run_suite(cfg, workloads, chosen, n_epochs, jobs=grid.jobs, cache=cache_dir)
+        t3_s = time.perf_counter()
+
+    t_serial_s = t1_s - t0_s
+    t_parallel_s = t2_s - t1_s
+    t_warm_s = t3_s - t2_s
+    return {
+        "n_cores": n_cores,
+        "n_epochs": n_epochs,
+        "jobs": grid.jobs,
+        "n_cells": len(chosen) * len(workloads),
+        "t_serial_s": t_serial_s,
+        "t_parallel_s": t_parallel_s,
+        "t_warm_s": t_warm_s,
+        "engine_speedup": t_serial_s / t_parallel_s,
+        "warm_fraction": t_warm_s / t_parallel_s,
+    }

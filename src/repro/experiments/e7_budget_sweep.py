@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, GridOptions
 from repro.manycore.config import default_system
 from repro.manycore.power import peak_chip_power
 from repro.metrics.perf_metrics import throughput_bips
@@ -32,6 +32,7 @@ def run_e7(
     budget_fractions: Optional[Sequence[float]] = None,
     controllers: Optional[Sequence[str]] = None,
     seed: int = 0,
+    grid: Optional[GridOptions] = None,
 ) -> ExperimentResult:
     """Run E7: metric curves vs. budget fraction of peak power."""
     fractions = (
@@ -46,7 +47,10 @@ def run_e7(
     workload = mixed_workload(n_cores, seed=seed)
     lineup = standard_controllers(seed=seed)
     chosen = {n: lineup[n] for n in names}
-    results = run_budget_sweep(cfg, budgets, workload, chosen, n_epochs)
+    results = run_budget_sweep(
+        cfg, budgets, workload, chosen, n_epochs,
+        **(grid or GridOptions()).runner_kwargs(),
+    )
 
     bips: Dict[str, List[float]] = {}
     obe: Dict[str, List[float]] = {}

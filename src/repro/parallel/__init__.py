@@ -1,0 +1,69 @@
+"""Parallel sharded execution of experiment grids, with result caching.
+
+Public surface of the ``repro.parallel`` package:
+
+* :class:`~repro.parallel.cells.RunCell` and the plan/merge/shard helpers
+  — the pure grid bookkeeping;
+* :func:`~repro.parallel.cache.cell_key`, :func:`~repro.parallel.cache.stable_hash`
+  and :class:`~repro.parallel.cache.ResultCache` — content-addressed
+  persistence of cell results;
+* :func:`~repro.parallel.engine.execute_cells` with
+  :class:`~repro.parallel.engine.CellTask` /
+  :class:`~repro.parallel.engine.CellFailure` — the process-pool engine;
+* :func:`~repro.parallel.compare.trace_equal` /
+  :func:`~repro.parallel.compare.assert_trace_equal` — the bit-level
+  equality the determinism guarantee is stated in.
+
+Most callers never touch these directly: :func:`repro.sim.runner.run_suite`
+and :func:`repro.sim.runner.run_budget_sweep` accept ``jobs=`` / ``cache=``
+and route through this package.  See ``docs/parallel.md``.
+"""
+
+from repro.parallel.cache import (
+    CACHE_SALT,
+    CacheKeyError,
+    ResultCache,
+    cell_key,
+    controller_fingerprint,
+    stable_hash,
+    workload_token,
+)
+from repro.parallel.cells import (
+    RunCell,
+    merge_shards,
+    merge_suite,
+    merge_sweep,
+    plan_suite,
+    plan_sweep,
+    split_shards,
+)
+from repro.parallel.compare import assert_trace_equal, trace_equal
+from repro.parallel.engine import (
+    CellFailure,
+    CellTask,
+    ParallelExecutionError,
+    execute_cells,
+)
+
+__all__ = [
+    "CACHE_SALT",
+    "CacheKeyError",
+    "CellFailure",
+    "CellTask",
+    "ParallelExecutionError",
+    "ResultCache",
+    "RunCell",
+    "assert_trace_equal",
+    "cell_key",
+    "controller_fingerprint",
+    "execute_cells",
+    "merge_shards",
+    "merge_suite",
+    "merge_sweep",
+    "plan_suite",
+    "plan_sweep",
+    "split_shards",
+    "stable_hash",
+    "trace_equal",
+    "workload_token",
+]

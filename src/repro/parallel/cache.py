@@ -1,0 +1,292 @@
+"""Content-addressed result cache for experiment cells.
+
+A cell's result is fully determined by its inputs: the
+:class:`~repro.manycore.config.SystemConfig` (including technology
+constants), the workload's phase content, the controller construction
+recipe, the seed, the epoch count, the simulation options, and the code
+version.  Hashing all of those into one stable key lets repeated
+experiment invocations skip already-computed cells.
+
+Key stability rules
+-------------------
+* Floats hash by ``float.hex()`` — exact bit patterns, no repr rounding.
+* Dataclasses hash field-by-field under their qualified class name, so
+  two config types with coincidentally equal fields cannot collide.
+* Workloads hash by *content* (every phase's duration/intensities per
+  core sequence), not by name — regenerating a workload from the same
+  seed yields the same key, while any phase perturbation changes it.
+* Controller factories must be *fingerprintable*: a ``functools.partial``
+  over a module-level function (what
+  :func:`repro.sim.runner.standard_controllers` returns) or a plain
+  module-level function.  Closures and lambdas have no stable identity
+  across processes and raise :class:`CacheKeyError`.
+* :data:`CACHE_SALT` folds the cache format / simulation-code version
+  into every key.  Bump it whenever a change makes previously cached
+  trajectories stale (simulator physics, controller algorithms, result
+  format); stale entries then simply stop being addressed.
+
+Persistence uses :mod:`repro.sim.result_io` (one ``.npz`` per cell,
+written atomically via rename), so cached cells are ordinary result files
+that can be loaded, diffed, and re-rendered with the standard tooling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import inspect
+import os
+from pathlib import Path
+from typing import Any, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.manycore.config import SystemConfig
+from repro.parallel.cells import RunCell
+from repro.sim.results import SimulationResult
+from repro.workloads.phases import Workload
+
+__all__ = [
+    "CACHE_SALT",
+    "CacheKeyError",
+    "stable_hash",
+    "workload_token",
+    "controller_fingerprint",
+    "cell_key",
+    "ResultCache",
+]
+
+#: Code-version salt folded into every cell key.  Bump the suffix whenever
+#: simulator physics, controller algorithms, or the result format change in
+#: a way that invalidates previously cached trajectories.
+CACHE_SALT = "repro-cell-cache-v1"
+
+
+class CacheKeyError(TypeError):
+    """An object cannot be folded into a stable cache key."""
+
+
+def _update(h: "hashlib._Hash", obj: Any) -> None:
+    """Fold ``obj`` into hasher ``h`` with an unambiguous type-tagged encoding."""
+    if obj is None:
+        h.update(b"N;")
+    elif isinstance(obj, bool):  # before int: bool is an int subclass
+        h.update(b"b1;" if obj else b"b0;")
+    elif isinstance(obj, (int, np.integer)):
+        h.update(f"i{int(obj)};".encode())
+    elif isinstance(obj, (float, np.floating)):
+        h.update(f"f{float(obj).hex()};".encode())
+    elif isinstance(obj, str):
+        raw = obj.encode()
+        h.update(f"s{len(raw)}:".encode())
+        h.update(raw)
+        h.update(b";")
+    elif isinstance(obj, bytes):
+        h.update(f"y{len(obj)}:".encode())
+        h.update(obj)
+        h.update(b";")
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(f"a{arr.dtype.str}{arr.shape};".encode())
+        h.update(arr.tobytes())
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        h.update(f"d{cls.__module__}.{cls.__qualname__}(".encode())
+        for f in dataclasses.fields(obj):
+            _update(h, f.name)
+            _update(h, getattr(obj, f.name))
+        h.update(b");")
+    elif isinstance(obj, Mapping):
+        h.update(f"m{len(obj)}(".encode())
+        try:
+            items = sorted(obj.items())
+        except TypeError as exc:
+            raise CacheKeyError(
+                f"mapping keys must be sortable for a stable key: {exc}"
+            ) from exc
+        for key, value in items:
+            _update(h, key)
+            _update(h, value)
+        h.update(b");")
+    elif isinstance(obj, (list, tuple)):
+        h.update(f"l{len(obj)}(".encode())
+        for item in obj:
+            _update(h, item)
+        h.update(b");")
+    elif isinstance(obj, (set, frozenset)):
+        h.update(f"S{len(obj)}(".encode())
+        inner = sorted(stable_hash(item) for item in obj)
+        for digest in inner:
+            _update(h, digest)
+        h.update(b");")
+    else:
+        raise CacheKeyError(
+            f"cannot build a stable cache key from {type(obj).__module__}."
+            f"{type(obj).__qualname__}; supported: scalars, str/bytes, "
+            "ndarray, dataclasses, mappings, sequences, sets"
+        )
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 hex digest of ``obj`` under a canonical, type-tagged encoding.
+
+    Equal values (including structurally equal dataclasses and arrays)
+    hash equal across processes and interpreter runs; any field
+    perturbation — a different float bit pattern, a reordered tuple, a
+    changed dataclass type — produces a different digest.
+    """
+    h = hashlib.sha256()
+    _update(h, obj)
+    return h.hexdigest()
+
+
+def workload_token(workload: Workload) -> Tuple[Any, ...]:
+    """Content token of a workload: name plus every phase of every sequence."""
+    return (
+        "workload",
+        workload.name,
+        tuple(
+            tuple(
+                (p.duration, p.mem_intensity, p.compute_intensity)
+                for p in seq.phases
+            )
+            for seq in workload.sequences
+        ),
+    )
+
+
+def controller_fingerprint(factory: Any) -> Tuple[Any, ...]:
+    """Stable identity of a controller factory, for cache keys.
+
+    Supported shapes:
+
+    * ``functools.partial`` over a module-level function — fingerprinted by
+      the function's qualified name plus bound args/kwargs (the shape
+      :func:`repro.sim.runner.standard_controllers` produces);
+    * a plain module-level function with no closure.
+
+    Raises
+    ------
+    CacheKeyError
+        For lambdas, closures, bound methods and other callables whose
+        behaviour is not recoverable from a stable name.
+    """
+    if isinstance(factory, functools.partial):
+        fp = controller_fingerprint(factory.func)
+        return (
+            "partial",
+            fp,
+            tuple(factory.args),
+            tuple(sorted(factory.keywords.items())),
+        )
+    if inspect.isfunction(factory):
+        qualname = factory.__qualname__
+        if "<lambda>" in qualname or "<locals>" in qualname or factory.__closure__:
+            raise CacheKeyError(
+                f"controller factory {qualname!r} is a lambda/closure and has "
+                "no stable cross-process identity; use functools.partial over "
+                "a module-level function (as standard_controllers does) to "
+                "enable result caching"
+            )
+        return ("function", factory.__module__, qualname)
+    raise CacheKeyError(
+        f"cannot fingerprint controller factory of type "
+        f"{type(factory).__qualname__}; use functools.partial over a "
+        "module-level function to enable result caching"
+    )
+
+
+def cell_key(
+    cell: RunCell,
+    cfg: SystemConfig,
+    workload: Workload,
+    factory: Any,
+    sim_kwargs: Optional[Mapping[str, Any]] = None,
+    salt: str = CACHE_SALT,
+) -> str:
+    """The content-addressed key of one run cell.
+
+    ``cfg`` must already carry the cell's effective budget (the engine
+    applies :attr:`RunCell.budget` before keying).  The key covers: the
+    full system config (with technology constants), the workload's phase
+    content, the controller fingerprint, the cell's seed/epochs, the
+    simulation options, and the code-version ``salt``.
+    """
+    return stable_hash(
+        (
+            salt,
+            cell,
+            cfg,
+            workload_token(workload),
+            controller_fingerprint(factory),
+            dict(sim_kwargs or {}),
+        )
+    )
+
+
+class ResultCache:
+    """Directory of cached cell results, addressed by :func:`cell_key`.
+
+    Entries are ``.npz`` files written by
+    :func:`repro.sim.result_io.save_result` under a two-level fan-out
+    (``root/ab/abcdef….npz``).  Writes are atomic (temp file + rename) so
+    concurrent workers and interrupted runs can never leave a torn entry;
+    unreadable entries are treated as misses and deleted.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem path the entry for ``key`` lives at."""
+        return self.root / key[:2] / f"{key}.npz"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        # Imported lazily: result_io is cheap, but keeping the dependency
+        # out of module import keeps cache-key helpers usable standalone.
+        from repro.sim.result_io import load_result
+
+        path = self.path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            result = load_result(path)
+        except Exception:
+            # A torn or stale-format entry is a miss, not an error: drop it
+            # so the slot is recomputed and rewritten cleanly.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> Path:
+        """Persist ``result`` under ``key`` (atomic), returning its path."""
+        from repro.sim.result_io import save_result
+
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # The temp name keeps the .npz suffix: numpy's savez would otherwise
+        # append one and the rename source would not exist.
+        tmp = path.parent / f".{path.stem}.{os.getpid()}.tmp.npz"
+        try:
+            save_result(result, tmp)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.npz"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache(root={str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,171 @@
+"""Cell decomposition of experiment grids.
+
+A sweep such as :func:`repro.sim.runner.run_suite` is a dense grid —
+controller × workload (× budget) × epochs — whose cells are mutually
+independent closed-loop runs.  This module gives that grid an explicit,
+hashable unit of work, :class:`RunCell`, plus the pure bookkeeping around
+it: planning a grid into an ordered cell list, splitting the list into
+balanced shards for workers, and merging per-cell results back into the
+exact nested-dict shapes the serial runner returns.
+
+Everything here is deliberately free of process machinery (that lives in
+:mod:`repro.parallel.engine`) so planning and merging can be property
+tested in isolation: for any grid shape, ``merge_shards(split_shards(...))``
+round-trips, and plan → merge reproduces the serial dict layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, TypeVar
+
+from repro.sim.results import SimulationResult
+
+__all__ = [
+    "RunCell",
+    "plan_suite",
+    "plan_sweep",
+    "merge_suite",
+    "merge_sweep",
+    "split_shards",
+    "merge_shards",
+]
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class RunCell:
+    """One independent simulation run inside a sweep grid.
+
+    Attributes
+    ----------
+    controller:
+        Controller name (the key of the controller mapping given to the
+        runner; for the standard lineup, e.g. ``"od-rl"``).
+    workload:
+        Workload name (the key of the workload mapping, or the single
+        workload's own name in a budget sweep).
+    budget:
+        Absolute power budget override in watts, or ``None`` to run at the
+        budget already carried by the sweep's :class:`SystemConfig`
+        (suite mode).
+    seed:
+        The seed the cell's controller was derived from (``0`` when the
+        factory carries no recoverable seed).  Recorded so cache keys and
+        failure reports identify the RNG stream.
+    n_epochs:
+        Number of control epochs the cell simulates.
+    """
+
+    controller: str
+    workload: str
+    budget: Optional[float]
+    seed: int
+    n_epochs: int
+
+    def __post_init__(self) -> None:
+        if self.n_epochs <= 0:
+            raise ValueError(f"n_epochs must be positive, got {self.n_epochs}")
+        if self.budget is not None and self.budget <= 0:
+            raise ValueError(f"budget must be positive watts, got {self.budget}")
+
+    def label(self) -> str:
+        """Human-readable cell identifier for logs and failure reports."""
+        budget = "" if self.budget is None else f"@{self.budget:.3g}W"
+        return (
+            f"{self.controller}/{self.workload}{budget}"
+            f"[seed={self.seed},epochs={self.n_epochs}]"
+        )
+
+
+def plan_suite(
+    controllers: Sequence[str],
+    workloads: Sequence[str],
+    n_epochs: int,
+    seeds: Optional[Dict[str, int]] = None,
+) -> List[RunCell]:
+    """Decompose a controller × workload suite into an ordered cell list.
+
+    The order is controller-major, matching the serial runner's nested
+    loops, so ``merge_suite`` restores the identical dict layout.
+    """
+    seed_of = seeds or {}
+    return [
+        RunCell(c, w, None, seed_of.get(c, 0), n_epochs)
+        for c in controllers
+        for w in workloads
+    ]
+
+
+def plan_sweep(
+    controllers: Sequence[str],
+    workload: str,
+    budgets: Sequence[float],
+    n_epochs: int,
+    seeds: Optional[Dict[str, int]] = None,
+) -> List[RunCell]:
+    """Decompose a controller × budget sweep over one workload into cells."""
+    seed_of = seeds or {}
+    return [
+        RunCell(c, workload, float(b), seed_of.get(c, 0), n_epochs)
+        for c in controllers
+        for b in budgets
+    ]
+
+
+def merge_suite(
+    cells: Sequence[RunCell], results: Sequence[SimulationResult]
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Merge per-cell results into ``{controller: {workload: result}}``.
+
+    Insertion order follows the cell order, so a plan produced by
+    :func:`plan_suite` reproduces the serial runner's dict layout exactly.
+    """
+    if len(cells) != len(results):
+        raise ValueError(f"{len(cells)} cells but {len(results)} results")
+    merged: Dict[str, Dict[str, SimulationResult]] = {}
+    for cell, result in zip(cells, results):
+        merged.setdefault(cell.controller, {})[cell.workload] = result
+    return merged
+
+
+def merge_sweep(
+    cells: Sequence[RunCell], results: Sequence[SimulationResult]
+) -> Dict[str, Dict[float, SimulationResult]]:
+    """Merge per-cell results into ``{controller: {budget: result}}``."""
+    if len(cells) != len(results):
+        raise ValueError(f"{len(cells)} cells but {len(results)} results")
+    merged: Dict[str, Dict[float, SimulationResult]] = {}
+    for cell, result in zip(cells, results):
+        if cell.budget is None:
+            raise ValueError(f"sweep cell {cell.label()} has no budget")
+        merged.setdefault(cell.controller, {})[cell.budget] = result
+    return merged
+
+
+def split_shards(items: Sequence[_T], n_shards: int) -> List[List[_T]]:
+    """Split ``items`` into ``n_shards`` contiguous, balanced shards.
+
+    Shard sizes differ by at most one (the first ``len % n_shards`` shards
+    get the extra item); empty shards are returned when there are more
+    shards than items, so the count is always exactly ``n_shards``.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    base, extra = divmod(len(items), n_shards)
+    shards: List[List[_T]] = []
+    start = 0
+    for i in range(n_shards):
+        size = base + (1 if i < extra else 0)
+        shards.append(list(items[start : start + size]))
+        start += size
+    return shards
+
+
+def merge_shards(shards: Sequence[Sequence[_T]]) -> List[_T]:
+    """Concatenate shards back into one list (inverse of :func:`split_shards`)."""
+    merged: List[_T] = []
+    for shard in shards:
+        merged.extend(shard)
+    return merged

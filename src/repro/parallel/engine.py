@@ -1,0 +1,314 @@
+"""Process-pool execution of run cells.
+
+The engine takes an ordered list of :class:`CellTask`s (a
+:class:`~repro.parallel.cells.RunCell` plus everything needed to run it),
+executes them across ``jobs`` worker processes, and returns results in
+task order.  Three properties drive the design:
+
+**Determinism.**  Workers are started with the ``spawn`` method, so a
+worker inherits no forked interpreter state — in particular no RNG state
+— from the parent.  Every cell rebuilds its controller inside the worker
+from the factory's explicit seed, making a parallel cell's trajectory
+bit-identical to the same cell run serially (see
+:mod:`repro.parallel.compare` for the one wall-clock exception).
+
+**Crash containment.**  A worker that dies mid-cell (OOM kill, segfault,
+``os._exit``) breaks the whole :class:`~concurrent.futures.ProcessPoolExecutor`;
+the engine rebuilds the pool and resubmits the unfinished cells.  Each
+unsuccessful attempt — a raised exception or being in flight/queued when
+the pool broke — counts against a cell's attempt budget
+(``retries + 1`` attempts total, default one retry).  A cell that exhausts
+its budget is recorded as a structured :class:`CellFailure`; after all
+cells settle, any failures are raised together as
+:class:`ParallelExecutionError` so one bad cell reports every casualty,
+not just the first.  Ordinary exceptions inside a cell are caught in the
+worker and shipped back as values, so only hard crashes ever break a pool.
+
+**Caching.**  With a :class:`~repro.parallel.cache.ResultCache`, each
+cell's :func:`~repro.parallel.cache.cell_key` is probed before any work is
+scheduled and computed results are persisted by the parent (workers never
+touch the cache, so there are no write races between processes).
+
+``jobs=1`` executes inline — no pool, no pickling, exceptions propagate
+raw — which is what keeps the serial entry points byte-for-byte identical
+to their historical behaviour.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.manycore.config import SystemConfig
+from repro.parallel.cache import ResultCache, cell_key
+from repro.parallel.cells import RunCell
+from repro.sim.results import SimulationResult
+from repro.workloads.phases import Workload
+
+__all__ = [
+    "CellTask",
+    "CellFailure",
+    "ParallelExecutionError",
+    "execute_cells",
+]
+
+CacheLike = Union[ResultCache, str, Path, None]
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """A run cell bundled with everything a worker needs to execute it.
+
+    ``cfg`` must already carry the cell's effective power budget (the
+    planners apply :attr:`RunCell.budget` overrides before building
+    tasks).  For ``jobs > 1`` the whole task is pickled to the worker, so
+    ``factory`` must be picklable — the ``functools.partial`` factories
+    from :func:`repro.sim.runner.standard_controllers` are; lambdas are
+    not.
+    """
+
+    cell: RunCell
+    cfg: SystemConfig
+    workload: Workload
+    factory: Any
+    sim_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Structured record of a cell that exhausted its attempt budget.
+
+    Attributes
+    ----------
+    cell:
+        The failed cell.
+    attempts:
+        Unsuccessful attempts consumed (includes pool-crash casualties).
+    error_type:
+        Qualified exception type name, or ``"WorkerCrash"`` when the
+        worker process died without raising.
+    message:
+        The exception message (or crash description).
+    traceback_text:
+        Formatted worker-side traceback when one exists, else ``""``.
+    """
+
+    cell: RunCell
+    attempts: int
+    error_type: str
+    message: str
+    traceback_text: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"{self.cell.label()}: {self.error_type}: {self.message} "
+            f"(after {self.attempts} attempts)"
+        )
+
+
+class ParallelExecutionError(RuntimeError):
+    """One or more cells failed after retries; carries every failure."""
+
+    def __init__(self, failures: Sequence[CellFailure]) -> None:
+        self.failures: Tuple[CellFailure, ...] = tuple(failures)
+        lines = "\n  ".join(str(f) for f in self.failures)
+        super().__init__(
+            f"{len(self.failures)} cell(s) failed after retries:\n  {lines}"
+        )
+
+
+def _run_cell(task: CellTask) -> SimulationResult:
+    """Execute one cell (worker-side): build the controller, run the loop."""
+    # Imported here, not at module level: the simulator pulls in the full
+    # plant stack, and worker processes import this module on spawn.
+    from repro.sim.simulator import run_controller
+
+    controller = task.factory(task.cfg)
+    return run_controller(
+        task.cfg,
+        task.workload,
+        controller,
+        task.cell.n_epochs,
+        **dict(task.sim_kwargs),
+    )
+
+
+def _run_cell_guarded(task: CellTask) -> Tuple[str, Any]:
+    """Worker entry: exceptions come back as values, never as raised errors.
+
+    Returning ``("error", ...)`` instead of raising keeps ordinary cell
+    failures (bad config, contract violation) out of the pool's exception
+    machinery, so only hard process death ever breaks the pool.
+    """
+    try:
+        return "ok", _run_cell(task)
+    except BaseException as exc:  # shipped to the parent as a structured value
+        return "error", (
+            type(exc).__qualname__,
+            str(exc),
+            traceback.format_exc(),
+        )
+
+
+def _coerce_cache(cache: CacheLike) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def execute_cells(
+    tasks: Sequence[CellTask],
+    jobs: int = 1,
+    cache: CacheLike = None,
+    retries: int = 1,
+) -> List[SimulationResult]:
+    """Execute every task, in parallel when ``jobs > 1``, with caching.
+
+    Parameters
+    ----------
+    tasks:
+        The cells to run; results come back in the same order.
+    jobs:
+        Worker process count.  ``1`` executes inline in the calling
+        process (no pool, exceptions propagate unchanged).
+    cache:
+        A :class:`ResultCache`, a directory path to open one at, or
+        ``None`` to disable caching.  Hits skip execution entirely;
+        computed cells are persisted for the next invocation.
+    retries:
+        Extra attempts a cell is granted after an unsuccessful one
+        (worker crash or in-cell exception) before it is recorded as a
+        :class:`CellFailure`.
+
+    Raises
+    ------
+    ParallelExecutionError
+        If any cell exhausted its attempts (``jobs > 1`` path); carries
+        the full failure list.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    store = _coerce_cache(cache)
+
+    results: List[Optional[SimulationResult]] = [None] * len(tasks)
+    keys: List[Optional[str]] = [None] * len(tasks)
+    pending: List[int] = []
+    for i, task in enumerate(tasks):
+        if store is not None:
+            keys[i] = cell_key(
+                task.cell, task.cfg, task.workload, task.factory, task.sim_kwargs
+            )
+            hit = store.get(keys[i])
+            if hit is not None:
+                results[i] = hit
+                continue
+        pending.append(i)
+
+    if jobs == 1:
+        for i in pending:
+            results[i] = _run_cell(tasks[i])
+            if store is not None:
+                store.put(keys[i], results[i])
+        return [r for r in results if r is not None]
+
+    attempts: Dict[int, int] = {i: 0 for i in pending}
+    last_error: Dict[int, Tuple[str, str, str]] = {}
+    failures: List[CellFailure] = []
+    to_run = list(pending)
+    while to_run:
+        retry_round: List[int] = []
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(to_run)), mp_context=get_context("spawn")
+        ) as pool:
+            future_of = {pool.submit(_run_cell_guarded, tasks[i]): i for i in to_run}
+            not_done = set(future_of)
+            broken = False
+            while not_done and not broken:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    i = future_of[fut]
+                    try:
+                        status, payload = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        attempts[i] += 1
+                        last_error.setdefault(
+                            i,
+                            (
+                                "WorkerCrash",
+                                "worker process died before returning a result",
+                                "",
+                            ),
+                        )
+                        retry_round.append(i)
+                        continue
+                    except Exception as exc:
+                        # Submission-side errors (e.g. an unpicklable lambda
+                        # factory) surface here rather than in the worker;
+                        # they consume an attempt like any other failure.
+                        attempts[i] += 1
+                        last_error[i] = (
+                            type(exc).__qualname__,
+                            str(exc),
+                            traceback.format_exc(),
+                        )
+                        retry_round.append(i)
+                        continue
+                    if status == "ok":
+                        results[i] = payload
+                        attempts.pop(i, None)
+                        if store is not None:
+                            store.put(keys[i], payload)
+                    else:
+                        attempts[i] += 1
+                        last_error[i] = payload
+                        retry_round.append(i)
+            if broken:
+                # Everything still queued or in flight died with the pool:
+                # one attempt each, then resubmit to a fresh pool.
+                for fut in not_done:
+                    i = future_of[fut]
+                    fut.cancel()
+                    attempts[i] += 1
+                    last_error.setdefault(
+                        i,
+                        (
+                            "WorkerCrash",
+                            "worker pool broke while the cell was queued/in flight",
+                            "",
+                        ),
+                    )
+                    retry_round.append(i)
+
+        to_run = []
+        for i in retry_round:
+            if attempts[i] <= retries:
+                to_run.append(i)
+            else:
+                error_type, message, tb_text = last_error[i]
+                failures.append(
+                    CellFailure(
+                        cell=tasks[i].cell,
+                        attempts=attempts[i],
+                        error_type=error_type,
+                        message=message,
+                        traceback_text=tb_text,
+                    )
+                )
+
+    if failures:
+        raise ParallelExecutionError(failures)
+    settled = [r for r in results if r is not None]
+    if len(settled) != len(tasks):
+        raise RuntimeError(
+            f"engine invariant violated: {len(tasks) - len(settled)} cell(s) "
+            "neither produced a result nor recorded a failure"
+        )
+    return settled

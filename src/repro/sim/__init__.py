@@ -5,6 +5,7 @@ from repro.sim.islands import IslandedController, island_map
 from repro.sim.result_io import load_result, save_result
 from repro.sim.results import SimulationResult
 from repro.sim.runner import (
+    derive_controller_seeds,
     run_budget_sweep,
     run_suite,
     standard_controllers,
@@ -17,6 +18,7 @@ __all__ = [
     "IslandedController",
     "island_map",
     "SimulationResult",
+    "derive_controller_seeds",
     "run_budget_sweep",
     "run_suite",
     "standard_controllers",

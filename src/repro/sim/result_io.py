@@ -4,40 +4,86 @@ Evaluation sweeps are expensive; freezing each run's time series to disk
 lets metrics be recomputed, figures re-rendered, and runs diffed without
 re-simulating.  A :class:`~repro.sim.results.SimulationResult` round-trips
 through a single ``.npz`` file: numeric series as arrays, the identifying
-metadata as scalars, and enough of the :class:`SystemConfig` to rebuild an
-equivalent configuration (VF table, budget, epoch length, core count).
+metadata as scalars, and the :class:`SystemConfig` that produced them.
 
-The restored config uses the *current* default technology constants — the
-file stores behavioural series, not the physics that produced them, so a
-result saved under one technology should be compared, not re-simulated.
+Format history
+--------------
+* **v1** stored behavioural series plus a partial config (VF table,
+  budget, epoch length, core count); restored configs silently took the
+  *current* default technology constants.
+* **v2** (current) additionally stores the full config — technology
+  parameters, ``base_cpi``, ``mem_latency``, ``activity_range`` — and the
+  result's ``extras`` dictionary as canonical JSON.  A v2 file therefore
+  reloads to a result that is equal to the original on every
+  deterministic field, which is what lets the content-addressed cache in
+  :mod:`repro.parallel` replay cells bit-for-bit and the golden-trace
+  suite pin trajectories.  v1 files still load (with default technology
+  and empty extras); unknown future versions are rejected.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, Union
 
 import numpy as np
 
-from repro.manycore.config import SystemConfig
+from repro.manycore.config import SystemConfig, TechnologyParams
 from repro.sim.results import SimulationResult
 
 __all__ = ["save_result", "load_result"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+#: TechnologyParams fields persisted in declaration order as one array.
+_TECH_FIELDS = (
+    "ceff",
+    "leak_coeff",
+    "leak_temp_sens",
+    "t_ref",
+    "t_ambient",
+    "r_thermal",
+    "c_thermal",
+    "r_lateral",
+)
+
+
+def _jsonable(obj: Any) -> Any:
+    """JSON fallback for numpy scalars/arrays appearing in ``extras``."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(
+        f"extras value of type {type(obj).__qualname__} is not JSON-serialisable"
+    )
 
 
 def save_result(result: SimulationResult, path: Union[str, Path]) -> None:
-    """Write a simulation result to ``path`` as ``.npz``."""
+    """Write a simulation result to ``path`` as ``.npz`` (format v2)."""
     path = Path(path)
-    payload = {
+    cfg = result.cfg
+    payload: Dict[str, Any] = {
         "format_version": np.array(_FORMAT_VERSION),
         "controller_name": np.array(result.controller_name),
         "workload_name": np.array(result.workload_name),
-        "n_cores": np.array(result.cfg.n_cores),
-        "epoch_time": np.array(result.cfg.epoch_time),
-        "power_budget": np.array(result.cfg.power_budget),
-        "vf_levels": np.array(result.cfg.vf_levels),
+        "n_cores": np.array(cfg.n_cores),
+        "epoch_time": np.array(cfg.epoch_time),
+        "power_budget": np.array(cfg.power_budget),
+        "vf_levels": np.array(cfg.vf_levels),
+        "base_cpi": np.array(cfg.base_cpi),
+        "mem_latency": np.array(cfg.mem_latency),
+        "activity_range": np.array(cfg.activity_range),
+        "technology": np.array(
+            [getattr(cfg.technology, f) for f in _TECH_FIELDS]
+        ),
+        "extras_json": np.array(
+            json.dumps(result.extras, sort_keys=True, default=_jsonable)
+        ),
         "chip_power": result.chip_power,
         "chip_instructions": result.chip_instructions,
         "max_temperature": result.max_temperature,
@@ -53,26 +99,45 @@ def save_result(result: SimulationResult, path: Union[str, Path]) -> None:
 def load_result(path: Union[str, Path]) -> SimulationResult:
     """Read a result previously written by :func:`save_result`.
 
+    Accepts format v1 (restored with current default technology constants
+    and empty ``extras``) and v2 (full fidelity).
+
     Raises
     ------
     ValueError
-        On format-version mismatch.
+        On an unknown format version.
     """
     path = Path(path)
     with np.load(path, allow_pickle=False) as data:
         version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(
-                f"unsupported result format version {version}; expected "
-                f"{_FORMAT_VERSION}"
+                f"unsupported result format version {version}; expected one "
+                f"of {_SUPPORTED_VERSIONS}"
             )
         vf = tuple((float(f), float(v)) for f, v in data["vf_levels"])
-        cfg = SystemConfig(
-            n_cores=int(data["n_cores"]),
-            vf_levels=vf,
-            epoch_time=float(data["epoch_time"]),
-            power_budget=float(data["power_budget"]),
-        )
+        cfg_kwargs: Dict[str, Any] = {
+            "n_cores": int(data["n_cores"]),
+            "vf_levels": vf,
+            "epoch_time": float(data["epoch_time"]),
+            "power_budget": float(data["power_budget"]),
+        }
+        extras: Dict[str, Any] = {}
+        if version >= 2:
+            tech_values = data["technology"]
+            cfg_kwargs.update(
+                base_cpi=float(data["base_cpi"]),
+                mem_latency=float(data["mem_latency"]),
+                activity_range=(
+                    float(data["activity_range"][0]),
+                    float(data["activity_range"][1]),
+                ),
+                technology=TechnologyParams(
+                    **{f: float(v) for f, v in zip(_TECH_FIELDS, tech_values)}
+                ),
+            )
+            extras = json.loads(str(data["extras_json"]))
+        cfg = SystemConfig(**cfg_kwargs)
         optional = {
             name: (data[name].copy() if name in data else None)
             for name in ("core_power", "core_levels", "core_instructions")
@@ -85,5 +150,6 @@ def load_result(path: Union[str, Path]) -> SimulationResult:
             chip_instructions=data["chip_instructions"].copy(),
             max_temperature=data["max_temperature"].copy(),
             decision_time=data["decision_time"].copy(),
+            extras=extras,
             **optional,
         )

@@ -2,13 +2,26 @@
 
 The evaluation compares the same controller set across many workloads,
 budgets, and core counts.  This module centralizes the controller lineup
-(so every experiment uses identical configurations) and the nested-loop
-bookkeeping.
+(so every experiment uses identical configurations) and the grid
+bookkeeping.  Grids run serially by default; ``jobs=N`` shards the grid
+across worker processes and ``cache=`` adds content-addressed result
+caching — both via :mod:`repro.parallel`, and both bit-identical to the
+serial loop on every deterministic output (see ``docs/parallel.md``).
+
+Controller factories are ``functools.partial`` objects over module-level
+builders rather than lambdas: partials pickle into spawned workers and
+carry an introspectable construction recipe, which is what the result
+cache fingerprints.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Sequence
+import importlib
+from functools import partial
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.manycore.config import SystemConfig
 from repro.sim.interface import Controller
@@ -16,43 +29,89 @@ from repro.sim.results import SimulationResult
 from repro.sim.simulator import run_controller
 from repro.workloads.phases import Workload
 
-__all__ = ["ControllerFactory", "standard_controllers", "run_suite", "run_budget_sweep"]
+__all__ = [
+    "ControllerFactory",
+    "derive_controller_seeds",
+    "standard_controllers",
+    "run_suite",
+    "run_budget_sweep",
+]
 
 ControllerFactory = Callable[[SystemConfig], Controller]
 
+#: Canonical lineup order and construction recipe: name -> (class path,
+#: takes_seed).  Order matters for table output: the contribution first,
+#: then the reactive/optimizing baselines, then the static anchors.
+_LINEUP: Dict[str, tuple] = {
+    "od-rl": ("repro.core.ODRLController", True),
+    "pid": ("repro.baselines.PIDCappingController", False),
+    "greedy-ascent": ("repro.baselines.GreedyAscentController", False),
+    "steepest-drop": ("repro.baselines.SteepestDropController", False),
+    "max-swap": ("repro.baselines.MaxSwapController", False),
+    "maxbips": ("repro.baselines.MaxBIPSController", False),
+    "centralized-rl": ("repro.baselines.CentralizedRLController", True),
+    "static-uniform": ("repro.baselines.StaticUniformController", False),
+    "uncapped": ("repro.baselines.UncappedController", False),
+}
+
+
+def _construct_controller(
+    cls_path: str, cfg: SystemConfig, seed: Optional[int] = None
+) -> Controller:
+    """Import ``cls_path`` and build it over ``cfg`` (module-level so the
+    ``partial`` factories built on it pickle into spawned workers)."""
+    module_name, _, cls_name = cls_path.rpartition(".")
+    cls = getattr(importlib.import_module(module_name), cls_name)
+    controller: Controller = cls(cfg, seed=seed) if seed is not None else cls(cfg)
+    return controller
+
+
+def derive_controller_seeds(seed: int, names: Sequence[str]) -> Dict[str, int]:
+    """Independent per-controller seeds derived from one lineup seed.
+
+    Each name gets its own :class:`numpy.random.SeedSequence` child (via
+    ``spawn``), so two seeded controllers in the same lineup can never
+    share an RNG stream — handing the raw ``seed`` to both OD-RL and
+    centralized RL would make their exploration draws identical, silently
+    correlating the contribution with its own baseline.  The mapping is a
+    pure function of ``(seed, position in names)``.
+    """
+    children = np.random.SeedSequence(seed).spawn(len(names))
+    return {
+        name: int(child.generate_state(1, np.uint64)[0])
+        for name, child in zip(names, children)
+    }
+
 
 def standard_controllers(seed: int = 0) -> Dict[str, ControllerFactory]:
-    """The evaluation's controller lineup, as factories over a config.
+    """The evaluation's controller lineup, as picklable factories over a config.
 
-    Order matters for table output: the contribution first, then the
-    reactive/optimizing baselines, then the static anchors.
+    Seeded controllers (``od-rl``, ``centralized-rl``) receive distinct
+    seeds derived from ``seed`` via :func:`derive_controller_seeds`; the
+    deterministic baselines take none.  Every factory is a
+    ``functools.partial`` over a module-level builder, so the lineup can be
+    shipped to spawned worker processes and fingerprinted by the result
+    cache.
     """
-    # Imported here: repro.core and repro.baselines themselves import the
-    # Controller interface from this package, so a module-level import
-    # would be circular.
-    from repro.baselines import (
-        CentralizedRLController,
-        GreedyAscentController,
-        MaxBIPSController,
-        MaxSwapController,
-        PIDCappingController,
-        SteepestDropController,
-        StaticUniformController,
-        UncappedController,
-    )
-    from repro.core import ODRLController
+    seeded = [name for name, (_, takes_seed) in _LINEUP.items() if takes_seed]
+    seeds = derive_controller_seeds(seed, seeded)
+    lineup: Dict[str, ControllerFactory] = {}
+    for name, (cls_path, takes_seed) in _LINEUP.items():
+        if takes_seed:
+            lineup[name] = partial(_construct_controller, cls_path, seed=seeds[name])
+        else:
+            lineup[name] = partial(_construct_controller, cls_path)
+    return lineup
 
-    return {
-        "od-rl": lambda cfg: ODRLController(cfg, seed=seed),
-        "pid": lambda cfg: PIDCappingController(cfg),
-        "greedy-ascent": lambda cfg: GreedyAscentController(cfg),
-        "steepest-drop": lambda cfg: SteepestDropController(cfg),
-        "max-swap": lambda cfg: MaxSwapController(cfg),
-        "maxbips": lambda cfg: MaxBIPSController(cfg),
-        "centralized-rl": lambda cfg: CentralizedRLController(cfg, seed=seed),
-        "static-uniform": lambda cfg: StaticUniformController(cfg),
-        "uncapped": lambda cfg: UncappedController(cfg),
-    }
+
+def _factory_seed(factory: ControllerFactory) -> int:
+    """The seed a factory will hand its controller, when recoverable (else 0)."""
+    keywords = getattr(factory, "keywords", None)
+    if keywords:
+        seed = keywords.get("seed")
+        if isinstance(seed, (int, np.integer)):
+            return int(seed)
+    return 0
 
 
 def run_suite(
@@ -60,8 +119,30 @@ def run_suite(
     workloads: Mapping[str, Workload],
     controllers: Mapping[str, ControllerFactory],
     n_epochs: int,
+    jobs: int = 1,
+    cache: Union[str, Path, Any, None] = None,
+    sim_kwargs: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run every controller on every workload.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  The default ``1`` runs the historical
+        serial loop in-process; ``jobs > 1`` shards the controller ×
+        workload grid across spawned workers (factories must then be
+        picklable — the standard lineup is).
+    cache:
+        Optional result cache: a directory path or a
+        :class:`repro.parallel.ResultCache`.  Cells whose content-addressed
+        key is already cached are loaded instead of re-simulated.
+    sim_kwargs:
+        Extra keyword arguments forwarded verbatim to
+        :func:`~repro.sim.simulator.run_controller` for every cell
+        (``record_per_core``, ``faults``, ``watchdog`` …).  Values must be
+        picklable and stateless for ``jobs > 1`` (pass a
+        :class:`~repro.faults.campaign.FaultCampaign`, not a live
+        injector).
 
     Returns
     -------
@@ -70,15 +151,36 @@ def run_suite(
     """
     if n_epochs <= 0:
         raise ValueError(f"n_epochs must be positive, got {n_epochs}")
-    results: Dict[str, Dict[str, SimulationResult]] = {}
+    extra = dict(sim_kwargs or {})
+    if jobs == 1 and cache is None:
+        results: Dict[str, Dict[str, SimulationResult]] = {}
+        for ctrl_name, factory in controllers.items():
+            results[ctrl_name] = {}
+            for wl_name, workload in workloads.items():
+                controller = factory(cfg)
+                results[ctrl_name][wl_name] = run_controller(
+                    cfg, workload, controller, n_epochs, **extra
+                )
+        return results
+
+    from repro.parallel.cells import RunCell, merge_suite
+    from repro.parallel.engine import CellTask, execute_cells
+
+    cells: List[RunCell] = []
+    tasks: List[CellTask] = []
     for ctrl_name, factory in controllers.items():
-        results[ctrl_name] = {}
         for wl_name, workload in workloads.items():
-            controller = factory(cfg)
-            results[ctrl_name][wl_name] = run_controller(
-                cfg, workload, controller, n_epochs
+            cell = RunCell(
+                controller=ctrl_name,
+                workload=wl_name,
+                budget=None,
+                seed=_factory_seed(factory),
+                n_epochs=n_epochs,
             )
-    return results
+            cells.append(cell)
+            tasks.append(CellTask(cell, cfg, workload, factory, extra))
+    flat = execute_cells(tasks, jobs=jobs, cache=cache)
+    return merge_suite(cells, flat)
 
 
 def run_budget_sweep(
@@ -87,8 +189,13 @@ def run_budget_sweep(
     workload: Workload,
     controllers: Mapping[str, ControllerFactory],
     n_epochs: int,
+    jobs: int = 1,
+    cache: Union[str, Path, Any, None] = None,
+    sim_kwargs: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Dict[float, SimulationResult]]:
     """Run every controller at each absolute budget (watts) on one workload.
+
+    ``jobs``, ``cache`` and ``sim_kwargs`` behave as in :func:`run_suite`.
 
     Returns
     -------
@@ -97,13 +204,41 @@ def run_budget_sweep(
     """
     if not budgets:
         raise ValueError("budgets must be non-empty")
-    results: Dict[str, Dict[float, SimulationResult]] = {}
+    if n_epochs <= 0:
+        raise ValueError(f"n_epochs must be positive, got {n_epochs}")
+    extra = dict(sim_kwargs or {})
+    if jobs == 1 and cache is None:
+        results: Dict[str, Dict[float, SimulationResult]] = {}
+        for ctrl_name, factory in controllers.items():
+            results[ctrl_name] = {}
+            for budget in budgets:
+                cfg = base_cfg.with_budget(budget)
+                controller = factory(cfg)
+                results[ctrl_name][budget] = run_controller(
+                    cfg, workload, controller, n_epochs, **extra
+                )
+        return results
+
+    from repro.parallel.cells import RunCell, merge_sweep
+    from repro.parallel.engine import CellTask, execute_cells
+
+    cells: List[RunCell] = []
+    tasks: List[CellTask] = []
     for ctrl_name, factory in controllers.items():
-        results[ctrl_name] = {}
         for budget in budgets:
             cfg = base_cfg.with_budget(budget)
-            controller = factory(cfg)
-            results[ctrl_name][budget] = run_controller(
-                cfg, workload, controller, n_epochs
+            cell = RunCell(
+                controller=ctrl_name,
+                workload=workload.name,
+                budget=float(budget),
+                seed=_factory_seed(factory),
+                n_epochs=n_epochs,
             )
-    return results
+            cells.append(cell)
+            tasks.append(CellTask(cell, cfg, workload, factory, extra))
+    flat = execute_cells(tasks, jobs=jobs, cache=cache)
+    merged = merge_sweep(cells, flat)
+    # Budget keys must be the caller's original float objects/ordering.
+    return {
+        ctrl: {b: merged[ctrl][float(b)] for b in budgets} for ctrl in controllers
+    }

@@ -104,3 +104,14 @@ class TestReallocateBudget:
         boosted[2] = 2.0
         alloc_boost = reallocate_budget(12.0, boosted, self.floors, self.caps)
         assert alloc_boost[2] > alloc_base[2]
+
+    def test_subnormal_score_does_not_strand_budget(self):
+        # Regression: `remaining * weights` underflowed a subnormal weight
+        # to zero before the normalising division, so the water-filling
+        # loop exited with budget unspent despite available headroom.
+        scores = np.array([1.0, 5e-324])
+        floors = np.zeros(2)
+        caps = np.ones(2)
+        alloc = reallocate_budget(1.5, scores, floors, caps)
+        assert float(alloc.sum()) == pytest.approx(1.5)
+        assert np.all(alloc <= caps + 1e-12)

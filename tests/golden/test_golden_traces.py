@@ -1,0 +1,107 @@
+"""Golden-trace determinism suite.
+
+Pins the exact trajectories of a small controller grid (16 cores, 50
+epochs, mixed workload) against fixtures frozen by
+``tools/regen_golden.py``.  Any refactor that changes a single bit of any
+deterministic output — chip power, instructions, temperature, per-core
+series, extras — fails here; regenerate with ``make golden`` only for an
+*intentional* behaviour change, and say why in the commit message.
+
+``decision_time`` is excluded: it measures host wall-clock, not simulated
+behaviour (fixtures store it zeroed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.manycore.config import default_system
+from repro.parallel import assert_trace_equal
+from repro.sim.result_io import load_result
+
+from tools.regen_golden import (
+    GOLDEN_BUDGET_FRACTION,
+    GOLDEN_CONTROLLERS,
+    GOLDEN_N_CORES,
+    GOLDEN_N_EPOCHS,
+    compute_golden_results,
+    golden_path,
+)
+
+
+@pytest.fixture(scope="module")
+def fresh_results():
+    """The golden grid recomputed serially, once per module."""
+    return compute_golden_results()
+
+
+def test_fixtures_exist():
+    for name in GOLDEN_CONTROLLERS:
+        assert golden_path(name).is_file(), (
+            f"missing golden fixture for {name!r}; run `make golden`"
+        )
+
+
+@pytest.mark.parametrize("name", GOLDEN_CONTROLLERS)
+def test_fixture_shape_matches_spec(name):
+    golden = load_result(golden_path(name))
+    assert golden.controller_name == name
+    assert golden.cfg.n_cores == GOLDEN_N_CORES
+    assert golden.n_epochs == GOLDEN_N_EPOCHS
+    expected_cfg = default_system(
+        n_cores=GOLDEN_N_CORES, budget_fraction=GOLDEN_BUDGET_FRACTION
+    )
+    assert golden.cfg == expected_cfg
+    for series in ("core_power", "core_levels", "core_instructions"):
+        arr = getattr(golden, series)
+        assert arr is not None, f"golden fixture lacks per-core series {series}"
+        assert arr.shape == (GOLDEN_N_EPOCHS, GOLDEN_N_CORES)
+    assert np.all(golden.decision_time == 0.0), (
+        "golden decision_time must be zeroed (wall-clock is not pinned)"
+    )
+
+
+@pytest.mark.parametrize("name", GOLDEN_CONTROLLERS)
+def test_serial_run_is_bit_identical_to_golden(fresh_results, name):
+    golden = load_result(golden_path(name))
+    # compute_golden_results zeroes decision_time, so the comparison can
+    # include every field the fixtures pin.
+    assert_trace_equal(
+        fresh_results[name],
+        golden,
+        compare_decision_time=True,
+        context=f"golden[{name}] vs serial recompute",
+    )
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_parallel_run_is_bit_identical_to_golden(jobs):
+    parallel = compute_golden_results(jobs=jobs)
+    for name in GOLDEN_CONTROLLERS:
+        golden = load_result(golden_path(name))
+        assert_trace_equal(
+            parallel[name],
+            golden,
+            compare_decision_time=True,
+            context=f"golden[{name}] vs jobs={jobs}",
+        )
+
+
+def test_golden_fixtures_roundtrip_through_cache(tmp_path, fresh_results):
+    """A cache warmed by the golden grid replays it bit-for-bit."""
+    cold = compute_golden_results(cache=tmp_path)
+    warm = compute_golden_results(cache=tmp_path)
+    for name in GOLDEN_CONTROLLERS:
+        assert_trace_equal(
+            cold[name],
+            fresh_results[name],
+            compare_decision_time=True,
+            context=f"cold-cache[{name}]",
+        )
+        assert_trace_equal(
+            warm[name],
+            fresh_results[name],
+            compare_decision_time=True,
+            context=f"warm-cache[{name}]",
+        )

@@ -1,0 +1,44 @@
+"""Spawn-importable controller factories for engine failure tests.
+
+These must live in a real module (not a test function body, not
+``__main__``): worker processes started with the ``spawn`` method import
+the factory's module fresh, so closures and locals cannot cross the
+process boundary.  Crash coordination goes through sentinel files because
+the crashing attempt and the retry may land in different worker
+processes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.baselines import StaticUniformController
+
+#: Arbitrary nonzero status so a deliberate kill is distinguishable from
+#: an interpreter error in worker logs.
+CRASH_EXIT_CODE = 43
+
+
+def build_static(cfg):
+    """A well-behaved factory (the success case)."""
+    return StaticUniformController(cfg)
+
+
+def crash_once(cfg, sentinel_path: str):
+    """Kill the worker process on the first call; succeed on the retry."""
+    sentinel = Path(sentinel_path)
+    if not sentinel.exists():
+        sentinel.write_text("first attempt crashed")
+        os._exit(CRASH_EXIT_CODE)
+    return StaticUniformController(cfg)
+
+
+def always_crash(cfg):
+    """Kill the worker process on every call (exhausts the attempt budget)."""
+    os._exit(CRASH_EXIT_CODE)
+
+
+def always_raise(cfg):
+    """Raise an ordinary exception (structured failure, pool survives)."""
+    raise ValueError("deliberate factory failure")

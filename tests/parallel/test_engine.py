@@ -1,0 +1,145 @@
+"""Engine behaviour: crash retry, structured failures, inline execution.
+
+Uses the sentinel-file factories from :mod:`tests.parallel.helpers`
+(spawn-importable module-level functions) to inject worker deaths and
+in-cell exceptions deterministically.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import pytest
+
+from repro.manycore import default_system
+from repro.parallel import (
+    CellTask,
+    ParallelExecutionError,
+    RunCell,
+    execute_cells,
+)
+from repro.workloads import mixed_workload
+
+from tests.parallel import helpers
+
+N_CORES = 4
+N_EPOCHS = 5
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return default_system(n_cores=N_CORES, n_levels=3, budget_fraction=0.6)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return mixed_workload(N_CORES, seed=0)
+
+
+def make_task(cfg, workload, factory, name="cell"):
+    cell = RunCell(
+        controller=name, workload=workload.name, budget=None, seed=0,
+        n_epochs=N_EPOCHS,
+    )
+    return CellTask(cell, cfg, workload, factory)
+
+
+class TestInlineExecution:
+    def test_jobs_one_runs_without_pool(self, cfg, workload):
+        task = make_task(cfg, workload, helpers.build_static)
+        (result,) = execute_cells([task], jobs=1)
+        assert result.n_epochs == N_EPOCHS
+
+    def test_jobs_one_propagates_raw_exception(self, cfg, workload):
+        task = make_task(cfg, workload, helpers.always_raise)
+        with pytest.raises(ValueError, match="deliberate factory failure"):
+            execute_cells([task], jobs=1)
+
+    def test_rejects_invalid_jobs(self, cfg, workload):
+        task = make_task(cfg, workload, helpers.build_static)
+        with pytest.raises(ValueError, match="jobs"):
+            execute_cells([task], jobs=0)
+
+    def test_rejects_negative_retries(self, cfg, workload):
+        task = make_task(cfg, workload, helpers.build_static)
+        with pytest.raises(ValueError, match="retries"):
+            execute_cells([task], retries=-1)
+
+
+class TestCrashRecovery:
+    def test_worker_crash_is_retried_and_succeeds(self, cfg, workload, tmp_path):
+        factory = partial(
+            helpers.crash_once, sentinel_path=str(tmp_path / "sentinel")
+        )
+        task = make_task(cfg, workload, factory)
+        (result,) = execute_cells([task], jobs=2)
+        assert result.n_epochs == N_EPOCHS
+        assert (tmp_path / "sentinel").exists()
+
+    def test_persistent_crash_becomes_structured_failure(self, cfg, workload):
+        task = make_task(cfg, workload, helpers.always_crash, name="crasher")
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            execute_cells([task], jobs=2, retries=1)
+        (failure,) = excinfo.value.failures
+        assert failure.cell.controller == "crasher"
+        assert failure.error_type == "WorkerCrash"
+        assert failure.attempts == 2
+
+    def test_innocent_cell_survives_a_pool_crash(self, cfg, workload, tmp_path):
+        # The crashing cell takes the pool down; the healthy cell may be
+        # queued or in flight at that moment, but must still complete on
+        # the rebuilt pool.
+        crash = partial(
+            helpers.crash_once, sentinel_path=str(tmp_path / "sentinel")
+        )
+        tasks = [
+            make_task(cfg, workload, crash, name="crasher"),
+            make_task(cfg, workload, helpers.build_static, name="healthy"),
+        ]
+        results = execute_cells(tasks, jobs=2)
+        assert len(results) == 2
+        assert all(r.n_epochs == N_EPOCHS for r in results)
+
+
+class TestStructuredFailures:
+    def test_worker_exception_ships_back_as_values(self, cfg, workload):
+        task = make_task(cfg, workload, helpers.always_raise, name="raiser")
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            execute_cells([task], jobs=2, retries=0)
+        (failure,) = excinfo.value.failures
+        assert failure.error_type == "ValueError"
+        assert "deliberate factory failure" in failure.message
+        assert "always_raise" in failure.traceback_text
+        assert failure.attempts == 1
+
+    def test_exceptions_are_retried_before_failing(self, cfg, workload):
+        task = make_task(cfg, workload, helpers.always_raise)
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            execute_cells([task], jobs=2, retries=2)
+        assert excinfo.value.failures[0].attempts == 3
+
+    def test_one_bad_cell_does_not_hide_good_results_error(self, cfg, workload):
+        tasks = [
+            make_task(cfg, workload, helpers.build_static, name="good"),
+            make_task(cfg, workload, helpers.always_raise, name="bad"),
+        ]
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            execute_cells(tasks, jobs=2, retries=0)
+        assert [f.cell.controller for f in excinfo.value.failures] == ["bad"]
+
+    def test_unpicklable_factory_fails_structurally(self, cfg, workload):
+        task = make_task(cfg, workload, lambda c: None, name="lambda")
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            execute_cells([task], jobs=2, retries=0)
+        (failure,) = excinfo.value.failures
+        assert failure.cell.controller == "lambda"
+
+    def test_error_message_lists_every_failed_cell(self, cfg, workload):
+        tasks = [
+            make_task(cfg, workload, helpers.always_raise, name=f"bad-{i}")
+            for i in range(2)
+        ]
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            execute_cells(tasks, jobs=2, retries=0)
+        message = str(excinfo.value)
+        assert "bad-0" in message and "bad-1" in message

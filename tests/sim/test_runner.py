@@ -1,9 +1,16 @@
 """Tests for repro.sim.runner."""
 
+import pickle
+
 import pytest
 
 from repro.manycore import default_system
-from repro.sim import run_budget_sweep, run_suite, standard_controllers
+from repro.sim import (
+    derive_controller_seeds,
+    run_budget_sweep,
+    run_suite,
+    standard_controllers,
+)
 from repro.workloads import make_benchmark, mixed_workload
 
 
@@ -26,6 +33,46 @@ class TestStandardControllers:
 
     def test_od_rl_listed_first(self):
         assert next(iter(standard_controllers())) == "od-rl"
+
+    def test_lineup_is_picklable(self):
+        # Factories ship to spawned workers; lambdas would fail here.
+        lineup = standard_controllers(seed=3)
+        assert set(pickle.loads(pickle.dumps(lineup))) == set(lineup)
+
+
+class TestDerivedSeeds:
+    """Regression: the two seeded controllers must never share an RNG stream.
+
+    Handing the raw lineup seed to both OD-RL and centralized RL made
+    their exploration draws identical, silently correlating the
+    contribution with its own baseline.
+    """
+
+    def test_seeded_controllers_get_distinct_seeds(self):
+        lineup = standard_controllers(seed=0)
+        od_seed = lineup["od-rl"].keywords["seed"]
+        crl_seed = lineup["centralized-rl"].keywords["seed"]
+        assert od_seed != crl_seed
+
+    def test_derivation_is_deterministic(self):
+        names = ["od-rl", "centralized-rl"]
+        assert derive_controller_seeds(7, names) == derive_controller_seeds(7, names)
+
+    def test_derived_seeds_are_pairwise_distinct(self):
+        names = [f"ctl-{i}" for i in range(16)]
+        seeds = derive_controller_seeds(0, names)
+        assert len(set(seeds.values())) == len(names)
+
+    def test_different_lineup_seeds_differ(self):
+        names = ["od-rl", "centralized-rl"]
+        assert derive_controller_seeds(0, names) != derive_controller_seeds(1, names)
+
+    def test_seed_depends_on_position_not_name(self):
+        # The mapping is a pure function of (seed, position): renaming a
+        # controller must not reshuffle every other controller's stream.
+        a = derive_controller_seeds(0, ["x", "y"])
+        b = derive_controller_seeds(0, ["x", "z"])
+        assert a["x"] == b["x"]
 
 
 class TestRunSuite:

@@ -1,0 +1,101 @@
+"""Regenerate the golden-trace fixtures under ``tests/golden/``.
+
+The golden suite pins exact controller trajectories: a small, fast grid
+(16 cores, 50 epochs, mixed workload, three representative controllers)
+whose every deterministic output — power, instructions, temperature,
+per-core series, extras — must stay bit-for-bit stable across refactors.
+``decision_time`` is wall-clock measurement noise, not simulated
+behaviour, so fixtures store it zeroed and the tests exclude it.
+
+Regenerate (only after an *intentional* behaviour change, with the diff
+explained in the commit message)::
+
+    python -m tools.regen_golden        # or: make golden
+
+The spec constants below are imported by ``tests/golden/`` so the tests
+always rebuild exactly what this tool froze.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.manycore.config import default_system
+from repro.sim.result_io import save_result
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_suite, standard_controllers
+from repro.workloads.suite import mixed_workload
+
+__all__ = [
+    "GOLDEN_DIR",
+    "GOLDEN_N_CORES",
+    "GOLDEN_N_EPOCHS",
+    "GOLDEN_SEED",
+    "GOLDEN_BUDGET_FRACTION",
+    "GOLDEN_CONTROLLERS",
+    "golden_path",
+    "compute_golden_results",
+    "main",
+]
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+GOLDEN_N_CORES = 16
+GOLDEN_N_EPOCHS = 50
+GOLDEN_SEED = 0
+GOLDEN_BUDGET_FRACTION = 0.6
+GOLDEN_CONTROLLERS = ("od-rl", "pid", "static-uniform")
+
+
+def golden_path(controller: str) -> Path:
+    """Fixture file for one controller's golden trace."""
+    return GOLDEN_DIR / f"{controller}.npz"
+
+
+def compute_golden_results(
+    jobs: int = 1, cache: object = None
+) -> Dict[str, SimulationResult]:
+    """Run the golden grid and return ``{controller: result}``.
+
+    Results carry per-core series (``record_per_core=True``) and a zeroed
+    ``decision_time`` so the return value is a pure function of the spec
+    constants — identical bytes on every machine and every run.
+    """
+    cfg = default_system(
+        n_cores=GOLDEN_N_CORES, budget_fraction=GOLDEN_BUDGET_FRACTION
+    )
+    workload = mixed_workload(GOLDEN_N_CORES, seed=GOLDEN_SEED)
+    lineup = standard_controllers(seed=GOLDEN_SEED)
+    chosen = {name: lineup[name] for name in GOLDEN_CONTROLLERS}
+    results = run_suite(
+        cfg,
+        {workload.name: workload},
+        chosen,
+        GOLDEN_N_EPOCHS,
+        jobs=jobs,
+        cache=cache,
+        sim_kwargs={"record_per_core": True},
+    )
+    return {
+        name: dataclasses.replace(
+            results[name][workload.name],
+            decision_time=np.zeros_like(results[name][workload.name].decision_time),
+        )
+        for name in GOLDEN_CONTROLLERS
+    }
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, result in compute_golden_results().items():
+        path = golden_path(name)
+        save_result(result, path)
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
