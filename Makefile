@@ -4,7 +4,7 @@
 # .[lint]` — for the lint/typecheck targets, which skip with a warning
 # when the tools are absent).
 
-.PHONY: test bench examples experiments faults golden determinism coverage lint typecheck check clean
+.PHONY: test bench examples experiments faults golden determinism trace coverage lint typecheck check clean
 
 test:
 	pytest tests/
@@ -14,6 +14,13 @@ golden:
 
 determinism:
 	pytest tests/golden/ tests/parallel/ -q
+
+trace:
+	pytest tests/obs/ -q
+	python -m repro compare --cores 8 --epochs 30 --jobs 2 \
+	  --trace /tmp/repro-trace.jsonl --profile
+	python -m repro trace summarize /tmp/repro-trace.jsonl
+	python -m tools.trace_overhead --cores 16 --epochs 50 --reps 2 --threshold 0.25
 
 coverage:
 	@if python -c "import pytest_cov" >/dev/null 2>&1; then \

@@ -1,16 +1,20 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro list                      # experiments + benchmarks
     python -m repro experiment E2 [options]   # run one experiment, print report
     python -m repro compare [options]         # controller comparison table
+    python -m repro trace summarize FILE      # breakdown from a JSONL trace
 
 Every experiment accepts ``--cores``, ``--epochs`` and ``--seed`` so a
 laptop-scale run is one flag away from the evaluation scale, plus
 ``--jobs N`` to shard the simulation grid across worker processes and
 ``--cache DIR`` to reuse already-computed cells across invocations (both
 bit-identical to the default serial run — see ``docs/parallel.md``).
+``--trace PATH`` streams the run's typed event log to a JSONL file and
+``--profile`` collects the per-epoch phase timing breakdown; neither
+perturbs the simulated trajectories (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -35,6 +39,17 @@ def _add_grid_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="DIR",
         help="result-cache directory; repeated runs skip computed cells",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="stream the typed event log to a JSONL trace file",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect the per-epoch phase timing breakdown (wall clock)",
     )
 
 
@@ -73,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.6,
         help="TDP as a fraction of worst-case peak power (default 0.6)",
     )
+
+    trace = sub.add_parser("trace", help="inspect JSONL trace files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="render run manifests, timing breakdown and incident totals",
+    )
+    summarize.add_argument("trace_file", help="JSONL trace written by --trace")
     return parser
 
 
@@ -105,6 +128,15 @@ def _cmd_list() -> int:
     return 0
 
 
+def _open_recorder(args: argparse.Namespace):
+    """``JsonlRecorder`` for ``--trace PATH``, or ``None`` without the flag."""
+    if getattr(args, "trace", None) is None:
+        return None
+    from repro.obs import JsonlRecorder
+
+    return JsonlRecorder(args.trace)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS
     from repro.experiments.base import GridOptions
@@ -125,15 +157,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     else:
         kwargs["n_cores"] = args.cores
         kwargs["n_epochs"] = args.epochs
-    if "grid" in inspect.signature(run).parameters:
-        kwargs["grid"] = GridOptions(jobs=args.jobs, cache=args.cache)
-    elif args.jobs != 1 or args.cache is not None:
-        print(
-            f"note: {eid} does not sweep a grid; --jobs/--cache ignored",
-            file=sys.stderr,
-        )
-    result = run(**kwargs)
+    recorder = None
+    try:
+        if "grid" in inspect.signature(run).parameters:
+            recorder = _open_recorder(args)
+            kwargs["grid"] = GridOptions(
+                jobs=args.jobs,
+                cache=args.cache,
+                recorder=recorder,
+                profile=args.profile,
+            )
+        elif (
+            args.jobs != 1
+            or args.cache is not None
+            or args.trace is not None
+            or args.profile
+        ):
+            print(
+                f"note: {eid} does not sweep a grid; "
+                "--jobs/--cache/--trace/--profile ignored",
+                file=sys.stderr,
+            )
+        result = run(**kwargs)
+    finally:
+        if recorder is not None:
+            recorder.close()
     print(result)
+    if args.trace is not None and recorder is not None:
+        print(f"\ntrace written to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -168,14 +219,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         f"workload '{workload.name}'\n"
     )
     lineup = standard_controllers(seed=args.seed)
-    results = run_suite(
-        cfg,
-        {workload.name: workload},
-        lineup,
-        n_epochs=args.epochs,
-        jobs=args.jobs,
-        cache=args.cache,
-    )
+    recorder = _open_recorder(args)
+    try:
+        results = run_suite(
+            cfg,
+            {workload.name: workload},
+            lineup,
+            n_epochs=args.epochs,
+            jobs=args.jobs,
+            cache=args.cache,
+            recorder=recorder,
+            profile=args.profile,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
     rows = {}
     for name in lineup:
         result = results[name][workload.name]
@@ -196,6 +254,45 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             fmt="{:.3g}",
         )
     )
+    if args.profile:
+        from repro.obs import TimingBreakdown
+
+        timing_rows = {}
+        for name in lineup:
+            breakdown = TimingBreakdown.from_dict(
+                results[name][workload.name].extras["timing"]
+            )
+            timing_rows[name] = {
+                "decide us": breakdown.mean("decide") * 1e6,
+                "plant us": breakdown.mean("plant") * 1e6,
+                "contracts us": breakdown.mean("contracts") * 1e6,
+            }
+        print()
+        print(
+            format_table(
+                timing_rows,
+                columns=["decide us", "plant us", "contracts us"],
+                title="mean wall clock per epoch by phase (--profile)",
+                fmt="{:.3g}",
+            )
+        )
+    if args.trace is not None:
+        print(f"\ntrace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import render_summary, summarize_file
+
+    try:
+        summary = summarize_file(args.trace_file)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"malformed trace: {exc}", file=sys.stderr)
+        return 2
+    print(render_summary(summary))
     return 0
 
 
@@ -208,4 +305,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

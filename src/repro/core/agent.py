@@ -131,6 +131,9 @@ class QLearningPopulation:
             Per-agent state indices, shape ``(n_agents,)``.
         greedy:
             Force exploitation (used for policy inspection, not control).
+            The greedy path consumes no RNG draws — ties break to the
+            first maximal action — so inspecting the policy mid-run
+            cannot perturb the exploration stream.
 
         Returns
         -------
@@ -139,11 +142,15 @@ class QLearningPopulation:
         """
         states = self._check_states(states)
         qs = self.q[self._agent_idx, states]  # (n_agents, n_actions)
+        if greedy:
+            # Policy inspection must be a pure read: drawing tie-break
+            # jitter here would advance the exploration stream and change
+            # the rest of the run.  First-index argmax matches
+            # :meth:`greedy_policy` and touches no RNG.
+            return np.argmax(qs, axis=1)
         # Random tie-breaking argmax: add an infinitesimal random key.
         jitter = self._rng.random(qs.shape) * 1e-12
         greedy_actions = np.argmax(qs + jitter, axis=1)
-        if greedy:
-            return greedy_actions
         eps = self.epsilon(self.step_count)
         explore = self._rng.random(self.n_agents) < eps
         random_actions = self._rng.integers(self.n_actions, size=self.n_agents)
@@ -169,7 +176,10 @@ class QLearningPopulation:
             Optional boolean per-agent mask; agents where it is False are
             skipped entirely (no Q write, no visit increment).  The
             telemetry sanitizer uses this so agents never learn from
-            fabricated samples (see :mod:`repro.faults.sanitizer`).
+            fabricated samples (see :mod:`repro.faults.sanitizer`).  A
+            mask that excludes *every* agent also skips the global
+            schedule tick (``step_count``), so epsilon does not decay
+            across epochs where nothing was learned.
         """
         states = self._check_states(states)
         next_states = self._check_states(next_states)
@@ -197,6 +207,13 @@ class QLearningPopulation:
             idx = self._agent_idx[mask]
         else:
             idx = self._agent_idx
+        if idx.size == 0:
+            # Every agent masked out (e.g. a whole-epoch telemetry
+            # blackout): nothing is learned, so the schedule clock must
+            # not tick either — otherwise epsilon decays through long
+            # fault campaigns with zero learning and the survivors
+            # under-explore once telemetry returns.
+            return
         row_states = states[idx]
         row_actions = actions[idx]
         cell_visits = self.visits[idx, row_states, row_actions]

@@ -22,6 +22,7 @@ and consumes only sensed telemetry.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 import numpy as np
@@ -170,6 +171,10 @@ class ODRLController(Controller):
         )
         self.degradation = degradation
         self.sanitizer = TelemetrySanitizer(cfg.n_cores, sanitizer_policy)
+        #: optional :class:`repro.obs.PhaseProfiler`; when attached (the
+        #: simulator does this under ``profile=True``) the sanitizer pass
+        #: is timed into the ``sanitizer`` phase.  Never read back.
+        self.profiler = None
         self._freqs = np.array([f for f, _ in cfg.vf_levels])
         self._instr_scale = max_epoch_instructions(cfg)
         self._floors, self._caps = self._power_bounds(cfg, hetero)
@@ -250,12 +255,16 @@ class ODRLController(Controller):
 
         levels = obs.levels
         if self.degradation:
+            profiler = self.profiler
+            t_san = time.perf_counter() if profiler is not None else 0.0
             telemetry = self.sanitizer.sanitize(
                 obs.sensed_power,
                 obs.sensed_instructions,
                 obs.sensed_temperature,
                 self.allocation,
             )
+            if profiler is not None:
+                profiler.add("sanitizer", time.perf_counter() - t_san)
             power = telemetry.power
             instructions = telemetry.instructions
             temperature = telemetry.temperature

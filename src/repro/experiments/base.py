@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.obs import Recorder
+
 __all__ = ["ExperimentResult", "GridOptions"]
 
 
@@ -19,11 +21,11 @@ __all__ = ["ExperimentResult", "GridOptions"]
 class GridOptions:
     """How an experiment executes its simulation grid.
 
-    Threaded from the CLI's ``--jobs`` / ``--cache`` flags into every
-    experiment that sweeps a grid through
+    Threaded from the CLI's ``--jobs`` / ``--cache`` / ``--trace`` /
+    ``--profile`` flags into every experiment that sweeps a grid through
     :func:`repro.sim.runner.run_suite` / ``run_budget_sweep``.  The
-    default (``jobs=1``, no cache) reproduces the historical serial
-    behaviour byte-for-byte.
+    default (``jobs=1``, no cache, no observability) reproduces the
+    historical serial behaviour byte-for-byte.
 
     Attributes
     ----------
@@ -32,10 +34,19 @@ class GridOptions:
     cache:
         Result-cache directory (or a
         :class:`repro.parallel.ResultCache`); ``None`` disables caching.
+    recorder:
+        Optional :class:`repro.obs.Recorder` receiving the run's typed
+        event stream (the CLI passes a ``JsonlRecorder`` for ``--trace``).
+    profile:
+        Collect the per-epoch phase timing breakdown into
+        ``result.extras["timing"]`` (wall clock only; never affects the
+        simulated trajectories).
     """
 
     jobs: int = 1
     cache: Optional[Union[str, Path, Any]] = None
+    recorder: Optional[Recorder] = None
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -43,7 +54,12 @@ class GridOptions:
 
     def runner_kwargs(self) -> Dict[str, Any]:
         """Keyword arguments for ``run_suite`` / ``run_budget_sweep``."""
-        return {"jobs": self.jobs, "cache": self.cache}
+        return {
+            "jobs": self.jobs,
+            "cache": self.cache,
+            "recorder": self.recorder,
+            "profile": self.profile,
+        }
 
 
 @dataclass

@@ -20,6 +20,7 @@ from repro.experiments.base import ExperimentResult, GridOptions
 from repro.manycore.config import default_system
 from repro.metrics.perf_metrics import mean_decision_time
 from repro.metrics.report import format_series
+from repro.obs import TimingBreakdown
 from repro.sim.runner import run_suite, standard_controllers
 from repro.workloads.suite import make_benchmark, mixed_workload
 
@@ -63,6 +64,11 @@ def run_e5(
         the experiment additionally benchmarks the sharded engine on a
         64-core suite grid: serial vs. parallel wall-clock, plus a
         cold-cache vs. warm-cache re-run (see ``data["parallel"]``).
+        ``grid.profile`` / ``grid.recorder`` thread the observability
+        switches through the sweep; profiling adds a decide-vs-plant
+        wall-clock section (see ``data["timing"]``).  The ``decide``
+        phase reuses the C3 ``decision_time`` measurement, so profiling
+        does not perturb the latency numbers themselves.
     """
     counts = list(core_counts) if core_counts else list(_DEFAULT_CORE_COUNTS)
     if sorted(counts) != counts or len(set(counts)) != len(counts):
@@ -75,15 +81,23 @@ def run_e5(
     lineup = standard_controllers(seed=seed)
     chosen = {n: lineup[n] for n in names}
 
+    recorder = grid.recorder if grid is not None else None
+    profile = bool(grid.profile) if grid is not None else False
     latency: Dict[str, List[float]] = {n: [] for n in names}
+    timing: Dict[str, List[Dict[str, Any]]] = {n: [] for n in names}
     for n_cores in counts:
         cfg = default_system(n_cores=n_cores, budget_fraction=budget_fraction)
         workload = mixed_workload(n_cores, seed=seed)
-        results = run_suite(cfg, {"mixed": workload}, chosen, n_epochs)
+        results = run_suite(
+            cfg, {"mixed": workload}, chosen, n_epochs,
+            recorder=recorder, profile=profile,
+        )
         for name in names:
-            trimmed = results[name]["mixed"]
-            trimmed = trimmed.tail(1.0 - warmup_epochs / n_epochs)
+            full = results[name]["mixed"]
+            trimmed = full.tail(1.0 - warmup_epochs / n_epochs)
             latency[name].append(mean_decision_time(trimmed))
+            if profile:
+                timing[name].append(full.extras["timing"])
 
     speedups = [
         latency["maxbips"][i] / latency["od-rl"][i] for i in range(len(counts))
@@ -114,6 +128,9 @@ def run_e5(
         "speedups": speedups,
         "speedup_at_max_cores": speedup_at_max,
     }
+    if profile:
+        data["timing"] = timing
+        sections.append(_timing_section(counts, names, timing))
     if grid is not None and grid.jobs > 1:
         parallel = _parallel_engine_benchmark(
             grid, n_epochs=n_epochs, seed=seed
@@ -142,6 +159,37 @@ def run_e5(
         report="\n\n".join(sections),
         data=data,
     )
+
+
+def _timing_section(
+    counts: Sequence[int],
+    names: Sequence[str],
+    timing: Dict[str, List[Dict[str, Any]]],
+) -> str:
+    """Decide-vs-plant wall-clock table from the profiled sweep.
+
+    The latency figure above answers "how fast is the controller"; this
+    section answers "where does the *experiment's* wall clock go" — how
+    much of each epoch is controller decision versus plant (power /
+    thermal / performance model) integration, per core count.
+    """
+    lines = [
+        "E5: decide vs plant wall clock per epoch (profiled)",
+        f"  {'controller':<16} {'cores':>6} {'decide us':>10} "
+        f"{'plant us':>10} {'decide share':>13}",
+    ]
+    for name in names:
+        for i, n_cores in enumerate(counts):
+            breakdown = TimingBreakdown.from_dict(timing[name][i])
+            decide = breakdown.mean("decide")
+            plant = breakdown.mean("plant")
+            loop = decide + plant + breakdown.mean("contracts")
+            share = 100.0 * decide / loop if loop > 0 else 0.0
+            lines.append(
+                f"  {name:<16} {n_cores:>6d} {decide * 1e6:>10.1f} "
+                f"{plant * 1e6:>10.1f} {share:>12.1f}%"
+            )
+    return "\n".join(lines)
 
 
 _SPEEDUP_GRID_CONTROLLERS = ("od-rl", "pid", "greedy-ascent", "static-uniform")

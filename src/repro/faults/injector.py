@@ -26,8 +26,13 @@ from typing import Dict, FrozenSet
 import numpy as np
 
 from repro.faults.campaign import FaultCampaign
+from repro.obs.metrics import CounterRegistry
 
 __all__ = ["FaultInjector"]
+
+#: per-class sample counters every injector maintains (registry names are
+#: ``faults.<kind>``; the :attr:`FaultInjector.counts` view strips the prefix)
+_COUNT_KINDS = ("dead", "dropped", "stuck", "blackout")
 
 
 class FaultInjector:
@@ -37,12 +42,29 @@ class FaultInjector:
     ----------
     campaign:
         The fault schedule to apply.
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.CounterRegistry` to
+        tally into (under ``faults.*`` names); by default the injector
+        owns a private one.  The legacy :attr:`counts` mapping remains as
+        a read-only view over the registry.
     """
 
-    def __init__(self, campaign: FaultCampaign) -> None:
+    def __init__(
+        self, campaign: FaultCampaign, metrics: CounterRegistry | None = None
+    ) -> None:
         self.campaign = campaign
         self._stuck_levels = np.full(campaign.n_cores, -1, dtype=int)
-        self.counts: Dict[str, int] = {"dead": 0, "dropped": 0, "stuck": 0, "blackout": 0}
+        self.metrics = metrics if metrics is not None else CounterRegistry()
+        for kind in _COUNT_KINDS:
+            self.metrics.set_gauge(f"faults.{kind}", 0)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Per-class affected-sample tallies (compatibility view over
+        :attr:`metrics`): ``{"dead": …, "dropped": …, "stuck": …,
+        "blackout": …}``.  Mutating the returned dict has no effect."""
+        view = self.metrics.view("faults")
+        return {kind: int(view.get(kind, 0)) for kind in _COUNT_KINDS}
 
     @property
     def n_cores(self) -> int:
@@ -51,8 +73,8 @@ class FaultInjector:
     def reset(self) -> None:
         """Forget runtime state (stuck-level captures, counters)."""
         self._stuck_levels.fill(-1)
-        for key in self.counts:
-            self.counts[key] = 0
+        for kind in _COUNT_KINDS:
+            self.metrics.set_gauge(f"faults.{kind}", 0)
 
     def effective_levels(
         self, epoch: int, current: np.ndarray, commanded: np.ndarray
@@ -80,19 +102,19 @@ class FaultInjector:
         # A cleared stuck fault releases its capture so a later stuck
         # window re-freezes at the then-current level.
         self._stuck_levels[~stuck] = -1
-        self.counts["dropped"] += int(np.sum(dropped))
-        self.counts["stuck"] += int(np.sum(stuck))
+        self.metrics.inc("faults.dropped", int(np.sum(dropped)))
+        self.metrics.inc("faults.stuck", int(np.sum(stuck)))
         return effective.astype(int)
 
     def dead_mask(self, epoch: int) -> np.ndarray:
         """Cores dead during ``epoch`` (no retirement, leakage only)."""
         mask = self.campaign.dead_mask(epoch)
-        self.counts["dead"] += int(np.sum(mask))
+        self.metrics.inc("faults.dead", int(np.sum(mask)))
         return mask
 
     def blackout_channels(self, epoch: int) -> FrozenSet[str]:
         """Sensor channels blacked out during ``epoch``."""
         channels = self.campaign.blackout_channels(epoch)
         if channels:
-            self.counts["blackout"] += self.n_cores * len(channels)
+            self.metrics.inc("faults.blackout", self.n_cores * len(channels))
         return channels

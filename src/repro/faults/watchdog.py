@@ -27,6 +27,7 @@ trajectory, bit for bit.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -84,6 +85,11 @@ class WatchdogController(Controller):
         self.checkpoint_period = checkpoint_period
         self.safe_level = safe_level
         self._crash_epochs = frozenset(int(e) for e in crash_epochs)
+        #: optional :class:`repro.obs.PhaseProfiler`; when attached (the
+        #: simulator does this under ``profile=True``) the wrapper's own
+        #: overhead — everything in ``decide`` except the inner call —
+        #: is timed into the ``watchdog`` phase.  Never read back.
+        self.profiler = None
         self.reset()
 
     def reset(self) -> None:
@@ -93,6 +99,8 @@ class WatchdogController(Controller):
         self.recoveries = 0
         self.resets = 0
         self.crashes = 0
+        self.checkpoints = 0
+        self.restores = 0
         self._strikes = 0
         self._epoch = 0
         self._checkpoint: Optional[Dict[str, np.ndarray]] = None
@@ -105,6 +113,8 @@ class WatchdogController(Controller):
             "recoveries": self.recoveries,
             "resets": self.resets,
             "crashes": self.crashes,
+            "checkpoints": self.checkpoints,
+            "restores": self.restores,
             "failures": len(self.failure_log),
             "failure_log": list(self.failure_log),
         }
@@ -135,6 +145,7 @@ class WatchdogController(Controller):
         restore = getattr(self.inner, "restore", None)
         if self._checkpoint is not None and callable(restore):
             restore(self._checkpoint)
+            self.restores += 1
 
     def _maybe_checkpoint(self) -> None:
         checkpoint = getattr(self.inner, "checkpoint", None)
@@ -145,8 +156,12 @@ class WatchdogController(Controller):
             and callable(checkpoint)
         ):
             self._checkpoint = checkpoint()
+            self.checkpoints += 1
 
     def decide(self, obs: Optional[EpochObservation]) -> np.ndarray:
+        profiler = self.profiler
+        t_outer = time.perf_counter() if profiler is not None else 0.0
+        inner_seconds = 0.0
         epoch = self._epoch
         if epoch in self._crash_epochs:
             # The controller process died: all in-memory state is gone.
@@ -156,7 +171,13 @@ class WatchdogController(Controller):
             self.crashes += 1
             self._strikes = 0
         try:
-            levels = self._coerce(self.inner.decide(obs))
+            if profiler is not None:
+                t_inner = time.perf_counter()
+                proposed = self.inner.decide(obs)
+                inner_seconds = time.perf_counter() - t_inner
+            else:
+                proposed = self.inner.decide(obs)
+            levels = self._coerce(proposed)
             self._strikes = 0
             self._maybe_checkpoint()
         except Exception as exc:  # the watchdog's whole job is to survive this
@@ -170,4 +191,11 @@ class WatchdogController(Controller):
                 self._strikes = 0
         self._last_levels = levels.copy()
         self._epoch += 1
+        if profiler is not None:
+            # Wrapper overhead only: total decide time minus the inner
+            # controller's share (which the ``decide`` phase already
+            # covers via the simulator's outer measurement).
+            profiler.add(
+                "watchdog", time.perf_counter() - t_outer - inner_seconds
+            )
         return levels

@@ -19,6 +19,7 @@ loop is firmware.  Budget violation accounting lives in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Union
 
@@ -189,6 +190,11 @@ class ManyCoreChip:
         self.levels = np.full(cfg.n_cores, start, dtype=int)
         self.faults = self._build_injector(faults)
         self.validate = validation_enabled(validate)
+        #: optional :class:`repro.obs.PhaseProfiler`; when attached (the
+        #: simulator does this under ``profile=True``) the chip times its
+        #: sensor reads into the ``sensor`` phase.  Write-only telemetry —
+        #: nothing in the plant reads it back.
+        self.profiler = None
         self.epoch = 0
         self.time = 0.0
         self.total_energy = 0.0
@@ -331,6 +337,17 @@ class ManyCoreChip:
             if self.faults is not None
             else frozenset()
         )
+        profiler = self.profiler
+        t_sense = time.perf_counter() if profiler is not None else 0.0
+        sensed_power = self.sensors.power.read(power, blackout="power" in blackout)
+        sensed_instructions = self.sensors.perf.read(
+            instructions, blackout="perf" in blackout
+        )
+        sensed_temperature = self.sensors.temperature.read(
+            self.thermal.temperatures, blackout="temperature" in blackout
+        )
+        if profiler is not None:
+            profiler.add("sensor", time.perf_counter() - t_sense)
         obs = EpochObservation(
             epoch=self.epoch,
             time=self.time,
@@ -340,13 +357,9 @@ class ManyCoreChip:
             temperature=self.thermal.temperatures.copy(),
             mem_intensity=mem,
             compute_intensity=comp,
-            sensed_power=self.sensors.power.read(power, blackout="power" in blackout),
-            sensed_instructions=self.sensors.perf.read(
-                instructions, blackout="perf" in blackout
-            ),
-            sensed_temperature=self.sensors.temperature.read(
-                self.thermal.temperatures, blackout="temperature" in blackout
-            ),
+            sensed_power=sensed_power,
+            sensed_instructions=sensed_instructions,
+            sensed_temperature=sensed_temperature,
         )
         self.epoch += 1
         return obs

@@ -68,14 +68,19 @@ class ThermalModel:
         self._tech: TechnologyParams = cfg.technology
         self._n = cfg.n_cores
         self._pairs = mesh_neighbors(self._n, cfg.mesh_shape)
-        # Laplacian-like coupling matrix row sums, built sparse-by-hand:
-        # for each node, list of neighbour indices.
-        self._neighbor_idx: List[np.ndarray] = [np.empty(0, dtype=int)] * self._n
-        adj: List[List[int]] = [[] for _ in range(self._n)]
+        # Lateral-coupling Laplacian, precomputed once: L[i][j] = 1 for
+        # mesh neighbours, L[i][i] = -degree(i), so the per-substep heat
+        # exchange sum_j (T_j - T_i) is a single matvec ``L @ T`` instead
+        # of a Python loop over per-node neighbour lists.  The grid is
+        # small (cores, not FEM nodes) and L is reused every substep of
+        # every epoch, so dense is both the fastest and the simplest form.
+        laplacian = np.zeros((self._n, self._n), dtype=float)
         for i, j in self._pairs:
-            adj[i].append(j)
-            adj[j].append(i)
-        self._adjacency = [np.array(a, dtype=int) for a in adj]
+            laplacian[i, j] = 1.0
+            laplacian[j, i] = 1.0
+            laplacian[i, i] -= 1.0
+            laplacian[j, j] -= 1.0
+        self._laplacian = laplacian
         self.temperatures = np.full(self._n, self._tech.t_ambient, dtype=float)
 
     @property
@@ -119,10 +124,7 @@ class ThermalModel:
         inv_rl = 1.0 / tech.r_lateral
         inv_c = 1.0 / tech.c_thermal
         for _ in range(n_sub):
-            lateral = np.zeros(self._n)
-            for i, nbrs in enumerate(self._adjacency):
-                if nbrs.size:
-                    lateral[i] = np.sum(temps[nbrs] - temps[i]) * inv_rl
+            lateral = (self._laplacian @ temps) * inv_rl
             dT = (power - (temps - tech.t_ambient) * inv_rv + lateral) * inv_c
             temps = temps + h * dT
         self.temperatures = temps

@@ -1,0 +1,216 @@
+"""Offline trace analysis: turn a JSONL trace back into a breakdown.
+
+``repro trace summarize <file>`` must reproduce the per-stage timing
+breakdown from the trace alone — no access to the run's in-memory
+``result.extras`` — so everything here works purely from parsed event
+records.  The summary covers:
+
+* the run manifest(s) (controller, workload, scale, code salt),
+* the timing breakdown, rebuilt from per-epoch ``phases`` payloads when
+  present and cross-checked against the ``run_end`` aggregate,
+* incident totals (faults by kind, sanitizer rejections, watchdog
+  events, checkpoints),
+* parallel-engine activity (cells run/cached/failed, cache hit rate).
+
+Everything returns plain data (:class:`TraceSummary`) plus a separate
+text renderer, so tests can assert on numbers without scraping tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.events import validate_event
+from repro.obs.profiler import NESTED_IN, PHASES, TimingBreakdown
+
+__all__ = ["TraceSummary", "read_events", "summarize_events", "summarize_file", "render_summary"]
+
+
+@dataclass
+class TraceSummary:
+    """Structured digest of one trace file."""
+
+    n_events: int = 0
+    runs: List[Dict[str, Any]] = field(default_factory=list)
+    n_epochs: int = 0
+    timing: Optional[TimingBreakdown] = None
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    sanitizer_rejected: int = 0
+    sanitizer_fallback: int = 0
+    watchdog_events: Dict[str, int] = field(default_factory=dict)
+    checkpoints: Dict[str, int] = field(default_factory=dict)
+    cells_started: int = 0
+    cells_cached: int = 0
+    cells_done: int = 0
+    cells_failed: int = 0
+    engine_counters: Dict[str, Any] = field(default_factory=dict)
+
+
+def read_events(path: str) -> List[Dict[str, Any]]:
+    """Parse and schema-check every record in a JSONL trace file."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON ({exc})") from exc
+            try:
+                validate_event(record)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+            events.append(record)
+    return events
+
+
+def summarize_events(events: Iterable[Dict[str, Any]]) -> TraceSummary:
+    """Fold a stream of parsed events into a :class:`TraceSummary`."""
+    s = TraceSummary()
+    phase_totals: Dict[str, float] = {}
+    profiled_epochs = 0
+    for ev in events:
+        s.n_events += 1
+        kind = ev["type"]
+        if kind == "run_start":
+            s.runs.append({k: v for k, v in ev.items() if k not in ("type", "seq")})
+        elif kind == "epoch":
+            s.n_epochs += 1
+            phases = ev.get("phases")
+            if isinstance(phases, dict):
+                profiled_epochs += 1
+                for phase, seconds in phases.items():
+                    phase_totals[phase] = phase_totals.get(phase, 0.0) + float(seconds)
+        elif kind == "fault":
+            k = str(ev["kind"])
+            s.fault_counts[k] = s.fault_counts.get(k, 0) + int(ev["count"])
+        elif kind == "sanitizer":
+            s.sanitizer_rejected += int(ev["rejected"])
+            s.sanitizer_fallback += int(ev["fallback"])
+        elif kind == "watchdog":
+            e = str(ev["event"])
+            s.watchdog_events[e] = s.watchdog_events.get(e, 0) + int(ev.get("count", 1))
+        elif kind == "checkpoint":
+            a = str(ev["action"])
+            s.checkpoints[a] = s.checkpoints.get(a, 0) + 1
+        elif kind == "cell_start":
+            s.cells_started += 1
+        elif kind == "cell_cached":
+            s.cells_cached += 1
+        elif kind == "cell_done":
+            s.cells_done += 1
+        elif kind == "cell_failed":
+            s.cells_failed += 1
+        elif kind == "engine_summary":
+            counters = ev.get("counters")
+            if isinstance(counters, dict):
+                for name, value in counters.items():
+                    prev = s.engine_counters.get(name, 0)
+                    s.engine_counters[name] = prev + value
+        elif kind == "run_end":
+            # Prefer the authoritative aggregate when the run wrote one
+            # and no per-epoch rows were seen (e.g. a trimmed trace).
+            timing = ev.get("timing")
+            if isinstance(timing, dict) and not phase_totals:
+                s.timing = TimingBreakdown.from_dict(timing)
+    if phase_totals:
+        s.timing = TimingBreakdown(totals=phase_totals, n_epochs=profiled_epochs)
+    return s
+
+
+def summarize_file(path: str) -> TraceSummary:
+    return summarize_events(read_events(path))
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.3f} us"
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """Human-readable report (plain text, stable ordering)."""
+    lines: List[str] = []
+    for manifest in summary.runs:
+        lines.append(
+            "run: controller={controller} workload={workload} "
+            "cores={n_cores} epochs={n_epochs}".format(
+                controller=manifest.get("controller", "?"),
+                workload=manifest.get("workload", "?"),
+                n_cores=manifest.get("n_cores", "?"),
+                n_epochs=manifest.get("n_epochs", "?"),
+            )
+        )
+    lines.append(
+        f"events: {summary.n_events}   epoch records: {summary.n_epochs}"
+    )
+
+    timing = summary.timing
+    if timing is not None and timing.n_epochs > 0:
+        lines.append("")
+        lines.append("timing breakdown (wall clock):")
+        lines.append(f"  {'phase':<12} {'total':>11} {'mean/epoch':>12}  share")
+        loop_total = sum(
+            timing.totals.get(p, 0.0) for p in PHASES if p not in NESTED_IN
+        )
+        for phase in PHASES:
+            total = timing.totals.get(phase, 0.0)
+            share = (total / loop_total * 100.0) if loop_total > 0 else 0.0
+            nested = f"  (within {NESTED_IN[phase]})" if phase in NESTED_IN else ""
+            lines.append(
+                f"  {phase:<12} {_fmt_seconds(total)} "
+                f"{_fmt_seconds(timing.mean(phase))} {share:5.1f}%{nested}"
+            )
+        decide = timing.totals.get("decide", 0.0)
+        plant = timing.totals.get("plant", 0.0)
+        if plant > 0:
+            lines.append(
+                f"  decide/plant ratio: {decide / plant:.3f}"
+            )
+
+    if summary.fault_counts:
+        lines.append("")
+        lines.append("faults (affected samples by kind):")
+        for kind in sorted(summary.fault_counts):
+            lines.append(f"  {kind}: {summary.fault_counts[kind]}")
+    if summary.sanitizer_rejected or summary.sanitizer_fallback:
+        lines.append(
+            f"sanitizer: rejected={summary.sanitizer_rejected} "
+            f"fallback={summary.sanitizer_fallback}"
+        )
+    if summary.watchdog_events:
+        pairs = ", ".join(
+            f"{k}={v}" for k, v in sorted(summary.watchdog_events.items())
+        )
+        lines.append(f"watchdog: {pairs}")
+    if summary.checkpoints:
+        pairs = ", ".join(
+            f"{k}={v}" for k, v in sorted(summary.checkpoints.items())
+        )
+        lines.append(f"checkpoints: {pairs}")
+
+    if summary.cells_started or summary.cells_cached or summary.cells_failed:
+        lines.append("")
+        # cell_start is emitted for every scheduled cell, including the
+        # ones subsequently served from cache, so it IS the total.
+        lines.append(
+            f"parallel engine: cells={summary.cells_started} "
+            f"(run={summary.cells_done} cached={summary.cells_cached} "
+            f"failed={summary.cells_failed})"
+        )
+        hits = summary.engine_counters.get("cache.hits")
+        misses = summary.engine_counters.get("cache.misses")
+        if isinstance(hits, (int, float)) and isinstance(misses, (int, float)):
+            total = hits + misses
+            if total > 0:
+                lines.append(
+                    f"cache: hits={hits} misses={misses} "
+                    f"hit rate={hits / total * 100.0:.1f}%"
+                )
+    return "\n".join(lines)

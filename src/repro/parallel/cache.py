@@ -43,6 +43,7 @@ from typing import Any, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from repro.manycore.config import SystemConfig
+from repro.obs.metrics import CounterRegistry
 from repro.parallel.cells import RunCell
 from repro.sim.results import SimulationResult
 from repro.workloads.phases import Workload
@@ -235,11 +236,24 @@ class ResultCache:
     unreadable entries are treated as misses and deleted.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self, root: Union[str, Path], metrics: "CounterRegistry | None" = None
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
+        self.metrics = metrics if metrics is not None else CounterRegistry()
+        self.metrics.set_gauge("cache.hits", 0)
+        self.metrics.set_gauge("cache.misses", 0)
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from disk (compatibility view over ``metrics``)."""
+        return int(self.metrics.get("cache.hits"))
+
+    @property
+    def misses(self) -> int:
+        """Lookups that found no (readable) entry."""
+        return int(self.metrics.get("cache.misses"))
 
     def path_for(self, key: str) -> Path:
         """Filesystem path the entry for ``key`` lives at."""
@@ -253,7 +267,7 @@ class ResultCache:
 
         path = self.path_for(key)
         if not path.exists():
-            self.misses += 1
+            self.metrics.inc("cache.misses")
             return None
         try:
             result = load_result(path)
@@ -261,9 +275,9 @@ class ResultCache:
             # A torn or stale-format entry is a miss, not an error: drop it
             # so the slot is recomputed and rewritten cleanly.
             path.unlink(missing_ok=True)
-            self.misses += 1
+            self.metrics.inc("cache.misses")
             return None
-        self.hits += 1
+        self.metrics.inc("cache.hits")
         return result
 
     def put(self, key: str, result: SimulationResult) -> Path:

@@ -5,11 +5,13 @@ a worker process (or replayed from the cache) is *bit-identical* to the
 same cell computed serially — same chip trajectories, same per-core
 series, same fault/watchdog counters, same configuration.
 
-The one deliberate exception is ``decision_time``: it is measured
-wall-clock (``time.perf_counter`` around ``decide``) and is an
-*observation of the host machine*, not of the simulated system.  Two runs
-of the same cell never agree on it, so it is excluded from trace equality
-by default and compared only when explicitly requested.
+The deliberate exceptions are the wall-clock observations:
+``decision_time`` (measured with ``time.perf_counter`` around ``decide``)
+and the ``extras["timing"]`` breakdown written under ``profile=True``.
+Both are *observations of the host machine*, not of the simulated system.
+Two runs of the same cell never agree on them, so ``decision_time`` is
+excluded from trace equality by default (compared only when explicitly
+requested) and ``timing`` is excluded always.
 
 ``extras`` dictionaries are compared up to JSON canonicalisation (tuples
 become lists when a result round-trips through the on-disk format; the
@@ -81,9 +83,22 @@ def _mismatches(
             f"decision_time: lengths differ "
             f"({a.decision_time.shape[0]} != {b.decision_time.shape[0]})"
         )
-    if _json_canonical(a.extras) != _json_canonical(b.extras):
+    if _json_canonical(_deterministic_extras(a)) != _json_canonical(
+        _deterministic_extras(b)
+    ):
         problems.append("extras: dictionaries differ")
     return problems
+
+
+def _deterministic_extras(result: SimulationResult) -> Any:
+    """``extras`` minus wall-clock-only keys.
+
+    ``timing`` (the :class:`repro.obs.TimingBreakdown` written under
+    ``profile=True``) is host-machine measurement, exactly like
+    ``decision_time``: two runs of the same cell never agree on it, so a
+    profiled run must still compare trace-equal to an unprofiled one.
+    """
+    return {k: v for k, v in result.extras.items() if k != "timing"}
 
 
 def trace_equal(

@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.manycore.config import SystemConfig
+from repro.obs import NULL_RECORDER, BufferRecorder, CounterRegistry, Recorder
 from repro.parallel.cache import ResultCache, cell_key
 from repro.parallel.cells import RunCell
 from repro.sim.results import SimulationResult
@@ -77,6 +78,15 @@ class CellTask:
     workload: Workload
     factory: Any
     sim_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    #: Observability switches.  Deliberately *outside* ``sim_kwargs`` so
+    #: they never enter :func:`~repro.parallel.cache.cell_key` — tracing
+    #: or profiling a run must not change its cache identity (the
+    #: trajectory is bit-identical either way).  With ``trace``, the
+    #: worker collects the run's events in a
+    #: :class:`~repro.obs.BufferRecorder` and ships them back with the
+    #: result for task-ordered replay in the parent.
+    trace: bool = False
+    profile: bool = False
 
 
 @dataclass(frozen=True)
@@ -122,7 +132,9 @@ class ParallelExecutionError(RuntimeError):
         )
 
 
-def _run_cell(task: CellTask) -> SimulationResult:
+def _run_cell(
+    task: CellTask, recorder: Optional[Recorder] = None
+) -> SimulationResult:
     """Execute one cell (worker-side): build the controller, run the loop."""
     # Imported here, not at module level: the simulator pulls in the full
     # plant stack, and worker processes import this module on spawn.
@@ -134,6 +146,8 @@ def _run_cell(task: CellTask) -> SimulationResult:
         task.workload,
         controller,
         task.cell.n_epochs,
+        recorder=recorder,
+        profile=task.profile,
         **dict(task.sim_kwargs),
     )
 
@@ -143,10 +157,14 @@ def _run_cell_guarded(task: CellTask) -> Tuple[str, Any]:
 
     Returning ``("error", ...)`` instead of raising keeps ordinary cell
     failures (bad config, contract violation) out of the pool's exception
-    machinery, so only hard process death ever breaks the pool.
+    machinery, so only hard process death ever breaks the pool.  The
+    ``"ok"`` payload is ``(result, events)`` — the run's buffered trace
+    events when ``task.trace`` is set, else ``None``.
     """
     try:
-        return "ok", _run_cell(task)
+        buffer = BufferRecorder() if task.trace else None
+        result = _run_cell(task, recorder=buffer)
+        return "ok", (result, buffer.events if buffer is not None else None)
     except BaseException as exc:  # shipped to the parent as a structured value
         return "error", (
             type(exc).__qualname__,
@@ -161,11 +179,20 @@ def _coerce_cache(cache: CacheLike) -> Optional[ResultCache]:
     return ResultCache(cache)
 
 
+def _replay_events(rec: Recorder, events: Sequence[Mapping[str, Any]]) -> None:
+    """Re-emit a worker's buffered events into the parent recorder
+    (sequence numbers are re-stamped by the parent's own counter)."""
+    for event in events:
+        payload = {k: v for k, v in event.items() if k not in ("type", "seq")}
+        rec.emit(event["type"], **payload)
+
+
 def execute_cells(
     tasks: Sequence[CellTask],
     jobs: int = 1,
     cache: CacheLike = None,
     retries: int = 1,
+    recorder: Optional[Recorder] = None,
 ) -> List[SimulationResult]:
     """Execute every task, in parallel when ``jobs > 1``, with caching.
 
@@ -184,6 +211,14 @@ def execute_cells(
         Extra attempts a cell is granted after an unsuccessful one
         (worker crash or in-cell exception) before it is recorded as a
         :class:`CellFailure`.
+    recorder:
+        Optional event sink (see :mod:`repro.obs`).  The engine emits
+        cell lifecycle events (``cell_start`` / ``cell_cached`` /
+        ``cell_done`` / ``cell_failed``) and a closing
+        ``engine_summary``; per-run events from workers (for tasks with
+        ``trace=True``) are shipped back in buffers and replayed in task
+        order, so the trace is deterministic regardless of worker
+        scheduling.
 
     Raises
     ------
@@ -196,11 +231,19 @@ def execute_cells(
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     store = _coerce_cache(cache)
+    rec: Recorder = recorder if recorder is not None else NULL_RECORDER
+    metrics = CounterRegistry()
+    metrics.set_gauge("engine.jobs", jobs)
+    metrics.set_gauge("engine.cells_total", len(tasks))
+    cache_hits0 = store.hits if store is not None else 0
+    cache_misses0 = store.misses if store is not None else 0
 
     results: List[Optional[SimulationResult]] = [None] * len(tasks)
     keys: List[Optional[str]] = [None] * len(tasks)
     pending: List[int] = []
     for i, task in enumerate(tasks):
+        if rec.enabled:
+            rec.emit("cell_start", cell=task.cell.label())
         if store is not None:
             keys[i] = cell_key(
                 task.cell, task.cfg, task.workload, task.factory, task.sim_kwargs
@@ -208,19 +251,31 @@ def execute_cells(
             hit = store.get(keys[i])
             if hit is not None:
                 results[i] = hit
+                metrics.inc("engine.cells_cached")
+                if rec.enabled:
+                    rec.emit("cell_cached", cell=task.cell.label())
                 continue
         pending.append(i)
 
     if jobs == 1:
         for i in pending:
-            results[i] = _run_cell(tasks[i])
+            results[i] = _run_cell(
+                tasks[i], recorder=rec if tasks[i].trace else None
+            )
+            metrics.inc("engine.cells_run")
             if store is not None:
                 store.put(keys[i], results[i])
+            if rec.enabled:
+                rec.emit("cell_done", cell=tasks[i].cell.label(), attempts=1)
+        _emit_engine_summary(rec, metrics, store, cache_hits0, cache_misses0)
         return [r for r in results if r is not None]
 
     attempts: Dict[int, int] = {i: 0 for i in pending}
+    event_buffers: Dict[int, Any] = {}
+    success_attempts: Dict[int, int] = {}
     last_error: Dict[int, Tuple[str, str, str]] = {}
     failures: List[CellFailure] = []
+    failed_of: Dict[int, CellFailure] = {}
     to_run = list(pending)
     while to_run:
         retry_round: List[int] = []
@@ -262,10 +317,14 @@ def execute_cells(
                         retry_round.append(i)
                         continue
                     if status == "ok":
-                        results[i] = payload
-                        attempts.pop(i, None)
+                        result, events = payload
+                        results[i] = result
+                        success_attempts[i] = attempts.pop(i, 0) + 1
+                        if events:
+                            event_buffers[i] = events
+                        metrics.inc("engine.cells_run")
                         if store is not None:
-                            store.put(keys[i], payload)
+                            store.put(keys[i], result)
                     else:
                         attempts[i] += 1
                         last_error[i] = payload
@@ -291,6 +350,7 @@ def execute_cells(
         for i in retry_round:
             if attempts[i] <= retries:
                 to_run.append(i)
+                metrics.inc("engine.retries")
             else:
                 error_type, message, tb_text = last_error[i]
                 failures.append(
@@ -302,6 +362,32 @@ def execute_cells(
                         traceback_text=tb_text,
                     )
                 )
+                failed_of[i] = failures[-1]
+                metrics.inc("engine.cells_failed")
+
+    if rec.enabled:
+        # Replay worker event buffers and settle-state events in task
+        # order: the trace's cell sequence is then a deterministic
+        # function of the task list, not of worker scheduling.
+        for i, task in enumerate(tasks):
+            events = event_buffers.get(i)
+            if events:
+                _replay_events(rec, events)
+            if i in success_attempts:
+                rec.emit(
+                    "cell_done",
+                    cell=task.cell.label(),
+                    attempts=success_attempts[i],
+                )
+            elif i in failed_of:
+                failure = failed_of[i]
+                rec.emit(
+                    "cell_failed",
+                    cell=task.cell.label(),
+                    attempts=failure.attempts,
+                    error_type=failure.error_type,
+                )
+    _emit_engine_summary(rec, metrics, store, cache_hits0, cache_misses0)
 
     if failures:
         raise ParallelExecutionError(failures)
@@ -312,3 +398,20 @@ def execute_cells(
             "neither produced a result nor recorded a failure"
         )
     return settled
+
+
+def _emit_engine_summary(
+    rec: Recorder,
+    metrics: CounterRegistry,
+    store: Optional[ResultCache],
+    cache_hits0: int,
+    cache_misses0: int,
+) -> None:
+    """Close an :func:`execute_cells` invocation with a counter snapshot."""
+    if not rec.enabled:
+        return
+    counters = metrics.snapshot()
+    if store is not None:
+        counters["cache.hits"] = store.hits - cache_hits0
+        counters["cache.misses"] = store.misses - cache_misses0
+    rec.emit("engine_summary", counters=counters)

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.manycore.config import SystemConfig
+from repro.obs import Recorder
 from repro.sim.interface import Controller
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import run_controller
@@ -122,6 +123,8 @@ def run_suite(
     jobs: int = 1,
     cache: Union[str, Path, Any, None] = None,
     sim_kwargs: Optional[Mapping[str, Any]] = None,
+    recorder: Optional[Recorder] = None,
+    profile: bool = False,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run every controller on every workload.
 
@@ -143,6 +146,12 @@ def run_suite(
         picklable and stateless for ``jobs > 1`` (pass a
         :class:`~repro.faults.campaign.FaultCampaign`, not a live
         injector).
+    recorder, profile:
+        Observability switches (see :mod:`repro.obs`), threaded as
+        explicit parameters — never through ``sim_kwargs`` — so they stay
+        out of cache keys and worker pickles.  With ``jobs > 1`` the
+        recorder stays in the parent; workers buffer their events and the
+        engine replays them in task order.
 
     Returns
     -------
@@ -152,7 +161,7 @@ def run_suite(
     if n_epochs <= 0:
         raise ValueError(f"n_epochs must be positive, got {n_epochs}")
     extra = dict(sim_kwargs or {})
-    if jobs == 1 and cache is None:
+    if jobs == 1 and cache is None and recorder is None and not profile:
         results: Dict[str, Dict[str, SimulationResult]] = {}
         for ctrl_name, factory in controllers.items():
             results[ctrl_name] = {}
@@ -166,6 +175,7 @@ def run_suite(
     from repro.parallel.cells import RunCell, merge_suite
     from repro.parallel.engine import CellTask, execute_cells
 
+    trace = recorder is not None and recorder.enabled
     cells: List[RunCell] = []
     tasks: List[CellTask] = []
     for ctrl_name, factory in controllers.items():
@@ -178,8 +188,13 @@ def run_suite(
                 n_epochs=n_epochs,
             )
             cells.append(cell)
-            tasks.append(CellTask(cell, cfg, workload, factory, extra))
-    flat = execute_cells(tasks, jobs=jobs, cache=cache)
+            tasks.append(
+                CellTask(
+                    cell, cfg, workload, factory, extra,
+                    trace=trace, profile=profile,
+                )
+            )
+    flat = execute_cells(tasks, jobs=jobs, cache=cache, recorder=recorder)
     return merge_suite(cells, flat)
 
 
@@ -192,10 +207,13 @@ def run_budget_sweep(
     jobs: int = 1,
     cache: Union[str, Path, Any, None] = None,
     sim_kwargs: Optional[Mapping[str, Any]] = None,
+    recorder: Optional[Recorder] = None,
+    profile: bool = False,
 ) -> Dict[str, Dict[float, SimulationResult]]:
     """Run every controller at each absolute budget (watts) on one workload.
 
-    ``jobs``, ``cache`` and ``sim_kwargs`` behave as in :func:`run_suite`.
+    ``jobs``, ``cache``, ``sim_kwargs``, ``recorder`` and ``profile``
+    behave as in :func:`run_suite`.
 
     Returns
     -------
@@ -207,7 +225,7 @@ def run_budget_sweep(
     if n_epochs <= 0:
         raise ValueError(f"n_epochs must be positive, got {n_epochs}")
     extra = dict(sim_kwargs or {})
-    if jobs == 1 and cache is None:
+    if jobs == 1 and cache is None and recorder is None and not profile:
         results: Dict[str, Dict[float, SimulationResult]] = {}
         for ctrl_name, factory in controllers.items():
             results[ctrl_name] = {}
@@ -222,6 +240,7 @@ def run_budget_sweep(
     from repro.parallel.cells import RunCell, merge_sweep
     from repro.parallel.engine import CellTask, execute_cells
 
+    trace = recorder is not None and recorder.enabled
     cells: List[RunCell] = []
     tasks: List[CellTask] = []
     for ctrl_name, factory in controllers.items():
@@ -235,8 +254,13 @@ def run_budget_sweep(
                 n_epochs=n_epochs,
             )
             cells.append(cell)
-            tasks.append(CellTask(cell, cfg, workload, factory, extra))
-    flat = execute_cells(tasks, jobs=jobs, cache=cache)
+            tasks.append(
+                CellTask(
+                    cell, cfg, workload, factory, extra,
+                    trace=trace, profile=profile,
+                )
+            )
+    flat = execute_cells(tasks, jobs=jobs, cache=cache, recorder=recorder)
     merged = merge_sweep(cells, flat)
     # Budget keys must be the caller's original float objects/ordering.
     return {

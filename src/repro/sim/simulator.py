@@ -6,12 +6,22 @@ given number of epochs, recording the time series every metric needs.
 Controller decision latency is measured with ``time.perf_counter`` around
 the ``decide`` call only — that wall time is itself an evaluation output
 (the paper's scalability claim C3).
+
+Observability (:mod:`repro.obs`) threads through here: pass a
+``recorder`` to stream typed events (run manifest, per-epoch records,
+fault/sanitizer/watchdog incidents, checkpoint saves/restores) and
+``profile=True`` to collect the per-phase timing breakdown into
+``result.extras["timing"]``.  Both are strictly write-only: the simulated
+trajectory is bit-identical with observability on or off, which the
+golden-trace tests enforce.  Incident events are produced by *polling*
+the subsystems' cumulative counters between epochs — the fault injector,
+sanitizer and watchdog never learn that a recorder exists.
 """
 
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 if TYPE_CHECKING:
     from repro.faults.campaign import FaultCampaign
@@ -31,11 +41,19 @@ from repro.manycore.hetero import HeterogeneousMap
 from repro.manycore.memory import MemorySystem
 from repro.manycore.sensors import SensorSuite
 from repro.manycore.variation import CoreVariation
+from repro.obs import NULL_RECORDER, PhaseProfiler, Recorder, SCHEMA_VERSION
 from repro.sim.interface import Controller
 from repro.sim.results import SimulationResult
 from repro.workloads.phases import Workload
 
 __all__ = ["simulate", "run_controller"]
+
+#: watchdog counter attribute -> emitted incident, polled between epochs
+_WATCHDOG_INCIDENTS = (
+    ("recoveries", "recovery"),
+    ("resets", "reset"),
+    ("crashes", "crash"),
+)
 
 
 def simulate(
@@ -48,6 +66,8 @@ def simulate(
     watchdog: bool = False,
     checkpoint_period: int = 0,
     max_strikes: int = 3,
+    recorder: Optional[Recorder] = None,
+    profile: bool = False,
 ) -> SimulationResult:
     """Run the closed control loop for ``n_epochs``.
 
@@ -84,6 +104,17 @@ def simulate(
     max_strikes:
         With ``watchdog``, consecutive decide failures tolerated before
         the controller is reset and restored from the last checkpoint.
+    recorder:
+        Event sink for the structured trace (see :mod:`repro.obs`);
+        ``None`` uses the zero-overhead null recorder.  Wall-clock fields
+        live only in trace events — the deterministic result series are
+        bit-identical with any recorder attached.
+    profile:
+        Collect the per-phase timing breakdown
+        (decide / plant / sensor / contracts / sanitizer / watchdog) into
+        ``result.extras["timing"]`` and, with a recorder, into each epoch
+        event.  Pure wall-clock measurement; never feeds back into the
+        simulation.
 
     Returns
     -------
@@ -117,6 +148,10 @@ def simulate(
     if validate is not None:
         chip.validate = validate
 
+    rec: Recorder = recorder if recorder is not None else NULL_RECORDER
+    profiler = PhaseProfiler() if profile else None
+    inner = getattr(controller, "inner", controller)
+
     chip_power = np.empty(n_epochs)
     chip_instructions = np.empty(n_epochs)
     max_temperature = np.empty(n_epochs)
@@ -129,32 +164,89 @@ def simulate(
         np.empty((n_epochs, chip.n_cores)) if record_per_core else None
     )
 
-    obs = None
-    last_time_s = float("-inf")
-    for e in range(n_epochs):
-        t0 = time.perf_counter()
-        levels = controller.decide(obs)
-        decision_time[e] = time.perf_counter() - t0
-        obs = chip.step(levels)
-        if validating:
-            check_power_samples(obs.power, epoch=e)
-            check_time_monotone(last_time_s, obs.time, epoch=e)
-            check_observation_sane(
-                obs.sensed_power,
-                obs.sensed_instructions,
-                obs.sensed_temperature,
-                obs.levels,
-                chip.cfg.n_levels,
-                epoch=e,
-            )
-            last_time_s = obs.time
-        chip_power[e] = obs.chip_power
-        chip_instructions[e] = obs.chip_instructions
-        max_temperature[e] = float(np.max(obs.temperature))
-        if record_per_core:
-            core_power[e] = obs.power
-            core_levels[e] = obs.levels
-            core_instructions[e] = obs.instructions
+    if rec.enabled:
+        rec.emit("run_start", **_run_manifest(chip, controller, inner, n_epochs))
+    poller = _IncidentPoller(chip, controller, inner) if rec.enabled else None
+
+    if profiler is not None:
+        # Duck-typed attachment: the chip times its sensor reads, the
+        # controller its sanitizer pass, the watchdog its wrapper
+        # overhead — each only if it carries a ``profiler`` attribute.
+        chip.profiler = profiler
+        controller.profiler = profiler
+        if inner is not controller:
+            inner.profiler = profiler
+    try:
+        obs = None
+        last_time_s = float("-inf")
+        for e in range(n_epochs):
+            t0 = time.perf_counter()
+            levels = controller.decide(obs)
+            t1 = time.perf_counter()
+            decision_time[e] = t1 - t0
+            obs = chip.step(levels)
+            t2 = time.perf_counter() if profiler is not None else 0.0
+            if validating:
+                check_power_samples(obs.power, epoch=e)
+                check_time_monotone(last_time_s, obs.time, epoch=e)
+                check_observation_sane(
+                    obs.sensed_power,
+                    obs.sensed_instructions,
+                    obs.sensed_temperature,
+                    obs.levels,
+                    chip.cfg.n_levels,
+                    epoch=e,
+                )
+                last_time_s = obs.time
+            chip_power[e] = obs.chip_power
+            chip_instructions[e] = obs.chip_instructions
+            max_temperature[e] = float(np.max(obs.temperature))
+            if record_per_core:
+                core_power[e] = obs.power
+                core_levels[e] = obs.levels
+                core_instructions[e] = obs.instructions
+
+            phases: Optional[Dict[str, float]] = None
+            if profiler is not None:
+                t3 = time.perf_counter()
+                profiler.add("decide", t1 - t0)
+                profiler.add("plant", t2 - t1)
+                profiler.add("contracts", t3 - t2)
+                phases = profiler.end_epoch()
+            if rec.enabled:
+                # Native floats keep the hot-path JSON encode off the
+                # slow ``default=`` fallback for numpy scalars.
+                fields: Dict[str, object] = {
+                    "epoch": e,
+                    "chip_power": float(chip_power[e]),
+                    "chip_instructions": float(chip_instructions[e]),
+                    "max_temperature": max_temperature[e],
+                    "decision_time": float(decision_time[e]),
+                }
+                if phases is not None:
+                    fields["phases"] = phases
+                rec.emit("epoch", **fields)
+                assert poller is not None
+                poller.poll(rec, e)
+    finally:
+        if profiler is not None:
+            chip.profiler = None
+            controller.profiler = None
+            if inner is not controller:
+                inner.profiler = None
+
+    extras = _resilience_extras(chip, controller)
+    if profiler is not None:
+        extras["timing"] = profiler.breakdown().as_dict()
+    if rec.enabled:
+        end_fields: Dict[str, object] = {
+            "n_epochs": n_epochs,
+            "total_energy_j": chip.total_energy,
+            "total_instructions": chip.total_instructions,
+        }
+        if profiler is not None:
+            end_fields["timing"] = extras["timing"]
+        rec.emit("run_end", **end_fields)
 
     return SimulationResult(
         cfg=chip.cfg,
@@ -167,8 +259,108 @@ def simulate(
         core_power=core_power,
         core_levels=core_levels,
         core_instructions=core_instructions,
-        extras=_resilience_extras(chip, controller),
+        extras=extras,
     )
+
+
+def _run_manifest(
+    chip: ManyCoreChip, controller: Controller, inner: Controller, n_epochs: int
+) -> Dict[str, object]:
+    """The ``run_start`` event payload: everything needed to identify a run."""
+    # Imported lazily: the cache module lives in repro.parallel, which
+    # imports this module's package; deferring avoids an import cycle at
+    # module load while reusing the one canonical code-version salt.
+    from repro.parallel.cache import CACHE_SALT
+
+    seed = getattr(inner, "_seed", None)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "controller": controller.name,
+        "workload": chip.workload.name,
+        "n_cores": chip.cfg.n_cores,
+        "n_epochs": n_epochs,
+        "code_salt": CACHE_SALT,
+        "power_budget": chip.cfg.power_budget,
+        "epoch_time": chip.cfg.epoch_time,
+        "seed": int(seed) if isinstance(seed, (int, np.integer)) else None,
+        "watchdog": inner is not controller,
+    }
+
+
+class _IncidentPoller:
+    """Turns cumulative subsystem counters into per-epoch incident events.
+
+    Snapshots the fault injector's counts, the sanitizer's sample
+    counters, and the watchdog's recovery/checkpoint counters, and emits
+    one event per counter that moved during the epoch.  Polling keeps the
+    subsystems recorder-free: they cannot behave differently under
+    observation because they never see the recorder.
+    """
+
+    def __init__(
+        self, chip: ManyCoreChip, controller: Controller, inner: Controller
+    ) -> None:
+        self._injector = chip.faults
+        self._sanitizer = (
+            getattr(inner, "sanitizer", None)
+            if getattr(inner, "degradation", False)
+            else None
+        )
+        self._watchdog = controller if inner is not controller else None
+        self._fault_prev: Dict[str, int] = (
+            dict(self._injector.counts) if self._injector is not None else {}
+        )
+        self._san_prev = self._sanitizer_counts()
+        self._wd_prev = self._watchdog_counts()
+
+    def _sanitizer_counts(self) -> tuple:
+        if self._sanitizer is None:
+            return (0, 0)
+        return (self._sanitizer.rejected_samples, self._sanitizer.fallback_samples)
+
+    def _watchdog_counts(self) -> Dict[str, int]:
+        if self._watchdog is None:
+            return {}
+        names = [attr for attr, _ in _WATCHDOG_INCIDENTS] + ["checkpoints", "restores"]
+        return {n: int(getattr(self._watchdog, n, 0)) for n in names}
+
+    @staticmethod
+    def _diff(now: int, prev: int) -> int:
+        """Restart-aware counter delta.
+
+        A cumulative counter can shrink mid-run when its subsystem is
+        reset (a controller crash resets the inner policy, which resets
+        the sanitizer's tallies).  A drop means the counter restarted
+        from zero, so the epoch's increment is the new value itself.
+        """
+        return now if now < prev else now - prev
+
+    def poll(self, rec: Recorder, epoch: int) -> None:
+        if self._injector is not None:
+            now = dict(self._injector.counts)
+            for kind, value in now.items():
+                diff = self._diff(value, self._fault_prev.get(kind, 0))
+                if diff:
+                    rec.emit("fault", epoch=epoch, kind=kind, count=diff)
+            self._fault_prev = now
+        if self._sanitizer is not None:
+            rejected, fallback = self._sanitizer_counts()
+            d_rej = self._diff(rejected, self._san_prev[0])
+            d_fb = self._diff(fallback, self._san_prev[1])
+            if d_rej or d_fb:
+                rec.emit("sanitizer", epoch=epoch, rejected=d_rej, fallback=d_fb)
+            self._san_prev = (rejected, fallback)
+        if self._watchdog is not None:
+            now_wd = self._watchdog_counts()
+            for attr, incident in _WATCHDOG_INCIDENTS:
+                diff = self._diff(now_wd[attr], self._wd_prev.get(attr, 0))
+                if diff:
+                    rec.emit("watchdog", epoch=epoch, event=incident, count=diff)
+            for attr, action in (("checkpoints", "save"), ("restores", "restore")):
+                diff = self._diff(now_wd.get(attr, 0), self._wd_prev.get(attr, 0))
+                for _ in range(diff):
+                    rec.emit("checkpoint", epoch=epoch, action=action)
+            self._wd_prev = now_wd
 
 
 def _resilience_extras(chip: ManyCoreChip, controller: Controller) -> dict:
@@ -212,12 +404,15 @@ def run_controller(
     watchdog: bool = False,
     checkpoint_period: int = 0,
     max_strikes: int = 3,
+    recorder: Optional[Recorder] = None,
+    profile: bool = False,
 ) -> SimulationResult:
     """Convenience wrapper: build the chip, run, return the result.
 
     ``faults`` attaches a fault campaign to the chip; ``watchdog``,
     ``checkpoint_period`` and ``max_strikes`` are forwarded to
-    :func:`simulate` (checkpoint cadence in epochs).
+    :func:`simulate` (checkpoint cadence in epochs), as are ``recorder``
+    and ``profile`` (see :mod:`repro.obs`).
     """
     chip = ManyCoreChip(
         cfg,
@@ -238,4 +433,6 @@ def run_controller(
         watchdog=watchdog,
         checkpoint_period=checkpoint_period,
         max_strikes=max_strikes,
+        recorder=recorder,
+        profile=profile,
     )

@@ -53,10 +53,44 @@ class TestAct:
         assert np.all(counts > 350)  # roughly uniform
 
     def test_ties_broken_randomly(self):
-        # All-equal Q: repeated greedy acts must not always pick action 0.
+        # All-equal Q: repeated exploitation acts (epsilon 0, control path)
+        # must not always pick action 0.
         pop = make_pop(1, 1, 4, epsilon=ConstantSchedule(0.0))
-        seen = {int(pop.act(np.zeros(1, dtype=int), greedy=True)[0]) for _ in range(200)}
+        seen = {int(pop.act(np.zeros(1, dtype=int))[0]) for _ in range(200)}
         assert len(seen) > 1
+
+    def test_greedy_path_is_deterministic(self):
+        # The greedy (inspection) path breaks ties by first index, with no
+        # randomness: every call returns the same actions.
+        pop = make_pop(1, 1, 4, epsilon=ConstantSchedule(0.0))
+        first = pop.act(np.zeros(1, dtype=int), greedy=True)
+        for _ in range(20):
+            assert np.array_equal(pop.act(np.zeros(1, dtype=int), greedy=True), first)
+        assert first[0] == 0  # all-equal table: first maximal action
+
+    def test_greedy_act_does_not_consume_rng(self):
+        # Regression (ISSUE 4): greedy inspection mid-run used to draw
+        # tie-break jitter from the exploration RNG, perturbing every
+        # subsequent epsilon-greedy decision.
+        states = np.zeros(3, dtype=int)
+
+        def trajectory(inspect):
+            pop = make_pop(3, 4, 5, epsilon=ConstantSchedule(0.3))
+            out = []
+            for step in range(50):
+                if inspect and step % 7 == 0:
+                    pop.act(states, greedy=True)  # must be a pure read
+                out.append(pop.act(states).copy())
+            return np.stack(out)
+
+        assert np.array_equal(trajectory(inspect=False), trajectory(inspect=True))
+
+    def test_greedy_matches_greedy_policy(self):
+        pop = make_pop(4, 3, 5)
+        pop.q += np.random.default_rng(9).random(pop.q.shape)
+        states = np.array([0, 1, 2, 0])
+        expected = pop.greedy_policy()[np.arange(4), states]
+        assert np.array_equal(pop.act(states, greedy=True), expected)
 
     def test_state_validation(self):
         pop = make_pop(2, 3, 2)
@@ -154,6 +188,20 @@ class TestMaskedUpdate:
             pop.update(np.zeros(2, dtype=int), np.zeros(2, dtype=int),
                        np.zeros(2), np.zeros(2, dtype=int),
                        mask=np.ones(3, dtype=bool))
+
+    def test_fully_masked_update_skips_schedule_tick(self):
+        # Regression (ISSUE 4): a whole-epoch blackout masks out every
+        # agent; epsilon must not decay through an epoch where nothing
+        # was learned.
+        pop = make_pop(3, 2, 2)
+        z = np.zeros(3, dtype=int)
+        pop.update(z, z, np.zeros(3), z, mask=np.zeros(3, dtype=bool))
+        assert pop.step_count == 0
+        assert pop.visits.sum() == 0
+        assert np.all(pop.q == pop.q[0, 0, 0])
+        # A partially masked update still ticks the schedule.
+        pop.update(z, z, np.zeros(3), z, mask=np.array([True, False, False]))
+        assert pop.step_count == 1
 
 
 class TestRepairNonfinite:

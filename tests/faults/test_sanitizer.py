@@ -149,3 +149,36 @@ class TestHoldAndFallback:
         out = feed(sanitizer, instructions=np.zeros(N))
         assert out.trusted.all()
         np.testing.assert_array_equal(out.instructions, np.zeros(N))
+
+
+class TestBlackoutScheduleTick:
+    def test_whole_epoch_blackouts_freeze_the_epsilon_clock(self):
+        """Regression (ISSUE 4): a blackout-heavy campaign used to keep
+        decaying epsilon through epochs where every agent was masked out,
+        so long fault campaigns under-explored once telemetry returned."""
+        from repro.faults.campaign import FaultCampaign, TelemetryBlackout
+        from repro.manycore.config import default_system
+        from repro.sim.simulator import run_controller
+        from repro.workloads.suite import mixed_workload
+
+        n_cores, n_epochs, start, duration = 8, 40, 10, 10
+        cfg = default_system(n_cores=n_cores, budget_fraction=0.6)
+        workload = mixed_workload(n_cores, seed=0)
+
+        from repro.core import ODRLController
+
+        clean = ODRLController(cfg, seed=0)
+        run_controller(cfg, workload, clean, n_epochs)
+        # The first two decides cannot update (no previous state/action
+        # pair yet), so a clean run ticks n_epochs - 2 times.
+        assert clean.agents.step_count == n_epochs - 2
+
+        campaign = FaultCampaign(
+            n_cores=n_cores,
+            blackouts=(TelemetryBlackout(start_epoch=start, duration=duration),),
+        )
+        dark = ODRLController(cfg, seed=0)
+        run_controller(cfg, workload, dark, n_epochs, faults=campaign)
+        # Each blacked-out epoch skips its own update, and the first epoch
+        # after the outage skips too (its previous sample was fabricated).
+        assert dark.agents.step_count == (n_epochs - 2) - (duration + 1)

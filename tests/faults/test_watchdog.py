@@ -211,7 +211,10 @@ class TestCrashAndCheckpoint:
         dog = WatchdogController(FlakyController(small_cfg, fail_epochs={0}))
         dog.decide(None)
         stats = dog.stats
-        assert set(stats) == {"recoveries", "resets", "crashes", "failures", "failure_log"}
+        assert set(stats) == {
+            "recoveries", "resets", "crashes", "checkpoints", "restores",
+            "failures", "failure_log",
+        }
         assert stats["failures"] == len(stats["failure_log"]) == 1
 
     def test_reset_clears_wrapper_state(self, small_cfg):
@@ -222,7 +225,8 @@ class TestCrashAndCheckpoint:
             dog.decide(None)
         dog.reset()
         assert dog.stats == {
-            "recoveries": 0, "resets": 0, "crashes": 0, "failures": 0, "failure_log": [],
+            "recoveries": 0, "resets": 0, "crashes": 0, "checkpoints": 0,
+            "restores": 0, "failures": 0, "failure_log": [],
         }
         # the crash schedule survives the reset and fires again
         for _ in range(3):

@@ -1,0 +1,100 @@
+"""Event schema: construction, validation, and JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_FIELDS,
+    EVENT_TYPES,
+    RESERVED_FIELDS,
+    SCHEMA_VERSION,
+    make_event,
+    validate_event,
+    validate_payload,
+)
+
+# Minimal valid payload per event type, used to exercise every schema path.
+_PAYLOADS = {
+    "run_start": {
+        "schema_version": SCHEMA_VERSION,
+        "controller": "od-rl",
+        "workload": "mixed",
+        "n_cores": 16,
+        "n_epochs": 50,
+        "code_salt": "abc123",
+    },
+    "epoch": {
+        "epoch": 3,
+        "chip_power": 17.5,
+        "chip_instructions": 1.2e9,
+        "max_temperature": 341.0,
+    },
+    "fault": {"epoch": 7, "kind": "dead", "count": 2},
+    "sanitizer": {"epoch": 9, "rejected": 4, "fallback": 4},
+    "watchdog": {"epoch": 11, "event": "crash"},
+    "checkpoint": {"epoch": 20, "action": "save"},
+    "run_end": {
+        "n_epochs": 50,
+        "total_energy_j": 12.5,
+        "total_instructions": 6.1e10,
+    },
+    "cell_start": {"cell": "od-rl/mixed"},
+    "cell_cached": {"cell": "od-rl/mixed"},
+    "cell_done": {"cell": "od-rl/mixed", "attempts": 1},
+    "cell_failed": {"cell": "od-rl/mixed", "attempts": 2, "error_type": "ValueError"},
+    "engine_summary": {"counters": {"cells_run": 3}},
+}
+
+
+def test_every_event_type_has_a_payload_fixture():
+    assert set(_PAYLOADS) == set(EVENT_TYPES)
+
+
+@pytest.mark.parametrize("event_type", sorted(EVENT_TYPES))
+def test_make_event_json_round_trip(event_type):
+    record = make_event(event_type, 5, _PAYLOADS[event_type])
+    assert record["type"] == event_type
+    assert record["seq"] == 5
+    restored = json.loads(json.dumps(record, sort_keys=True))
+    validate_event(restored)
+    assert restored == record
+
+
+@pytest.mark.parametrize("event_type", sorted(EVENT_TYPES))
+def test_missing_required_field_rejected(event_type):
+    for dropped in EVENT_FIELDS[event_type]:
+        payload = {k: v for k, v in _PAYLOADS[event_type].items() if k != dropped}
+        with pytest.raises(ValueError, match="missing required"):
+            make_event(event_type, 0, payload)
+
+
+def test_unknown_event_type_rejected():
+    with pytest.raises(ValueError, match="unknown event type"):
+        make_event("telemetry", 0, {})
+    with pytest.raises(ValueError, match="unknown event type"):
+        validate_event({"type": "telemetry", "seq": 0})
+
+
+@pytest.mark.parametrize("reserved", RESERVED_FIELDS)
+def test_reserved_field_collision_rejected(reserved):
+    payload = dict(_PAYLOADS["epoch"])
+    payload[reserved] = "boom"
+    with pytest.raises(ValueError, match="reserved"):
+        validate_payload("epoch", payload)
+
+
+def test_extra_fields_are_allowed():
+    payload = dict(_PAYLOADS["epoch"])
+    payload["decision_time"] = 1e-4
+    payload["phases"] = {"decide": 1e-4, "plant": 2e-4}
+    record = make_event("epoch", 0, payload)
+    validate_event(record)
+    assert record["phases"]["plant"] == 2e-4
+
+
+def test_validate_event_requires_integer_seq():
+    record = make_event("epoch", 0, _PAYLOADS["epoch"])
+    record["seq"] = "0"
+    with pytest.raises(ValueError, match="seq"):
+        validate_event(record)

@@ -1,0 +1,94 @@
+"""Observability must never perturb the simulation.
+
+The central contract of :mod:`repro.obs`: a run with a live recorder and
+the profiler on is bit-identical — against the frozen golden fixtures —
+to the historical run with observability off, and the trace file alone
+suffices to rebuild the timing breakdown stored in ``result.extras``.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.manycore.config import default_system
+from repro.obs import JsonlRecorder, TimingBreakdown, summarize_file
+from repro.parallel import assert_trace_equal
+from repro.sim.result_io import load_result
+from repro.sim.runner import run_suite, standard_controllers
+from repro.workloads.suite import mixed_workload
+
+from tools.regen_golden import (
+    GOLDEN_BUDGET_FRACTION,
+    GOLDEN_N_CORES,
+    GOLDEN_N_EPOCHS,
+    GOLDEN_SEED,
+    golden_path,
+)
+
+_CONTROLLER = "pid"  # cheapest golden controller; determinism is per-run anyway
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One golden-spec run with JSONL tracing and profiling enabled."""
+    trace_file = tmp_path_factory.mktemp("obs") / "golden.jsonl"
+    cfg = default_system(
+        n_cores=GOLDEN_N_CORES, budget_fraction=GOLDEN_BUDGET_FRACTION
+    )
+    workload = mixed_workload(GOLDEN_N_CORES, seed=GOLDEN_SEED)
+    lineup = standard_controllers(seed=GOLDEN_SEED)
+    with JsonlRecorder(str(trace_file)) as recorder:
+        results = run_suite(
+            cfg,
+            {workload.name: workload},
+            {_CONTROLLER: lineup[_CONTROLLER]},
+            GOLDEN_N_EPOCHS,
+            sim_kwargs={"record_per_core": True},
+            recorder=recorder,
+            profile=True,
+        )
+    return results[_CONTROLLER][workload.name], trace_file
+
+
+def test_traced_profiled_run_matches_golden_fixture(traced_run):
+    result, _ = traced_run
+    golden = load_result(golden_path(_CONTROLLER))
+    zeroed = dataclasses.replace(
+        result, decision_time=np.zeros_like(result.decision_time)
+    )
+    assert_trace_equal(
+        zeroed,
+        golden,
+        compare_decision_time=True,
+        context="golden[pid] vs traced+profiled run",
+    )
+
+
+def test_profiled_extras_carry_a_timing_breakdown(traced_run):
+    result, _ = traced_run
+    breakdown = TimingBreakdown.from_dict(result.extras["timing"])
+    assert breakdown.n_epochs == GOLDEN_N_EPOCHS
+    assert breakdown.totals["decide"] > 0.0
+    assert breakdown.totals["plant"] > 0.0
+    # The decide phase IS the decision_time measurement (claim C3).
+    assert breakdown.totals["decide"] == pytest.approx(
+        float(np.sum(result.decision_time))
+    )
+
+
+def test_trace_alone_rebuilds_the_timing_breakdown(traced_run):
+    result, trace_file = traced_run
+    summary = summarize_file(str(trace_file))
+    assert summary.n_epochs == GOLDEN_N_EPOCHS
+    assert len(summary.runs) == 1
+    manifest = summary.runs[0]
+    assert manifest["controller"] == _CONTROLLER
+    assert manifest["n_cores"] == GOLDEN_N_CORES
+    extras_breakdown = TimingBreakdown.from_dict(result.extras["timing"])
+    assert summary.timing is not None
+    assert summary.timing.n_epochs == extras_breakdown.n_epochs
+    for phase in ("decide", "plant", "sensor", "contracts"):
+        assert summary.timing.totals.get(phase, 0.0) == pytest.approx(
+            extras_breakdown.totals.get(phase, 0.0), rel=1e-12
+        )

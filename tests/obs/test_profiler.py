@@ -1,0 +1,67 @@
+"""Phase profiler: per-epoch accumulation and breakdown aggregation."""
+
+import pytest
+
+from repro.obs import NESTED_IN, PHASES, PhaseProfiler, TimingBreakdown
+
+
+class TestPhaseProfiler:
+    def test_repeated_add_sums_within_an_epoch(self):
+        prof = PhaseProfiler()
+        prof.add("plant", 0.25)
+        prof.add("plant", 0.25)
+        prof.add("decide", 1.0)
+        row = prof.end_epoch()
+        assert row == {"plant": 0.5, "decide": 1.0}
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            PhaseProfiler().add("network", 1.0)
+
+    def test_breakdown_aggregates_across_epochs(self):
+        prof = PhaseProfiler()
+        for _ in range(4):
+            prof.add("decide", 2.0)
+            prof.add("plant", 1.0)
+            prof.end_epoch()
+        breakdown = prof.breakdown()
+        assert breakdown.n_epochs == 4
+        assert breakdown.totals == {"decide": 8.0, "plant": 4.0}
+        assert breakdown.mean("decide") == 2.0
+        assert breakdown.mean("sensor") == 0.0  # never recorded
+
+    def test_end_epoch_closes_the_row(self):
+        prof = PhaseProfiler()
+        prof.add("decide", 1.0)
+        prof.end_epoch()
+        assert prof.end_epoch() == {}  # fresh row, nothing recorded
+        assert prof.n_epochs == 2
+        assert prof.epoch_rows == [{"decide": 1.0}, {}]
+
+
+class TestTimingBreakdown:
+    def test_dict_round_trip(self):
+        breakdown = TimingBreakdown(
+            totals={"decide": 3.0, "plant": 1.5}, n_epochs=3
+        )
+        data = breakdown.as_dict()
+        assert data["n_epochs"] == 3
+        assert set(data["totals"]) == set(PHASES)
+        assert data["means"]["decide"] == 1.0
+        restored = TimingBreakdown.from_dict(data)
+        assert restored.n_epochs == 3
+        assert restored.totals["decide"] == 3.0
+        assert restored.mean("plant") == 0.5
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(ValueError, match="TimingBreakdown"):
+            TimingBreakdown.from_dict({"totals": 3})
+        with pytest.raises(ValueError, match="TimingBreakdown"):
+            TimingBreakdown.from_dict({"totals": {}, "n_epochs": "ten"})
+
+    def test_zero_epochs_mean_is_zero(self):
+        assert TimingBreakdown(totals={"decide": 1.0}, n_epochs=0).mean("decide") == 0.0
+
+    def test_nested_phases_declared_within_measured_parents(self):
+        assert set(NESTED_IN) < set(PHASES)
+        assert set(NESTED_IN.values()) <= set(PHASES)

@@ -1,0 +1,26 @@
+# repro-lint: skip-file -- REPRO008 fixture: print/logging in library code.
+"""Known-good and known-bad snippets for the print/logging rule."""
+
+import logging  # BAD
+from logging import getLogger  # BAD
+
+__all__ = ["good_event", "good_repr", "bad_print", "suppressed"]
+
+
+def good_event(recorder, epoch: int) -> None:
+    recorder.emit("epoch", epoch=epoch)
+
+
+def good_repr(values: list) -> str:
+    # Building a string is fine; only the print *call* is flagged.
+    return "printable: " + ", ".join(f"{v:.3f}" for v in values)
+
+
+def bad_print(values: list) -> None:
+    print("chip power:", values)  # BAD
+    for v in values:
+        print(v)  # BAD
+
+
+def suppressed() -> None:
+    print("debugging aid")  # noqa: REPRO008

@@ -24,6 +24,7 @@ RULE_FIXTURES = {
     "REPRO005": "repro005_fixture.py",
     "REPRO006": "repro006_fixture.py",
     "REPRO007": "repro007_fixture.py",
+    "REPRO008": "repro008_fixture.py",
 }
 
 
@@ -118,6 +119,15 @@ class TestScoping:
         rule = get_rule("REPRO007")
         assert rule.applies_to(Path("src/repro/faults/watchdog.py"))
         assert not rule.applies_to(Path("tests/faults/test_watchdog.py"))
+
+    def test_repro008_exempts_obs_and_cli(self):
+        rule = get_rule("REPRO008")
+        assert rule.applies_to(Path("src/repro/sim/simulator.py"))
+        assert rule.applies_to(Path("src/repro/parallel/engine.py"))
+        assert not rule.applies_to(Path("src/repro/obs/recorder.py"))
+        assert not rule.applies_to(Path("src/repro/cli.py"))
+        assert not rule.applies_to(Path("src/repro/__main__.py"))
+        assert not rule.applies_to(Path("tests/sim/test_simulator.py"))
         assert not rule.applies_to(Path("tools/lint/engine.py"))
 
 

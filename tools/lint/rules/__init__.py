@@ -7,6 +7,7 @@ from tools.lint.rules.repro004_module_all import ModuleDeclaresAll
 from tools.lint.rules.repro005_unit_suffixes import UnitSuffixes
 from tools.lint.rules.repro006_wall_clock import WallClockTiming
 from tools.lint.rules.repro007_silent_except import SilentExcept
+from tools.lint.rules.repro008_print_logging import PrintLogging
 
 __all__ = [
     "GlobalNumpyRandom",
@@ -16,4 +17,5 @@ __all__ = [
     "UnitSuffixes",
     "WallClockTiming",
     "SilentExcept",
+    "PrintLogging",
 ]

@@ -1,0 +1,76 @@
+"""REPRO008 — no bare ``print`` / ``logging`` inside ``src/repro``.
+
+Ad-hoc ``print`` calls and ``logging`` handlers are invisible to the
+observability subsystem: they cannot be replayed from a trace, they
+interleave nondeterministically under the parallel engine's worker
+processes, and they corrupt the report tables the CLI writes to stdout.
+Library code emits typed events through a :class:`repro.obs.Recorder`
+instead (free when disabled, machine-readable when on).  The exemptions
+are :mod:`repro.obs` itself (it owns serialization) and the CLI modules
+(``cli.py`` / ``__main__.py``), whose job *is* writing to stdout.  A
+deliberate exception elsewhere takes ``# noqa: REPRO008`` with a comment
+saying why.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from tools.lint.engine import LintModule, Rule, Violation, in_src_repro
+from tools.lint.registry import register
+
+__all__ = ["PrintLogging"]
+
+_EXEMPT_MODULES = frozenset({"cli.py", "__main__.py"})
+
+
+@register
+class PrintLogging(Rule):
+    rule_id = "REPRO008"
+    summary = (
+        "no bare `print()` or `logging` in src/repro outside repro.obs and "
+        "the CLI — emit typed events via a repro.obs.Recorder"
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        return (
+            in_src_repro(path)
+            and "obs" not in path.parts
+            and path.name not in _EXEMPT_MODULES
+        )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    "bare `print()` bypasses the observability subsystem; "
+                    "emit a typed event via a repro.obs.Recorder",
+                )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "logging" or alias.name.startswith("logging."):
+                        yield self.violation(
+                            module,
+                            node,
+                            "`logging` output cannot be replayed from a trace; "
+                            "emit typed events via a repro.obs.Recorder",
+                        )
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "logging" or (
+                    node.module or ""
+                ).startswith("logging."):
+                    yield self.violation(
+                        module,
+                        node,
+                        "`logging` output cannot be replayed from a trace; "
+                        "emit typed events via a repro.obs.Recorder",
+                    )

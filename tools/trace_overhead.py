@@ -1,0 +1,133 @@
+"""Assert the observability layer's wall-clock overhead budget.
+
+Runs the same closed-loop simulation twice — observability off, then with
+a live :class:`~repro.obs.JsonlRecorder` *and* the phase profiler — and
+fails when tracing costs more than the budget (default 5%).  Both runs
+must also be bit-identical on every deterministic output, so this doubles
+as an end-to-end check of the "tracing cannot perturb the run" contract
+at a scale (64 cores, 200 epochs) the unit tests don't reach.
+
+Wall-clock measurement is noisy, so each variant takes the *minimum* over
+``--reps`` runs after one untimed warm-up; the minimum is the standard
+robust estimator for "how fast can this go" under scheduler noise.  This
+lives in ``tools/`` (not the tier-1 suite) precisely because it measures
+the host machine::
+
+    python -m tools.trace_overhead                   # CI budget: 5%
+    python -m tools.trace_overhead --cores 16 --epochs 50 --reps 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.manycore.config import default_system
+from repro.obs import JsonlRecorder, Recorder
+from repro.parallel import assert_trace_equal
+from repro.sim.results import SimulationResult
+from repro.sim.runner import standard_controllers
+from repro.sim.simulator import run_controller
+from repro.workloads.suite import mixed_workload
+
+__all__ = ["main", "measure_overhead"]
+
+
+def _one_run(
+    n_cores: int,
+    n_epochs: int,
+    seed: int,
+    controller_name: str,
+    recorder: Optional[Recorder],
+    profile: bool,
+) -> Tuple[float, SimulationResult]:
+    cfg = default_system(n_cores=n_cores, budget_fraction=0.6)
+    workload = mixed_workload(n_cores, seed=seed)
+    controller = standard_controllers(seed=seed)[controller_name](cfg)
+    t0_s = time.perf_counter()
+    result = run_controller(
+        cfg, workload, controller, n_epochs, recorder=recorder, profile=profile
+    )
+    return time.perf_counter() - t0_s, result
+
+
+def measure_overhead(
+    n_cores: int,
+    n_epochs: int,
+    seed: int,
+    controller_name: str,
+    reps: int,
+    trace_dir: Path,
+) -> Tuple[float, float, SimulationResult, SimulationResult]:
+    """Best-of-``reps`` seconds for (off, on) plus one result from each."""
+    # Untimed warm-up: imports, allocator, branch predictors.
+    _one_run(n_cores, n_epochs, seed, controller_name, None, False)
+
+    t_off_s = float("inf")
+    t_on_s = float("inf")
+    result_off = result_on = None
+    for rep in range(reps):
+        dt_s, result_off = _one_run(
+            n_cores, n_epochs, seed, controller_name, None, False
+        )
+        t_off_s = min(t_off_s, dt_s)
+        with JsonlRecorder(str(trace_dir / f"overhead-{rep}.jsonl")) as rec:
+            dt_s, result_on = _one_run(
+                n_cores, n_epochs, seed, controller_name, rec, True
+            )
+        t_on_s = min(t_on_s, dt_s)
+    assert result_off is not None and result_on is not None
+    return t_off_s, t_on_s, result_off, result_on
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cores", type=int, default=64)
+    parser.add_argument("--epochs", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--controller", default="od-rl")
+    parser.add_argument("--reps", type=int, default=3, help="best-of-N timing")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="maximum tolerated fractional overhead (default 0.05 = 5%%)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="trace-overhead-") as tmp:
+        t_off_s, t_on_s, result_off, result_on = measure_overhead(
+            args.cores,
+            args.epochs,
+            args.seed,
+            args.controller,
+            args.reps,
+            Path(tmp),
+        )
+
+    assert_trace_equal(
+        result_off, result_on, context="obs off vs JsonlRecorder+profile"
+    )
+    print("determinism: traced+profiled run is bit-identical to the plain run")
+
+    overhead = t_on_s / t_off_s - 1.0
+    print(
+        f"{args.controller} @ {args.cores} cores x {args.epochs} epochs "
+        f"(best of {args.reps}):"
+    )
+    print(f"  obs off        {t_off_s:8.3f} s")
+    print(f"  trace+profile  {t_on_s:8.3f} s")
+    print(f"  overhead       {overhead:+8.2%}   (budget {args.threshold:.0%})")
+    if overhead > args.threshold:
+        print("FAIL: tracing overhead exceeds the budget", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
