@@ -4,7 +4,7 @@
 # .[lint]` — for the lint/typecheck targets, which skip with a warning
 # when the tools are absent).
 
-.PHONY: test bench examples experiments faults golden determinism trace coverage lint typecheck check clean
+.PHONY: test bench bench-summary examples experiments faults golden determinism batch trace coverage lint typecheck check clean
 
 test:
 	pytest tests/
@@ -13,7 +13,11 @@ golden:
 	python -m tools.regen_golden
 
 determinism:
-	pytest tests/golden/ tests/parallel/ -q
+	pytest tests/golden/ tests/parallel/ tests/batch/ -q
+
+batch:
+	pytest tests/batch/ -q
+	python -m tools.batch_overhead --cores 16 --epochs 120 --reps 2
 
 trace:
 	pytest tests/obs/ -q
@@ -40,6 +44,12 @@ faults:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Summarize BENCH_E*.json artifacts; set AFTER= to diff two result dirs:
+#   make bench-summary BEFORE=/tmp/results-old AFTER=benchmarks/results
+BEFORE ?= benchmarks/results
+bench-summary:
+	python -m tools.bench_summary $(BEFORE) $(AFTER)
 
 examples:
 	python examples/quickstart.py

@@ -12,7 +12,7 @@ def test_bench_e12_granularity(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report(result)
+    save_report(result, benchmark)
     print()
     print(result)
     bips = result.data["bips_by_size"]

@@ -12,7 +12,7 @@ def test_bench_e15_faults(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report(result)
+    save_report(result, benchmark)
     print()
     print(result)
     # Every sweep cell is populated and finite.

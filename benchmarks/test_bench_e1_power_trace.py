@@ -12,7 +12,7 @@ def test_bench_e1_power_trace(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report(result)
+    save_report(result, benchmark)
     print()
     print(result)
     budget = result.data["budget"]

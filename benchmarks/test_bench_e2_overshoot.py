@@ -17,7 +17,7 @@ def test_bench_e2_overshoot(benchmark, suite_results):
         rounds=1,
         iterations=1,
     )
-    save_report(result)
+    save_report(result, benchmark)
     print()
     print(result)
     # Claim C1 shape: large overshoot reduction versus the reactive

@@ -17,7 +17,7 @@ def test_bench_e3_tpobe(benchmark, suite_results):
         rounds=1,
         iterations=1,
     )
-    save_report(result)
+    save_report(result, benchmark)
     print()
     print(result)
     # Claim C2a shape: a multiple-x advantage over PID somewhere.

@@ -17,7 +17,7 @@ def test_bench_e4_efficiency(benchmark, suite_results):
         rounds=1,
         iterations=1,
     )
-    save_report(result)
+    save_report(result, benchmark)
     print()
     print(result)
     # Claim C2b shape: OD-RL's efficiency beats every baseline somewhere.

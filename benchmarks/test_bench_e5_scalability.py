@@ -17,7 +17,7 @@ def test_bench_e5_scalability(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report(result)
+    save_report(result, benchmark)
     print()
     print(result)
     # Claim C3 shape: the centralized optimizer's advantage-free cost gap

@@ -17,7 +17,7 @@ def test_bench_e6_convergence(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report(result)
+    save_report(result, benchmark)
     print()
     print(result)
     conv = result.data["converged"]

@@ -16,7 +16,7 @@ def test_bench_e7_budget_sweep(benchmark):
         rounds=1,
         iterations=1,
     )
-    save_report(result)
+    save_report(result, benchmark)
     print()
     print(result)
     bips = result.data["bips"]

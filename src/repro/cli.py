@@ -15,6 +15,8 @@ bit-identical to the default serial run — see ``docs/parallel.md``).
 ``--trace PATH`` streams the run's typed event log to a JSONL file and
 ``--profile`` collects the per-epoch phase timing breakdown; neither
 perturbs the simulated trajectories (see ``docs/observability.md``).
+``--batch [N]`` stacks compatible grid cells into tensor batches (the
+third backend — see ``docs/batch.md``), again bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -51,6 +53,33 @@ def _add_grid_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="collect the per-epoch phase timing breakdown (wall clock)",
     )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        nargs="?",
+        const=-1,
+        default=0,
+        metavar="N",
+        help=(
+            "stack compatible grid cells into tensor batches "
+            "(bare flag = unlimited stack size, N caps runs per stack); "
+            "bit-identical to the serial loop"
+        ),
+    )
+
+
+def _batch_option(args: argparse.Namespace):
+    """Map the ``--batch`` flag to the runner's ``batch=`` value.
+
+    Absent → ``False``; bare ``--batch`` (sentinel ``-1``) → ``True``;
+    ``--batch N`` → ``N``.
+    """
+    value = getattr(args, "batch", 0)
+    if value == 0:
+        return False
+    if value == -1:
+        return True
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,16 +195,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 cache=args.cache,
                 recorder=recorder,
                 profile=args.profile,
+                batch=_batch_option(args),
             )
         elif (
             args.jobs != 1
             or args.cache is not None
             or args.trace is not None
             or args.profile
+            or args.batch != 0
         ):
             print(
                 f"note: {eid} does not sweep a grid; "
-                "--jobs/--cache/--trace/--profile ignored",
+                "--jobs/--cache/--trace/--profile/--batch ignored",
                 file=sys.stderr,
             )
         result = run(**kwargs)
@@ -230,6 +261,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             cache=args.cache,
             recorder=recorder,
             profile=args.profile,
+            batch=_batch_option(args),
         )
     finally:
         if recorder is not None:

@@ -41,16 +41,27 @@ class GridOptions:
         Collect the per-epoch phase timing breakdown into
         ``result.extras["timing"]`` (wall clock only; never affects the
         simulated trajectories).
+    batch:
+        Stack compatible grid cells into tensor batches (the
+        :mod:`repro.batch` backend, CLI ``--batch``): ``False`` disables,
+        ``True`` batches each compatible group whole, an integer caps the
+        stack size.  Bit-identical to the serial loop; incompatible cells
+        fall back per cell with a recorded reason.
     """
 
     jobs: int = 1
     cache: Optional[Union[str, Path, Any]] = None
     recorder: Optional[Recorder] = None
     profile: bool = False
+    batch: Union[bool, int] = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.batch is not True and self.batch is not False and int(self.batch) < 1:
+            raise ValueError(
+                f"batch must be a bool or a positive int, got {self.batch}"
+            )
 
     def runner_kwargs(self) -> Dict[str, Any]:
         """Keyword arguments for ``run_suite`` / ``run_budget_sweep``."""
@@ -59,6 +70,7 @@ class GridOptions:
             "cache": self.cache,
             "recorder": self.recorder,
             "profile": self.profile,
+            "batch": self.batch,
         }
 
 

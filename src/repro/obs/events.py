@@ -35,6 +35,11 @@ Event types
 ``cell_start`` / ``cell_cached`` / ``cell_done`` / ``cell_failed``
     Parallel-engine cell lifecycle: scheduled, replayed from the result
     cache, completed (with attempt count), or failed after retries.
+``cell_batched`` / ``cell_fallback``
+    Batched-backend routing: a cell executed inside a batch group (with
+    the group's index and size), or a cell the batch backend declined —
+    ``reason`` is a stable string such as ``"trace"``, ``"watchdog"`` or
+    ``"batch-error"`` (see :func:`repro.batch.batch_unsupported_reason`).
 ``engine_summary``
     One per :func:`repro.parallel.engine.execute_cells` call: counter
     snapshot (cells run / cached / retried / failed, cache hits/misses).
@@ -78,6 +83,8 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "run_end": ("n_epochs", "total_energy_j", "total_instructions"),
     "cell_start": ("cell",),
     "cell_cached": ("cell",),
+    "cell_batched": ("cell", "group", "size"),
+    "cell_fallback": ("cell", "reason"),
     "cell_done": ("cell", "attempts"),
     "cell_failed": ("cell", "attempts", "error_type"),
     "engine_summary": ("counters",),

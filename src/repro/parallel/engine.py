@@ -179,6 +179,82 @@ def _coerce_cache(cache: CacheLike) -> Optional[ResultCache]:
     return ResultCache(cache)
 
 
+def _run_batched(
+    tasks: Sequence[CellTask],
+    pending: List[int],
+    keys: List[Optional[str]],
+    results: List[Optional[SimulationResult]],
+    store: Optional[ResultCache],
+    rec: Recorder,
+    metrics: CounterRegistry,
+    batch: Union[bool, int],
+) -> List[int]:
+    """Run the batch-compatible subset of ``pending`` through the stacked
+    backend; return the still-unsettled indices (fallbacks, batch errors)
+    in task order for the serial/pool path.
+
+    A group that raises is not fatal: every member is re-queued with the
+    ``"batch-error"`` fallback reason and recomputed by the serial path,
+    so a batching defect can cost time but never a result.
+    """
+    # Imported here, not at module level: repro.batch pulls in the full
+    # plant + controller stack, which the engine otherwise avoids loading
+    # (worker processes import this module on spawn).
+    from repro.batch import batch_unsupported_reason, plan_batches, simulate_batch
+
+    batchable: List[int] = []
+    leftovers: List[int] = []
+    for i in pending:
+        reason = batch_unsupported_reason(tasks[i])
+        if reason is None:
+            batchable.append(i)
+        else:
+            leftovers.append(i)
+            metrics.inc(f"engine.fallback.{reason}")
+            if rec.enabled:
+                rec.emit("cell_fallback", cell=tasks[i].cell.label(), reason=reason)
+    if not batchable:
+        return leftovers
+
+    max_batch = len(batchable) if batch is True else int(batch)
+    plan = plan_batches([tasks[i] for i in batchable], max_batch)
+    for group_index, group in enumerate(plan):
+        members = [batchable[j] for j in group]
+        try:
+            group_results = simulate_batch([tasks[i] for i in members])
+        except Exception:
+            # Recorded and re-queued, never swallowed: every member is
+            # recomputed by the serial/pool path below.
+            metrics.inc("engine.batch_errors")
+            for i in members:
+                metrics.inc("engine.fallback.batch-error")
+                if rec.enabled:
+                    rec.emit(
+                        "cell_fallback",
+                        cell=tasks[i].cell.label(),
+                        reason="batch-error",
+                    )
+            leftovers.extend(members)
+            continue
+        metrics.inc("engine.batch_groups")
+        for i, result in zip(members, group_results):
+            results[i] = result
+            metrics.inc("engine.cells_run")
+            metrics.inc("engine.cells_batched")
+            if store is not None and keys[i] is not None:
+                store.put(keys[i], result)
+            if rec.enabled:
+                rec.emit(
+                    "cell_batched",
+                    cell=tasks[i].cell.label(),
+                    group=group_index,
+                    size=len(members),
+                )
+                rec.emit("cell_done", cell=tasks[i].cell.label(), attempts=1)
+    leftovers.sort()
+    return leftovers
+
+
 def _replay_events(rec: Recorder, events: Sequence[Mapping[str, Any]]) -> None:
     """Re-emit a worker's buffered events into the parent recorder
     (sequence numbers are re-stamped by the parent's own counter)."""
@@ -193,6 +269,7 @@ def execute_cells(
     cache: CacheLike = None,
     retries: int = 1,
     recorder: Optional[Recorder] = None,
+    batch: Union[bool, int] = False,
 ) -> List[SimulationResult]:
     """Execute every task, in parallel when ``jobs > 1``, with caching.
 
@@ -219,6 +296,16 @@ def execute_cells(
         ``trace=True``) are shipped back in buffers and replayed in task
         order, so the trace is deterministic regardless of worker
         scheduling.
+    batch:
+        Route cache-missed, batch-compatible cells through the stacked
+        tensor backend (:mod:`repro.batch`) before the serial/pool path.
+        ``True`` stacks each compatible group whole; an integer caps the
+        runs per stack.  Cells the backend declines (tracing, profiling,
+        watchdog, non-default plant options — see
+        :func:`repro.batch.batch_unsupported_reason`) or that fail inside
+        a batch fall back to the serial/pool path with a recorded
+        ``cell_fallback`` reason; results are bit-identical either way.
+        Batch membership never enters :func:`~repro.parallel.cache.cell_key`.
 
     Raises
     ------
@@ -230,6 +317,8 @@ def execute_cells(
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
+    if batch is not True and batch is not False and int(batch) < 1:
+        raise ValueError(f"batch must be a bool or a positive int, got {batch}")
     store = _coerce_cache(cache)
     rec: Recorder = recorder if recorder is not None else NULL_RECORDER
     metrics = CounterRegistry()
@@ -256,6 +345,11 @@ def execute_cells(
                     rec.emit("cell_cached", cell=task.cell.label())
                 continue
         pending.append(i)
+
+    if batch and pending:
+        pending = _run_batched(
+            tasks, pending, keys, results, store, rec, metrics, batch
+        )
 
     if jobs == 1:
         for i in pending:

@@ -125,6 +125,7 @@ def run_suite(
     sim_kwargs: Optional[Mapping[str, Any]] = None,
     recorder: Optional[Recorder] = None,
     profile: bool = False,
+    batch: Union[bool, int] = False,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run every controller on every workload.
 
@@ -152,6 +153,16 @@ def run_suite(
         out of cache keys and worker pickles.  With ``jobs > 1`` the
         recorder stays in the parent; workers buffer their events and the
         engine replays them in task order.
+    batch:
+        Stack compatible cells into tensor batches (:mod:`repro.batch`)
+        and advance each stack with one NumPy epoch step — the third
+        backend beside the serial loop and ``jobs=``.  ``True`` batches
+        each compatible group whole; an integer caps the stack size.
+        Results are bit-identical to the serial loop; incompatible cells
+        (tracing enabled, watchdog, non-default plant options) fall back
+        per cell with a recorded reason.  Composes with ``cache=``
+        (batching never changes a cell's cache key) and with ``jobs=``
+        for the fallback cells.
 
     Returns
     -------
@@ -161,7 +172,7 @@ def run_suite(
     if n_epochs <= 0:
         raise ValueError(f"n_epochs must be positive, got {n_epochs}")
     extra = dict(sim_kwargs or {})
-    if jobs == 1 and cache is None and recorder is None and not profile:
+    if jobs == 1 and cache is None and recorder is None and not profile and not batch:
         results: Dict[str, Dict[str, SimulationResult]] = {}
         for ctrl_name, factory in controllers.items():
             results[ctrl_name] = {}
@@ -194,7 +205,7 @@ def run_suite(
                     trace=trace, profile=profile,
                 )
             )
-    flat = execute_cells(tasks, jobs=jobs, cache=cache, recorder=recorder)
+    flat = execute_cells(tasks, jobs=jobs, cache=cache, recorder=recorder, batch=batch)
     return merge_suite(cells, flat)
 
 
@@ -209,11 +220,14 @@ def run_budget_sweep(
     sim_kwargs: Optional[Mapping[str, Any]] = None,
     recorder: Optional[Recorder] = None,
     profile: bool = False,
+    batch: Union[bool, int] = False,
 ) -> Dict[str, Dict[float, SimulationResult]]:
     """Run every controller at each absolute budget (watts) on one workload.
 
-    ``jobs``, ``cache``, ``sim_kwargs``, ``recorder`` and ``profile``
-    behave as in :func:`run_suite`.
+    ``jobs``, ``cache``, ``sim_kwargs``, ``recorder``, ``profile`` and
+    ``batch`` behave as in :func:`run_suite` — a budget sweep is the
+    batched backend's best case, since one controller's cells at
+    different budgets stack into a single tensor simulation.
 
     Returns
     -------
@@ -225,7 +239,7 @@ def run_budget_sweep(
     if n_epochs <= 0:
         raise ValueError(f"n_epochs must be positive, got {n_epochs}")
     extra = dict(sim_kwargs or {})
-    if jobs == 1 and cache is None and recorder is None and not profile:
+    if jobs == 1 and cache is None and recorder is None and not profile and not batch:
         results: Dict[str, Dict[float, SimulationResult]] = {}
         for ctrl_name, factory in controllers.items():
             results[ctrl_name] = {}
@@ -260,7 +274,7 @@ def run_budget_sweep(
                     trace=trace, profile=profile,
                 )
             )
-    flat = execute_cells(tasks, jobs=jobs, cache=cache, recorder=recorder)
+    flat = execute_cells(tasks, jobs=jobs, cache=cache, recorder=recorder, batch=batch)
     merged = merge_sweep(cells, flat)
     # Budget keys must be the caller's original float objects/ordering.
     return {

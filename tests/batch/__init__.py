@@ -1,0 +1,1 @@
+"""Differential, property and engine tests for the batched tensor backend."""

@@ -1,0 +1,62 @@
+"""Golden fixtures reproduced through the batched backend, bit for bit.
+
+The golden suite is the referee for the bit-identity contract: the same
+fixtures that pin the serial loop (and the process-pool backend, in
+``tests/golden/``) must come back byte-identical from the stacked tensor
+simulation, at every batch cap and jobs count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import assert_trace_equal
+from repro.sim.result_io import load_result
+
+from tools.regen_golden import (
+    GOLDEN_CONTROLLERS,
+    compute_golden_results,
+    golden_path,
+)
+
+
+@pytest.mark.parametrize("batch", [True, 1, 2])
+def test_batched_run_is_bit_identical_to_golden(batch):
+    batched = compute_golden_results(batch=batch)
+    for name in GOLDEN_CONTROLLERS:
+        golden = load_result(golden_path(name))
+        assert_trace_equal(
+            batched[name],
+            golden,
+            compare_decision_time=True,
+            context=f"golden[{name}] vs batch={batch}",
+        )
+
+
+def test_batched_with_pool_fallback_matches_golden():
+    # jobs=2 handles any cells the batch path declines; the combination
+    # must still reproduce the fixtures exactly.
+    batched = compute_golden_results(jobs=2, batch=2)
+    for name in GOLDEN_CONTROLLERS:
+        golden = load_result(golden_path(name))
+        assert_trace_equal(
+            batched[name],
+            golden,
+            compare_decision_time=True,
+            context=f"golden[{name}] vs jobs=2 batch=2",
+        )
+
+
+def test_batch_warmed_cache_replays_into_serial(tmp_path):
+    cold = compute_golden_results(batch=True, cache=tmp_path)
+    warm = compute_golden_results(cache=tmp_path)
+    for name in GOLDEN_CONTROLLERS:
+        golden = load_result(golden_path(name))
+        assert_trace_equal(
+            cold[name], golden, compare_decision_time=True,
+            context=f"batch-cold-cache[{name}]",
+        )
+        assert_trace_equal(
+            warm[name], golden, compare_decision_time=True,
+            context=f"batch-warmed serial replay[{name}]",
+        )

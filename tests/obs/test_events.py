@@ -41,6 +41,8 @@ _PAYLOADS = {
     },
     "cell_start": {"cell": "od-rl/mixed"},
     "cell_cached": {"cell": "od-rl/mixed"},
+    "cell_batched": {"cell": "od-rl/mixed", "group": 0, "size": 3},
+    "cell_fallback": {"cell": "od-rl/mixed", "reason": "watchdog"},
     "cell_done": {"cell": "od-rl/mixed", "attempts": 1},
     "cell_failed": {"cell": "od-rl/mixed", "attempts": 2, "error_type": "ValueError"},
     "engine_summary": {"counters": {"cells_run": 3}},

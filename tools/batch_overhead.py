@@ -1,0 +1,153 @@
+"""Assert the batched backend's speedup budget on the E2-style suite.
+
+Runs the same controller × benchmark grid through the historical serial
+loop and then through the stacked tensor backend (:mod:`repro.batch`) at
+increasing batch caps.  Every batched run must be bit-identical to the
+serial one (``assert_trace_equal``, all cells); the largest cap — at
+least 8, the scale EXPERIMENTS.md quotes — must hit the wall-clock
+budget: batched suite time at most ``--threshold`` (default 0.5) of the
+serial suite time, i.e. a >= 2x speedup.
+
+Wall-clock measurement is noisy, so each leg takes the *minimum* over
+``--reps`` runs after one untimed warm-up.  This lives in ``tools/``
+(not the tier-1 suite) precisely because it measures the host machine::
+
+    python -m tools.batch_overhead                    # CI budget: 2x at batch 8
+    python -m tools.batch_overhead --cores 16 --epochs 120 --controllers od-rl,pid
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.experiments.e2_overshoot import DEFAULT_BENCHMARKS, DEFAULT_CONTROLLERS
+from repro.manycore.config import default_system
+from repro.parallel import assert_trace_equal
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_suite, standard_controllers
+from repro.workloads.suite import make_benchmark
+
+__all__ = ["main", "measure_speedups"]
+
+SuiteResults = Dict[str, Dict[str, SimulationResult]]
+
+
+def _timed_suite(
+    cfg, workloads, chosen, n_epochs: int, reps: int,
+    batch: Union[bool, int] = False,
+) -> Tuple[float, SuiteResults]:
+    """Best-of-``reps`` wall clock for one full grid run."""
+    best_s = float("inf")
+    results: Optional[SuiteResults] = None
+    for _ in range(reps):
+        t0_s = time.perf_counter()
+        results = run_suite(cfg, workloads, chosen, n_epochs, batch=batch)
+        best_s = min(best_s, time.perf_counter() - t0_s)
+    assert results is not None
+    return best_s, results
+
+
+def measure_speedups(
+    n_cores: int,
+    n_epochs: int,
+    seed: int,
+    controllers: List[str],
+    batch_sizes: List[int],
+    reps: int,
+) -> Tuple[float, Dict[int, float]]:
+    """Serial suite seconds and ``{batch_cap: batched seconds}``.
+
+    Raises ``AssertionError`` if any batched run differs from serial on
+    any deterministic output of any cell.
+    """
+    cfg = default_system(n_cores=n_cores, budget_fraction=0.6)
+    workloads = {
+        b: make_benchmark(b, n_cores, seed=seed) for b in DEFAULT_BENCHMARKS
+    }
+    lineup = standard_controllers(seed=seed)
+    chosen = {n: lineup[n] for n in controllers}
+
+    # Untimed warm-up: imports, allocator, branch predictors.
+    warmup_epochs = max(n_epochs // 10, 5)
+    run_suite(cfg, workloads, chosen, warmup_epochs)
+    run_suite(cfg, workloads, chosen, warmup_epochs, batch=max(batch_sizes))
+
+    serial_s, serial = _timed_suite(cfg, workloads, chosen, n_epochs, reps)
+    batched_s: Dict[int, float] = {}
+    for cap in batch_sizes:
+        dt_s, batched = _timed_suite(
+            cfg, workloads, chosen, n_epochs, reps, batch=cap
+        )
+        batched_s[cap] = dt_s
+        for ctrl in serial:
+            for wl in serial[ctrl]:
+                assert_trace_equal(
+                    serial[ctrl][wl],
+                    batched[ctrl][wl],
+                    context=f"batch={cap}[{ctrl}][{wl}]",
+                )
+    return serial_s, batched_s
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cores", type=int, default=32)
+    parser.add_argument("--epochs", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--controllers",
+        default=",".join(DEFAULT_CONTROLLERS),
+        help="comma-separated lineup subset (default: the E2 controllers)",
+    )
+    parser.add_argument(
+        "--batch-sizes",
+        default="1,2,4,8",
+        help="comma-separated batch caps for the speedup curve",
+    )
+    parser.add_argument("--reps", type=int, default=1, help="best-of-N timing")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="maximum batched/serial wall-clock ratio at the largest cap "
+        "(default 0.5 = a 2x speedup)",
+    )
+    args = parser.parse_args(argv)
+
+    controllers = [c for c in args.controllers.split(",") if c]
+    batch_sizes = sorted({int(b) for b in args.batch_sizes.split(",") if b})
+    if not batch_sizes or batch_sizes[0] < 1:
+        print("batch sizes must be positive integers", file=sys.stderr)
+        return 2
+
+    serial_s, batched_s = measure_speedups(
+        args.cores, args.epochs, args.seed, controllers, batch_sizes, args.reps
+    )
+    print("determinism: every batched run is bit-identical to serial")
+    print(
+        f"{len(controllers)} controllers x {len(DEFAULT_BENCHMARKS)} benchmarks "
+        f"@ {args.cores} cores x {args.epochs} epochs (best of {args.reps}):"
+    )
+    print(f"  serial     {serial_s:8.3f} s")
+    for cap in batch_sizes:
+        speedup = serial_s / batched_s[cap]
+        print(f"  batch={cap:<3d} {batched_s[cap]:8.3f} s   ({speedup:4.2f}x)")
+
+    largest = batch_sizes[-1]
+    ratio = batched_s[largest] / serial_s
+    print(
+        f"  ratio at batch={largest}: {ratio:.3f} "
+        f"(budget {args.threshold:.2f})"
+    )
+    if ratio > args.threshold:
+        print("FAIL: batched suite is too slow for the budget", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

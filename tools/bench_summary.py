@@ -1,0 +1,110 @@
+"""Summarize or diff the bench harness's ``BENCH_E*.json`` artifacts.
+
+``make bench`` archives, per experiment, a machine-readable JSON payload
+under ``benchmarks/results/`` (see ``benchmarks/conftest.py``).  This
+tool renders them as a table — one directory lists wall clocks and the
+suite's serial-vs-batched timing; two directories are diffed
+experiment-by-experiment, which is how a perf regression (or a claimed
+optimization) is reviewed::
+
+    python -m tools.bench_summary benchmarks/results
+    python -m tools.bench_summary /tmp/before /tmp/after
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["main", "load_reports"]
+
+_BENCH_FILE = re.compile(r"BENCH_(E\d+)\.json$")
+
+
+def _experiment_order(eid: str) -> int:
+    return int(eid[1:])
+
+
+def load_reports(directory: Path) -> Dict[str, Dict[str, Any]]:
+    """``{experiment_id: payload}`` for every ``BENCH_E*.json`` in ``directory``."""
+    reports: Dict[str, Dict[str, Any]] = {}
+    for path in directory.glob("BENCH_E*.json"):
+        match = _BENCH_FILE.search(path.name)
+        if match is None:
+            continue
+        with path.open() as fh:
+            reports[match.group(1)] = json.load(fh)
+    return dict(
+        sorted(reports.items(), key=lambda kv: _experiment_order(kv[0]))
+    )
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    return f"{value:9.3f}" if isinstance(value, (int, float)) else "        -"
+
+
+def _render_single(reports: Dict[str, Dict[str, Any]]) -> str:
+    lines = [f"{'exp':4s} {'wall s':>9s} {'suite serial s':>14s} "
+             f"{'suite batch s':>13s} {'speedup':>8s}"]
+    for eid, payload in reports.items():
+        timing = payload.get("suite_timing") or {}
+        speedup = timing.get("speedup")
+        speedup_text = f"{speedup:7.2f}x" if speedup else f"{'-':>8s}"
+        lines.append(
+            f"{eid:4s} {_fmt_seconds(payload.get('wall_clock_s'))} "
+            f"{_fmt_seconds(timing.get('serial_s')):>14s} "
+            f"{_fmt_seconds(timing.get('batch_s')):>13s} "
+            f"{speedup_text}"
+        )
+    return "\n".join(lines)
+
+
+def _render_diff(
+    a: Dict[str, Dict[str, Any]], b: Dict[str, Dict[str, Any]]
+) -> str:
+    ids = sorted(set(a) | set(b), key=_experiment_order)
+    lines = [f"{'exp':4s} {'before s':>9s} {'after s':>9s} {'delta':>8s}"]
+    for eid in ids:
+        wall_a = (a.get(eid) or {}).get("wall_clock_s")
+        wall_b = (b.get(eid) or {}).get("wall_clock_s")
+        if isinstance(wall_a, (int, float)) and isinstance(wall_b, (int, float)) \
+                and wall_a > 0:
+            delta = f"{(wall_b / wall_a - 1.0):+7.1%}"
+        else:
+            delta = "       -"
+        lines.append(
+            f"{eid:4s} {_fmt_seconds(wall_a)} {_fmt_seconds(wall_b)} {delta}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("before", help="result directory (or the only one)")
+    parser.add_argument(
+        "after", nargs="?", default=None,
+        help="second result directory to diff against the first",
+    )
+    args = parser.parse_args(argv)
+
+    before = load_reports(Path(args.before))
+    if not before:
+        print(f"no BENCH_E*.json artifacts in {args.before}", file=sys.stderr)
+        return 2
+    if args.after is None:
+        print(_render_single(before))
+        return 0
+    after = load_reports(Path(args.after))
+    if not after:
+        print(f"no BENCH_E*.json artifacts in {args.after}", file=sys.stderr)
+        return 2
+    print(_render_diff(before, after))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 from pathlib import Path
-from typing import Dict
+from typing import Dict, Union
 
 import numpy as np
 
@@ -56,13 +56,15 @@ def golden_path(controller: str) -> Path:
 
 
 def compute_golden_results(
-    jobs: int = 1, cache: object = None
+    jobs: int = 1, cache: object = None, batch: Union[bool, int] = False
 ) -> Dict[str, SimulationResult]:
     """Run the golden grid and return ``{controller: result}``.
 
     Results carry per-core series (``record_per_core=True``) and a zeroed
     ``decision_time`` so the return value is a pure function of the spec
     constants — identical bytes on every machine and every run.
+    ``batch`` routes the grid through the stacked tensor backend
+    (``repro.batch``), which must reproduce the same bytes.
     """
     cfg = default_system(
         n_cores=GOLDEN_N_CORES, budget_fraction=GOLDEN_BUDGET_FRACTION
@@ -77,6 +79,7 @@ def compute_golden_results(
         GOLDEN_N_EPOCHS,
         jobs=jobs,
         cache=cache,
+        batch=batch,
         sim_kwargs={"record_per_core": True},
     )
     return {
