@@ -4,7 +4,7 @@
 # .[lint]` — for the lint/typecheck targets, which skip with a warning
 # when the tools are absent).
 
-.PHONY: test bench bench-summary examples experiments faults golden determinism batch trace coverage lint typecheck check clean
+.PHONY: test bench bench-summary examples experiments faults golden determinism batch trace coverage lint analyze typecheck check clean
 
 test:
 	pytest tests/
@@ -67,11 +67,15 @@ lint:
 	else echo "ruff not installed (pip install -e .[lint]); skipping"; fi
 	python -m tools.lint src/ tests/ benchmarks/
 
+analyze:
+	python -m tools.analyze src/repro
+	pytest tests/analyze/ -q
+
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then mypy src/repro; \
 	else echo "mypy not installed (pip install -e .[lint]); skipping"; fi
 
-check: lint typecheck test
+check: lint analyze typecheck test
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

@@ -235,6 +235,8 @@ class BatchChip:
         )
         self.epoch = 0
         self.time = 0.0
+        self.total_energy = np.zeros(self.n_runs, dtype=float)
+        self.total_instructions = np.zeros(self.n_runs, dtype=float)
 
     def _build_phase_streams(
         self, times: np.ndarray
@@ -349,6 +351,11 @@ class BatchChip:
 
         self._thermal_step(power, dt)
         self.time += dt
+        # Per-run row reductions, matching the serial float(np.sum(...))
+        # accumulation order bit for bit.
+        for r in range(self.n_runs):
+            self.total_energy[r] += float(np.sum(power[r])) * dt
+            self.total_instructions[r] += float(np.sum(instructions[r]))
 
         sensed_power = np.maximum(power, 0.0)
         sensed_instructions = np.maximum(instructions, 0.0)

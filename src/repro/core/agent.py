@@ -67,8 +67,8 @@ class QLearningPopulation:
         that cell's visit count — rarely-visited cells keep a large step
         size and learn from few samples.
     rng:
-        Random generator for exploration; pass a seeded generator for
-        reproducible runs.
+        Random generator for exploration.  Required: every population owns
+        an explicit, seed-attributable stream (``ValueError`` otherwise).
     optimistic_init:
         Initial Q value.  Setting it at or above the maximum attainable
         reward makes untried actions look attractive, so every action in a
@@ -108,7 +108,13 @@ class QLearningPopulation:
         self.gamma = gamma
         self.epsilon = epsilon if epsilon is not None else default_epsilon_schedule()
         self.alpha = alpha if alpha is not None else default_alpha_schedule()
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            raise ValueError(
+                "QLearningPopulation requires an explicit RNG stream; pass "
+                "rng=np.random.default_rng(seed) so exploration draws are "
+                "attributable to a seed instead of a hidden shared default"
+            )
+        self._rng = rng
         self.validate = validation_enabled(validate)
         self._init = float(optimistic_init)
         self.q = np.full((n_agents, n_states, n_actions), self._init, dtype=float)

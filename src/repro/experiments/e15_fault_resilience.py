@@ -33,6 +33,7 @@ give bit-for-bit identical runs.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
@@ -65,24 +66,33 @@ def _sensors(seed: int) -> SensorSuite:
     return SensorSuite(np.random.default_rng(seed + 123), power_spec=_POWER_SENSOR)
 
 
-def _lineup(seed: int) -> Dict[str, Callable[[SystemConfig], Controller]]:
-    """E15's controller arms: OD-RL with/without degradation + baselines."""
-    from repro.baselines import GreedyAscentController, PIDCappingController
+def _od_rl(seed: int, cfg: SystemConfig) -> Controller:
     from repro.core import ODRLController
 
-    def od_rl(cfg: SystemConfig) -> Controller:
-        return ODRLController(cfg, seed=seed)
+    return ODRLController(cfg, seed=seed)
 
-    def od_rl_raw(cfg: SystemConfig) -> Controller:
-        controller = ODRLController(cfg, degradation=False, seed=seed)
-        controller.name = "od-rl-raw"
-        return controller
+
+def _od_rl_raw(seed: int, cfg: SystemConfig) -> Controller:
+    from repro.core import ODRLController
+
+    controller = ODRLController(cfg, degradation=False, seed=seed)
+    controller.name = "od-rl-raw"
+    return controller
+
+
+def _lineup(seed: int) -> Dict[str, Callable[[SystemConfig], Controller]]:
+    """E15's controller arms: OD-RL with/without degradation + baselines.
+
+    Every factory is a module-level callable (bound via ``partial``) so a
+    lineup entry can ride inside a ``CellTask`` through the spawn pool.
+    """
+    from repro.baselines import GreedyAscentController, PIDCappingController
 
     return {
-        "od-rl": od_rl,
-        "od-rl-raw": od_rl_raw,
-        "greedy-ascent": lambda cfg: GreedyAscentController(cfg),
-        "pid": lambda cfg: PIDCappingController(cfg),
+        "od-rl": partial(_od_rl, seed),
+        "od-rl-raw": partial(_od_rl_raw, seed),
+        "greedy-ascent": GreedyAscentController,
+        "pid": PIDCappingController,
     }
 
 

@@ -64,7 +64,16 @@ class SensorSpec:
 class Sensor:
     """One telemetry channel with its own RNG stream."""
 
-    def __init__(self, spec: SensorSpec, rng: np.random.Generator) -> None:
+    def __init__(self, spec: SensorSpec, rng: np.random.Generator | None) -> None:
+        stochastic = (
+            spec.relative_noise > 0 or spec.dropout_rate > 0 or spec.stuck_rate > 0
+        )
+        if stochastic and rng is None:
+            raise ValueError(
+                "a stochastic SensorSpec needs an explicit RNG stream; "
+                "pass a seeded generator (rng=None is reserved for exact "
+                "sensors, which never draw)"
+            )
         self._spec = spec
         self._rng = rng
         self._last: np.ndarray | None = None
@@ -122,7 +131,7 @@ class SensorSuite:
 
     def __init__(
         self,
-        rng: np.random.Generator,
+        rng: np.random.Generator | None,
         power_spec: SensorSpec | None = None,
         perf_spec: SensorSpec | None = None,
         temp_spec: SensorSpec | None = None,
@@ -142,10 +151,13 @@ class SensorSuite:
 
     @classmethod
     def exact(cls) -> "SensorSuite":
-        """A noiseless suite for deterministic tests."""
-        rng = np.random.default_rng(0)
+        """A noiseless suite for deterministic tests.
+
+        Exact channels never draw, so no generator exists to leak into a
+        measurement — there is no hidden fixed-seed stream here.
+        """
         return cls(
-            rng,
+            None,
             power_spec=SensorSpec(),
             perf_spec=SensorSpec(),
             temp_spec=SensorSpec(),

@@ -1,0 +1,34 @@
+# repro-lint: skip-file
+"""DET001 fixture (bad): every RNG stream-derivation anti-pattern."""
+import numpy as np
+from numpy.random import default_rng
+
+_SHARED = np.random.default_rng(123)  # BAD  # BAD (literal seed + shared stream)
+
+
+def no_seed():
+    return np.random.default_rng()  # BAD
+
+
+def bare_name_no_seed():
+    return default_rng()  # BAD
+
+
+def literal_seed():
+    return np.random.default_rng(42)  # BAD
+
+
+def seed_arithmetic(seed):
+    return np.random.default_rng(seed + 1)  # BAD
+
+
+def parent_draw(parent):
+    return np.random.default_rng(parent.integers(2**63))  # BAD
+
+
+def shared_user_one():
+    return _SHARED.random()
+
+
+def shared_user_two():
+    return _SHARED.integers(10)

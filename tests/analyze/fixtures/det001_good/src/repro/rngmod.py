@@ -1,0 +1,20 @@
+# repro-lint: skip-file
+"""DET001 fixture (good): disciplined SeedSequence-based derivation."""
+import numpy as np
+
+_SEED = 7
+_SINGLE_USER = np.random.default_rng(_SEED)
+
+
+def spawn_children(seed, n):
+    children = np.random.SeedSequence(seed).spawn(n)
+    return [np.random.default_rng(c) for c in children]
+
+
+def explicit_seed_param(seed):
+    return np.random.default_rng(seed)
+
+
+def only_consumer():
+    # A module-level stream with exactly one consumer is not "shared".
+    return _SINGLE_USER.random()

@@ -1,0 +1,16 @@
+# repro-lint: skip-file
+"""DET002 fixture (bad): serial learner draws three times per act."""
+
+
+class QLearningPopulation:
+    def act(self, states):
+        eps = self.epsilon.value(self.step_count)
+        jitter = self._rng.random(states.shape)
+        explore = self._rng.random(3) < eps
+        alt = self._rng.integers(4, size=3)
+        return alt if explore.any() else jitter
+
+    def update(self, states, actions, rewards, next_states):
+        self.q += 0.1
+        self.visits += 1
+        self.step_count += 1

@@ -1,0 +1,18 @@
+# repro-lint: skip-file
+"""DET002 fixture (bad): serial chip step mutating more than the batch."""
+
+
+class ManyCoreChip:
+    def step(self, levels, power, dt):
+        self.levels = levels
+        self.thermal.step(power, dt)
+        self.time += dt
+        self._accumulate(power, dt)
+        profiler = self.profiler
+        profiler.add("sensor", 0.0)  # alias mutator call: must NOT count
+        self.epoch += 1
+
+    def _accumulate(self, power, dt):
+        # Reached transitively from step(); hiding a store in a helper
+        # must not hide it from the parity diff.
+        self.total_energy += float(sum(power)) * dt

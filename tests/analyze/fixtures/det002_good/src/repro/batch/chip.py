@@ -1,0 +1,12 @@
+# repro-lint: skip-file
+"""DET002 fixture (good): batch chip mirroring every serial mutation."""
+
+
+class BatchChip:
+    def step(self, levels, power, dt):
+        self.levels = levels
+        self._temps = self._temps + power * dt
+        self.time += dt
+        for r in range(2):
+            self.total_energy[r] += float(sum(power[r])) * dt
+        self.epoch += 1

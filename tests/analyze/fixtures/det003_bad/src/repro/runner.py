@@ -1,0 +1,45 @@
+# repro-lint: skip-file
+"""DET003 fixture (bad): unpicklable callables crossing the boundary."""
+from functools import partial
+
+
+class CellTask:
+    def __init__(self, cell, cfg, workload, factory, overrides):
+        self.factory = factory
+
+
+def make(cfg):
+    return cfg
+
+
+def submit_lambda(pool, x):
+    return pool.submit(lambda: x + 1)  # BAD
+
+
+def submit_nested(pool, x):
+    def work():
+        return x + 1
+
+    return pool.submit(work)  # BAD
+
+
+def build_task_lambda(cell, cfg, workload):
+    return CellTask(cell, cfg, workload, lambda c: make(c), {})  # BAD
+
+
+def build_task_partial_nested(cell, cfg, workload, seed):
+    def make_controller(s, c):
+        return (s, c)
+
+    return CellTask(cell, cfg, workload, partial(make_controller, seed), {})  # BAD
+
+
+def lineup(seed) -> "Dict[str, ControllerFactory]":
+    def od_rl(cfg):
+        return (seed, cfg)
+
+    return {
+        "od-rl": od_rl,  # BAD
+        "pid": lambda cfg: cfg,  # BAD
+        "static": make,
+    }

@@ -1,0 +1,40 @@
+# repro-lint: skip-file
+"""DET003 fixture (good): module-level callables everywhere."""
+from functools import partial
+
+
+class CellTask:
+    def __init__(self, cell, cfg, workload, factory, overrides):
+        self.factory = factory
+
+
+def work(x):
+    return x + 1
+
+
+def _construct(seed, cfg):
+    return (seed, cfg)
+
+
+def submit_module_fn(pool, x):
+    return pool.submit(work, x)
+
+
+def submit_param(pool, fn, x):
+    # The callable came from the caller: checked at its construction site.
+    return pool.submit(fn, x)
+
+
+def build_task(cell, cfg, workload, factory):
+    return CellTask(cell, cfg, workload, factory, {})
+
+
+def build_task_partial(cell, cfg, workload, seed):
+    return CellTask(cell, cfg, workload, partial(_construct, seed), {})
+
+
+def lineup(seed) -> "Dict[str, ControllerFactory]":
+    out = {}
+    out["od-rl"] = partial(_construct, seed)
+    out["static"] = work
+    return out

@@ -1,0 +1,34 @@
+# repro-lint: skip-file
+"""DET004 fixture (bad): impurity reachable from the keying roots."""
+import hashlib
+import os
+import time
+import uuid
+
+
+def _fresh():
+    return hashlib.sha256()
+
+
+def _mix(hasher, obj):
+    for k, v in obj.items():  # BAD (unsorted iteration)
+        hasher.update(str((k, v)).encode())
+
+
+def stable_hash(obj):
+    h = _fresh()
+    _mix(h, obj)
+    stamp = time.time()  # BAD (wall clock)
+    salt = os.getenv("REPRO_SALT", "")  # BAD (environment read)
+    tag = id(obj)  # BAD (process-scoped identity)
+    h.update(f"{stamp}{salt}{tag}".encode())
+    return h.hexdigest()
+
+
+def cell_key(cell):
+    return stable_hash({"cell": cell, "u": uuid.uuid4()})  # BAD (uuid)
+
+
+def unreachable_clock():
+    # Not reachable from the roots: must NOT be flagged.
+    return time.time()

@@ -1,0 +1,28 @@
+# repro-lint: skip-file
+"""DET004 fixture (good): pure, order-stable keying."""
+import hashlib
+import time
+
+_SALT = "cache-v1"
+
+
+def _mix(hasher, obj):
+    for k, v in sorted(obj.items()):
+        hasher.update(str((k, v)).encode())
+
+
+def stable_hash(obj):
+    h = hashlib.sha256()
+    h.update(_SALT.encode())
+    if len(obj.keys()) > 0:  # len() of a view is order-independent
+        _mix(h, obj)
+    return h.hexdigest()
+
+
+def cell_key(cell):
+    return stable_hash({"cell": cell})
+
+
+def unreachable_clock():
+    # Impure, but not reachable from the roots: out of scope.
+    return time.time()

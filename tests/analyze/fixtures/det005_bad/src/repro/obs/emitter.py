@@ -1,0 +1,29 @@
+# repro-lint: skip-file
+"""DET005 fixture (bad): schema-violating emit sites."""
+from repro.obs.events import make_event
+
+
+def emit_unknown_type(rec):
+    rec.emit("epcoh", epoch=1, chip_power=2.0)  # BAD (typo'd type)
+
+
+def emit_reserved_field(rec):
+    rec.emit("epoch", epoch=1, chip_power=2.0, seq=7)  # BAD (reserved)
+
+
+def emit_missing_field(rec):
+    rec.emit("epoch", epoch=1)  # BAD (missing chip_power)
+
+
+def emit_missing_via_dict(rec):
+    fields = {"n_epochs": 5}
+    rec.emit("run_end", **fields)  # BAD (missing total_energy_j)
+
+
+def build_missing():
+    return make_event("run_end", n_epochs=3)  # BAD (missing total_energy_j)
+
+
+def emit_dynamic(rec, event):
+    # Dynamic type: out of scope, never flagged.
+    rec.emit(event["type"], **event)

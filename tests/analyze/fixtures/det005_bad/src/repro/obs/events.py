@@ -1,0 +1,12 @@
+# repro-lint: skip-file
+"""DET005 fixture: a schema-v1 subset for conformance testing."""
+SCHEMA_VERSION = 1
+RESERVED_FIELDS = ("type", "seq")
+EVENT_FIELDS = {
+    "epoch": ("epoch", "chip_power"),
+    "run_end": ("n_epochs", "total_energy_j"),
+}
+
+
+def make_event(event_type, **fields):
+    return {"type": event_type, **fields}

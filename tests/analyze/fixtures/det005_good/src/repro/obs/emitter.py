@@ -1,0 +1,31 @@
+# repro-lint: skip-file
+"""DET005 fixture (good): conforming emit sites, including ** payloads."""
+from repro.obs.events import make_event
+
+
+def emit_literal(rec):
+    # Records are open: extras beyond the required fields are fine.
+    rec.emit("epoch", epoch=1, chip_power=2.0, decision_time=0.01)
+
+
+def emit_via_local_dict(rec):
+    fields = {"epoch": 1}
+    fields["chip_power"] = 2.0
+    rec.emit("epoch", **fields)
+
+
+def _manifest():
+    return {"n_epochs": 5, "total_energy_j": 1.0, "note": "extra"}
+
+
+def emit_via_helper(rec):
+    rec.emit("run_end", **_manifest())
+
+
+def build_ok():
+    return make_event("epoch", epoch=0, chip_power=0.0)
+
+
+def emit_unresolvable(rec, payload):
+    # Unknown ** source: the missing-field check is skipped, not guessed.
+    rec.emit("run_end", **payload)

@@ -1,0 +1,8 @@
+# repro-lint: skip-file
+# repro-analyze: skip-file
+"""Whole-file analyzer opt-out: nothing below is ever reported."""
+import numpy as np
+
+
+def would_be_flagged():
+    return np.random.default_rng()

@@ -1,0 +1,25 @@
+# repro-lint: skip-file
+"""Suppression fixture: noqa on single- and multi-line statements."""
+import numpy as np
+
+
+def argless_suppressed():
+    return np.random.default_rng()  # noqa: DET001
+
+
+def argless_other_code():
+    return np.random.default_rng()  # noqa: DET999
+
+
+def multiline_suppressed(seed):
+    return np.random.default_rng(
+        seed + 1
+    )  # noqa: DET001
+
+
+def bare_noqa():
+    return np.random.default_rng()  # noqa
+
+
+def unsuppressed():
+    return np.random.default_rng()  # BAD

@@ -1,0 +1,4 @@
+# repro-lint: skip-file
+"""DET000 fixture: a file the index cannot parse."""
+def broken(:
+    pass

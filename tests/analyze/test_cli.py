@@ -1,0 +1,142 @@
+"""CLI behaviour of ``python -m tools.analyze`` (and the shared formats
+on ``python -m tools.lint``)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tools.analyze.__main__ import main as analyze_main
+from tools.lint.__main__ import main as lint_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = str(FIXTURES / "det001_bad")
+GOOD = str(FIXTURES / "det001_good")
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert analyze_main([GOOD, "--no-baseline"]) == 0
+
+    def test_findings_exit_one(self, capsys):
+        assert analyze_main([BAD, "--no-baseline"]) == 1
+        err = capsys.readouterr().err
+        assert "finding(s)" in err
+
+    def test_missing_path_is_an_argument_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            analyze_main(["does/not/exist"])
+        assert excinfo.value.code == 2
+
+    def test_repo_tree_with_shipped_baseline_is_clean(self, capsys):
+        # The acceptance gate: the shipped source tree, the shipped
+        # baseline, exit 0 and no unused-entry warnings.
+        assert analyze_main(["src/repro"]) == 0
+        assert "warning" not in capsys.readouterr().err
+
+
+class TestFormats:
+    def test_text_lines(self, capsys):
+        analyze_main([BAD, "--no-baseline"])
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "rngmod.py" in out
+
+    def test_json_document(self, capsys):
+        analyze_main([BAD, "--no-baseline", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "tools.analyze"
+        assert all(v["rule"] == "DET001" for v in doc["violations"])
+        assert len(doc["violations"]) >= 5
+
+    def test_sarif_document(self, capsys):
+        analyze_main([BAD, "--no-baseline", "--format", "sarif"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "tools.analyze"
+        assert run["tool"]["driver"]["rules"] == [{"id": "DET001"}]
+        first = run["results"][0]["locations"][0]["physicalLocation"]
+        assert first["region"]["startColumn"] >= 1  # SARIF is 1-based
+
+    def test_github_annotations(self, capsys):
+        analyze_main([BAD, "--no-baseline", "--github"])
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=DET001" in out
+
+
+class TestSelection:
+    def test_select_runs_only_named_analyzers(self, capsys):
+        assert analyze_main([BAD, "--no-baseline", "--select", "DET004"]) == 0
+
+    def test_select_unknown_id_errors(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            analyze_main([BAD, "--select", "DET999"])
+        assert excinfo.value.code == 2
+
+    def test_list_analyzers(self, capsys):
+        assert analyze_main(["--list-analyzers"]) == 0
+        out = capsys.readouterr().out
+        for analyzer_id in ("DET001", "DET002", "DET003", "DET004", "DET005"):
+            assert analyzer_id in out
+
+
+class TestBaselineFlags:
+    def test_explicit_baseline_filters(self, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        baseline.write_text(
+            json.dumps(
+                [
+                    {
+                        "rule": "DET001",
+                        "path": "rngmod.py",
+                        "contains": "",
+                        "reason": "fixture-wide waiver",
+                    }
+                ]
+            )
+        )
+        assert analyze_main([BAD, "--baseline", str(baseline)]) == 0
+
+    def test_unused_entries_warn_on_stderr(self, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        baseline.write_text(
+            json.dumps(
+                [
+                    {
+                        "rule": "DET001",
+                        "path": "no_such_file.py",
+                        "contains": "x",
+                        "reason": "stale",
+                    }
+                ]
+            )
+        )
+        assert analyze_main([GOOD, "--baseline", str(baseline)]) == 0
+        assert "matched nothing" in capsys.readouterr().err
+
+    def test_malformed_baseline_is_an_argument_error(self, tmp_path):
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps([{"rule": "DET001"}]))
+        with pytest.raises(SystemExit) as excinfo:
+            analyze_main([GOOD, "--baseline", str(baseline)])
+        assert excinfo.value.code == 2
+
+
+class TestLintSharedFormats:
+    """The lint CLI gained the same ``--format``/``--github`` surface."""
+
+    def test_lint_json(self, capsys):
+        assert lint_main(["src/repro", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "tools.lint"
+        assert doc["violations"] == []
+
+    def test_lint_sarif_on_clean_tree(self, capsys):
+        assert lint_main(["src/repro", "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
+
+    def test_lint_github_flag_accepted(self, capsys):
+        assert lint_main(["src/repro", "--github"]) == 0

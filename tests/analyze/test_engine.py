@@ -1,0 +1,138 @@
+"""Suppression, baseline, and DET000 behaviour of the analyze engine."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tools.analyze.engine import (
+    BaselineEntry,
+    load_baseline,
+    run_analyzers,
+)
+from tools.analyze.project import ProjectIndex
+from tools.analyze.registry import get_analyzer
+from tools.lint.engine import Violation
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _run_case(case: str, analyzer_id: str = "DET001", baseline=None):
+    index = ProjectIndex.build([FIXTURES / case])
+    return run_analyzers(index, [get_analyzer(analyzer_id)], baseline)
+
+
+class TestNoqa:
+    def test_exactly_the_unsuppressed_sites_survive(self):
+        # Suppressed: ``# noqa: DET001`` (single- and multi-line) and a
+        # bare ``# noqa``.  Unsuppressed: the ``# BAD`` site and the
+        # ``# noqa: DET999`` site — a different code never suppresses.
+        violations, _ = _run_case("suppression")
+        lines = (FIXTURES / "suppression/src/repro/sup.py").read_text().splitlines()
+        expected = {
+            i
+            for i, line in enumerate(lines, start=1)
+            if "# BAD" in line or "DET999" in line
+        }
+        assert {v.line for v in violations} == expected
+        assert all(v.path.endswith("sup.py") for v in violations)
+
+    def test_multiline_statement_noqa_on_last_line(self):
+        # The noqa sits on the closing-paren line; the violation anchors on
+        # the call line.  end_line-aware scanning must connect them.
+        violations, _ = _run_case("suppression")
+        assert not any("seed + 1" in v.message for v in violations)
+
+    def test_skip_file_pragma(self):
+        violations, _ = _run_case("suppression")
+        assert not any(v.path.endswith("skipped.py") for v in violations)
+
+
+class TestDet000:
+    def test_syntax_error_surfaces_as_det000(self):
+        violations, _ = _run_case("syntax_error")
+        assert len(violations) == 1
+        assert violations[0].rule_id == "DET000"
+        assert "does not parse" in violations[0].message
+
+
+class TestBaseline:
+    def test_matching_entry_filters_and_is_marked_used(self):
+        entry = BaselineEntry(
+            rule="DET001",
+            path="src/repro/sup.py",
+            contains="without a seed",
+            reason="fixture",
+        )
+        violations, unused = _run_case("suppression", baseline=[entry])
+        assert violations == []
+        assert unused == []
+
+    def test_non_matching_entry_is_reported_unused(self):
+        entry = BaselineEntry(
+            rule="DET001",
+            path="src/repro/nonexistent.py",
+            contains="anything",
+            reason="stale",
+        )
+        violations, unused = _run_case("suppression", baseline=[entry])
+        assert len(violations) == 2
+        assert unused == [entry]
+
+    def test_rule_must_match(self):
+        entry = BaselineEntry(
+            rule="DET004",
+            path="src/repro/sup.py",
+            contains="without a seed",
+            reason="wrong rule",
+        )
+        violations, unused = _run_case("suppression", baseline=[entry])
+        assert len(violations) == 2
+        assert unused == [entry]
+
+    def test_path_matches_as_slash_normalized_suffix(self):
+        entry = BaselineEntry(
+            rule="DET001", path="repro/sup.py", contains="", reason="r"
+        )
+        assert entry.matches(
+            Violation(
+                path="tests\\analyze\\fixtures\\suppression\\src\\repro\\sup.py",
+                line=1,
+                col=0,
+                rule_id="DET001",
+                message="anything",
+            )
+        )
+
+    def test_load_rejects_unjustified_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps([{"rule": "DET001", "path": "x.py"}]))
+        with pytest.raises(ValueError, match="missing required keys"):
+            load_baseline(path)
+
+    def test_load_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {
+                        "rule": "DET001",
+                        "path": "a.py",
+                        "contains": "c",
+                        "reason": "why",
+                    }
+                ]
+            )
+        )
+        entries = load_baseline(path)
+        assert entries == [
+            BaselineEntry(rule="DET001", path="a.py", contains="c", reason="why")
+        ]
+
+    def test_shipped_baseline_is_valid_and_fully_used(self):
+        shipped = Path("tools/analyze/baseline.json")
+        entries = load_baseline(shipped)
+        assert entries, "shipped baseline should not be empty"
+        index = ProjectIndex.build([Path("src/repro")])
+        _, unused = run_analyzers(index, [get_analyzer("DET001")], entries)
+        assert unused == []

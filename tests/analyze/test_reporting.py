@@ -1,0 +1,57 @@
+"""Unit tests for the shared rendering module (tools.reporting)."""
+
+import json
+
+import pytest
+
+from tools import reporting
+from tools.lint.engine import Violation
+
+V1 = Violation(path="src/a.py", line=3, col=4, rule_id="DET001", message="first")
+V2 = Violation(
+    path="src/b.py",
+    line=10,
+    col=0,
+    rule_id="REPRO002",
+    message="50% of runs\nbroke",
+)
+
+
+class TestRender:
+    def test_text_matches_violation_format(self):
+        assert reporting.render_text([V1]) == V1.format()
+
+    def test_json_shape(self):
+        doc = json.loads(reporting.render_json([V1, V2], tool="t"))
+        assert doc["tool"] == "t"
+        assert [v["rule"] for v in doc["violations"]] == ["DET001", "REPRO002"]
+        assert doc["violations"][0]["line"] == 3
+
+    def test_sarif_columns_are_one_based(self):
+        doc = json.loads(reporting.render_sarif([V1], tool="t"))
+        region = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startLine"] == 3
+        assert region["startColumn"] == 5
+
+    def test_sarif_rule_catalogue_is_deduplicated_and_sorted(self):
+        doc = json.loads(reporting.render_sarif([V2, V1, V1], tool="t"))
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert rules == [{"id": "DET001"}, {"id": "REPRO002"}]
+
+    def test_render_dispatch_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            reporting.render([V1], "xml", tool="t")
+
+
+class TestGithubAnnotations:
+    def test_workflow_command_shape(self):
+        (line,) = reporting.github_annotations([V1])
+        assert line == "::error file=src/a.py,line=3,col=5,title=DET001::first"
+
+    def test_message_escaping(self):
+        (line,) = reporting.github_annotations([V2])
+        assert "%25" in line  # literal % escaped
+        assert "%0A" in line  # newline escaped
+        assert "\n" not in line

@@ -21,6 +21,12 @@ class TestConstruction:
         pop = make_pop(optimistic_init=2.5)
         assert np.all(pop.q == 2.5)
 
+    def test_rng_is_required(self):
+        # DET001 regression: the old rng=None default silently handed every
+        # population the same default_rng(0) stream.
+        with pytest.raises(ValueError, match="explicit RNG stream"):
+            QLearningPopulation(3, 4, 2)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             make_pop(n_agents=0)

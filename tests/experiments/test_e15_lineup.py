@@ -1,0 +1,38 @@
+"""DET003 regression: E15's controller lineup must survive pickling.
+
+The lineup factories used to be closures over ``seed`` (plus two
+lambdas), which pickle rejects — harmless while E15 ran serially, a
+spawn-time crash the moment a lineup entry rides inside a ``CellTask``.
+The factories are now module-level builders bound with
+``functools.partial``.
+"""
+
+import pickle
+
+from repro.experiments.e15_fault_resilience import _lineup
+from repro.manycore import default_system
+from repro.sim.interface import Controller
+
+
+def test_all_lineup_entries_pickle():
+    lineup = _lineup(seed=3)
+    for name, factory in lineup.items():
+        restored = pickle.loads(pickle.dumps(factory))
+        assert callable(restored), name
+
+
+def test_lineup_builds_equivalent_controllers_after_pickling():
+    cfg = default_system(n_cores=8, n_levels=4, budget_fraction=0.6)
+    lineup = _lineup(seed=3)
+    for name, factory in lineup.items():
+        controller = pickle.loads(pickle.dumps(factory))(cfg)
+        assert isinstance(controller, Controller)
+        assert controller.name == name
+
+
+def test_raw_arm_is_renamed_and_undegraded():
+    cfg = default_system(n_cores=8, n_levels=4, budget_fraction=0.6)
+    lineup = _lineup(seed=3)
+    raw = lineup["od-rl-raw"](cfg)
+    assert raw.name == "od-rl-raw"
+    assert raw.degradation is False

@@ -143,6 +143,26 @@ class TestSensorSuite:
         assert np.array_equal(suite.power.read(truth), truth)
         assert np.array_equal(suite.perf.read(truth), truth)
 
+    def test_exact_suite_has_no_rng(self):
+        # DET001 regression: exact() used to build an inert default_rng(0);
+        # a noiseless suite never draws, so it now carries no stream at all.
+        suite = SensorSuite.exact()
+        assert suite.power._rng is None
+        assert suite.perf._rng is None
+        assert suite.temperature._rng is None
+
+    def test_stochastic_spec_requires_rng(self):
+        with pytest.raises(ValueError, match="explicit RNG stream"):
+            Sensor(SensorSpec(relative_noise=0.1), None)
+        with pytest.raises(ValueError, match="explicit RNG stream"):
+            Sensor(SensorSpec(dropout_rate=0.5), None)
+        with pytest.raises(ValueError, match="explicit RNG stream"):
+            SensorSuite(None)  # default power spec is noisy
+
+    def test_exact_spec_allows_none_rng(self):
+        s = Sensor(SensorSpec(quantum=0.5), None)
+        assert np.array_equal(s.read(np.array([1.2, 2.6])), [1.0, 2.5])
+
     def test_default_suite_noisy_power_exact_perf(self, rng):
         suite = SensorSuite(rng)
         assert suite.power.spec.relative_noise > 0

@@ -1,0 +1,134 @@
+"""Edge cases of the lint engine's suppression and registry machinery.
+
+Covers behaviour the per-rule fixture tests do not reach: noqa comments
+on multi-line statements, skip-pragma placement limits, unknown rule
+codes in ``--select``/``get_rule``, and stacking/overlapping
+suppressions on the same statement.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from tools.lint.engine import lint_file
+from tools.lint.registry import get_rule, rule_ids
+
+PATH = Path("edge_case.py")
+
+#: REPRO001 flags ``np.random.default_rng()`` with no seed argument.
+ARGLESS = "np.random.default_rng()"
+
+
+def _lint(source: str):
+    rule = get_rule("REPRO001")
+    return lint_file(PATH, [rule], source=source, respect_scope=False)
+
+
+class TestMultiLineNoqa:
+    def test_noqa_on_closing_line_suppresses(self):
+        source = (
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng(\n"
+            "    )  # noqa: REPRO001\n"
+        )
+        assert _lint(source) == []
+
+    def test_noqa_on_first_line_suppresses(self):
+        source = (
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng(  # noqa: REPRO001\n"
+            "    )\n"
+        )
+        assert _lint(source) == []
+
+    def test_noqa_on_interior_line_suppresses(self):
+        source = (
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return [\n"
+            "        np.random.default_rng(),  # noqa: REPRO001\n"
+            "        x,\n"
+            "    ]\n"
+        )
+        assert _lint(source) == []
+
+    def test_noqa_after_the_statement_does_not_suppress(self):
+        source = (
+            "import numpy as np\n"
+            "def f():\n"
+            f"    return {ARGLESS}\n"
+            "# noqa: REPRO001\n"
+        )
+        assert len(_lint(source)) == 1
+
+    def test_end_line_is_recorded(self):
+        source = (
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng(\n"
+            "    )\n"
+        )
+        (violation,) = _lint(source)
+        assert violation.line == 3
+        assert violation.end_line == 4
+
+
+class TestOverlappingSuppressions:
+    def test_listed_code_among_several_suppresses(self):
+        source = (
+            "import numpy as np\n"
+            f"x = {ARGLESS}  # noqa: REPRO002, REPRO001\n"
+        )
+        assert _lint(source) == []
+
+    def test_other_codes_only_do_not_suppress(self):
+        source = (
+            "import numpy as np\n"
+            f"x = {ARGLESS}  # noqa: REPRO002, REPRO003\n"
+        )
+        assert len(_lint(source)) == 1
+
+    def test_bare_noqa_beats_everything(self):
+        source = f"import numpy as np\nx = {ARGLESS}  # noqa\n"
+        assert _lint(source) == []
+
+
+class TestSkipPragmaPlacement:
+    def test_pragma_in_first_five_lines_skips(self):
+        source = (
+            "#\n#\n#\n# repro-lint: skip-file\n"
+            "import numpy as np\n"
+            f"x = {ARGLESS}\n"
+        )
+        assert _lint(source) == []
+
+    def test_pragma_on_line_six_is_too_late(self):
+        source = (
+            "#\n#\n#\n#\n#\n# repro-lint: skip-file\n"
+            "import numpy as np\n"
+            f"x = {ARGLESS}\n"
+        )
+        assert len(_lint(source)) == 1
+
+    def test_pragma_skips_even_unparseable_files(self):
+        source = "# repro-lint: skip-file\ndef broken(:\n"
+        assert _lint(source) == []
+
+    def test_unparseable_without_pragma_reports_repro000(self):
+        (violation,) = _lint("def broken(:\n")
+        assert violation.rule_id == "REPRO000"
+
+
+class TestRegistry:
+    def test_unknown_rule_code_names_the_known_ids(self):
+        with pytest.raises(KeyError, match="unknown rule id 'REPRO999'"):
+            get_rule("REPRO999")
+        with pytest.raises(KeyError, match="REPRO001"):
+            get_rule("REPRO999")
+
+    def test_rule_ids_are_sorted_and_unique(self):
+        ids = rule_ids()
+        assert ids == sorted(set(ids))
+        assert "REPRO001" in ids

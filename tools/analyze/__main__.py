@@ -1,0 +1,112 @@
+"""CLI entry point: ``python -m tools.analyze [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools import reporting
+from tools.analyze.engine import load_baseline, run_analyzers
+from tools.analyze.project import ProjectIndex
+from tools.analyze.registry import all_analyzers
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description="Whole-program determinism analysis (DET001-DET005) for "
+        "the OD-RL reproduction: RNG dataflow, backend parity, spawn safety, "
+        "cache-key purity, obs schema conformance.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=reporting.FORMATS,
+        default="text",
+        dest="fmt",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="also emit ::error workflow annotations for GitHub Actions",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline of justified findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, including baselined ones",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated analyzer ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-analyzers",
+        action="store_true",
+        help="print the analyzer catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    analyzers = all_analyzers()
+    if args.list_analyzers:
+        for analyzer in analyzers:
+            print(f"{analyzer.analyzer_id}  {analyzer.summary}")
+        return 0
+    if args.select:
+        wanted = {s.strip().upper() for s in args.select.split(",") if s.strip()}
+        unknown = wanted - {a.analyzer_id for a in analyzers}
+        if unknown:
+            parser.error(f"unknown analyzer ids: {', '.join(sorted(unknown))}")
+        analyzers = [a for a in analyzers if a.analyzer_id in wanted]
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"paths do not exist: {', '.join(missing)}")
+
+    baseline = None
+    if not args.no_baseline and args.baseline.exists():
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    index = ProjectIndex.build([Path(p) for p in args.paths])
+    violations, unused = run_analyzers(index, analyzers, baseline)
+
+    output = reporting.render(violations, args.fmt, tool="tools.analyze")
+    if output:
+        print(output)
+    if args.github:
+        for line in reporting.github_annotations(violations):
+            print(line)
+    for entry in unused:
+        print(
+            f"warning: baseline entry matched nothing and can be removed: "
+            f"{entry.rule} {entry.path} ({entry.contains!r})",
+            file=sys.stderr,
+        )
+    if violations:
+        print(f"{len(violations)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Analyzer package: importing it registers every analyzer."""
+
+from tools.analyze.analyzers import (  # noqa: F401
+    det001_rng_dataflow,
+    det002_backend_parity,
+    det003_spawn_safety,
+    det004_cache_purity,
+    det005_obs_schema,
+)

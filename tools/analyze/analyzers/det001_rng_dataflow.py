@@ -1,0 +1,189 @@
+"""DET001 — RNG dataflow discipline across ``src/repro``.
+
+The paper's distributed agents require *independent, correctly derived*
+RNG streams: one stream per controller, children spawned via
+``numpy.random.SeedSequence`` (the discipline
+``repro.sim.runner.derive_controller_seeds`` implements).  This analyzer
+tracks ``Generator`` creation sites through the whole-program index and
+flags the drift patterns that silently correlate streams:
+
+* ``default_rng()`` with no seed — including the bare-``Name`` form after
+  ``from numpy.random import default_rng`` that the single-file REPRO001
+  rule cannot see;
+* ``default_rng(<literal int>)`` inside a function or method body — every
+  call site gets the *same* stream, so two controllers built through the
+  path share their exploration draws;
+* ``default_rng(seed + k)`` seed arithmetic — nearby seeds are not
+  statistically independent under PCG64 stream derivation the way
+  ``SeedSequence.spawn`` children are;
+* ``default_rng(parent.integers(...))`` — deriving a child seed by
+  drawing from a parent generator instead of spawning a
+  ``SeedSequence`` child;
+* a module-level ``Generator`` drawn from by two or more functions — a
+  hidden shared stream whose consumption order depends on call order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from tools.analyze.engine import Analyzer
+from tools.analyze.project import FunctionNode, ModuleInfo, ProjectIndex
+from tools.analyze.registry import register
+from tools.lint.engine import Violation, in_src_repro
+
+__all__ = ["RngDataflow"]
+
+_SPAWN_HINT = (
+    "derive child seeds via numpy.random.SeedSequence(seed).spawn() "
+    "(see repro.sim.runner.derive_controller_seeds)"
+)
+
+
+def _is_default_rng(mod: ModuleInfo, call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr == "default_rng":
+        return mod.lint.is_numpy_random(func.value)
+    if isinstance(func, ast.Name):
+        return mod.imports.get(func.id) == "numpy.random.default_rng"
+    return False
+
+
+def _is_generator_ctor(mod: ModuleInfo, call: ast.Call) -> bool:
+    if _is_default_rng(mod, call):
+        return True
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr == "Generator":
+        return mod.lint.is_numpy_random(func.value)
+    if isinstance(func, ast.Name):
+        return mod.imports.get(func.id) == "numpy.random.Generator"
+    return False
+
+
+def _enclosing_functions(mod: ModuleInfo) -> List[FunctionNode]:
+    out: List[FunctionNode] = []
+    for node in ast.walk(mod.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append(node)
+    return out
+
+
+@register
+class RngDataflow(Analyzer):
+    analyzer_id = "DET001"
+    summary = (
+        "RNG streams must be explicit and SeedSequence-derived — no argless/"
+        "literal-seed default_rng, seed arithmetic, or shared module streams"
+    )
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        for mod in index.modules.values():
+            if not in_src_repro(mod.path):
+                continue
+            yield from self._check_creation_sites(mod)
+            yield from self._check_module_level_streams(mod)
+
+    # -- generator creation sites ---------------------------------------
+    def _check_creation_sites(self, mod: ModuleInfo) -> Iterator[Violation]:
+        for node in ast.walk(mod.tree):
+            if not (isinstance(node, ast.Call) and _is_default_rng(mod, node)):
+                continue
+            if not node.args and not node.keywords:
+                yield self.violation(
+                    mod,
+                    node,
+                    "`default_rng()` without a seed draws from entropy — the "
+                    "stream differs every run; pass an explicit seed",
+                )
+                continue
+            if not node.args:
+                continue
+            seed = node.args[0]
+            if isinstance(seed, ast.Constant) and isinstance(seed.value, int):
+                yield self.violation(
+                    mod,
+                    node,
+                    f"`default_rng({seed.value})` hard-codes the seed: every "
+                    "call site gets the same stream, silently correlating "
+                    f"consumers; {_SPAWN_HINT}",
+                )
+            elif self._is_seed_arithmetic(seed):
+                yield self.violation(
+                    mod,
+                    node,
+                    "seed arithmetic "
+                    f"(`default_rng({ast.unparse(seed)})`) does not give "
+                    f"statistically independent streams; {_SPAWN_HINT}",
+                )
+            elif self._is_parent_draw(seed):
+                yield self.violation(
+                    mod,
+                    node,
+                    "child seed drawn from a parent generator "
+                    f"(`default_rng({ast.unparse(seed)})`) instead of "
+                    f"spawning; {_SPAWN_HINT}",
+                )
+
+    @staticmethod
+    def _is_seed_arithmetic(seed: ast.expr) -> bool:
+        """``seed + 1`` / ``seed - k`` / ``1000 * i + seed`` shapes."""
+        if not isinstance(seed, ast.BinOp):
+            return False
+        names = any(isinstance(n, ast.Name) for n in ast.walk(seed))
+        consts = any(
+            isinstance(n, ast.Constant) and isinstance(n.value, int)
+            for n in ast.walk(seed)
+        )
+        return names and consts
+
+    @staticmethod
+    def _is_parent_draw(seed: ast.expr) -> bool:
+        """``parent.integers(...)`` / ``parent.integers(...).item()`` shapes."""
+        for node in ast.walk(seed):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "integers"
+            ):
+                return True
+        return False
+
+    # -- module-level shared streams ------------------------------------
+    def _check_module_level_streams(self, mod: ModuleInfo) -> Iterator[Violation]:
+        stream_names: Dict[str, ast.AST] = {}
+        for stmt in mod.tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value = stmt.value
+                targets = [stmt.target]
+            else:
+                continue
+            if isinstance(value, ast.Call) and _is_generator_ctor(mod, value):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        stream_names[target.id] = stmt
+        if not stream_names:
+            return
+        users: Dict[str, Set[str]] = {name: set() for name in stream_names}
+        for fn_node in _enclosing_functions(mod):
+            for node in ast.walk(fn_node):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in users
+                ):
+                    users[node.id].add(fn_node.name)
+        for name, fns in users.items():
+            if len(fns) >= 2:
+                yield self.violation(
+                    mod,
+                    stream_names[name],
+                    f"module-level generator `{name}` is drawn from by "
+                    f"{len(fns)} functions ({', '.join(sorted(fns))}); their "
+                    "draw interleaving depends on call order — give each "
+                    "consumer its own spawned stream",
+                )

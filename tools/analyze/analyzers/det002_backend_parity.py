@@ -1,0 +1,341 @@
+"""DET002 — serial/batched backend parity.
+
+``repro.batch`` re-implements the serial epoch step (chip physics,
+Q-learning act/update, the full ODRL decide pipeline) as vectorized
+tensor operations over many runs.  The bit-identity contract between the
+backends holds only while the two implementations touch the *same*
+state and draw from their RNG streams the *same* number of times per
+epoch.  This analyzer diffs each serial/batched method pair structurally:
+
+* **state parity** — the set of ``self`` attributes a method mutates
+  (assignments, augmented assignments, subscript stores — including
+  stores through local aliases of ``self`` attributes — plus in-place
+  mutator calls like ``self.thermal.step(...)``), collected
+  *transitively* through ``self.method(...)`` calls so a refactor that
+  moves a store into a helper does not hide it;
+* **draw parity** — the multiset of RNG draw methods invoked directly in
+  the method body (``random``/``integers``/``normal``/...), so an extra
+  exploration draw on one side — which silently desynchronizes every
+  subsequent sample — is caught at review time instead of by a failing
+  golden trace.
+
+Pairs are configured with an attribute-name mapping (serial name ->
+batch name) and per-side ignore sets for state one backend keeps inline
+while the other delegates to sub-objects it owns.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple
+
+from tools.analyze.engine import Analyzer
+from tools.analyze.project import FunctionInfo, ProjectIndex
+from tools.analyze.registry import register
+from tools.lint.engine import Violation
+
+__all__ = ["BackendParity", "ParityPair", "extract_mutations", "extract_draws"]
+
+#: Method names treated as in-place mutation of their receiver when
+#: called on a direct ``self.<attr>`` receiver.
+MUTATOR_METHODS = frozenset(
+    {
+        "step",
+        "reset",
+        "update",
+        "append",
+        "extend",
+        "add",
+        "insert",
+        "pop",
+        "clear",
+        "fill",
+        "remove",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ParityPair:
+    """One serial method and its batched counterpart."""
+
+    serial: str
+    batch: str
+    #: serial attribute name -> equivalent batch attribute name
+    mapping: Dict[str, str] = field(default_factory=dict)
+    #: serial-side attributes with no batch counterpart by design
+    ignore_serial: FrozenSet[str] = frozenset()
+    #: batch-side attributes with no serial counterpart by design
+    ignore_batch: FrozenSet[str] = frozenset()
+
+
+#: The shipped backend contract.  Mappings/ignores document *why* the
+#: remaining asymmetries are intentional:
+#:  - serial ``thermal`` is an RC-model object; batch keeps raw ``_temps``;
+#:  - serial decide delegates learner/sanitizer state to ``self.agents`` /
+#:    ``self.sanitizer``, batch inlines it as ``q``/``visits``/... arrays;
+#:  - ``_epoch`` is serial-side bookkeeping the batch loop keeps in the
+#:    simulator instead of the controller.
+PAIRS: Tuple[ParityPair, ...] = (
+    ParityPair(
+        serial="repro.manycore.chip.ManyCoreChip.step",
+        batch="repro.batch.chip.BatchChip.step",
+        mapping={"thermal": "_temps"},
+    ),
+    ParityPair(
+        serial="repro.core.agent.QLearningPopulation.act",
+        batch="repro.batch.policies.BatchODRL._act",
+    ),
+    ParityPair(
+        serial="repro.core.agent.QLearningPopulation.update",
+        batch="repro.batch.policies.BatchODRL._update",
+        mapping={"step_count": "step_counts"},
+    ),
+    ParityPair(
+        serial="repro.core.controller.ODRLController.decide",
+        batch="repro.batch.policies.BatchODRL.decide",
+        mapping={"_window_over_epochs": "_window_over"},
+        ignore_serial=frozenset({"_epoch", "agents"}),
+        ignore_batch=frozenset(
+            {
+                "q",
+                "visits",
+                "step_counts",
+                "rejected_samples",
+                "fallback_samples",
+                "_san_last_power",
+                "_san_last_instr",
+                "_san_last_temp",
+                "_san_have_good",
+                "_san_staleness",
+            }
+        ),
+    ),
+)
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.<attr>`` -> attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _peel_subscripts(node: ast.expr) -> ast.expr:
+    """``self.visits[r][idx]`` -> ``self.visits``; ``q[idx]`` -> ``q``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def _collect_aliases(fn_node: ast.AST) -> Dict[str, str]:
+    """Local names bound to ``self.<attr>`` views (``q = self.q[r]``)."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            attr = _self_attr(_peel_subscripts(node.value))
+            if attr is not None:
+                aliases[target.id] = attr
+    return aliases
+
+
+def _mutated_attr(
+    target: ast.expr, aliases: Dict[str, str]
+) -> Optional[str]:
+    """Attribute of ``self`` a store-target mutates, through aliases."""
+    base = _peel_subscripts(target)
+    attr = _self_attr(base)
+    if attr is not None:
+        return attr
+    # A bare name store only mutates ``self`` state when the target is a
+    # *subscripted* alias view (``q[idx] += ...``); rebinding the local
+    # name itself (``q = ...``) does not touch the attribute.
+    if isinstance(target, ast.Subscript) and isinstance(base, ast.Name):
+        return aliases.get(base.id)
+    return None
+
+
+def _direct_mutations(fn: FunctionInfo) -> Set[str]:
+    """Self-attributes this body mutates directly (no call-following)."""
+    aliases = _collect_aliases(fn.node)
+    out: Set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                targets = (
+                    target.elts if isinstance(target, ast.Tuple) else [target]
+                )
+                for t in targets:
+                    attr = _mutated_attr(t, aliases)
+                    if attr is not None:
+                        out.add(attr)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                continue
+            attr = _mutated_attr(node.target, aliases)
+            if attr is not None:
+                out.add(attr)
+        elif isinstance(node, ast.Call):
+            # ``self.thermal.step(...)`` mutates ``thermal`` in place.
+            # Deliberately restricted to *direct* self-attr receivers:
+            # ``profiler = self.profiler; profiler.add(...)`` stays
+            # invisible, because read-only helpers (profilers, loggers)
+            # are commonly aliased and would drown the diff in noise.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+            ):
+                attr = _self_attr(func.value)
+                if attr is not None:
+                    out.add(attr)
+    return out
+
+
+def extract_mutations(index: ProjectIndex, qualname: str) -> Optional[Set[str]]:
+    """Self-attributes mutated by ``qualname``, transitively through
+    ``self.method(...)`` helpers defined on the same class."""
+    root = index.function(qualname)
+    if root is None:
+        return None
+    out: Set[str] = set()
+    seen: Set[str] = set()
+    stack = [root]
+    while stack:
+        fn = stack.pop()
+        if fn.qualname in seen:
+            continue
+        seen.add(fn.qualname)
+        out |= _direct_mutations(fn)
+        owner = index.class_of(fn)
+        if owner is None:
+            continue
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and func.attr in owner.methods
+                ):
+                    stack.append(owner.methods[func.attr])
+    return out
+
+
+def _is_rngish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return "rng" in node.id
+    if isinstance(node, ast.Attribute):
+        return "rng" in node.attr
+    return False
+
+
+def extract_draws(index: ProjectIndex, qualname: str) -> Optional[Counter]:
+    """Multiset of RNG draw methods called *directly* in the body.
+
+    Non-transitive on purpose: both sides of a pair place their draws at
+    the same structural depth, and following calls would double-count
+    helpers shared between backends.
+    """
+    fn = index.function(qualname)
+    if fn is None:
+        return None
+    draws: Counter = Counter()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            # ``self._rng.random(...)`` / ``rng.integers(...)``
+            if isinstance(receiver, ast.Attribute):
+                if _is_rngish(receiver):
+                    draws[node.func.attr] += 1
+            elif _is_rngish(receiver):
+                draws[node.func.attr] += 1
+    return draws
+
+
+def _fmt(names: Set[str]) -> str:
+    return "{" + ", ".join(sorted(names)) + "}"
+
+
+def _fmt_counter(counter: Counter) -> str:
+    return "{" + ", ".join(f"{k}: {v}" for k, v in sorted(counter.items())) + "}"
+
+
+@register
+class BackendParity(Analyzer):
+    analyzer_id = "DET002"
+    summary = (
+        "serial and batched backends must mutate equivalent state and draw "
+        "from RNG streams identically per epoch step"
+    )
+
+    pairs: Tuple[ParityPair, ...] = PAIRS
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        for pair in self.pairs:
+            serial_fn = index.function(pair.serial)
+            batch_fn = index.function(pair.batch)
+            if serial_fn is None or batch_fn is None:
+                # One side absent from the analyzed tree (e.g. linting a
+                # sub-package): nothing to diff.
+                continue
+            yield from self._check_state(index, pair, batch_fn)
+            yield from self._check_draws(index, pair, batch_fn)
+
+    def _check_state(
+        self, index: ProjectIndex, pair: ParityPair, batch_fn: FunctionInfo
+    ) -> Iterator[Violation]:
+        serial_raw = extract_mutations(index, pair.serial)
+        batch_raw = extract_mutations(index, pair.batch)
+        if serial_raw is None or batch_raw is None:
+            return
+        serial = {
+            pair.mapping.get(a, a)
+            for a in serial_raw
+            if a not in pair.ignore_serial
+        }
+        batch = batch_raw - pair.ignore_batch
+        missing = serial - batch
+        extra = batch - serial
+        if missing:
+            yield self.violation(
+                batch_fn.module,
+                batch_fn.node,
+                f"`{pair.batch}` does not mutate {_fmt(missing)} while its "
+                f"serial counterpart `{pair.serial}` does — the backends "
+                "will diverge on any code path reading that state",
+            )
+        if extra:
+            yield self.violation(
+                batch_fn.module,
+                batch_fn.node,
+                f"`{pair.batch}` mutates {_fmt(extra)} with no serial "
+                f"counterpart in `{pair.serial}` — either mirror the state "
+                "serially or declare it in the pair's ignore set",
+            )
+
+    def _check_draws(
+        self, index: ProjectIndex, pair: ParityPair, batch_fn: FunctionInfo
+    ) -> Iterator[Violation]:
+        serial = extract_draws(index, pair.serial)
+        batch = extract_draws(index, pair.batch)
+        if serial is None or batch is None or serial == batch:
+            return
+        yield self.violation(
+            batch_fn.module,
+            batch_fn.node,
+            f"RNG draw mismatch: `{pair.serial}` draws "
+            f"{_fmt_counter(serial)} per step but `{pair.batch}` draws "
+            f"{_fmt_counter(batch)} — unequal consumption desynchronizes "
+            "every subsequent sample in the stream",
+        )

@@ -1,0 +1,279 @@
+"""DET005 — obs event emissions must conform to schema v1.
+
+``repro.obs.events`` declares the event vocabulary (``EVENT_FIELDS``)
+and the reserved envelope fields the recorder injects itself.  Records
+are *open* — extra fields are allowed — but an emission that misspells
+an event type, omits a required field, or collides with a reserved field
+produces traces the replay/diff tooling silently mis-handles.  This
+analyzer reads the schema straight out of the AST of ``obs/events.py``
+(so schema edits and checks can never drift apart) and verifies every
+statically-typed emit site:
+
+* ``rec.emit("type", ...)`` and ``make_event("type", ...)`` calls with a
+  literal type string;
+* explicit keywords plus ``**`` payloads resolved through local
+  dict-literal assignments (including later ``d["k"] = ...`` stores) and
+  single-return-dict helper functions.
+
+Emit calls whose type argument is dynamic (e.g. trace replay) are out of
+scope — the schema was already enforced when the trace was written.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.analyze.engine import Analyzer
+from tools.analyze.project import FunctionInfo, ModuleInfo, ProjectIndex
+from tools.analyze.registry import register
+from tools.lint.engine import Violation, in_src_repro
+
+__all__ = ["ObsSchemaConformance"]
+
+
+def _find_events_module(index: ProjectIndex) -> Optional[ModuleInfo]:
+    for name, mod in index.modules.items():
+        if name.endswith("obs.events"):
+            return mod
+    for mod in index.modules.values():
+        if _module_assign(mod, "EVENT_FIELDS") is not None:
+            return mod
+    return None
+
+
+def _module_assign(mod: ModuleInfo, name: str) -> Optional[ast.expr]:
+    for stmt in mod.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == name
+                and stmt.value is not None
+            ):
+                return stmt.value
+    return None
+
+
+def _parse_schema(mod: ModuleInfo) -> Optional[Dict[str, Tuple[str, ...]]]:
+    value = _module_assign(mod, "EVENT_FIELDS")
+    if not isinstance(value, ast.Dict):
+        return None
+    schema: Dict[str, Tuple[str, ...]] = {}
+    for key, val in zip(value.keys, value.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        if not isinstance(val, (ast.Tuple, ast.List)):
+            return None
+        fields: List[str] = []
+        for elt in val.elts:
+            if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+                return None
+            fields.append(elt.value)
+        schema[key.value] = tuple(fields)
+    return schema
+
+
+def _parse_reserved(mod: ModuleInfo) -> Tuple[str, ...]:
+    value = _module_assign(mod, "RESERVED_FIELDS")
+    if isinstance(value, (ast.Tuple, ast.List)):
+        return tuple(
+            elt.value
+            for elt in value.elts
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+        )
+    return ("type", "seq")
+
+
+def _dict_literal_keys(value: ast.expr) -> Optional[Set[str]]:
+    """Keys of a dict display / dict(...) call, None if not fully literal."""
+    if isinstance(value, ast.Dict):
+        keys: Set[str] = set()
+        for key in value.keys:
+            if key is None:  # ``{**other}`` inside the literal
+                return None
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                return None
+            keys.add(key.value)
+        return keys
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "dict"
+        and not value.args
+    ):
+        if any(kw.arg is None for kw in value.keywords):
+            return None
+        return {kw.arg for kw in value.keywords}
+    return None
+
+
+def _local_dict_keys(fn_node: ast.AST, name: str) -> Optional[Set[str]]:
+    """Keys a local dict variable provably carries at emit time.
+
+    The variable must be bound exactly once to a literal dict; subsequent
+    ``var["key"] = ...`` stores extend the key set.  Any other rebinding
+    makes the contents unknowable -> None.
+    """
+    keys: Optional[Set[str]] = None
+    bindings = 0
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and target.id == name:
+                bindings += 1
+                keys = _dict_literal_keys(node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                bindings += 1
+                keys = _dict_literal_keys(node.value)
+    if bindings != 1 or keys is None:
+        return None
+    for node in ast.walk(fn_node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Subscript)
+            and isinstance(node.targets[0].value, ast.Name)
+            and node.targets[0].value.id == name
+        ):
+            key = node.targets[0].slice
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+            else:
+                return None
+    return keys
+
+
+def _helper_dict_keys(index: ProjectIndex, qualname: str) -> Optional[Set[str]]:
+    """Keys of a helper whose every return is one literal dict."""
+    fn = index.function(qualname)
+    if fn is None:
+        return None
+    keys: Optional[Set[str]] = None
+    returns = 0
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            returns += 1
+            keys = _dict_literal_keys(node.value)
+    if returns != 1:
+        return None
+    return keys
+
+
+@register
+class ObsSchemaConformance(Analyzer):
+    analyzer_id = "DET005"
+    summary = (
+        "every literal emit()/make_event() call must name a schema-v1 event "
+        "type, supply its required fields, and avoid reserved fields"
+    )
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        events_mod = _find_events_module(index)
+        if events_mod is None:
+            return
+        schema = _parse_schema(events_mod)
+        if schema is None:
+            yield self.violation(
+                events_mod,
+                events_mod.tree,
+                "EVENT_FIELDS is not a literal {str: (str, ...)} dict — the "
+                "schema must stay statically readable so emit sites can be "
+                "checked against it",
+            )
+            return
+        reserved = _parse_reserved(events_mod)
+        for mod in index.modules.values():
+            if not in_src_repro(mod.path):
+                continue
+            for fn in list(mod.functions.values()) + [
+                m for c in mod.classes.values() for m in c.methods.values()
+            ]:
+                yield from self._check_function(index, fn, schema, reserved)
+
+    def _emit_type(self, fn: FunctionInfo, call: ast.Call) -> Optional[str]:
+        """Literal event-type string of an emit/make_event call, else None."""
+        func = call.func
+        is_emit = isinstance(func, ast.Attribute) and func.attr == "emit"
+        if not is_emit and isinstance(func, ast.Name):
+            target = fn.module.imports.get(func.id, "")
+            local = fn.module.functions.get(func.id)
+            is_emit = target.endswith(".make_event") or (
+                local is not None and func.id == "make_event"
+            )
+        if not is_emit or not call.args:
+            return None
+        first = call.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+        return None
+
+    def _check_function(
+        self,
+        index: ProjectIndex,
+        fn: FunctionInfo,
+        schema: Dict[str, Tuple[str, ...]],
+        reserved: Tuple[str, ...],
+    ) -> Iterator[Violation]:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            event_type = self._emit_type(fn, node)
+            if event_type is None:
+                continue
+            if event_type not in schema:
+                known = ", ".join(sorted(schema))
+                yield self.violation(
+                    fn.module,
+                    node,
+                    f"unknown event type {event_type!r} — schema v1 defines: "
+                    f"{known}",
+                )
+                continue
+            supplied: Set[str] = set()
+            all_resolved = True
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    supplied.add(kw.arg)
+                    if kw.arg in reserved:
+                        yield self.violation(
+                            fn.module,
+                            node,
+                            f"event {event_type!r} sets reserved field "
+                            f"{kw.arg!r} — the recorder injects "
+                            f"{'/'.join(reserved)} itself",
+                        )
+                else:
+                    resolved = self._resolve_star_keys(index, fn, kw.value)
+                    if resolved is None:
+                        all_resolved = False
+                    else:
+                        supplied |= resolved
+            if not all_resolved:
+                continue  # can't prove anything about missing fields
+            missing = set(schema[event_type]) - supplied
+            if missing:
+                yield self.violation(
+                    fn.module,
+                    node,
+                    f"event {event_type!r} omits required field(s) "
+                    f"{', '.join(sorted(missing))} (schema v1)",
+                )
+
+    def _resolve_star_keys(
+        self, index: ProjectIndex, fn: FunctionInfo, value: ast.expr
+    ) -> Optional[Set[str]]:
+        direct = _dict_literal_keys(value)
+        if direct is not None:
+            return direct
+        if isinstance(value, ast.Name):
+            return _local_dict_keys(fn.node, value.id)
+        if isinstance(value, ast.Call):
+            target = index.resolve_call(fn, value)
+            if target is not None:
+                return _helper_dict_keys(index, target)
+        return None

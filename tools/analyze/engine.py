@@ -1,0 +1,174 @@
+"""Analyzer base class, suppression handling, and the baseline.
+
+An :class:`Analyzer` is the whole-program analogue of a lint
+:class:`~tools.lint.engine.Rule`: it checks a :class:`ProjectIndex`
+instead of one module, and yields the same
+:class:`~tools.lint.engine.Violation` records, so suppression and output
+rendering are shared with the lint pass:
+
+* ``# noqa`` / ``# noqa: DETxxx`` on any line of the flagged statement
+  suppresses a finding;
+* a file whose first lines contain ``repro-analyze: skip-file`` is
+  exempt from all analyzers (fixture trees full of deliberate
+  violations);
+* the **baseline** (``tools/analyze/baseline.json``) records deliberate,
+  justified findings — each entry names the rule, a path suffix, a
+  message substring, and a one-line reason.  Baselined findings are
+  filtered from the report; entries that match nothing are surfaced so
+  stale suppressions get cleaned up.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from tools.analyze.project import ModuleInfo, ProjectIndex
+from tools.lint.engine import Violation, _noqa_matches
+
+__all__ = [
+    "ANALYZE_SKIP_PRAGMA",
+    "Analyzer",
+    "BaselineEntry",
+    "load_baseline",
+    "run_analyzers",
+]
+
+#: File-level opt-out, distinct from the lint pragma so lint fixtures stay
+#: analyzable and analyzer fixtures stay lintable.
+ANALYZE_SKIP_PRAGMA = "repro-analyze: skip-file"
+_PRAGMA_SCAN_LINES = 5
+
+
+class Analyzer:
+    """One cross-module check over a :class:`ProjectIndex`."""
+
+    analyzer_id: str = ""
+    summary: str = ""
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    # -- helpers shared by subclasses ------------------------------------
+    def violation(self, mod: ModuleInfo, node: ast.AST, message: str) -> Violation:
+        line = getattr(node, "lineno", 1)
+        return Violation(
+            path=str(mod.path),
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.analyzer_id,
+            message=message,
+            end_line=getattr(node, "end_lineno", None) or line,
+        )
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One deliberate, justified finding.
+
+    ``path`` matches as a suffix of the violation's (slash-normalized)
+    path; ``contains`` as a substring of the message.  ``reason`` is the
+    human justification — required, so every suppression documents why.
+    """
+
+    rule: str
+    path: str
+    contains: str
+    reason: str
+
+    def matches(self, violation: Violation) -> bool:
+        norm = violation.path.replace("\\", "/")
+        return (
+            violation.rule_id == self.rule
+            and norm.endswith(self.path)
+            and self.contains in violation.message
+        )
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse a baseline file, validating that every entry is justified."""
+    raw = json.loads(path.read_text())
+    entries: List[BaselineEntry] = []
+    for i, item in enumerate(raw):
+        missing = [k for k in ("rule", "path", "contains", "reason") if k not in item]
+        if missing:
+            raise ValueError(
+                f"baseline entry {i} is missing required keys {missing} "
+                f"(every suppression needs a rule, path, contains, and reason)"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                contains=item["contains"],
+                reason=item["reason"],
+            )
+        )
+    return entries
+
+
+def _file_skipped(mod: ModuleInfo) -> bool:
+    return any(
+        ANALYZE_SKIP_PRAGMA in line
+        for line in mod.lint.lines[:_PRAGMA_SCAN_LINES]
+    )
+
+
+def _noqa_suppressed(mod: ModuleInfo, violation: Violation) -> bool:
+    lines = mod.lint.lines
+    if not (1 <= violation.line <= len(lines)):
+        return False
+    last = min(max(violation.end_line, violation.line), len(lines))
+    return any(
+        _noqa_matches(lines[i - 1], violation.rule_id)
+        for i in range(violation.line, last + 1)
+    )
+
+
+def run_analyzers(
+    index: ProjectIndex,
+    analyzers: Sequence[Analyzer],
+    baseline: Optional[Sequence[BaselineEntry]] = None,
+) -> Tuple[List[Violation], List[BaselineEntry]]:
+    """Run every analyzer; returns ``(violations, unused_baseline_entries)``.
+
+    Unparseable files surface as ``DET000`` findings — a tree the index
+    cannot see is a tree the determinism checks cannot vouch for.
+    """
+    out: List[Violation] = []
+    for path, line, message in index.syntax_errors:
+        out.append(
+            Violation(
+                path=path,
+                line=line,
+                col=0,
+                rule_id="DET000",
+                message=f"file does not parse: {message}",
+            )
+        )
+    for analyzer in analyzers:
+        for violation in analyzer.check(index):
+            mod = index.by_path.get(violation.path)
+            if mod is not None:
+                if _file_skipped(mod) or _noqa_suppressed(mod, violation):
+                    continue
+            out.append(violation)
+
+    entries = list(baseline or [])
+    used = [False] * len(entries)
+    kept: List[Violation] = []
+    for violation in out:
+        suppressed = False
+        for i, entry in enumerate(entries):
+            if entry.matches(violation):
+                used[i] = True
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(violation)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    unused = [entry for entry, hit in zip(entries, used) if not hit]
+    return kept, unused

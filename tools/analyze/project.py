@@ -1,0 +1,258 @@
+"""The whole-program symbol index the analyzers operate on.
+
+A :class:`ProjectIndex` parses every python file reachable from the given
+paths (reusing :class:`tools.lint.engine.LintModule`, so the per-file
+import-alias tables come for free) and exposes:
+
+* module / class / function tables keyed by qualified name;
+* a per-module import map (local name -> fully qualified target);
+* call resolution (:meth:`ProjectIndex.resolve_call`) for plain names,
+  ``module.attr`` chains and ``self.method`` calls; and
+* call-graph reachability (:meth:`ProjectIndex.reachable`).
+
+Module names are derived from the path segments after the *last* ``src``
+component (``src/repro/parallel/cache.py`` -> ``repro.parallel.cache``),
+so a fixture tree like ``tests/analyze/fixtures/case/src/repro/...``
+indexes under the same names as the real package — analyzers configured
+with production qualnames run unchanged against seeded fixture trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from tools.lint.engine import LintModule, iter_python_files
+
+__all__ = ["FunctionInfo", "ClassInfo", "ModuleInfo", "ProjectIndex", "module_name_for"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, anchored at the last ``src`` segment."""
+    parts = list(path.parts)
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+        parts = parts[anchor + 1 :]
+    else:
+        parts = [parts[-1]]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    node: FunctionNode
+    module: "ModuleInfo"
+    class_name: Optional[str] = None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its directly defined methods."""
+
+    qualname: str
+    node: ast.ClassDef
+    module: "ModuleInfo"
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus its symbol and import tables."""
+
+    name: str
+    lint: LintModule
+    #: local name -> fully qualified imported target (module or symbol)
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: module-level functions by bare name
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: module-level classes by bare name
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+    @property
+    def path(self) -> Path:
+        return self.lint.path
+
+    @property
+    def tree(self) -> ast.Module:
+        return self.lint.tree
+
+
+def _resolve_relative(module_name: str, target: Optional[str], level: int) -> str:
+    """Absolute module a (possibly relative) ``from`` import refers to."""
+    if level == 0:
+        return target or ""
+    base = module_name.split(".")[:-level]
+    if target:
+        base.extend(target.split("."))
+    return ".".join(base)
+
+
+class ProjectIndex:
+    """Symbol tables and call graph for one analyzed tree."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_path: Dict[str, ModuleInfo] = {}
+        #: every function/method, keyed by fully qualified name
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: files that failed to parse: (path, line, message)
+        self.syntax_errors: List[Tuple[str, int, str]] = []
+        self._callee_cache: Dict[str, Set[str]] = {}
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def build(cls, paths: Iterable[Path]) -> "ProjectIndex":
+        index = cls()
+        for file_path in iter_python_files(paths):
+            index.add_file(file_path)
+        return index
+
+    def add_file(self, path: Path) -> None:
+        try:
+            lint = LintModule.parse(path)
+        except SyntaxError as exc:
+            self.syntax_errors.append(
+                (str(path), exc.lineno or 1, exc.msg or "syntax error")
+            )
+            return
+        mod = ModuleInfo(name=module_name_for(path), lint=lint)
+        self._collect_imports(mod)
+        self._collect_symbols(mod)
+        self.modules[mod.name] = mod
+        self.by_path[str(path)] = mod
+
+    def _collect_imports(self, mod: ModuleInfo) -> None:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        mod.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        mod.imports[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                source = _resolve_relative(mod.name, node.module, node.level)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    mod.imports[local] = f"{source}.{alias.name}" if source else alias.name
+
+    def _collect_symbols(self, mod: ModuleInfo) -> None:
+        for node in mod.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(f"{mod.name}.{node.name}", node, mod)
+                mod.functions[node.name] = info
+                self.functions[info.qualname] = info
+            elif isinstance(node, ast.ClassDef):
+                cls_info = ClassInfo(f"{mod.name}.{node.name}", node, mod)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method = FunctionInfo(
+                            f"{cls_info.qualname}.{item.name}",
+                            item,
+                            mod,
+                            class_name=node.name,
+                        )
+                        cls_info.methods[item.name] = method
+                        self.functions[method.qualname] = method
+                mod.classes[node.name] = cls_info
+                self.classes[cls_info.qualname] = cls_info
+
+    # -- lookups ---------------------------------------------------------
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qualname)
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        return iter(self.functions.values())
+
+    def class_of(self, fn: FunctionInfo) -> Optional[ClassInfo]:
+        if fn.class_name is None:
+            return None
+        return fn.module.classes.get(fn.class_name)
+
+    # -- call resolution -------------------------------------------------
+    def resolve_call(self, fn: FunctionInfo, call: ast.Call) -> Optional[str]:
+        """Qualified name the call targets, when statically resolvable.
+
+        Handles: a plain name (local definition or imported symbol), a
+        ``module.attr`` chain through an imported module alias, and a
+        ``self.method`` call inside a class body.  Returns ``None`` for
+        anything dynamic.
+        """
+        func = call.func
+        mod = fn.module
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in mod.functions:
+                return mod.functions[name].qualname
+            if name in mod.classes:
+                return mod.classes[name].qualname
+            return mod.imports.get(name)
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = func.value.id
+            if base == "self" and fn.class_name is not None:
+                owner = self.class_of(fn)
+                if owner is not None and func.attr in owner.methods:
+                    return owner.methods[func.attr].qualname
+                return None
+            target = mod.imports.get(base)
+            if target is not None:
+                return f"{target}.{func.attr}"
+        return None
+
+    def _as_function(self, qualname: Optional[str]) -> Optional[FunctionInfo]:
+        """Map a resolved target onto an indexed function body.
+
+        A class target resolves to its ``__init__`` when defined — calling
+        a class *is* calling its constructor for reachability purposes.
+        """
+        if qualname is None:
+            return None
+        fn = self.functions.get(qualname)
+        if fn is not None:
+            return fn
+        cls_info = self.classes.get(qualname)
+        if cls_info is not None:
+            return cls_info.methods.get("__init__")
+        return None
+
+    def callees(self, qualname: str) -> Set[str]:
+        """Indexed functions this function calls directly (memoized)."""
+        cached = self._callee_cache.get(qualname)
+        if cached is not None:
+            return cached
+        fn = self.functions.get(qualname)
+        out: Set[str] = set()
+        if fn is not None:
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Call):
+                    target = self._as_function(self.resolve_call(fn, node))
+                    if target is not None:
+                        out.add(target.qualname)
+        self._callee_cache[qualname] = out
+        return out
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive closure of :meth:`callees` from ``roots``."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.callees(current) - seen)
+        return seen

@@ -1,0 +1,46 @@
+"""Analyzer registry: analyzers self-register at import time."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from tools.analyze.engine import Analyzer
+
+__all__ = ["register", "all_analyzers", "analyzer_ids", "get_analyzer"]
+
+_REGISTRY: Dict[str, Type[Analyzer]] = {}
+
+
+def register(analyzer_cls: Type[Analyzer]) -> Type[Analyzer]:
+    """Class decorator adding ``analyzer_cls`` to the global registry."""
+    if not analyzer_cls.analyzer_id:
+        raise ValueError(f"{analyzer_cls.__name__} must define an analyzer_id")
+    if analyzer_cls.analyzer_id in _REGISTRY:
+        raise ValueError(f"duplicate analyzer id {analyzer_cls.analyzer_id}")
+    _REGISTRY[analyzer_cls.analyzer_id] = analyzer_cls
+    return analyzer_cls
+
+
+def all_analyzers() -> List[Analyzer]:
+    """One fresh instance of every registered analyzer, sorted by id."""
+    import tools.analyze.analyzers  # noqa: F401  (import side effect: registration)
+
+    return [_REGISTRY[analyzer_id]() for analyzer_id in sorted(_REGISTRY)]
+
+
+def analyzer_ids() -> List[str]:
+    import tools.analyze.analyzers  # noqa: F401
+
+    return sorted(_REGISTRY)
+
+
+def get_analyzer(analyzer_id: str) -> Analyzer:
+    import tools.analyze.analyzers  # noqa: F401
+
+    try:
+        return _REGISTRY[analyzer_id]()
+    except KeyError:
+        raise KeyError(
+            f"unknown analyzer id {analyzer_id!r}; known ids: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None

@@ -7,6 +7,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from tools import reporting
 from tools.lint.engine import Rule, lint_paths
 from tools.lint.registry import all_rules
 
@@ -22,6 +23,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         nargs="*",
         default=["src", "tests", "benchmarks"],
         help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=reporting.FORMATS,
+        default="text",
+        dest="fmt",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="also emit ::error workflow annotations for GitHub Actions",
     )
     parser.add_argument(
         "--select",
@@ -50,8 +63,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"paths do not exist: {', '.join(missing)}")
 
     violations = lint_paths([Path(p) for p in args.paths], rules)
-    for violation in violations:
-        print(violation.format())
+    output = reporting.render(violations, args.fmt, tool="tools.lint")
+    if output:
+        print(output)
+    if args.github:
+        for line in reporting.github_annotations(violations):
+            print(line)
     if violations:
         print(f"{len(violations)} violation(s) found", file=sys.stderr)
         return 1

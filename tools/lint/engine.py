@@ -55,13 +55,19 @@ _PRAGMA_SCAN_LINES = 5
 
 @dataclass(frozen=True)
 class Violation:
-    """One rule hit at one source location."""
+    """One rule hit at one source location.
+
+    ``end_line`` is the last physical line of the flagged statement (0 when
+    unknown); ``# noqa`` anywhere in ``line..end_line`` suppresses the hit,
+    so a comment on the closing paren of a multi-line call works.
+    """
 
     path: str
     line: int
     col: int
     rule_id: str
     message: str
+    end_line: int = 0
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
@@ -157,12 +163,14 @@ class Rule:
     def violation(
         self, module: LintModule, node: ast.AST, message: str
     ) -> Violation:
+        line = getattr(node, "lineno", 1)
         return Violation(
             path=str(module.path),
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0),
             rule_id=self.rule_id,
             message=message,
+            end_line=getattr(node, "end_lineno", None) or line,
         )
 
 
@@ -181,18 +189,27 @@ def in_tests(path: Path) -> bool:
     return "tests" in path.parts
 
 
-def _suppressed(module: LintModule, violation: Violation) -> bool:
-    """``# noqa`` / ``# noqa: REPROxxx`` on the flagged line suppresses it."""
-    if not (1 <= violation.line <= len(module.lines)):
-        return False
-    match = _NOQA_RE.search(module.lines[violation.line - 1])
+def _noqa_matches(line_text: str, rule_id: str) -> bool:
+    match = _NOQA_RE.search(line_text)
     if match is None:
         return False
     codes = match.group("codes")
     if codes is None:
         return True  # bare ``# noqa`` silences every rule on the line
     listed = {c.strip().upper() for c in codes.lstrip(" :").split(",") if c.strip()}
-    return violation.rule_id.upper() in listed
+    return rule_id.upper() in listed
+
+
+def _suppressed(module: LintModule, violation: Violation) -> bool:
+    """``# noqa`` / ``# noqa: REPROxxx`` on any line of the flagged
+    statement (``line..end_line``) suppresses it."""
+    if not (1 <= violation.line <= len(module.lines)):
+        return False
+    last = min(max(violation.end_line, violation.line), len(module.lines))
+    return any(
+        _noqa_matches(module.lines[i - 1], violation.rule_id)
+        for i in range(violation.line, last + 1)
+    )
 
 
 def lint_file(
@@ -202,8 +219,14 @@ def lint_file(
     respect_scope: bool = True,
 ) -> List[Violation]:
     """Run ``rules`` over one file, dropping ``# noqa``-suppressed hits."""
+    # The skip pragma is textual, so it must work even for files the
+    # parser rejects (deliberately broken analyzer fixtures).
+    text = path.read_text() if source is None else source
+    head = text.splitlines()[:_PRAGMA_SCAN_LINES]
+    if any(SKIP_FILE_PRAGMA in line for line in head):
+        return []
     try:
-        module = LintModule.parse(path, source=source)
+        module = LintModule.parse(path, source=text)
     except SyntaxError as exc:
         return [
             Violation(
@@ -214,11 +237,6 @@ def lint_file(
                 message=f"file does not parse: {exc.msg}",
             )
         ]
-    if any(
-        SKIP_FILE_PRAGMA in line
-        for line in module.lines[:_PRAGMA_SCAN_LINES]
-    ):
-        return []
     out: List[Violation] = []
     for rule in rules:
         if respect_scope and not rule.applies_to(path):

@@ -37,4 +37,9 @@ def rule_ids() -> List[str]:
 def get_rule(rule_id: str) -> Rule:
     import tools.lint.rules  # noqa: F401
 
-    return _REGISTRY[rule_id]()
+    try:
+        return _REGISTRY[rule_id]()
+    except KeyError:
+        raise KeyError(
+            f"unknown rule id {rule_id!r}; known ids: {', '.join(sorted(_REGISTRY))}"
+        ) from None

@@ -1,0 +1,134 @@
+"""Shared output rendering for ``tools.lint`` and ``tools.analyze``.
+
+Both CLIs produce :class:`tools.lint.engine.Violation` records; this module
+turns a list of them into one of three formats plus optional GitHub
+workflow annotations:
+
+``text``
+    One ``path:line:col: ID message`` line per violation (the historical
+    lint output).
+``json``
+    A machine-readable document with a ``violations`` array, for piping
+    into other tooling.
+``sarif``
+    SARIF 2.1.0, the interchange format GitHub code scanning ingests.
+
+GitHub annotations (``--github``) are emitted *in addition* to the chosen
+format: ``::error file=...,line=...`` lines that GitHub Actions renders
+inline on the PR diff.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from tools.lint.engine import Violation
+
+__all__ = [
+    "FORMATS",
+    "render",
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "github_annotations",
+]
+
+FORMATS = ("text", "json", "sarif")
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    return "\n".join(v.format() for v in violations)
+
+
+def render_json(violations: Sequence[Violation], tool: str) -> str:
+    doc = {
+        "tool": tool,
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule_id,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _sarif_rules(violations: Sequence[Violation]) -> List[Dict[str, object]]:
+    seen: Dict[str, Dict[str, object]] = {}
+    for v in violations:
+        seen.setdefault(v.rule_id, {"id": v.rule_id})
+    return [seen[rule_id] for rule_id in sorted(seen)]
+
+
+def render_sarif(violations: Sequence[Violation], tool: str) -> str:
+    results = [
+        {
+            "ruleId": v.rule_id,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": v.path},
+                        "region": {
+                            "startLine": v.line,
+                            # SARIF columns are 1-based; Violation cols are 0-based.
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool,
+                        "rules": _sarif_rules(violations),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render(violations: Sequence[Violation], fmt: str, tool: str) -> str:
+    if fmt == "text":
+        return render_text(violations)
+    if fmt == "json":
+        return render_json(violations, tool)
+    if fmt == "sarif":
+        return render_sarif(violations, tool)
+    raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+
+
+def github_annotations(violations: Sequence[Violation]) -> List[str]:
+    """``::error`` workflow commands GitHub Actions renders on the diff."""
+    out = []
+    for v in violations:
+        # Workflow-command syntax: property values escape %, \r, \n, : and ,
+        message = (
+            v.message.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A")
+        )
+        out.append(
+            f"::error file={v.path},line={v.line},col={v.col + 1},"
+            f"title={v.rule_id}::{message}"
+        )
+    return out
