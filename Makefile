@@ -4,7 +4,7 @@
 # .[lint]` — for the lint/typecheck targets, which skip with a warning
 # when the tools are absent).
 
-.PHONY: test bench bench-summary examples experiments faults golden determinism batch trace coverage lint analyze typecheck check clean
+.PHONY: test bench bench-summary examples experiments faults golden determinism batch trace chaos coverage lint analyze typecheck check clean
 
 test:
 	pytest tests/
@@ -25,6 +25,10 @@ trace:
 	  --trace /tmp/repro-trace.jsonl --profile
 	python -m repro trace summarize /tmp/repro-trace.jsonl
 	python -m tools.trace_overhead --cores 16 --epochs 50 --reps 2 --threshold 0.25
+
+chaos:
+	pytest tests/chaos/ -q
+	python -m tools.chaos_soak
 
 coverage:
 	@if python -c "import pytest_cov" >/dev/null 2>&1; then \

@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro list                      # experiments + benchmarks
     python -m repro experiment E2 [options]   # run one experiment, print report
     python -m repro compare [options]         # controller comparison table
     python -m repro trace summarize FILE      # breakdown from a JSONL trace
+    python -m repro cache stats|verify|gc DIR # inspect/audit/prune a cache
 
 Every experiment accepts ``--cores``, ``--epochs`` and ``--seed`` so a
 laptop-scale run is one flag away from the evaluation scale, plus
@@ -17,6 +18,9 @@ bit-identical to the default serial run — see ``docs/parallel.md``).
 perturbs the simulated trajectories (see ``docs/observability.md``).
 ``--batch [N]`` stacks compatible grid cells into tensor batches (the
 third backend — see ``docs/batch.md``), again bit-identical to serial.
+``--journal PATH`` checkpoints every completed grid cell so a killed
+campaign resumes where it left off, and ``--timeout SECONDS`` arms the
+hung-worker watchdog (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -64,6 +68,25 @@ def _add_grid_flags(parser: argparse.ArgumentParser) -> None:
             "stack compatible grid cells into tensor batches "
             "(bare flag = unlimited stack size, N caps runs per stack); "
             "bit-identical to the serial loop"
+        ),
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "campaign journal file; a killed run resumes from it, "
+            "recomputing only the missing cells"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-cell soft deadline; hung workers are cancelled and the "
+            "cell retried (keep well above pool spin-up time)"
         ),
     )
 
@@ -125,6 +148,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="render run manifests, timing breakdown and incident totals",
     )
     summarize.add_argument("trace_file", help="JSONL trace written by --trace")
+
+    cache = sub.add_parser("cache", help="inspect, audit or prune a result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_sub.add_parser(
+        "stats", help="entry counts, byte totals and quarantine inventory"
+    )
+    stats.add_argument("cache_dir", help="result-cache directory")
+    verify = cache_sub.add_parser(
+        "verify",
+        help="re-checksum every entry; quarantine corrupt ones "
+        "(exit 1 if any found)",
+    )
+    verify.add_argument("cache_dir", help="result-cache directory")
+    verify.add_argument(
+        "--no-heal",
+        action="store_true",
+        help="do not write checksum sidecars for legacy entries",
+    )
+    gc = cache_sub.add_parser(
+        "gc", help="prune oldest entries to the given limits"
+    )
+    gc.add_argument("cache_dir", help="result-cache directory")
+    gc.add_argument(
+        "--max-entries", type=int, default=None, help="keep at most N entries"
+    )
+    gc.add_argument(
+        "--max-bytes", type=int, default=None, help="keep at most N bytes"
+    )
+    gc.add_argument(
+        "--purge-quarantine",
+        action="store_true",
+        help="also delete quarantined (corrupt) entries",
+    )
     return parser
 
 
@@ -196,6 +252,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 recorder=recorder,
                 profile=args.profile,
                 batch=_batch_option(args),
+                journal=args.journal,
+                timeout=args.timeout,
             )
         elif (
             args.jobs != 1
@@ -203,10 +261,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             or args.trace is not None
             or args.profile
             or args.batch != 0
+            or args.journal is not None
+            or args.timeout is not None
         ):
             print(
                 f"note: {eid} does not sweep a grid; "
-                "--jobs/--cache/--trace/--profile/--batch ignored",
+                "--jobs/--cache/--trace/--profile/--batch/--journal/--timeout "
+                "ignored",
                 file=sys.stderr,
             )
         result = run(**kwargs)
@@ -262,6 +323,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             recorder=recorder,
             profile=args.profile,
             batch=_batch_option(args),
+            journal=args.journal,
+            timeout=args.timeout,
         )
     finally:
         if recorder is not None:
@@ -328,6 +391,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.parallel import ResultCache
+
+    root = Path(args.cache_dir)
+    if args.cache_command != "stats" and not root.is_dir():
+        # stats on a fresh directory is a legitimate "empty" answer;
+        # verify/gc on a missing one is almost certainly a typo.
+        print(f"no such cache directory: {root}", file=sys.stderr)
+        return 2
+    cache = ResultCache(root)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"cache: {root}")
+        print(f"  entries:     {stats.entries}")
+        print(f"  total bytes: {stats.total_bytes}")
+        print(f"  quarantined: {stats.quarantined_entries}")
+        return 0
+    if args.cache_command == "verify":
+        report = cache.verify(heal=not args.no_heal)
+        print(
+            f"checked {report.checked} entries: {report.ok} ok, "
+            f"{len(report.quarantined)} quarantined, {report.healed} healed"
+        )
+        for key in report.quarantined:
+            print(f"  quarantined: {key}")
+        return 0 if report.clean else 1
+    if args.cache_command == "gc":
+        removed, freed = cache.gc(
+            max_entries=args.max_entries,
+            max_bytes=args.max_bytes,
+            purge_quarantine=args.purge_quarantine,
+        )
+        print(f"removed {removed} entries, freed {freed} bytes")
+        return 0
+    raise AssertionError(
+        f"unhandled cache command {args.cache_command!r}"
+    )  # pragma: no cover
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -339,4 +443,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -47,6 +47,16 @@ class GridOptions:
         ``True`` batches each compatible group whole, an integer caps the
         stack size.  Bit-identical to the serial loop; incompatible cells
         fall back per cell with a recorded reason.
+    journal:
+        Campaign journal path (CLI ``--journal``): checkpoints every
+        completed grid cell so a killed campaign resumes where it left
+        off, recomputing only the missing cells.  ``None`` disables.
+    timeout:
+        Per-cell soft deadline in seconds (CLI ``--timeout``): a cell
+        still running past it is cancelled, charged an attempt, and
+        retried within the attempt budget.  ``None`` disables the
+        watchdog.  The clock includes worker spawn/import time, so keep
+        it comfortably above pool spin-up (~seconds).
     """
 
     jobs: int = 1
@@ -54,6 +64,8 @@ class GridOptions:
     recorder: Optional[Recorder] = None
     profile: bool = False
     batch: Union[bool, int] = False
+    journal: Optional[Union[str, Path, Any]] = None
+    timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -62,6 +74,8 @@ class GridOptions:
             raise ValueError(
                 f"batch must be a bool or a positive int, got {self.batch}"
             )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
 
     def runner_kwargs(self) -> Dict[str, Any]:
         """Keyword arguments for ``run_suite`` / ``run_budget_sweep``."""
@@ -71,6 +85,8 @@ class GridOptions:
             "recorder": self.recorder,
             "profile": self.profile,
             "batch": self.batch,
+            "journal": self.journal,
+            "timeout": self.timeout,
         }
 
 

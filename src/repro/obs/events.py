@@ -35,6 +35,20 @@ Event types
 ``cell_start`` / ``cell_cached`` / ``cell_done`` / ``cell_failed``
     Parallel-engine cell lifecycle: scheduled, replayed from the result
     cache, completed (with attempt count), or failed after retries.
+``cell_retry`` / ``cell_timeout`` / ``cell_abandoned``
+    Retry-stack incidents: an unsuccessful attempt granted another try
+    (with the error's transient/deterministic classification and the
+    backoff delay), a straggler cancelled by the hung-worker watchdog
+    at its soft deadline, or a cell dropped *before* exhausting its
+    attempt budget because its failures classified as deterministic
+    (same error twice is not retried a third time).
+``cache_quarantine``
+    A cache entry failed integrity verification (checksum mismatch or
+    unreadable file) and was moved to the cache's quarantine directory
+    instead of being served or silently deleted.
+``campaign_resume``
+    A journalled campaign restarted: total planned cells, cells already
+    completed per the journal, and cells still pending.
 ``cell_batched`` / ``cell_fallback``
     Batched-backend routing: a cell executed inside a batch group (with
     the group's index and size), or a cell the batch backend declined —
@@ -87,6 +101,11 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "cell_fallback": ("cell", "reason"),
     "cell_done": ("cell", "attempts"),
     "cell_failed": ("cell", "attempts", "error_type"),
+    "cell_retry": ("cell", "attempt", "error_type", "classification", "delay"),
+    "cell_timeout": ("cell", "attempt", "deadline"),
+    "cell_abandoned": ("cell", "attempts", "error_type", "classification"),
+    "cache_quarantine": ("key", "reason"),
+    "campaign_resume": ("campaign", "total", "completed", "pending"),
     "engine_summary": ("counters",),
 }
 

@@ -45,6 +45,11 @@ class TraceSummary:
     cells_cached: int = 0
     cells_done: int = 0
     cells_failed: int = 0
+    cell_retries: int = 0
+    cell_timeouts: int = 0
+    cells_abandoned: int = 0
+    cache_quarantines: int = 0
+    campaign_resumes: List[Dict[str, Any]] = field(default_factory=list)
     engine_counters: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -105,6 +110,18 @@ def summarize_events(events: Iterable[Dict[str, Any]]) -> TraceSummary:
             s.cells_done += 1
         elif kind == "cell_failed":
             s.cells_failed += 1
+        elif kind == "cell_retry":
+            s.cell_retries += 1
+        elif kind == "cell_timeout":
+            s.cell_timeouts += 1
+        elif kind == "cell_abandoned":
+            s.cells_abandoned += 1
+        elif kind == "cache_quarantine":
+            s.cache_quarantines += 1
+        elif kind == "campaign_resume":
+            s.campaign_resumes.append(
+                {k: v for k, v in ev.items() if k not in ("type", "seq")}
+            )
         elif kind == "engine_summary":
             counters = ev.get("counters")
             if isinstance(counters, dict):
@@ -204,6 +221,12 @@ def render_summary(summary: TraceSummary) -> str:
             f"(run={summary.cells_done} cached={summary.cells_cached} "
             f"failed={summary.cells_failed})"
         )
+        if summary.cell_retries or summary.cell_timeouts or summary.cells_abandoned:
+            lines.append(
+                f"resilience: retries={summary.cell_retries} "
+                f"timeouts={summary.cell_timeouts} "
+                f"abandoned={summary.cells_abandoned}"
+            )
         hits = summary.engine_counters.get("cache.hits")
         misses = summary.engine_counters.get("cache.misses")
         if isinstance(hits, (int, float)) and isinstance(misses, (int, float)):
@@ -213,4 +236,15 @@ def render_summary(summary: TraceSummary) -> str:
                     f"cache: hits={hits} misses={misses} "
                     f"hit rate={hits / total * 100.0:.1f}%"
                 )
+        if summary.cache_quarantines:
+            lines.append(f"cache quarantines: {summary.cache_quarantines}")
+    for resume in summary.campaign_resumes:
+        lines.append(
+            "campaign resume: completed={completed}/{total} "
+            "pending={pending}".format(
+                completed=resume.get("completed", "?"),
+                total=resume.get("total", "?"),
+                pending=resume.get("pending", "?"),
+            )
+        )
     return "\n".join(lines)

@@ -28,6 +28,18 @@ Key stability rules
 Persistence uses :mod:`repro.sim.result_io` (one ``.npz`` per cell,
 written atomically via rename), so cached cells are ordinary result files
 that can be loaded, diffed, and re-rendered with the standard tooling.
+
+Integrity
+---------
+The cache trusts nothing it reads off disk.  Every ``put`` records the
+entry's SHA-256 content checksum in a sidecar file; every ``get``
+re-verifies it (and the entry's loadability) before serving.  An entry
+that fails verification — torn write, bit rot, chaos injection — is
+*quarantined*: moved to ``<root>/quarantine/`` with ``cache.corrupt`` /
+``cache.quarantined`` counters ticked and the miss recomputed, so a
+corrupt entry is never silently mis-served and never fatal.  The
+``repro cache`` CLI (``stats`` / ``verify`` / ``gc``) audits and prunes
+the store offline.
 """
 
 from __future__ import annotations
@@ -38,7 +50,7 @@ import hashlib
 import inspect
 import os
 from pathlib import Path
-from typing import Any, Mapping, Optional, Tuple, Union
+from typing import Any, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -48,6 +60,8 @@ from repro.parallel.cells import RunCell
 from repro.sim.results import SimulationResult
 from repro.workloads.phases import Workload
 
+from repro.parallel.chaos import ChaosPolicy
+
 __all__ = [
     "CACHE_SALT",
     "CacheKeyError",
@@ -55,6 +69,8 @@ __all__ = [
     "workload_token",
     "controller_fingerprint",
     "cell_key",
+    "CacheStats",
+    "CacheAuditReport",
     "ResultCache",
 ]
 
@@ -226,24 +242,90 @@ def cell_key(
     )
 
 
+def _sha256_file(path: Path) -> str:
+    """SHA-256 hex digest of a file's bytes (streamed)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time inventory of a cache directory."""
+
+    entries: int
+    total_bytes: int
+    quarantined_entries: int
+    hits: int
+    misses: int
+    corrupt: int
+    quarantined: int
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheAuditReport:
+    """Outcome of :meth:`ResultCache.verify` over every entry."""
+
+    checked: int
+    ok: int
+    quarantined: Tuple[str, ...]
+    healed: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.quarantined
+
+
 class ResultCache:
     """Directory of cached cell results, addressed by :func:`cell_key`.
 
     Entries are ``.npz`` files written by
     :func:`repro.sim.result_io.save_result` under a two-level fan-out
-    (``root/ab/abcdef….npz``).  Writes are atomic (temp file + rename) so
-    concurrent workers and interrupted runs can never leave a torn entry;
-    unreadable entries are treated as misses and deleted.
+    (``root/ab/abcdef….npz``) with a ``.sha256`` content-checksum sidecar.
+    Writes are atomic (temp file + rename) so concurrent workers and
+    interrupted runs can never leave a torn entry under the final name;
+    reads verify the checksum and loadability before serving, and any
+    entry failing verification is moved to ``<root>/quarantine/`` — never
+    silently mis-served, never deleted without trace, never fatal.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created if absent).
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.CounterRegistry`; the
+        cache tracks ``cache.hits`` / ``cache.misses`` / ``cache.corrupt``
+        / ``cache.quarantined`` / ``cache.put_errors`` in it.
+    chaos:
+        Optional :class:`~repro.parallel.chaos.ChaosPolicy` injecting
+        disk-full and corruption faults into this cache's writes (test
+        and soak harness use only).
     """
 
+    #: Subdirectory (under ``root``) quarantined entries are moved to.
+    QUARANTINE_DIR = "quarantine"
+
     def __init__(
-        self, root: Union[str, Path], metrics: "CounterRegistry | None" = None
+        self,
+        root: Union[str, Path],
+        metrics: "CounterRegistry | None" = None,
+        chaos: Optional[ChaosPolicy] = None,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.metrics = metrics if metrics is not None else CounterRegistry()
+        self.chaos = chaos
+        #: ``(key, reason)`` records of quarantines performed by this
+        #: instance, in occurrence order.  The engine drains it to emit
+        #: ``cache_quarantine`` events; the CLI renders it after a verify.
+        self.quarantine_log: List[Tuple[str, str]] = []
         self.metrics.set_gauge("cache.hits", 0)
         self.metrics.set_gauge("cache.misses", 0)
+        self.metrics.set_gauge("cache.corrupt", 0)
+        self.metrics.set_gauge("cache.quarantined", 0)
+        self.metrics.set_gauge("cache.put_errors", 0)
 
     @property
     def hits(self) -> int:
@@ -252,15 +334,93 @@ class ResultCache:
 
     @property
     def misses(self) -> int:
-        """Lookups that found no (readable) entry."""
+        """Lookups that found no (valid) entry."""
         return int(self.metrics.get("cache.misses"))
+
+    @property
+    def corrupt(self) -> int:
+        """Entries that failed integrity verification."""
+        return int(self.metrics.get("cache.corrupt"))
+
+    @property
+    def quarantined(self) -> int:
+        """Entries moved to the quarantine directory."""
+        return int(self.metrics.get("cache.quarantined"))
+
+    @property
+    def put_errors(self) -> int:
+        """Writes absorbed by :meth:`put_safe` (disk full etc.)."""
+        return int(self.metrics.get("cache.put_errors"))
 
     def path_for(self, key: str) -> Path:
         """Filesystem path the entry for ``key`` lives at."""
         return self.root / key[:2] / f"{key}.npz"
 
+    def checksum_path(self, key: str) -> Path:
+        """Sidecar path holding the entry's SHA-256 content checksum."""
+        return self.root / key[:2] / f"{key}.sha256"
+
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / self.QUARANTINE_DIR
+
+    def iter_entries(self) -> List[Path]:
+        """Live entry paths (quarantine excluded), sorted for determinism."""
+        return sorted(
+            p for p in self.root.glob("??/*.npz") if not p.name.startswith(".")
+        )
+
+    # -- integrity ---------------------------------------------------------
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Move a failed entry (and its sidecar) out of the addressable
+        store; counted, logged, and recoverable for post-mortems."""
+        self.quarantine_root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        try:
+            os.replace(path, self.quarantine_root / path.name)
+        except OSError:
+            # Renaming across a sick filesystem may itself fail; removal
+            # is the fallback that still un-addresses the bad bytes.
+            path.unlink(missing_ok=True)
+        self.checksum_path(key).unlink(missing_ok=True)
+        self.metrics.inc("cache.corrupt")
+        self.metrics.inc("cache.quarantined")
+        self.quarantine_log.append((key, reason))
+
+    def _verify_entry(self, key: str) -> Optional[str]:
+        """Why the entry for ``key`` is invalid, or ``None`` if it serves.
+
+        Checks the checksum sidecar (when present) and loadability.  Does
+        not quarantine — callers decide.
+        """
+        from repro.sim.result_io import load_result
+
+        path = self.path_for(key)
+        digest_path = self.checksum_path(key)
+        if digest_path.exists():
+            try:
+                expected = digest_path.read_text(encoding="utf-8").strip()
+            except OSError:
+                expected = ""
+            if _sha256_file(path) != expected:
+                return "checksum-mismatch"
+        try:
+            load_result(path)
+        except Exception:
+            # Unreadable/truncated/stale-format: quantified by the caller,
+            # never re-raised — a sick entry must cost a recompute, not
+            # the run.
+            return "unreadable"
+        return None
+
     def get(self, key: str) -> Optional[SimulationResult]:
-        """The cached result for ``key``, or ``None`` on a miss."""
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        A present-but-invalid entry (checksum mismatch, unreadable file)
+        is quarantined and reported as a miss: ``cache.corrupt`` and
+        ``cache.quarantined`` tick, the bad bytes move to
+        ``quarantine/``, and the caller recomputes the cell.
+        """
         # Imported lazily: result_io is cheap, but keeping the dependency
         # out of module import keeps cache-key helpers usable standalone.
         from repro.sim.result_io import load_result
@@ -269,38 +429,164 @@ class ResultCache:
         if not path.exists():
             self.metrics.inc("cache.misses")
             return None
+        digest_path = self.checksum_path(key)
+        if digest_path.exists():
+            try:
+                expected = digest_path.read_text(encoding="utf-8").strip()
+            except OSError:
+                expected = ""
+            if _sha256_file(path) != expected:
+                self._quarantine(key, "checksum-mismatch")
+                self.metrics.inc("cache.misses")
+                return None
         try:
             result = load_result(path)
         except Exception:
-            # A torn or stale-format entry is a miss, not an error: drop it
-            # so the slot is recomputed and rewritten cleanly.
-            path.unlink(missing_ok=True)
+            # Torn write or stale format that still checksummed (legacy
+            # entries have no sidecar): quarantined, counted, recomputed —
+            # never served, never fatal.
+            self._quarantine(key, "unreadable")
             self.metrics.inc("cache.misses")
             return None
         self.metrics.inc("cache.hits")
         return result
 
+    # -- writes ------------------------------------------------------------
     def put(self, key: str, result: SimulationResult) -> Path:
-        """Persist ``result`` under ``key`` (atomic), returning its path."""
+        """Persist ``result`` under ``key`` (atomic), returning its path.
+
+        Raises ``OSError`` on write failure (disk full, permissions);
+        callers that must survive storage faults use :meth:`put_safe`.
+        """
         from repro.sim.result_io import save_result
 
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        if self.chaos is not None:
+            self.chaos.before_cache_put(key)
         # The temp name keeps the .npz suffix: numpy's savez would otherwise
         # append one and the rename source would not exist.
         tmp = path.parent / f".{path.stem}.{os.getpid()}.tmp.npz"
         try:
             save_result(result, tmp)
+            digest = _sha256_file(tmp)
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
+        self._write_checksum(key, digest)
+        if self.chaos is not None:
+            self.chaos.corrupt_cache_entry(key, path)
         return path
 
+    def _write_checksum(self, key: str, digest: str) -> None:
+        digest_path = self.checksum_path(key)
+        tmp = digest_path.parent / f".{digest_path.stem}.{os.getpid()}.tmp.sha256"
+        try:
+            tmp.write_text(digest + "\n", encoding="utf-8")
+            os.replace(tmp, digest_path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def put_safe(self, key: str, result: SimulationResult) -> Optional[Path]:
+        """Best-effort :meth:`put`: storage faults are counted
+        (``cache.put_errors``) and absorbed, never raised.  A failed cache
+        write costs a recompute on the next invocation — not the run."""
+        try:
+            return self.put(key, result)
+        except OSError:
+            self.metrics.inc("cache.put_errors")
+            return None
+
+    # -- audit / maintenance ----------------------------------------------
+    def stats(self) -> CacheStats:
+        """Inventory of the store (walks the directory)."""
+        entries = self.iter_entries()
+        return CacheStats(
+            entries=len(entries),
+            total_bytes=sum(p.stat().st_size for p in entries),
+            quarantined_entries=(
+                sum(1 for _ in self.quarantine_root.glob("*.npz"))
+                if self.quarantine_root.is_dir()
+                else 0
+            ),
+            hits=self.hits,
+            misses=self.misses,
+            corrupt=self.corrupt,
+            quarantined=self.quarantined,
+        )
+
+    def verify(self, heal: bool = True) -> CacheAuditReport:
+        """Re-checksum and load-check every entry; quarantine failures.
+
+        Entries predating the checksum sidecar (legacy stores) are
+        verified by loadability alone; with ``heal=True`` a sidecar is
+        written for them so future verification is byte-exact.
+        """
+        checked = ok = healed = 0
+        bad: List[str] = []
+        for path in self.iter_entries():
+            key = path.stem
+            checked += 1
+            reason = self._verify_entry(key)
+            if reason is not None:
+                self._quarantine(key, reason)
+                bad.append(key)
+                continue
+            ok += 1
+            if heal and not self.checksum_path(key).exists():
+                self._write_checksum(key, _sha256_file(path))
+                healed += 1
+        return CacheAuditReport(
+            checked=checked, ok=ok, quarantined=tuple(bad), healed=healed
+        )
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        purge_quarantine: bool = False,
+    ) -> Tuple[int, int]:
+        """Prune the store to the given limits, oldest entries first.
+
+        Returns ``(entries_removed, bytes_freed)`` (quarantine purges
+        included).  With no limits and ``purge_quarantine=False`` this is
+        a no-op.
+        """
+        removed = freed = 0
+        if purge_quarantine and self.quarantine_root.is_dir():
+            for path in sorted(self.quarantine_root.iterdir()):
+                if path.is_file():
+                    freed += path.stat().st_size
+                    removed += 1
+                    path.unlink()
+        if max_entries is None and max_bytes is None:
+            return removed, freed
+        entries = self.iter_entries()
+        # Oldest first: mtime is operational metadata (never part of a
+        # cache key), so using it to order eviction is DET004-safe.
+        entries.sort(key=lambda p: (p.stat().st_mtime, p.name))
+        total = sum(p.stat().st_size for p in entries)
+        count = len(entries)
+        for path in entries:
+            over_entries = max_entries is not None and count > max_entries
+            over_bytes = max_bytes is not None and total > max_bytes
+            if not over_entries and not over_bytes:
+                break
+            size = path.stat().st_size
+            path.unlink()
+            self.checksum_path(path.stem).unlink(missing_ok=True)
+            total -= size
+            count -= 1
+            removed += 1
+            freed += size
+        return removed, freed
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.npz"))
+        return len(self.iter_entries())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ResultCache(root={str(self.root)!r}, entries={len(self)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, "
+            f"quarantined={self.quarantined})"
         )

@@ -1,0 +1,202 @@
+"""Campaign journal: checkpoint/resume for sharded experiment campaigns.
+
+A *campaign* is one planned grid of run cells (a suite or budget sweep).
+The journal is an append-only JSONL file recording the campaign's
+identity and every cell's settlement, flushed line-by-line so a killed
+process loses at most the in-flight cells.  On restart with the same
+journal (and the campaign's result cache), the engine completes only the
+missing cells — and because every cell is deterministic and the cache is
+content-addressed, the resumed campaign's results are bit-identical to an
+uninterrupted run.
+
+Design rules
+------------
+* **The journal is bookkeeping, never a source of results.**  Cell
+  results live in the :class:`~repro.parallel.cache.ResultCache`; a
+  journal entry saying "done" is advisory, and a cell whose cache entry
+  has meanwhile been lost or quarantined is simply recomputed.  Journal
+  loss therefore costs recomputation, never correctness.
+* **Campaign identity is content-addressed.**  The campaign id is the
+  :func:`~repro.parallel.cache.stable_hash` of the ordered cell-key list,
+  so a journal can never silently resume a *different* campaign: any
+  change to the grid, config, workloads, code salt, or simulation options
+  changes every cell key and with it the campaign id.
+* **Torn tails are expected.**  A crash can truncate the final line; the
+  reader discards any trailing partial record instead of failing, which
+  is exactly the at-most-one-cell loss the flush discipline promises.
+* **No wall clock.**  Journal records carry no timestamps, so two
+  journals of the same campaign are diffable and replay order is the only
+  nondeterminism (records land in completion order).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Sequence, Set, Union
+
+from repro.parallel.cache import stable_hash
+
+__all__ = ["JOURNAL_SCHEMA_VERSION", "JournalError", "CampaignJournal", "campaign_id"]
+
+#: Bump on any backwards-incompatible change to journal records.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """The journal cannot serve this campaign (mismatch or malformed head)."""
+
+
+def campaign_id(cell_keys: Sequence[str]) -> str:
+    """Content-addressed identity of one planned campaign.
+
+    A pure function of the ordered cell-key list — and therefore of
+    everything a cell key covers (config, workloads, controller recipes,
+    seeds, epochs, simulation options, code salt).
+    """
+    return stable_hash(("campaign", tuple(cell_keys)))
+
+
+class CampaignJournal:
+    """Append-only JSONL checkpoint log of one campaign's cell settlements.
+
+    Lifecycle: construct over a path, :meth:`begin` with the planned
+    campaign id (reads any prior state, validates identity, opens for
+    append), then :meth:`record_done` / :meth:`record_failed` as cells
+    settle, then :meth:`close` (or use as a context manager).  The engine
+    drives all of this when ``execute_cells(journal=...)`` is given.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = None
+        self.completed: Set[str] = set()
+        self.failed: Set[str] = set()
+        self.campaign: Optional[str] = None
+
+    # -- reading -----------------------------------------------------------
+    def _read_existing(self) -> List[Dict[str, Any]]:
+        """Parse prior records, tolerating a torn final line."""
+        records: List[Dict[str, Any]] = []
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return records
+        lines = raw.split("\n")
+        # A file not ending in a newline has a torn tail: the final chunk
+        # was mid-write when the process died.  Drop it silently — that is
+        # the one-cell loss the flush discipline budgets for.
+        if lines and lines[-1] != "":
+            lines = lines[:-1]
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines):
+                    break  # torn tail that happened to end in a newline
+                raise JournalError(
+                    f"{self.path}:{lineno}: malformed journal record"
+                ) from None
+            records.append(record)
+        return records
+
+    def begin(self, campaign: str, n_cells: int) -> Set[str]:
+        """Open the journal for ``campaign``; return already-completed keys.
+
+        A fresh file gains a ``campaign_start`` head record.  An existing
+        file must belong to the same campaign — resuming a journal against
+        a different plan raises :class:`JournalError` instead of silently
+        mixing results.
+        """
+        records = self._read_existing()
+        fresh = not records
+        if records:
+            head = records[0]
+            if head.get("kind") != "campaign_start":
+                raise JournalError(
+                    f"{self.path}: first record is not campaign_start"
+                )
+            if head.get("campaign") != campaign:
+                raise JournalError(
+                    f"{self.path}: journal belongs to campaign "
+                    f"{str(head.get('campaign'))[:12]}…, not "
+                    f"{campaign[:12]}… — refusing to mix campaigns "
+                    "(use a fresh journal path)"
+                )
+            for record in records[1:]:
+                kind = record.get("kind")
+                key = record.get("key")
+                if not isinstance(key, str):
+                    continue
+                if kind == "cell_done":
+                    self.completed.add(key)
+                    self.failed.discard(key)
+                elif kind == "cell_failed":
+                    self.failed.add(key)
+        self.campaign = campaign
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self._append(
+                {
+                    "kind": "campaign_start",
+                    "schema": JOURNAL_SCHEMA_VERSION,
+                    "campaign": campaign,
+                    "n_cells": int(n_cells),
+                }
+            )
+        return set(self.completed)
+
+    # -- writing -----------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            raise JournalError(f"{self.path}: journal is not open (call begin)")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        # Flush to the OS per record: a killed process then loses only
+        # cells still in flight, which is the resume contract.
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record_done(self, index: int, key: str, cached: bool = False) -> None:
+        """Checkpoint one settled cell (idempotent per key)."""
+        if key in self.completed:
+            return
+        self.completed.add(key)
+        self.failed.discard(key)
+        self._append(
+            {
+                "kind": "cell_done",
+                "index": int(index),
+                "key": key,
+                "cached": bool(cached),
+            }
+        )
+
+    def record_failed(
+        self, index: int, key: str, error_type: str, attempts: int
+    ) -> None:
+        """Record a cell that exhausted its attempts; it stays pending for
+        the next resume (failure records never block re-execution)."""
+        self.failed.add(key)
+        self._append(
+            {
+                "kind": "cell_failed",
+                "index": int(index),
+                "key": key,
+                "error_type": error_type,
+                "attempts": int(attempts),
+            }
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

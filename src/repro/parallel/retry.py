@@ -1,0 +1,211 @@
+"""Retry policy: error classification, bounded backoff, seeded jitter.
+
+The engine's original retry loop granted every unsuccessful attempt the
+same flat budget, which wastes attempts two ways: a *deterministic*
+failure (a bad config, a contract violation) reproduces identically on
+every retry, and a *transient* failure (worker crash, IPC hiccup,
+chaos-injected fault) retried immediately can land on the same still-sick
+resource.  :class:`RetryPolicy` fixes both:
+
+* **Classification.**  Every failure is classified ``"transient"`` or
+  ``"deterministic"`` from its exception type (plus an optional
+  user-supplied classifier for domain-specific types).  Deterministic
+  failures are never retried — the first attempt already proved the
+  outcome.  Unknown types default to deterministic: retrying an error we
+  cannot argue is transient only duplicates it.
+* **Identical-failure cutoff.**  A transient-classified cell that fails
+  twice with the *same* exception type and message is treated as
+  deterministic in disguise and not retried a third time, regardless of
+  remaining budget.  Engine-synthesized infrastructure failures
+  (``WorkerCrash``, ``CellTimeout``, ``BrokenProcessPool``) are exempt:
+  their messages are constants, so two occurrences carry no evidence of
+  determinism — only the attempt budget bounds them.
+* **Bounded exponential backoff with seeded jitter.**  Delay before the
+  ``n``-th retry is ``base_delay * 2**(n-1)`` capped at ``max_delay``,
+  scaled by a jitter factor drawn deterministically from
+  ``(seed, cell label, attempt)`` — reproducible across runs, decorrelated
+  across cells, and never a hidden RNG stream (the draw is a pure SHA-256
+  hash, DET001-clean).
+
+The policy is a frozen dataclass of scalars (plus an optional
+*module-level* classifier function), so it pickles across the spawn
+boundary unchanged — DET003 checks classifier construction sites the same
+way it checks ``CellTask`` factories.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+__all__ = [
+    "TRANSIENT",
+    "DETERMINISTIC",
+    "DEFAULT_TRANSIENT_TYPES",
+    "CUTOFF_EXEMPT_TYPES",
+    "RetryPolicy",
+]
+
+#: Classification labels (also the values carried by ``cell_retry`` /
+#: ``cell_abandoned`` events and :attr:`CellFailure.classification`).
+TRANSIENT = "transient"
+DETERMINISTIC = "deterministic"
+
+#: Exception type names (qualified-name suffixes) presumed transient:
+#: infrastructure faults that a fresh attempt on a fresh worker can clear.
+#: Everything else — ValueError from a bad cell, a contract violation, a
+#: simulator bug — reproduces deterministically and is not retried.
+DEFAULT_TRANSIENT_TYPES: Tuple[str, ...] = (
+    "WorkerCrash",          # worker process died (pool rebuild)
+    "CellTimeout",          # straggler cancelled by the soft-deadline watchdog
+    "ChaosTransientError",  # injected IPC/pickling-style fault
+    "BrokenProcessPool",
+    "PicklingError",
+    "UnpicklingError",
+    "ConnectionError",
+    "ConnectionResetError",
+    "BrokenPipeError",
+    "TimeoutError",
+    "EOFError",
+    "OSError",
+    "IOError",
+)
+
+#: Types exempt from the identical-failure cutoff: engine-synthesized
+#: infrastructure failures whose messages are constants, so a verbatim
+#: repeat carries no evidence of determinism.  Only the attempt budget
+#: bounds these.
+CUTOFF_EXEMPT_TYPES: Tuple[str, ...] = (
+    "WorkerCrash",
+    "CellTimeout",
+    "BrokenProcessPool",
+)
+
+#: Optional override hook: ``(error_type, message) -> classification or
+#: None`` (None falls through to the built-in type table).  Must be a
+#: module-level function — the policy crosses the spawn boundary.
+Classifier = Callable[[str, str], Optional[str]]
+
+
+def _uniform_hash(*identity: object) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from an identity tuple.
+
+    A pure function of its arguments — independent of call order, process,
+    and ``PYTHONHASHSEED`` — so jitter never consumes or perturbs any
+    simulation RNG stream.
+    """
+    digest = hashlib.sha256(
+        ";".join(repr(part) for part in identity).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how the engine re-attempts an unsuccessful cell.
+
+    Attributes
+    ----------
+    retries:
+        Extra attempts granted after the first (``retries + 1`` attempts
+        total); transient classification and the identical-failure cutoff
+        may stop earlier, never later.
+    base_delay:
+        Backoff before the first retry, in seconds.  Doubles per retry.
+    max_delay:
+        Upper bound on any single backoff delay.
+    jitter:
+        Fractional jitter width: the delay is scaled by a factor drawn
+        uniformly from ``[1 - jitter, 1 + jitter]``.
+    seed:
+        Seed of the deterministic jitter draw.
+    transient_types:
+        Exception type names (matched against the qualified name's last
+        component) classified transient.
+    classifier:
+        Optional module-level ``(error_type, message) -> classification``
+        override consulted first; returning ``None`` falls through to
+        ``transient_types``.
+    """
+
+    retries: int = 1
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    transient_types: Tuple[str, ...] = DEFAULT_TRANSIENT_TYPES
+    classifier: Optional[Classifier] = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay ({self.max_delay}) must be >= base_delay "
+                f"({self.base_delay})"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def classify(self, error_type: str, message: str) -> str:
+        """``"transient"`` or ``"deterministic"`` for one failure record.
+
+        ``error_type`` is a qualified exception name as shipped back by
+        the engine (e.g. ``"ValueError"``, ``"WorkerCrash"``,
+        ``"chaos.ChaosTransientError"``); matching uses the final dotted
+        component so worker- and parent-side spellings agree.
+        """
+        if self.classifier is not None:
+            verdict = self.classifier(error_type, message)
+            if verdict is not None:
+                if verdict not in (TRANSIENT, DETERMINISTIC):
+                    raise ValueError(
+                        f"classifier returned {verdict!r}; expected "
+                        f"{TRANSIENT!r}, {DETERMINISTIC!r} or None"
+                    )
+                return verdict
+        leaf = error_type.rpartition(".")[2]
+        return TRANSIENT if leaf in self.transient_types else DETERMINISTIC
+
+    def should_retry(
+        self, attempts: int, history: Sequence[Tuple[str, str]]
+    ) -> bool:
+        """May a cell with ``attempts`` consumed and ``history`` of
+        ``(error_type, message)`` failures have another attempt?
+
+        Three gates, all of which must pass:
+
+        * budget: ``attempts <= retries``;
+        * classification: the latest failure must be transient;
+        * the identical-failure cutoff: the latest failure must not
+          repeat the previous one verbatim (a "transient" error that
+          reproduces exactly is deterministic in disguise).
+        """
+        if attempts > self.retries or not history:
+            return attempts <= self.retries and not history
+        error_type, message = history[-1]
+        if self.classify(error_type, message) != TRANSIENT:
+            return False
+        if (
+            len(history) >= 2
+            and history[-1] == history[-2]
+            and error_type.rpartition(".")[2] not in CUTOFF_EXEMPT_TYPES
+        ):
+            return False
+        return True
+
+    def delay_before(self, attempt: int, label: str) -> float:
+        """Backoff in seconds before re-attempt number ``attempt`` (2-based:
+        the delay precedes the second attempt onwards) of cell ``label``."""
+        if attempt < 2:
+            return 0.0
+        raw = min(self.max_delay, self.base_delay * 2.0 ** (attempt - 2))
+        if raw <= 0.0:
+            return 0.0
+        factor = 1.0 - self.jitter + 2.0 * self.jitter * _uniform_hash(
+            "retry-jitter", self.seed, label, attempt
+        )
+        return raw * factor

@@ -126,6 +126,10 @@ def run_suite(
     recorder: Optional[Recorder] = None,
     profile: bool = False,
     batch: Union[bool, int] = False,
+    retry_policy: Optional[Any] = None,
+    timeout: Optional[float] = None,
+    chaos: Optional[Any] = None,
+    journal: Union[str, Path, Any, None] = None,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run every controller on every workload.
 
@@ -163,6 +167,16 @@ def run_suite(
         per cell with a recorded reason.  Composes with ``cache=``
         (batching never changes a cell's cache key) and with ``jobs=``
         for the fallback cells.
+    retry_policy, timeout, chaos, journal:
+        Resilience switches, forwarded verbatim to
+        :func:`~repro.parallel.engine.execute_cells` — a
+        :class:`~repro.parallel.RetryPolicy`, a per-cell soft deadline in
+        seconds, a :class:`~repro.parallel.ChaosPolicy` for fault-drill
+        runs, and a campaign journal path (or
+        :class:`~repro.parallel.CampaignJournal`) enabling
+        checkpoint/resume.  Any of them being set routes even ``jobs=1``
+        grids through the resilient engine (results stay bit-identical;
+        see ``docs/parallel.md``).
 
     Returns
     -------
@@ -172,7 +186,12 @@ def run_suite(
     if n_epochs <= 0:
         raise ValueError(f"n_epochs must be positive, got {n_epochs}")
     extra = dict(sim_kwargs or {})
-    if jobs == 1 and cache is None and recorder is None and not profile and not batch:
+    resilient = (
+        retry_policy is not None or timeout is not None
+        or chaos is not None or journal is not None
+    )
+    if (jobs == 1 and cache is None and recorder is None and not profile
+            and not batch and not resilient):
         results: Dict[str, Dict[str, SimulationResult]] = {}
         for ctrl_name, factory in controllers.items():
             results[ctrl_name] = {}
@@ -205,7 +224,11 @@ def run_suite(
                     trace=trace, profile=profile,
                 )
             )
-    flat = execute_cells(tasks, jobs=jobs, cache=cache, recorder=recorder, batch=batch)
+    flat = execute_cells(
+        tasks, jobs=jobs, cache=cache, recorder=recorder, batch=batch,
+        retry_policy=retry_policy, timeout=timeout, chaos=chaos,
+        journal=journal,
+    )
     return merge_suite(cells, flat)
 
 
@@ -221,13 +244,18 @@ def run_budget_sweep(
     recorder: Optional[Recorder] = None,
     profile: bool = False,
     batch: Union[bool, int] = False,
+    retry_policy: Optional[Any] = None,
+    timeout: Optional[float] = None,
+    chaos: Optional[Any] = None,
+    journal: Union[str, Path, Any, None] = None,
 ) -> Dict[str, Dict[float, SimulationResult]]:
     """Run every controller at each absolute budget (watts) on one workload.
 
-    ``jobs``, ``cache``, ``sim_kwargs``, ``recorder``, ``profile`` and
-    ``batch`` behave as in :func:`run_suite` — a budget sweep is the
-    batched backend's best case, since one controller's cells at
-    different budgets stack into a single tensor simulation.
+    ``jobs``, ``cache``, ``sim_kwargs``, ``recorder``, ``profile``,
+    ``batch`` and the resilience switches (``retry_policy``, ``timeout``,
+    ``chaos``, ``journal``) behave as in :func:`run_suite` — a budget
+    sweep is the batched backend's best case, since one controller's
+    cells at different budgets stack into a single tensor simulation.
 
     Returns
     -------
@@ -239,7 +267,12 @@ def run_budget_sweep(
     if n_epochs <= 0:
         raise ValueError(f"n_epochs must be positive, got {n_epochs}")
     extra = dict(sim_kwargs or {})
-    if jobs == 1 and cache is None and recorder is None and not profile and not batch:
+    resilient = (
+        retry_policy is not None or timeout is not None
+        or chaos is not None or journal is not None
+    )
+    if (jobs == 1 and cache is None and recorder is None and not profile
+            and not batch and not resilient):
         results: Dict[str, Dict[float, SimulationResult]] = {}
         for ctrl_name, factory in controllers.items():
             results[ctrl_name] = {}
@@ -274,7 +307,11 @@ def run_budget_sweep(
                     trace=trace, profile=profile,
                 )
             )
-    flat = execute_cells(tasks, jobs=jobs, cache=cache, recorder=recorder, batch=batch)
+    flat = execute_cells(
+        tasks, jobs=jobs, cache=cache, recorder=recorder, batch=batch,
+        retry_policy=retry_policy, timeout=timeout, chaos=chaos,
+        journal=journal,
+    )
     merged = merge_sweep(cells, flat)
     # Budget keys must be the caller's original float objects/ordering.
     return {

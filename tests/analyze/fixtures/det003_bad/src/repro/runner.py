@@ -8,6 +8,11 @@ class CellTask:
         self.factory = factory
 
 
+class RetryPolicy:
+    def __init__(self, retries=1, classifier=None):
+        self.classifier = classifier
+
+
 def make(cfg):
     return cfg
 
@@ -21,6 +26,17 @@ def submit_nested(pool, x):
         return x + 1
 
     return pool.submit(work)  # BAD
+
+
+def submit_payload_lambda(pool, task):
+    return pool.submit(make, task, lambda e: True)  # BAD
+
+
+def submit_payload_nested(pool, task):
+    def on_error(exc):
+        return True
+
+    return pool.submit(make, task, on_error)  # BAD
 
 
 def build_task_lambda(cell, cfg, workload):
@@ -43,3 +59,14 @@ def lineup(seed) -> "Dict[str, ControllerFactory]":
         "pid": lambda cfg: cfg,  # BAD
         "static": make,
     }
+
+
+def policy_lambda_classifier():
+    return RetryPolicy(retries=2, classifier=lambda et, msg: "transient")  # BAD
+
+
+def policy_nested_classifier():
+    def classify(error_type, message):
+        return "deterministic"
+
+    return RetryPolicy(classifier=classify)  # BAD

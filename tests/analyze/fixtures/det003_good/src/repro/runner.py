@@ -8,8 +8,17 @@ class CellTask:
         self.factory = factory
 
 
+class RetryPolicy:
+    def __init__(self, retries=1, classifier=None):
+        self.classifier = classifier
+
+
 def work(x):
     return x + 1
+
+
+def classify_all_transient(error_type, message):
+    return "transient"
 
 
 def _construct(seed, cfg):
@@ -38,3 +47,21 @@ def lineup(seed) -> "Dict[str, ControllerFactory]":
     out["od-rl"] = partial(_construct, seed)
     out["static"] = work
     return out
+
+
+def submit_with_payload(pool, task, policy):
+    # Payload arguments are module-level or caller-supplied: picklable.
+    return pool.submit(work, task, policy)
+
+
+def policy_module_classifier():
+    return RetryPolicy(retries=2, classifier=classify_all_transient)
+
+
+def policy_param_classifier(classifier):
+    # Caller-supplied classifier: checked at its construction site.
+    return RetryPolicy(classifier=classifier)
+
+
+def policy_default_classifier():
+    return RetryPolicy(classifier=None)

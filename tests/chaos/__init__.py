@@ -1,0 +1,2 @@
+"""Chaos-hardening tests: fault injection, retry policy, cache integrity,
+campaign journal, and the seeded soak drill."""

@@ -1,0 +1,37 @@
+"""Shared fixtures for the chaos test package.
+
+Small grids built from the real planner/runner surface, so chaos tests
+exercise exactly the code path campaigns use.  Factories come from
+:mod:`tests.parallel.helpers` (spawn-importable, module-level).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import List
+
+from repro.manycore import default_system
+from repro.parallel import CellTask, RunCell
+from repro.workloads import mixed_workload
+
+from tests.parallel.helpers import build_static
+
+N_CORES = 4
+N_EPOCHS = 5
+
+
+def small_grid(n_cells: int = 6, n_epochs: int = N_EPOCHS) -> List[CellTask]:
+    """``n_cells`` distinct, cacheable cells over one workload."""
+    cfg = default_system(n_cores=N_CORES, n_levels=3, budget_fraction=0.6)
+    workload = mixed_workload(N_CORES, seed=0)
+    tasks = []
+    for seed in range(n_cells):
+        cell = RunCell(
+            controller="static",
+            workload=workload.name,
+            budget=None,
+            seed=seed,
+            n_epochs=n_epochs,
+        )
+        tasks.append(CellTask(cell, cfg, workload, partial(build_static)))
+    return tasks

@@ -1,0 +1,177 @@
+"""Cache integrity: checksums, quarantine, torn writes, stats/verify/gc.
+
+Regression focus: a truncated or unreadable entry used to be served to
+``load_result`` and surface as an opaque exception (or be silently
+treated as a plain miss).  It must now be *counted*, moved to
+``<root>/quarantine/``, and reported as a miss — never mis-served, never
+fatal, never silently deleted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.manycore import default_system
+from repro.parallel import ResultCache
+from repro.parallel.chaos import ChaosPolicy
+from repro.sim.results import SimulationResult
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return default_system(n_cores=4, n_levels=3, budget_fraction=0.6)
+
+
+def tiny_result(cfg, n_epochs=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return SimulationResult(
+        cfg=cfg,
+        controller_name="static-uniform",
+        workload_name="mixed",
+        chip_power=rng.uniform(1.0, 20.0, n_epochs),
+        chip_instructions=rng.uniform(1e6, 1e8, n_epochs),
+        max_temperature=rng.uniform(300.0, 350.0, n_epochs),
+        decision_time=np.zeros(n_epochs),
+        extras={"note": "synthetic"},
+    )
+
+
+KEY = "ab" + "0" * 62
+
+
+class TestChecksumRoundTrip:
+    def test_put_writes_sidecar_and_get_serves(self, cfg, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, tiny_result(cfg))
+        assert cache.checksum_path(KEY).exists()
+        hit = cache.get(KEY)
+        assert hit is not None
+        assert cache.hits == 1 and cache.corrupt == 0
+
+    def test_torn_write_is_quarantined_not_served(self, cfg, tmp_path):
+        # Regression: simulate a torn write by truncating the entry after
+        # the fact.  get() must quarantine and miss, not raise or serve.
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, tiny_result(cfg))
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        assert cache.get(KEY) is None
+        assert cache.corrupt == 1 and cache.quarantined == 1
+        assert cache.misses == 1
+        assert (cache.quarantine_root / path.name).exists()
+        assert not path.exists()
+        assert cache.quarantine_log == [(KEY, "checksum-mismatch")]
+
+    def test_bit_flip_is_quarantined(self, cfg, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, tiny_result(cfg))
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert cache.get(KEY) is None
+        assert cache.quarantined == 1
+
+    def test_legacy_entry_without_sidecar_still_serves(self, cfg, tmp_path):
+        # Pre-integrity stores have no .sha256 files; loadable entries must
+        # keep serving (verification by loadability alone).
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, tiny_result(cfg))
+        cache.checksum_path(KEY).unlink()
+        assert cache.get(KEY) is not None
+
+    def test_legacy_unreadable_entry_is_quarantined(self, cfg, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for(KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"this is not an npz file")
+        assert cache.get(KEY) is None
+        assert cache.quarantine_log == [(KEY, "unreadable")]
+
+    def test_quarantine_is_never_fatal_and_recompute_heals(self, cfg, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, tiny_result(cfg))
+        path.write_bytes(b"garbage")
+        assert cache.get(KEY) is None  # quarantined
+        cache.put(KEY, tiny_result(cfg))  # recompute path rewrites cleanly
+        assert cache.get(KEY) is not None
+        assert cache.quarantined == 1  # no double-count
+
+
+class TestPutSafe:
+    def test_disk_full_is_absorbed_and_counted(self, cfg, tmp_path):
+        chaos = ChaosPolicy(seed=0, disk_full_rate=1.0)
+        cache = ResultCache(tmp_path, chaos=chaos)
+        assert cache.put_safe(KEY, tiny_result(cfg)) is None
+        assert cache.put_errors == 1
+        assert cache.get(KEY) is None  # nothing half-written
+
+    def test_put_still_raises_for_callers_that_want_it(self, cfg, tmp_path):
+        chaos = ChaosPolicy(seed=0, disk_full_rate=1.0)
+        cache = ResultCache(tmp_path, chaos=chaos)
+        with pytest.raises(OSError):
+            cache.put(KEY, tiny_result(cfg))
+
+    def test_chaos_corruption_on_put_is_caught_on_get(self, cfg, tmp_path):
+        chaos = ChaosPolicy(seed=0, cache_truncate_rate=1.0)
+        cache = ResultCache(tmp_path, chaos=chaos)
+        cache.put(KEY, tiny_result(cfg))
+        assert chaos.cache_injections() == 1
+        assert cache.get(KEY) is None
+        assert cache.quarantined == 1
+
+
+class TestAudit:
+    def test_stats_inventory(self, cfg, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, tiny_result(cfg))
+        cache.put("cd" + "1" * 62, tiny_result(cfg, seed=1))
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert stats.quarantined_entries == 0
+
+    def test_verify_quarantines_bad_and_heals_legacy(self, cfg, tmp_path):
+        cache = ResultCache(tmp_path)
+        good, bad, legacy = KEY, "cd" + "1" * 62, "ef" + "2" * 62
+        cache.put(good, tiny_result(cfg))
+        bad_path = cache.put(bad, tiny_result(cfg, seed=1))
+        bad_path.write_bytes(b"garbage")
+        cache.put(legacy, tiny_result(cfg, seed=2))
+        cache.checksum_path(legacy).unlink()
+        report = cache.verify()
+        assert report.checked == 3
+        assert report.ok == 2
+        assert report.quarantined == (bad,)
+        assert report.healed == 1
+        assert not report.clean
+        assert cache.checksum_path(legacy).exists()
+
+    def test_gc_prunes_oldest_and_purges_quarantine(self, cfg, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        keys = [f"{i:02x}" + str(i) * 62 for i in range(4)]
+        epoch = 1_000_000_000  # any fixed mtime base; only ordering matters
+        for age, key in enumerate(keys):
+            path = cache.put(key, tiny_result(cfg, seed=age))
+            os.utime(path, (epoch + age, epoch + age))
+        removed, freed = cache.gc(max_entries=2)
+        assert removed == 2 and freed > 0
+        assert len(cache) == 2
+        assert cache.get(keys[3]) is not None  # newest survived
+
+        bad = cache.put("aa" + "9" * 62, tiny_result(cfg, seed=9))
+        bad.write_bytes(b"junk")
+        cache.get("aa" + "9" * 62)  # quarantine it
+        removed, _ = cache.gc(purge_quarantine=True)
+        assert removed == 1
+        assert cache.stats().quarantined_entries == 0
+
+    def test_quarantine_dir_never_iterated_as_entries(self, cfg, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, tiny_result(cfg))
+        path.write_bytes(b"junk")
+        cache.get(KEY)
+        assert len(cache) == 0
+        assert cache.stats().quarantined_entries == 1

@@ -1,0 +1,102 @@
+"""ChaosPolicy unit behaviour: determinism, rates, termination cap,
+cache-side injection mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.chaos import CHAOS_CRASH_EXIT_CODE, ChaosPolicy, ChaosTransientError
+
+
+class TestDecisions:
+    def test_decisions_are_deterministic(self):
+        a = ChaosPolicy(seed=7, transient_rate=0.3)
+        b = ChaosPolicy(seed=7, transient_rate=0.3)
+        sites = [(f"cell-{i}", attempt) for i in range(50) for attempt in (1, 2)]
+        assert [a.should("transient", s, n) for s, n in sites] == [
+            b.should("transient", s, n) for s, n in sites
+        ]
+
+    def test_different_seeds_differ(self):
+        a = ChaosPolicy(seed=1, transient_rate=0.5)
+        b = ChaosPolicy(seed=2, transient_rate=0.5)
+        sites = [f"cell-{i}" for i in range(100)]
+        assert [a.should("transient", s, 1) for s in sites] != [
+            b.should("transient", s, 1) for s in sites
+        ]
+
+    def test_rate_zero_never_fires_rate_one_always_fires(self):
+        off = ChaosPolicy(seed=3)
+        on = ChaosPolicy(seed=3, crash_rate=1.0)
+        assert not any(off.should("crash", f"c{i}", 1) for i in range(20))
+        assert all(on.should("crash", f"c{i}", 1) for i in range(20))
+
+    def test_observed_rate_tracks_requested_rate(self):
+        policy = ChaosPolicy(seed=11, transient_rate=0.25)
+        fired = sum(
+            policy.should("transient", f"cell-{i}", 1) for i in range(2000)
+        )
+        assert 0.20 < fired / 2000 < 0.30
+
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(ValueError, match="crash_rate"):
+            ChaosPolicy(seed=0, crash_rate=1.5)
+        with pytest.raises(ValueError, match="max_attempt"):
+            ChaosPolicy(seed=0, max_attempt=0)
+
+
+class TestWorkerSideInjection:
+    def test_transient_raises_and_counts(self):
+        policy = ChaosPolicy(seed=0, transient_rate=1.0)
+        with pytest.raises(ChaosTransientError):
+            policy.at_cell_start("cell", attempt=1)
+        assert policy.counts["transient"] == 1
+
+    def test_no_injection_beyond_max_attempt(self):
+        policy = ChaosPolicy(seed=0, transient_rate=1.0, max_attempt=2)
+        policy.at_cell_start("cell", attempt=3)  # must not raise
+        assert policy.counts.get("transient", 0) == 0
+
+    def test_inline_variant_never_crashes_or_hangs(self):
+        # crash_rate=1 + hang_rate=1 armed, but the inline entry point only
+        # fires transient faults (a crash would kill the parent process).
+        policy = ChaosPolicy(
+            seed=0, crash_rate=1.0, hang_rate=1.0, hang_seconds=60.0
+        )
+        policy.inline_cell_start("cell", attempt=1)  # returns, alive
+
+    def test_crash_exit_code_is_distinct_from_test_helpers(self):
+        from tests.parallel.helpers import CRASH_EXIT_CODE
+
+        assert CHAOS_CRASH_EXIT_CODE != CRASH_EXIT_CODE
+
+
+class TestCacheSideInjection:
+    def test_corrupt_flips_a_byte(self, tmp_path):
+        target = tmp_path / "entry.npz"
+        target.write_bytes(bytes(range(64)))
+        policy = ChaosPolicy(seed=0, cache_corrupt_rate=1.0)
+        kind = policy.corrupt_cache_entry("k", target)
+        assert kind == "cache_corrupt"
+        data = target.read_bytes()
+        assert len(data) == 64 and data != bytes(range(64))
+
+    def test_truncate_halves_the_file(self, tmp_path):
+        target = tmp_path / "entry.npz"
+        target.write_bytes(b"x" * 100)
+        policy = ChaosPolicy(seed=0, cache_truncate_rate=1.0)
+        kind = policy.corrupt_cache_entry("k", target)
+        assert kind == "cache_truncate"
+        assert target.stat().st_size == 50
+        assert policy.cache_injections() == 1
+
+    def test_disk_full_raises_oserror(self):
+        policy = ChaosPolicy(seed=0, disk_full_rate=1.0)
+        with pytest.raises(OSError, match="disk-full"):
+            policy.before_cache_put("deadbeef")
+
+    def test_storm_arms_every_fault(self):
+        policy = ChaosPolicy.storm(seed=5, rate=0.2)
+        assert policy.crash_rate == policy.transient_rate == 0.2
+        assert policy.cache_corrupt_rate == policy.disk_full_rate == 0.2
+        assert policy.hang_rate == 0.0  # no hang_seconds requested

@@ -1,0 +1,125 @@
+"""RetryPolicy unit behaviour: classification, cutoff, backoff, jitter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.retry import (
+    CUTOFF_EXEMPT_TYPES,
+    DEFAULT_TRANSIENT_TYPES,
+    DETERMINISTIC,
+    TRANSIENT,
+    RetryPolicy,
+)
+
+
+def _classify_override(error_type, message):
+    if error_type == "MyFlakyError":
+        return TRANSIENT
+    return None
+
+
+class TestClassification:
+    def test_infrastructure_errors_are_transient(self):
+        policy = RetryPolicy()
+        for name in ("WorkerCrash", "CellTimeout", "ChaosTransientError", "OSError"):
+            assert policy.classify(name, "boom") == TRANSIENT
+
+    def test_ordinary_errors_are_deterministic(self):
+        policy = RetryPolicy()
+        for name in ("ValueError", "KeyError", "AssertionError", "CacheKeyError"):
+            assert policy.classify(name, "boom") == DETERMINISTIC
+
+    def test_matching_uses_qualified_name_leaf(self):
+        policy = RetryPolicy()
+        assert policy.classify("chaos.ChaosTransientError", "x") == TRANSIENT
+        assert policy.classify("some.module.ValueError", "x") == DETERMINISTIC
+
+    def test_classifier_override_wins_and_none_falls_through(self):
+        policy = RetryPolicy(classifier=_classify_override)
+        assert policy.classify("MyFlakyError", "x") == TRANSIENT
+        assert policy.classify("WorkerCrash", "x") == TRANSIENT  # fell through
+
+    def test_classifier_bad_verdict_is_rejected(self):
+        policy = RetryPolicy(classifier=lambda t, m: "maybe")
+        with pytest.raises(ValueError, match="classifier returned"):
+            policy.classify("ValueError", "x")
+
+
+class TestShouldRetry:
+    def test_budget_gate(self):
+        policy = RetryPolicy(retries=1)
+        history = [("WorkerCrash", "died")]
+        assert policy.should_retry(1, history)
+        assert not policy.should_retry(2, history * 2)
+
+    def test_deterministic_failure_never_retried(self):
+        policy = RetryPolicy(retries=5)
+        assert not policy.should_retry(1, [("ValueError", "bad")])
+
+    def test_identical_failure_twice_cuts_off(self):
+        policy = RetryPolicy(retries=5)
+        history = [("ConnectionResetError", "peer gone")] * 2
+        assert not policy.should_retry(2, history)
+
+    def test_differing_messages_keep_retrying(self):
+        policy = RetryPolicy(retries=5)
+        history = [
+            ("ConnectionResetError", "attempt 1"),
+            ("ConnectionResetError", "attempt 2"),
+        ]
+        assert policy.should_retry(2, history)
+
+    def test_infrastructure_failures_are_cutoff_exempt(self):
+        # Two identical WorkerCrash messages carry no determinism evidence;
+        # only the budget may stop them.
+        policy = RetryPolicy(retries=5)
+        for name in CUTOFF_EXEMPT_TYPES:
+            history = [(name, "constant message")] * 2
+            assert policy.should_retry(2, history), name
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="retries"):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="max_delay"):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+
+
+class TestBackoff:
+    def test_no_delay_before_first_attempt(self):
+        policy = RetryPolicy(base_delay=0.1)
+        assert policy.delay_before(1, "cell") == 0.0
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.4, jitter=0.0, retries=9)
+        delays = [policy.delay_before(n, "cell") for n in range(2, 8)]
+        assert delays == [
+            pytest.approx(0.1),
+            pytest.approx(0.2),
+            pytest.approx(0.4),
+            pytest.approx(0.4),
+            pytest.approx(0.4),
+            pytest.approx(0.4),
+        ]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=3)
+        d1 = policy.delay_before(2, "cell-a")
+        d2 = policy.delay_before(2, "cell-a")
+        assert d1 == d2  # pure function of (seed, label, attempt)
+        assert 0.05 <= d1 <= 0.15
+
+    def test_jitter_decorrelates_cells(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=3)
+        delays = {policy.delay_before(2, f"cell-{i}") for i in range(10)}
+        assert len(delays) > 1
+
+    def test_zero_base_delay_means_no_sleeping(self):
+        policy = RetryPolicy(base_delay=0.0, max_delay=0.0, jitter=0.0)
+        assert policy.delay_before(5, "cell") == 0.0
+
+    def test_transient_table_is_frozen_against_typos(self):
+        assert "WorkerCrash" in DEFAULT_TRANSIENT_TYPES
+        assert "ValueError" not in DEFAULT_TRANSIENT_TYPES

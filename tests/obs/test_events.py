@@ -45,6 +45,27 @@ _PAYLOADS = {
     "cell_fallback": {"cell": "od-rl/mixed", "reason": "watchdog"},
     "cell_done": {"cell": "od-rl/mixed", "attempts": 1},
     "cell_failed": {"cell": "od-rl/mixed", "attempts": 2, "error_type": "ValueError"},
+    "cell_retry": {
+        "cell": "od-rl/mixed",
+        "attempt": 1,
+        "error_type": "WorkerCrash",
+        "classification": "transient",
+        "delay": 0.05,
+    },
+    "cell_timeout": {"cell": "od-rl/mixed", "attempt": 1, "deadline": 30.0},
+    "cell_abandoned": {
+        "cell": "od-rl/mixed",
+        "attempts": 1,
+        "error_type": "ValueError",
+        "classification": "deterministic",
+    },
+    "cache_quarantine": {"key": "ab" + "0" * 62, "reason": "checksum-mismatch"},
+    "campaign_resume": {
+        "campaign": "cd" + "1" * 62,
+        "total": 12,
+        "completed": 7,
+        "pending": 5,
+    },
     "engine_summary": {"counters": {"cells_run": 3}},
 }
 

@@ -11,6 +11,7 @@ processes.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 from repro.baselines import StaticUniformController
@@ -42,3 +43,83 @@ def always_crash(cfg):
 def always_raise(cfg):
     """Raise an ordinary exception (structured failure, pool survives)."""
     raise ValueError("deliberate factory failure")
+
+
+def crash_n_times(cfg, sentinel_dir: str, n: int):
+    """Kill the worker on each of the first ``n`` calls; then succeed.
+
+    Each crash drops a numbered sentinel file first, so repeated pool
+    deaths are countable from the parent.
+    """
+    marks = Path(sentinel_dir)
+    marks.mkdir(parents=True, exist_ok=True)
+    crashed = len(list(marks.glob("crash-*")))
+    if crashed < n:
+        (marks / f"crash-{crashed}").write_text("crashed")
+        os._exit(CRASH_EXIT_CODE)
+    return StaticUniformController(cfg)
+
+
+def transient_then_succeed(cfg, sentinel_path: str):
+    """Raise a transient-classified error on the first call, then succeed.
+
+    The message includes the attempt count so the identical-failure
+    cutoff never triggers (this models a genuinely flaky resource).
+    """
+    sentinel = Path(sentinel_path)
+    tries = int(sentinel.read_text()) if sentinel.exists() else 0
+    sentinel.write_text(str(tries + 1))
+    if tries == 0:
+        raise ConnectionResetError(f"injected transient fault, attempt {tries + 1}")
+    return StaticUniformController(cfg)
+
+
+def flaky_identical_raise(cfg, sentinel_path: str):
+    """Raise the *same* transient-classified error on every call.
+
+    Exercises the identical-failure cutoff: despite a generous retry
+    budget, the second verbatim repeat must end the retries.
+    """
+    sentinel = Path(sentinel_path)
+    tries = int(sentinel.read_text()) if sentinel.exists() else 0
+    sentinel.write_text(str(tries + 1))
+    raise ConnectionResetError("identical transient fault")
+
+
+class MidRunFlaky(StaticUniformController):
+    """Raises a transient error *mid-run* (after ``fail_after`` decisions)
+    on the first attempt; behaves like the static baseline afterwards.
+
+    Exercises trace-buffer hygiene: the failed attempt has already emitted
+    epoch events into its worker-side buffer, and none of them may leak
+    into the parent's trace when the retry succeeds.
+    """
+
+    def __init__(self, cfg, sentinel_path: str, fail_after: int = 2):
+        super().__init__(cfg)
+        self.sentinel_path = sentinel_path
+        self.fail_after = fail_after
+        self.calls = 0
+
+    def decide(self, obs):
+        self.calls += 1
+        sentinel = Path(self.sentinel_path)
+        if not sentinel.exists() and self.calls > self.fail_after:
+            sentinel.write_text("failed mid-run")
+            raise ConnectionResetError("mid-run transient fault, first attempt")
+        return super().decide(obs)
+
+
+def flaky_midrun(cfg, sentinel_path: str, fail_after: int = 2):
+    """Factory for :class:`MidRunFlaky` (module-level, spawn-safe)."""
+    return MidRunFlaky(cfg, sentinel_path, fail_after)
+
+
+def hang_once(cfg, sentinel_path: str, seconds: float = 30.0):
+    """Stall the worker on the first call (a straggler for the watchdog);
+    succeed on the retry."""
+    sentinel = Path(sentinel_path)
+    if not sentinel.exists():
+        sentinel.write_text("first attempt hung")
+        time.sleep(seconds)
+    return StaticUniformController(cfg)

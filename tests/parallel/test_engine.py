@@ -15,8 +15,10 @@ from repro.manycore import default_system
 from repro.parallel import (
     CellTask,
     ParallelExecutionError,
+    RetryPolicy,
     RunCell,
     execute_cells,
+    execute_cells_report,
 )
 from repro.workloads import mixed_workload
 
@@ -112,11 +114,15 @@ class TestStructuredFailures:
         assert "always_raise" in failure.traceback_text
         assert failure.attempts == 1
 
-    def test_exceptions_are_retried_before_failing(self, cfg, workload):
+    def test_deterministic_exceptions_fail_fast(self, cfg, workload):
+        # A ValueError reproduces identically on every attempt; granting
+        # it the retry budget only wastes attempts.  One attempt, classified.
         task = make_task(cfg, workload, helpers.always_raise)
         with pytest.raises(ParallelExecutionError) as excinfo:
             execute_cells([task], jobs=2, retries=2)
-        assert excinfo.value.failures[0].attempts == 3
+        (failure,) = excinfo.value.failures
+        assert failure.attempts == 1
+        assert failure.classification == "deterministic"
 
     def test_one_bad_cell_does_not_hide_good_results_error(self, cfg, workload):
         tasks = [
@@ -143,3 +149,152 @@ class TestStructuredFailures:
             execute_cells(tasks, jobs=2, retries=0)
         message = str(excinfo.value)
         assert "bad-0" in message and "bad-1" in message
+
+
+class TestClassifiedRetry:
+    def test_repeated_pool_deaths_are_survived(self, cfg, workload, tmp_path):
+        # Two consecutive crashes, two pool rebuilds, success on the third
+        # attempt — crash containment must hold across *repeated* deaths.
+        factory = partial(
+            helpers.crash_n_times, sentinel_dir=str(tmp_path / "marks"), n=2
+        )
+        task = make_task(cfg, workload, factory)
+        (result,) = execute_cells([task], jobs=2, retries=2)
+        assert result.n_epochs == N_EPOCHS
+        assert len(list((tmp_path / "marks").glob("crash-*"))) == 2
+
+    def test_transient_exception_is_retried(self, cfg, workload, tmp_path):
+        factory = partial(
+            helpers.transient_then_succeed,
+            sentinel_path=str(tmp_path / "tries"),
+        )
+        task = make_task(cfg, workload, factory)
+        (result,) = execute_cells([task], jobs=2, retries=2)
+        assert result.n_epochs == N_EPOCHS
+        assert (tmp_path / "tries").read_text() == "2"
+
+    def test_identical_failure_twice_is_not_retried_a_third_time(
+        self, cfg, workload, tmp_path
+    ):
+        # Transient-classified, generous budget — but the second verbatim
+        # repeat proves the error deterministic in disguise.
+        factory = partial(
+            helpers.flaky_identical_raise,
+            sentinel_path=str(tmp_path / "tries"),
+        )
+        task = make_task(cfg, workload, factory)
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            execute_cells([task], jobs=2, retries=5)
+        (failure,) = excinfo.value.failures
+        assert failure.attempts == 2
+        assert (tmp_path / "tries").read_text() == "2"
+
+    def test_custom_policy_overrides_retries_argument(self, cfg, workload):
+        task = make_task(cfg, workload, helpers.always_crash)
+        policy = RetryPolicy(retries=0, base_delay=0.0, max_delay=0.0, jitter=0.0)
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            execute_cells([task], jobs=2, retries=5, retry_policy=policy)
+        assert excinfo.value.failures[0].attempts == 1
+
+    def test_inline_retry_with_policy(self, cfg, workload, tmp_path):
+        # jobs=1 with an explicit policy opts into the classified-retry
+        # machinery instead of raw propagation.
+        factory = partial(
+            helpers.transient_then_succeed,
+            sentinel_path=str(tmp_path / "tries"),
+        )
+        task = make_task(cfg, workload, factory)
+        policy = RetryPolicy(retries=2, base_delay=0.0, max_delay=0.0, jitter=0.0)
+        (result,) = execute_cells([task], jobs=1, retry_policy=policy)
+        assert result.n_epochs == N_EPOCHS
+        assert (tmp_path / "tries").read_text() == "2"
+
+
+class TestWatchdog:
+    def test_straggler_is_cancelled_and_retried(self, cfg, workload, tmp_path):
+        factory = partial(
+            helpers.hang_once,
+            sentinel_path=str(tmp_path / "sentinel"),
+            seconds=60.0,
+        )
+        task = make_task(cfg, workload, factory)
+        # The deadline clock includes worker spawn/import time (~1-2s in
+        # CI), so the soft deadline must sit comfortably above it.
+        (result,) = execute_cells([task], jobs=2, retries=1, timeout=5.0)
+        assert result.n_epochs == N_EPOCHS
+        assert (tmp_path / "sentinel").exists()
+
+    def test_persistent_straggler_fails_with_timeout_type(
+        self, cfg, workload, tmp_path
+    ):
+        factory = partial(
+            helpers.hang_once,
+            sentinel_path=str(tmp_path / "sentinel"),
+            seconds=60.0,
+        )
+        task = make_task(cfg, workload, factory, name="straggler")
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            execute_cells([task], jobs=2, retries=0, timeout=3.0)
+        (failure,) = excinfo.value.failures
+        assert failure.error_type == "CellTimeout"
+        assert failure.classification == "transient"
+
+    def test_innocent_cells_survive_a_watchdog_kill(
+        self, cfg, workload, tmp_path
+    ):
+        # The hung cell trips the watchdog; healthy cells sharing the pool
+        # must still complete (re-queued without losing budget).
+        hang = partial(
+            helpers.hang_once,
+            sentinel_path=str(tmp_path / "sentinel"),
+            seconds=60.0,
+        )
+        tasks = [
+            make_task(cfg, workload, hang, name="straggler"),
+            make_task(cfg, workload, helpers.build_static, name="healthy-0"),
+            make_task(cfg, workload, helpers.build_static, name="healthy-1"),
+        ]
+        results = execute_cells(tasks, jobs=2, retries=1, timeout=5.0)
+        assert len(results) == 3
+        assert all(r.n_epochs == N_EPOCHS for r in results)
+
+    def test_rejects_nonpositive_timeout(self, cfg, workload):
+        task = make_task(cfg, workload, helpers.build_static)
+        with pytest.raises(ValueError, match="timeout"):
+            execute_cells([task], jobs=2, timeout=0.0)
+
+
+class TestPartialResults:
+    def test_report_returns_survivors_and_failures(self, cfg, workload):
+        tasks = [
+            make_task(cfg, workload, helpers.build_static, name="good"),
+            make_task(cfg, workload, helpers.always_raise, name="bad"),
+        ]
+        report = execute_cells_report(tasks, jobs=2, retries=0)
+        assert not report.ok
+        assert report.results[0] is not None
+        assert report.results[1] is None
+        assert len(report.completed()) == 1
+        (failure,) = report.failures
+        assert failure.cell.controller == "bad"
+        assert failure.classification == "deterministic"
+        assert report.counters["engine.cells_failed"] == 1
+
+    def test_report_all_ok(self, cfg, workload):
+        tasks = [
+            make_task(cfg, workload, helpers.build_static, name=f"c{i}")
+            for i in range(2)
+        ]
+        report = execute_cells_report(tasks, jobs=2)
+        assert report.ok
+        assert len(report.completed()) == 2
+        assert report.counters["engine.cells_run"] == 2
+
+    def test_report_inline(self, cfg, workload):
+        tasks = [
+            make_task(cfg, workload, helpers.always_raise, name="bad"),
+            make_task(cfg, workload, helpers.build_static, name="good"),
+        ]
+        report = execute_cells_report(tasks, jobs=1)
+        assert [f.cell.controller for f in report.failures] == ["bad"]
+        assert len(report.completed()) == 1

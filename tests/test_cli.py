@@ -24,6 +24,25 @@ class TestParser:
         assert args.benchmark == "fft"
         assert args.budget_fraction == 0.5
 
+    def test_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["compare", "--journal", "c.jsonl", "--timeout", "30"]
+        )
+        assert args.journal == "c.jsonl"
+        assert args.timeout == 30.0
+        args = build_parser().parse_args(["experiment", "E2"])
+        assert args.journal is None and args.timeout is None
+
+    def test_cache_subcommands(self):
+        args = build_parser().parse_args(["cache", "stats", "d"])
+        assert args.cache_command == "stats" and args.cache_dir == "d"
+        args = build_parser().parse_args(["cache", "verify", "d", "--no-heal"])
+        assert args.no_heal
+        args = build_parser().parse_args(
+            ["cache", "gc", "d", "--max-entries", "5", "--purge-quarantine"]
+        )
+        assert args.max_entries == 5 and args.purge_quarantine
+
 
 class TestListCommand:
     def test_lists_everything(self, capsys):
@@ -67,3 +86,59 @@ class TestCompareCommand:
     def test_unknown_benchmark(self, capsys):
         assert main(["compare", "--benchmark", "quake"]) == 2
         assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_journal_threads_through_to_a_resumable_campaign(
+        self, capsys, tmp_path
+    ):
+        journal = tmp_path / "campaign.jsonl"
+        argv = [
+            "compare", "--cores", "4", "--epochs", "30",
+            "--cache", str(tmp_path / "cache"), "--journal", str(journal),
+        ]
+        assert main(argv) == 0
+        assert journal.exists()
+        capsys.readouterr()
+        # Second invocation resumes: every cell comes back from the cache.
+        assert main(argv) == 0
+
+
+class TestCacheCommand:
+    @staticmethod
+    def _populate(tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        code = main(
+            ["compare", "--cores", "4", "--epochs", "30", "--cache", str(cache_dir)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return cache_dir
+
+    def test_stats(self, capsys, tmp_path):
+        cache_dir = self._populate(tmp_path, capsys)
+        assert main(["cache", "stats", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "quarantined: 0" in out
+
+    def test_stats_on_empty_directory(self, capsys, tmp_path):
+        assert main(["cache", "stats", str(tmp_path / "fresh")]) == 0
+        assert "entries:     0" in capsys.readouterr().out
+
+    def test_verify_clean_then_corrupt(self, capsys, tmp_path):
+        cache_dir = self._populate(tmp_path, capsys)
+        assert main(["cache", "verify", str(cache_dir)]) == 0
+        capsys.readouterr()
+        victim = next(cache_dir.glob("??/*.npz"))
+        victim.write_bytes(b"garbage")
+        assert main(["cache", "verify", str(cache_dir)]) == 1
+        assert "1 quarantined" in capsys.readouterr().out
+
+    def test_gc(self, capsys, tmp_path):
+        cache_dir = self._populate(tmp_path, capsys)
+        assert main(["cache", "gc", str(cache_dir), "--max-entries", "2"]) == 0
+        assert "freed" in capsys.readouterr().out
+        assert main(["cache", "stats", str(cache_dir)]) == 0
+        assert "entries:     2" in capsys.readouterr().out
+
+    def test_missing_directory_is_an_error(self, capsys, tmp_path):
+        assert main(["cache", "verify", str(tmp_path / "nope")]) == 2
+        assert "no such cache" in capsys.readouterr().err

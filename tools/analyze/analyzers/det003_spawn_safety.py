@@ -4,10 +4,13 @@
 *spawn* start method, so everything crossing the process boundary must
 pickle: lambdas and closures raise ``PicklingError`` at submit time — or
 worse, appear to work under a fork-based dev setup and then fail only on
-the spawn-based CI runner.  Three sites are checked:
+the spawn-based CI runner.  Four sites are checked:
 
 * direct ``pool.submit(fn, ...)`` calls — ``fn`` must not be a lambda or
-  a function defined inside another function;
+  a function defined inside another function, and neither may any of the
+  *arguments* shipped with it (the resilient engine submits a
+  ``ChaosPolicy`` alongside every task, so payload args cross the
+  boundary too);
 * ``CellTask(...)`` construction — the ``factory`` argument (positional
   index 3 or keyword) must be module-level picklable; a
   ``functools.partial`` is unwrapped and its target checked the same
@@ -15,7 +18,10 @@ the spawn-based CI runner.  Three sites are checked:
 * controller lineup builders — any function annotated as returning
   ``ControllerFactory`` mappings must not stuff lambdas or nested
   defs into the returned dict, since those factories are later embedded
-  in ``CellTask``s.
+  in ``CellTask``s;
+* ``RetryPolicy(classifier=...)`` construction — custom classifiers ride
+  inside policies that campaign code routinely embeds in task payloads,
+  so they must be module-level picklable like any factory.
 """
 
 from __future__ import annotations
@@ -80,6 +86,7 @@ class SpawnSafety(Analyzer):
                 yield from self._check_submit_sites(mod, fn, nested, fn_params)
                 yield from self._check_celltask_sites(mod, fn, nested, fn_params)
                 yield from self._check_lineup_builders(mod, fn, nested)
+                yield from self._check_retry_policy_sites(mod, fn, nested, fn_params)
 
     @staticmethod
     def _param_names(fn_node: ast.AST) -> Set[str]:
@@ -149,6 +156,16 @@ class SpawnSafety(Analyzer):
                     f"`submit()` receives {reason}; move the work function "
                     "to module level",
                 )
+            for arg in node.args[1:]:
+                reason = self._unpicklable_reason(mod, fn, arg, nested, params)
+                if reason is not None:
+                    yield self.violation(
+                        mod,
+                        node,
+                        f"`submit()` payload argument is {reason}; every "
+                        "argument is pickled into the spawn worker along "
+                        "with the work function",
+                    )
 
     # -- CellTask factories ----------------------------------------------
     def _check_celltask_sites(
@@ -182,6 +199,36 @@ class SpawnSafety(Analyzer):
                     "into worker processes — build them from module-level "
                     "functions (optionally via functools.partial)",
                 )
+
+    # -- RetryPolicy classifiers -----------------------------------------
+    def _check_retry_policy_sites(
+        self,
+        mod: ModuleInfo,
+        fn: FunctionInfo,
+        nested: Set[str],
+        params: Set[str],
+    ) -> Iterator[Violation]:
+        for node in ast.walk(fn.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id.endswith("RetryPolicy")
+            ):
+                continue
+            for kw in node.keywords:
+                if kw.arg != "classifier":
+                    continue
+                reason = self._unpicklable_reason(
+                    mod, fn, kw.value, nested, params
+                )
+                if reason is not None:
+                    yield self.violation(
+                        mod,
+                        node,
+                        f"RetryPolicy classifier is {reason}; policies are "
+                        "embedded in campaign payloads that cross the spawn "
+                        "boundary — use a module-level classifier",
+                    )
 
     # -- controller lineup builders --------------------------------------
     def _returns_factories(self, fn: FunctionInfo) -> bool:
