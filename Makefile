@@ -4,7 +4,7 @@
 # .[lint]` — for the lint/typecheck targets, which skip with a warning
 # when the tools are absent).
 
-.PHONY: test bench bench-summary examples experiments faults golden determinism batch trace chaos coverage lint analyze typecheck check clean
+.PHONY: test bench bench-summary examples experiments faults golden determinism batch kernel trace chaos coverage lint analyze typecheck check clean
 
 test:
 	pytest tests/
@@ -13,11 +13,16 @@ golden:
 	python -m tools.regen_golden
 
 determinism:
-	pytest tests/golden/ tests/parallel/ tests/batch/ -q
+	pytest tests/golden/ tests/parallel/ tests/batch/ tests/kernel/ -q
 
 batch:
 	pytest tests/batch/ -q
-	python -m tools.batch_overhead --cores 16 --epochs 120 --reps 2
+	python -m tools.batch_overhead --cores 8 --epochs 240 --reps 2
+
+kernel:
+	REPRO_VALIDATE=1 pytest tests/kernel/ -q
+	python -m tools.batch_overhead --cores 8 --epochs 240 --reps 3 \
+		--controllers od-rl,pid --batch-sizes 8 --threshold 0.333
 
 trace:
 	pytest tests/obs/ -q

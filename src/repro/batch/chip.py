@@ -1,140 +1,51 @@
-"""Batched plant: N independent chips advanced by one tensor step.
+"""Batched plant: a stacking adapter over the epoch kernel.
 
-:class:`BatchChip` stacks ``n_runs`` independent :class:`~repro.manycore.
-chip.ManyCoreChip` instances into ``(n_runs, n_cores)`` state arrays and
-replays ``ManyCoreChip.step``'s exact operation sequence on the stacked
-arrays.  The bit-identity contract (see ``docs/batch.md``) rests on three
-facts about the stacking:
+:class:`BatchChip` *is* the array-native kernel
+(:class:`repro.kernel.epoch.EpochKernel`) with the batch-backend
+construction defaults: phase streams precomputed for ``n_epochs`` (the
+epoch step becomes a table row lookup) and the vectorized exact-sensor
+path.  The serial chip is the same kernel at ``n_runs=1`` — there is no
+second epoch implementation to keep bit-identical anymore; the contract
+(see ``docs/batch.md``) is enforced once, inside the kernel:
 
 * every serial operation on an ``(n_cores,)`` vector is elementwise, so
   running it on a ``(n_runs, n_cores)`` array produces bit-identical rows;
 * per-run *reductions* (chip power, DP feasibility) are taken over row
   views of C-contiguous arrays, which numpy reduces in the same pairwise
   order as the serial 1-D array;
-* the two non-elementwise pieces — the thermal Laplacian matvec and the
+* the non-elementwise pieces — the thermal Laplacian matvec and the
   stateful fault injector — are executed per run on row views, calling
-  the exact same code paths as the serial chip.
+  the exact same code paths as the serial view.
 
-Runs in one batch may differ in power budget, workload, seed, and fault
-campaign; everything else in the configuration (core count, VF table,
-epoch time, technology) must be identical — :func:`repro.batch.simulator.
-plan_batches` only groups cells satisfying this.
+Runs in one batch may differ in power budget, workload, seed, fault
+campaign, and (via the kernel's ``active`` row mask) epoch count;
+everything else in the configuration (core count, VF table, epoch time,
+technology) must be identical — :func:`repro.batch.simulator.plan_batches`
+only groups cells satisfying this.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
-import numpy as np
-
-from repro.contracts import check_level_indices, check_power_samples, validation_enabled
-from repro.faults.campaign import FaultCampaign
-from repro.faults.injector import FaultInjector
-from repro.manycore.chip import EpochObservation
+from repro.kernel.epoch import EpochKernel, KernelObservation
 from repro.manycore.config import SystemConfig
-from repro.manycore.core import activity_factor, instructions_per_second
 from repro.manycore.hetero import HeterogeneousMap
-from repro.manycore.power import dynamic_power, leakage_power
-from repro.manycore.thermal import ThermalModel
 from repro.manycore.variation import CoreVariation
-from repro.manycore.vf import transition_penalty
-from repro.workloads.phases import CorePhaseSequence, Workload
+from repro.workloads.phases import Workload
+
+if TYPE_CHECKING:
+    from repro.faults.campaign import FaultCampaign
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["BatchObservation", "BatchChip"]
 
-
-@dataclass(frozen=True)
-class BatchObservation:
-    """One elapsed epoch of every run in the batch.
-
-    Same fields as :class:`~repro.manycore.chip.EpochObservation`, with a
-    leading run axis on every array: shape ``(n_runs, n_cores)``.  ``epoch``
-    and ``time`` are scalars — all runs in a batch share the epoch clock.
-    :meth:`row` recovers one run's :class:`EpochObservation` as views, so a
-    serial controller can consume a batch observation unchanged.
-    """
-
-    epoch: int
-    time: float
-    levels: np.ndarray
-    power: np.ndarray
-    instructions: np.ndarray
-    temperature: np.ndarray
-    mem_intensity: np.ndarray
-    compute_intensity: np.ndarray
-    sensed_power: np.ndarray
-    sensed_instructions: np.ndarray
-    sensed_temperature: np.ndarray
-
-    @property
-    def n_runs(self) -> int:
-        return int(self.power.shape[0])
-
-    def row(self, run: int) -> EpochObservation:
-        """Run ``run``'s slice as a serial observation (row views)."""
-        return EpochObservation(
-            epoch=self.epoch,
-            time=self.time,
-            levels=self.levels[run],
-            power=self.power[run],
-            instructions=self.instructions[run],
-            temperature=self.temperature[run],
-            mem_intensity=self.mem_intensity[run],
-            compute_intensity=self.compute_intensity[run],
-            sensed_power=self.sensed_power[run],
-            sensed_instructions=self.sensed_instructions[run],
-            sensed_temperature=self.sensed_temperature[run],
-        )
-
-    def chip_power(self, run: int) -> float:
-        """Total chip power of ``run`` this epoch (row-view reduction —
-        bit-identical to the serial ``EpochObservation.chip_power``)."""
-        return float(np.sum(self.power[run]))
-
-    def chip_instructions(self, run: int) -> float:
-        """Total instructions of ``run`` this epoch (row-view reduction)."""
-        return float(np.sum(self.instructions[run]))
+#: One elapsed epoch of every run in the batch — the kernel's observation
+#: type under its historical batch-backend name.
+BatchObservation = KernelObservation
 
 
-def _epoch_start_times(n_epochs: int, dt: float) -> np.ndarray:
-    """Workload sample times per epoch, accumulated exactly as the serial
-    chip accumulates ``self.time`` (repeated ``+= dt``, never ``cumsum``)."""
-    times = np.empty(n_epochs)
-    t = 0.0
-    for e in range(n_epochs):
-        times[e] = t
-        t += dt
-    return times
-
-
-def _sequence_track(
-    seq: CorePhaseSequence, times: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray]:
-    """``(mem, comp)`` per epoch for one phase sequence.
-
-    Vectorizes ``CorePhaseSequence.phase_at``: the cumulative table is
-    rebuilt with the same left-to-right float accumulation, the cyclic
-    wrap uses the same ``%``, and ``np.searchsorted(side="right")`` is the
-    array form of ``bisect.bisect_right`` — index-identical, so the phase
-    constants picked are the very same floats the serial chip samples.
-    """
-    phases = seq.phases
-    cumulative: List[float] = []
-    total = 0.0
-    for p in phases:
-        total += p.duration
-        cumulative.append(total)
-    cum = np.asarray(cumulative)
-    wrapped = times % total
-    idx = np.searchsorted(cum, wrapped, side="right")
-    idx = np.minimum(idx, len(phases) - 1)
-    mem_vals = np.array([p.mem_intensity for p in phases])
-    comp_vals = np.array([p.compute_intensity for p in phases])
-    return mem_vals[idx], comp_vals[idx]
-
-
-class BatchChip:
+class BatchChip(EpochKernel):
     """``n_runs`` independent plants advanced in lockstep.
 
     Parameters
@@ -146,7 +57,9 @@ class BatchChip:
         One workload per run; phase streams are precomputed for
         ``n_epochs`` so the epoch step is a table row lookup.
     n_epochs:
-        Length of the run the phase streams are precomputed for.
+        Length of the run the phase streams are precomputed for.  Ragged
+        stacks pass the longest run here and mask shorter rows via
+        ``step(..., active=...)``.
     faults:
         Optional per-run fault campaigns (``None`` entries run fault-free).
         Each run gets its own stateful :class:`FaultInjector`, applied on
@@ -154,6 +67,13 @@ class BatchChip:
     validate:
         Arm the per-epoch invariant contracts, as on the serial chip;
         ``None`` defers to ``REPRO_VALIDATE``.
+    variations:
+        Optional per-run process-variation multipliers (``None`` entries
+        mean the nominal die); stacked into ``(n_runs, n_cores)`` rows by
+        the kernel.
+    heteros:
+        Optional per-run core-type maps (``None`` entries mean all cores
+        are the nominal type).
     """
 
     def __init__(
@@ -161,228 +81,23 @@ class BatchChip:
         cfgs: Sequence[SystemConfig],
         workloads: Sequence[Workload],
         n_epochs: int,
-        faults: Optional[Sequence[Optional[FaultCampaign]]] = None,
+        faults: Optional[
+            Sequence[Union["FaultCampaign", "FaultInjector", None]]
+        ] = None,
         validate: Optional[bool] = None,
+        variations: Optional[Sequence[Optional[CoreVariation]]] = None,
+        heteros: Optional[Sequence[Optional[HeterogeneousMap]]] = None,
     ) -> None:
         if not cfgs:
             raise ValueError("BatchChip needs at least one run")
-        if len(workloads) != len(cfgs):
-            raise ValueError(
-                f"{len(cfgs)} configs but {len(workloads)} workloads"
-            )
         if n_epochs <= 0:
             raise ValueError(f"n_epochs must be positive, got {n_epochs}")
-        cfg0 = cfgs[0]
-        if not cfg0.vf_levels:
-            raise ValueError("SystemConfig must carry a non-empty VF table")
-        reference = cfg0.with_budget(1.0)
-        for cfg in cfgs:
-            if cfg.power_budget <= 0:
-                raise ValueError("SystemConfig.power_budget must be set and positive")
-            if cfg.with_budget(1.0) != reference:
-                raise ValueError(
-                    "batched runs may differ only in power_budget; got a "
-                    "config differing elsewhere"
-                )
-        campaigns: Sequence[Optional[FaultCampaign]] = (
-            faults if faults is not None else [None] * len(cfgs)
+        super().__init__(
+            cfgs,
+            workloads,
+            n_epochs=n_epochs,
+            faults=faults,
+            validate=validate,
+            variations=variations,
+            heteros=heteros,
         )
-        if len(campaigns) != len(cfgs):
-            raise ValueError(f"{len(cfgs)} configs but {len(campaigns)} fault entries")
-
-        self.cfgs: Tuple[SystemConfig, ...] = tuple(cfgs)
-        self.workloads: Tuple[Workload, ...] = tuple(workloads)
-        self.cfg = cfg0  # shared plant constants (budget never read here)
-        self.n_runs = len(cfgs)
-        self.n_cores = cfg0.n_cores
-        self.n_levels = cfg0.n_levels
-        self.n_epochs = n_epochs
-        self.validate = validation_enabled(validate)
-
-        hetero = HeterogeneousMap.homogeneous(cfg0.n_cores)
-        variation = CoreVariation.nominal(cfg0.n_cores)
-        self._hetero = hetero
-        self._variation = variation
-        self._base_cpi = cfg0.base_cpi * hetero.cpi_scale
-        self._freqs = np.array([f for f, _ in cfg0.vf_levels])
-        self._volts = np.array([v for _, v in cfg0.vf_levels])
-        # transition_penalty depends only on |new - old|; table-lookup form.
-        self._penalty = np.array(
-            [transition_penalty(0, d) for d in range(self.n_levels)]
-        )
-        # Shared Laplacian (same mesh for every run); temperature state is
-        # (n_runs, n_cores) and substeps apply the matvec per run.
-        thermal = ThermalModel(cfg0)
-        self._laplacian = thermal._laplacian
-        self._temps = np.full(
-            (self.n_runs, self.n_cores), cfg0.technology.t_ambient, dtype=float
-        )
-        self.faults: List[Optional[FaultInjector]] = [
-            FaultInjector(c) if c is not None else None for c in campaigns
-        ]
-        for injector, cfg in zip(self.faults, cfgs):
-            if injector is not None and injector.n_cores != cfg.n_cores:
-                raise ValueError(
-                    f"fault campaign covers {injector.n_cores} cores but the "
-                    f"chip has {cfg.n_cores}"
-                )
-
-        times = _epoch_start_times(n_epochs, cfg0.epoch_time)
-        self._mem_stream, self._comp_stream = self._build_phase_streams(times)
-
-        self.levels = np.full(
-            (self.n_runs, self.n_cores), self.n_levels - 1, dtype=int
-        )
-        self.epoch = 0
-        self.time = 0.0
-        self.total_energy = np.zeros(self.n_runs, dtype=float)
-        self.total_instructions = np.zeros(self.n_runs, dtype=float)
-
-    def _build_phase_streams(
-        self, times: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        mem = np.empty((self.n_epochs, self.n_runs, self.n_cores))
-        comp = np.empty((self.n_epochs, self.n_runs, self.n_cores))
-        tracks: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-        for r, workload in enumerate(self.workloads):
-            for i in range(self.n_cores):
-                seq = workload.sequence_for_core(i)
-                track = tracks.get(id(seq))
-                if track is None:
-                    track = _sequence_track(seq, times)
-                    tracks[id(seq)] = track
-                mem[:, r, i] = track[0]
-                comp[:, r, i] = track[1]
-        return mem, comp
-
-    def _thermal_step(self, power: np.ndarray, dt: float) -> None:
-        """Forward-Euler substeps on ``(n_runs, n_cores)`` temperatures.
-
-        Identical arithmetic to :meth:`ThermalModel.step`; the Laplacian
-        matvec runs per run on contiguous row views (a batched matmul
-        would use a different BLAS kernel and is *not* bit-stable against
-        the serial matvec).
-        """
-        tech = self.cfg.technology
-        tau = tech.r_thermal * tech.c_thermal
-        max_h = ThermalModel._MAX_STEP_FRACTION * tau
-        n_sub = max(1, int(np.ceil(dt / max_h)))
-        h = dt / n_sub
-        temps = self._temps
-        inv_rv = 1.0 / tech.r_thermal
-        inv_rl = 1.0 / tech.r_lateral
-        inv_c = 1.0 / tech.c_thermal
-        lat = np.empty_like(temps)
-        for _ in range(n_sub):
-            for r in range(self.n_runs):
-                lat[r] = self._laplacian @ temps[r]
-            lateral = lat * inv_rl
-            dT = (power - (temps - tech.t_ambient) * inv_rv + lateral) * inv_c
-            temps = temps + h * dT
-        self._temps = temps
-
-    @property
-    def temperatures(self) -> np.ndarray:
-        """Current ``(n_runs, n_cores)`` die temperatures."""
-        return self._temps
-
-    def step(self, new_levels: np.ndarray) -> BatchObservation:
-        """Advance every run by one control epoch.
-
-        The operation sequence, dtype conversions, and reduction shapes
-        mirror :meth:`ManyCoreChip.step` exactly — see the module
-        docstring for why that makes the rows bit-identical.
-        """
-        new_levels = np.asarray(new_levels)
-        if new_levels.shape != (self.n_runs, self.n_cores):
-            raise ValueError(
-                f"levels must have shape ({self.n_runs}, {self.n_cores}), "
-                f"got {new_levels.shape}"
-            )
-        n_levels = self.n_levels
-        if not np.issubdtype(new_levels.dtype, np.integer):
-            # .astype(int) truncates toward zero, exactly like the serial
-            # per-element int(v).
-            new_levels = new_levels.astype(int)
-        clamped = np.clip(new_levels, 0, n_levels - 1).astype(int)
-        for r, injector in enumerate(self.faults):
-            if injector is not None:
-                clamped[r] = injector.effective_levels(
-                    self.epoch, self.levels[r], clamped[r]
-                )
-        stall = self._penalty[np.abs(clamped - self.levels)]
-        self.levels = clamped
-
-        cfg = self.cfg
-        dt = cfg.epoch_time
-        mem = self._mem_stream[self.epoch]
-        comp = self._comp_stream[self.epoch]
-        freq = self._freqs[clamped] * self._hetero.freq_scale
-        volt = self._volts[clamped]
-
-        ips = instructions_per_second(cfg, freq, mem, base_cpi=self._base_cpi)
-        run_fraction = np.clip(1.0 - stall / dt, 0.0, 1.0)
-        instructions = ips * run_fraction * dt
-
-        activity = activity_factor(cfg, freq, mem, comp, base_cpi=self._base_cpi)
-        temps = self._temps
-        dyn = (
-            dynamic_power(cfg.technology, volt, freq, activity)
-            * self._variation.ceff_mult
-            * self._hetero.ceff_scale
-        )
-        leak = (
-            leakage_power(cfg.technology, volt, temps)
-            * self._variation.leak_mult
-            * self._hetero.leak_scale
-        )
-        for r, injector in enumerate(self.faults):
-            if injector is not None:
-                dead = injector.dead_mask(self.epoch)
-                if dead.any():
-                    instructions[r] = np.where(dead, 0.0, instructions[r])
-                    dyn[r] = np.where(dead, 0.0, dyn[r])
-        power = dyn + leak
-
-        if self.validate:
-            check_level_indices(clamped, n_levels, epoch=self.epoch)
-            check_power_samples(power, epoch=self.epoch)
-            check_power_samples(self._temps, epoch=self.epoch, quantity="temperature_k")
-
-        self._thermal_step(power, dt)
-        self.time += dt
-        # Per-run row reductions, matching the serial float(np.sum(...))
-        # accumulation order bit for bit.
-        for r in range(self.n_runs):
-            self.total_energy[r] += float(np.sum(power[r])) * dt
-            self.total_instructions[r] += float(np.sum(instructions[r]))
-
-        sensed_power = np.maximum(power, 0.0)
-        sensed_instructions = np.maximum(instructions, 0.0)
-        sensed_temperature = np.maximum(self._temps, 0.0)
-        for r, injector in enumerate(self.faults):
-            if injector is None:
-                continue
-            blackout = injector.blackout_channels(self.epoch)
-            if "power" in blackout:
-                sensed_power[r] = 0.0
-            if "perf" in blackout:
-                sensed_instructions[r] = 0.0
-            if "temperature" in blackout:
-                sensed_temperature[r] = 0.0
-
-        obs = BatchObservation(
-            epoch=self.epoch,
-            time=self.time,
-            levels=clamped.copy(),
-            power=power,
-            instructions=instructions,
-            temperature=self._temps.copy(),
-            mem_intensity=mem,
-            compute_intensity=comp,
-            sensed_power=sensed_power,
-            sensed_instructions=sensed_instructions,
-            sensed_temperature=sensed_temperature,
-        )
-        self.epoch += 1
-        return obs

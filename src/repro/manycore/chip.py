@@ -1,7 +1,11 @@
 """The many-core chip model: the closed-loop plant controllers act on.
 
-:class:`ManyCoreChip` composes the performance, power, and thermal models
-with a workload, and advances in control epochs.  Each epoch:
+:class:`ManyCoreChip` is an ``n_runs=1`` view over the array-native
+epoch kernel (:class:`repro.kernel.epoch.EpochKernel`), which owns the
+canonical epoch step on ``(n_runs, n_cores)`` state.  The chip validates
+its configuration, wraps a single-run kernel, and hands out row views —
+so the serial loop, the ``jobs=N`` worker pool, and the batched backend
+all execute the same code path.  Each epoch:
 
 1. the controller supplies a per-core VF-level vector;
 2. cores that changed level pay the VF transition stall;
@@ -19,31 +23,22 @@ loop is firmware.  Budget violation accounting lives in
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
-if TYPE_CHECKING:  # runtime import is lazy: repro.faults imports the
-    # sim/controller layers, which import this module.
+if TYPE_CHECKING:  # runtime imports are lazy: repro.faults imports the
+    # sim/controller layers and repro.kernel.epoch imports this module.
     from repro.faults.campaign import FaultCampaign
     from repro.faults.injector import FaultInjector
+    from repro.kernel.epoch import EpochKernel
 
-from repro.contracts import (
-    check_level_indices,
-    check_power_samples,
-    validation_enabled,
-)
 from repro.manycore.config import SystemConfig
-from repro.manycore.core import activity_factor, instructions_per_second
 from repro.manycore.hetero import HeterogeneousMap
 from repro.manycore.memory import MemorySystem
-from repro.manycore.power import dynamic_power, leakage_power
 from repro.manycore.sensors import SensorSuite
-from repro.manycore.thermal import ThermalModel
 from repro.manycore.variation import CoreVariation
-from repro.manycore.vf import clamp_level, transition_penalty
 from repro.workloads.phases import Workload
 
 __all__ = ["EpochObservation", "ManyCoreChip"]
@@ -100,8 +95,31 @@ class EpochObservation:
         return float(np.sum(self.instructions))
 
 
+class _ThermalView:
+    """One run's thermal state, read from the kernel.
+
+    Exposes the :class:`~repro.manycore.thermal.ThermalModel` read surface
+    (``temperatures``) over the kernel's ``(n_runs, n_cores)`` state; the
+    integration itself lives in the kernel's epoch step.
+    """
+
+    def __init__(self, kernel: "EpochKernel", run: int = 0) -> None:
+        self._kernel = kernel
+        self._run = run
+
+    @property
+    def temperatures(self) -> np.ndarray:
+        """Current per-core die temperatures, kelvin (row view)."""
+        return self._kernel.temperatures[self._run]
+
+
 class ManyCoreChip:
     """Stateful plant model of an N-core chip executing a workload.
+
+    An ``n_runs=1`` view over :class:`repro.kernel.epoch.EpochKernel`:
+    the chip owns no epoch state of its own — levels, temperatures,
+    clocks, and totals live in the kernel's ``(1, n_cores)`` arrays, and
+    :meth:`step` is a reshape in, row view out.
 
     Parameters
     ----------
@@ -181,24 +199,33 @@ class ManyCoreChip:
                 f"has {cfg.n_cores}"
             )
         self._base_cpi = cfg.base_cpi * self.hetero.cpi_scale
-        self.thermal = ThermalModel(cfg)
         start = cfg.n_levels - 1 if initial_level is None else initial_level
         if not (0 <= start < cfg.n_levels):
             raise ValueError(f"initial_level {start} outside VF table of {cfg.n_levels}")
-        self._freqs = np.array([f for f, _ in cfg.vf_levels])
-        self._volts = np.array([v for _, v in cfg.vf_levels])
-        self.levels = np.full(cfg.n_cores, start, dtype=int)
-        self.faults = self._build_injector(faults)
-        self.validate = validation_enabled(validate)
-        #: optional :class:`repro.obs.PhaseProfiler`; when attached (the
-        #: simulator does this under ``profile=True``) the chip times its
-        #: sensor reads into the ``sensor`` phase.  Write-only telemetry —
-        #: nothing in the plant reads it back.
-        self.profiler = None
-        self.epoch = 0
-        self.time = 0.0
-        self.total_energy = 0.0
-        self.total_instructions = 0.0
+        injector = self._build_injector(faults)
+        # Imported here, not at module level: the kernel imports this
+        # module (for EpochObservation), so the view binds it lazily.
+        from repro.kernel.epoch import EpochKernel
+
+        self._kernel = EpochKernel(
+            [cfg],
+            [workload],
+            n_epochs=None,
+            faults=[injector],
+            validate=validate,
+            sensors=[self.sensors],
+            initial_levels=[start],
+            variations=[self.variation],
+            memory_systems=[memory_system],
+            heteros=[self.hetero],
+        )
+        self.thermal = _ThermalView(self._kernel)
+        # The kernel re-exposes variation/hetero through row views of its
+        # stacked planes; adopt those so in-place edits to the chip's
+        # attributes keep reaching the power math, exactly as they did
+        # when the serial chip read the arrays live each step.
+        self.variation = self._kernel.variations[0]
+        self.hetero = self._kernel.heteros[0]
 
     def _build_injector(
         self, faults: Union["FaultCampaign", "FaultInjector", None]
@@ -226,18 +253,55 @@ class ManyCoreChip:
     def n_levels(self) -> int:
         return self.cfg.n_levels
 
+    @property
+    def levels(self) -> np.ndarray:
+        """Per-core VF levels currently in force (kernel row view)."""
+        return self._kernel.levels[0]
+
+    @property
+    def faults(self) -> "FaultInjector | None":
+        """This run's fault injector, if a campaign was supplied."""
+        return self._kernel.faults[0]
+
+    @property
+    def validate(self) -> bool:
+        """Whether the per-epoch invariant contracts are armed."""
+        return self._kernel.validate
+
+    @validate.setter
+    def validate(self, armed: bool) -> None:
+        self._kernel.validate = armed
+
+    @property
+    def profiler(self) -> Optional[object]:
+        """Optional :class:`repro.obs.PhaseProfiler`; when attached (the
+        simulator does this under ``profile=True``) sensor reads are timed
+        into the ``sensor`` phase.  Write-only telemetry."""
+        return self._kernel.profiler
+
+    @profiler.setter
+    def profiler(self, profiler: Optional[object]) -> None:
+        self._kernel.profiler = profiler
+
+    @property
+    def epoch(self) -> int:
+        return self._kernel.epoch
+
+    @property
+    def time(self) -> float:
+        return self._kernel.time
+
+    @property
+    def total_energy(self) -> float:
+        return float(self._kernel.total_energy[0])
+
+    @property
+    def total_instructions(self) -> float:
+        return float(self._kernel.total_instructions[0])
+
     def reset(self) -> None:
         """Return the chip to its initial state (top VF, ambient temps)."""
-        self.levels = np.full(self.cfg.n_cores, self.cfg.n_levels - 1, dtype=int)
-        self.thermal.reset()
-        if self.memory_system is not None:
-            self.memory_system.reset()
-        if self.faults is not None:
-            self.faults.reset()
-        self.epoch = 0
-        self.time = 0.0
-        self.total_energy = 0.0
-        self.total_instructions = 0.0
+        self._kernel.reset()
 
     def step(self, new_levels: np.ndarray) -> EpochObservation:
         """Advance one control epoch with the given per-core VF levels.
@@ -258,108 +322,4 @@ class ManyCoreChip:
             raise ValueError(
                 f"levels must have shape ({self.n_cores},), got {new_levels.shape}"
             )
-        n_levels = self.n_levels
-        clamped = np.array(
-            [clamp_level(int(v), n_levels) for v in new_levels], dtype=int
-        )
-        if self.faults is not None:
-            # Actuator faults filter the command: dropped commands leave
-            # the level unchanged, stuck actuators hold their frozen
-            # level.  Applied before the stall so an unchanged level pays
-            # no transition penalty — the command never reached hardware.
-            clamped = self.faults.effective_levels(self.epoch, self.levels, clamped)
-        # Stall time paid by cores that switched level this epoch.
-        stall = np.array(
-            [
-                transition_penalty(int(old), int(new))
-                for old, new in zip(self.levels, clamped)
-            ]
-        )
-        self.levels = clamped
-
-        cfg = self.cfg
-        dt = cfg.epoch_time
-        mem, comp = self.workload.sample(self.time, self.n_cores)
-        freq = self._freqs[clamped] * self.hetero.freq_scale
-        volt = self._volts[clamped]
-
-        # Shared-memory contention inflates the effective latency everyone
-        # sees; scaling mem_intensity by the multiplier is equivalent to
-        # scaling the latency in the CPI model.
-        if self.memory_system is not None:
-            multiplier = self.memory_system.solve_latency_multiplier(cfg, freq, mem)
-            mem = mem * multiplier
-
-        # Throughput: IPS while running, times the fraction of the epoch not
-        # lost to the VF transition.
-        ips = instructions_per_second(cfg, freq, mem, base_cpi=self._base_cpi)
-        run_fraction = np.clip(1.0 - stall / dt, 0.0, 1.0)
-        instructions = ips * run_fraction * dt
-
-        # Power: activity from the phase; temperature from the start of the
-        # epoch (leakage lags by one epoch, a standard discretization).
-        # Process-variation multipliers scale each core's components.
-        activity = activity_factor(cfg, freq, mem, comp, base_cpi=self._base_cpi)
-        temps = self.thermal.temperatures
-        dyn = (
-            dynamic_power(cfg.technology, volt, freq, activity)
-            * self.variation.ceff_mult
-            * self.hetero.ceff_scale
-        )
-        leak = (
-            leakage_power(cfg.technology, volt, temps)
-            * self.variation.leak_mult
-            * self.hetero.leak_scale
-        )
-        if self.faults is not None:
-            dead = self.faults.dead_mask(self.epoch)
-            if dead.any():
-                # A dead core retires nothing and draws leakage only.
-                instructions = np.where(dead, 0.0, instructions)
-                dyn = np.where(dead, 0.0, dyn)
-        power = dyn + leak
-
-        if self.validate:
-            check_level_indices(clamped, n_levels, epoch=self.epoch)
-            check_power_samples(power, epoch=self.epoch)
-            check_power_samples(
-                self.thermal.temperatures, epoch=self.epoch, quantity="temperature_k"
-            )
-
-        self.thermal.step(power, dt)
-        self.time += dt
-        energy = float(np.sum(power)) * dt
-        self.total_energy += energy
-        self.total_instructions += float(np.sum(instructions))
-
-        blackout = (
-            self.faults.blackout_channels(self.epoch)
-            if self.faults is not None
-            else frozenset()
-        )
-        profiler = self.profiler
-        t_sense = time.perf_counter() if profiler is not None else 0.0
-        sensed_power = self.sensors.power.read(power, blackout="power" in blackout)
-        sensed_instructions = self.sensors.perf.read(
-            instructions, blackout="perf" in blackout
-        )
-        sensed_temperature = self.sensors.temperature.read(
-            self.thermal.temperatures, blackout="temperature" in blackout
-        )
-        if profiler is not None:
-            profiler.add("sensor", time.perf_counter() - t_sense)
-        obs = EpochObservation(
-            epoch=self.epoch,
-            time=self.time,
-            levels=clamped.copy(),
-            power=power,
-            instructions=instructions,
-            temperature=self.thermal.temperatures.copy(),
-            mem_intensity=mem,
-            compute_intensity=comp,
-            sensed_power=sensed_power,
-            sensed_instructions=sensed_instructions,
-            sensed_temperature=sensed_temperature,
-        )
-        self.epoch += 1
-        return obs
+        return self._kernel.step(new_levels.reshape(1, -1)).row(0)

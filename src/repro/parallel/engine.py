@@ -443,8 +443,10 @@ def execute_cells(
         Route cache-missed, batch-compatible cells through the stacked
         tensor backend (:mod:`repro.batch`) before the serial/pool path.
         ``True`` stacks each compatible group whole; an integer caps the
-        runs per stack.  Cells the backend declines (tracing, profiling,
-        watchdog, non-default plant options — see
+        runs per stack.  Mixed budgets, seeds, epoch counts, fault
+        campaigns, variation/hetero maps, and watchdog supervision all
+        stack.  Cells the backend declines (tracing, profiling,
+        non-default ``sensors``/``memory_system`` — see
         :func:`repro.batch.batch_unsupported_reason`) or that fail inside
         a batch fall back to the serial/pool path with a recorded
         ``cell_fallback`` reason; results are bit-identical either way.

@@ -162,9 +162,11 @@ def run_suite(
         and advance each stack with one NumPy epoch step — the third
         backend beside the serial loop and ``jobs=``.  ``True`` batches
         each compatible group whole; an integer caps the stack size.
-        Results are bit-identical to the serial loop; incompatible cells
-        (tracing enabled, watchdog, non-default plant options) fall back
-        per cell with a recorded reason.  Composes with ``cache=``
+        Results are bit-identical to the serial loop; mixed budgets,
+        seeds, epoch counts, fault campaigns, variation/hetero maps, and
+        watchdog supervision all stack.  Incompatible cells (tracing or
+        profiling enabled, non-default ``sensors``/``memory_system``)
+        fall back per cell with a recorded reason.  Composes with ``cache=``
         (batching never changes a cell's cache key) and with ``jobs=``
         for the fallback cells.
     retry_policy, timeout, chaos, journal:

@@ -1,12 +1,7 @@
 # repro-lint: skip-file
-"""DET002 fixture (bad): batch chip missing a serial accumulator and
-carrying an extra one."""
+"""DET002 fixture: the batch adapter is the kernel — nothing to diff."""
 
 
 class BatchChip:
-    def step(self, levels, power, dt):  # BAD  # BAD (missing + extra)
-        self.levels = levels
-        self._temps = self._temps + power * dt
-        self.time += dt
-        self.debug_steps += 1
-        self.epoch += 1
+    def step(self, levels, power, dt):
+        return self._kernel_step(levels, power, dt)

@@ -1,17 +1,6 @@
 # repro-lint: skip-file
-"""DET002 fixture (bad): batched learner skips the exploration draw."""
+"""DET002 fixture: historical import surface — a pure re-export shim."""
 
+from repro.kernel.policies import BatchODRL
 
-class BatchODRL:
-    def _act(self, r, states):  # BAD (one random draw short of serial)
-        rng = self._rngs[r]
-        jitter = rng.random(states.shape)
-        alt = rng.integers(4, size=3)
-        return alt if jitter.any() else jitter
-
-    def _update(self, r, states, actions, rewards, next_states):
-        # Alias-view and nested-subscript stores must still count.
-        q = self.q[r]
-        q[...] += 0.1
-        self.visits[r][...] += 1
-        self.step_counts[r] += 1
+__all__ = ["BatchODRL"]

@@ -1,0 +1,17 @@
+# repro-lint: skip-file
+"""DET002 fixture: the kernel side the views delegate to (clean)."""
+
+
+class EpochKernel:
+    def step(self, levels, power, dt):
+        self.levels = levels
+        self._temps = self._temps + power * dt
+        self.time += dt
+        self.total_energy += float(sum(power)) * dt
+        self.epoch += 1
+
+    def reset(self):
+        self.levels = None
+        self.epoch = 0
+        self.time = 0.0
+        self.total_energy = 0.0

@@ -1,18 +1,19 @@
 # repro-lint: skip-file
-"""DET002 fixture (bad): serial chip step mutating more than the batch."""
+"""DET002 fixture (bad): serial view keeping epoch state of its own."""
 
 
 class ManyCoreChip:
-    def step(self, levels, power, dt):
-        self.levels = levels
-        self.thermal.step(power, dt)
-        self.time += dt
+    def step(self, levels, power, dt):  # BAD (mutates beyond the handle)
+        obs = self._kernel.step(levels)
         self._accumulate(power, dt)
         profiler = self.profiler
         profiler.add("sensor", 0.0)  # alias mutator call: must NOT count
-        self.epoch += 1
+        return obs
 
     def _accumulate(self, power, dt):
         # Reached transitively from step(); hiding a store in a helper
-        # must not hide it from the parity diff.
+        # must not hide it from the view-thinness check.
         self.total_energy += float(sum(power)) * dt
+
+    def reset(self):
+        self._kernel.reset()

@@ -1,12 +1,7 @@
 # repro-lint: skip-file
-"""DET002 fixture (good): batch chip mirroring every serial mutation."""
+"""DET002 fixture (good): the batch adapter is the kernel — nothing to diff."""
 
 
 class BatchChip:
     def step(self, levels, power, dt):
-        self.levels = levels
-        self._temps = self._temps + power * dt
-        self.time += dt
-        for r in range(2):
-            self.total_energy[r] += float(sum(power[r])) * dt
-        self.epoch += 1
+        return self._kernel_step(levels, power, dt)

@@ -1,0 +1,18 @@
+# repro-lint: skip-file
+"""DET002 fixture (good): the kernel owning the canonical epoch step."""
+
+
+class EpochKernel:
+    def step(self, levels, power, dt):
+        self.levels = levels
+        self._temps = self._temps + power * dt
+        self.time += dt
+        for r in range(2):
+            self.total_energy[r] += float(sum(power[r])) * dt
+        self.epoch += 1
+
+    def reset(self):
+        self.levels = None
+        self.epoch = 0
+        self.time = 0.0
+        self.total_energy = 0.0

@@ -1,16 +1,12 @@
 # repro-lint: skip-file
-"""DET002 fixture (good): serial chip step, batch-equivalent."""
+"""DET002 fixture (good): serial view delegating everything to the kernel."""
 
 
 class ManyCoreChip:
     def step(self, levels, power, dt):
-        self.levels = levels
-        self.thermal.step(power, dt)
-        self.time += dt
-        self._accumulate(power, dt)
         profiler = self.profiler
         profiler.add("sensor", 0.0)  # alias mutator call: must NOT count
-        self.epoch += 1
+        return self._kernel.step(levels).row(0)
 
-    def _accumulate(self, power, dt):
-        self.total_energy += float(sum(power)) * dt
+    def reset(self):
+        self._kernel.reset()

@@ -105,8 +105,20 @@ class TestDet002Diffs:
         messages = [v.message for v in _run("det002_bad", "DET002")]
         missing = [m for m in messages if "does not mutate" in m]
         extra = [m for m in messages if "no serial counterpart" in m]
-        assert len(missing) == 1 and "total_energy" in missing[0]
+        assert len(missing) == 1 and "visits" in missing[0]
         assert len(extra) == 1 and "debug_steps" in extra[0]
+
+    def test_reports_fat_view(self):
+        # The serial chip view may only touch its kernel handle; state it
+        # keeps of its own (even via a helper) is a thinness violation.
+        fat = [
+            v.message
+            for v in _run("det002_bad", "DET002")
+            if "beyond its kernel handle" in v.message
+        ]
+        assert len(fat) == 1
+        assert "total_energy" in fat[0]
+        assert "_kernel" in fat[0]
 
     def test_reports_draw_mismatch_as_multisets(self):
         mismatch = [

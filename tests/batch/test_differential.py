@@ -6,11 +6,12 @@ cap, any jobs count, any scenario produces the same bits as the
 historical serial loop.  The matrix crosses controllers (the
 specialized OD-RL stack, the generic per-run fallback policy, and two
 deterministic baselines) with scenarios (clean, fault campaign,
-watchdog + crash — the last falls back per cell, which must *also* be
-bit-identical end to end) and batch caps {1, 3, 8} at jobs {1, 2}.
+watchdog + crash — batched per run through its serial wrapper) and
+batch caps {1, 3, 8} at jobs {1, 2}.
 
-Mixed-batch tests stack cells that differ in budget AND seed inside one
-tensor simulation — the grouping rule's outer limit.
+Mixed-batch tests stack cells that differ in budget AND seed — and,
+via the kernel's ragged row mask, epoch count — inside one stacked
+simulation: the grouping rule's outer limit.
 """
 
 from __future__ import annotations
@@ -64,8 +65,9 @@ def scenario_kwargs():
         "faults": {
             "faults": FaultCampaign.random(N_CORES, N_EPOCHS, rate=0.1, seed=3),
         },
-        # Watchdog runs are batch-incompatible by design: every cell must
-        # fall back (reason "watchdog") and still match serial bit for bit.
+        # Watchdog runs batch through PerRunPolicy: each run's serial
+        # WatchdogController wrapper decides on row views, so the crash /
+        # checkpoint-restore path is the serial code path unchanged.
         "watchdog-crash": {
             "faults": FaultCampaign.random(
                 N_CORES, N_EPOCHS, rate=0.1, seed=3, n_crashes=1
@@ -210,6 +212,29 @@ class TestMixedBatch:
             cfg, workloads["mixed"], [factory] * len(self.FRACS), self.FRACS
         )
         _run_and_compare_mixed(tasks, "greedy-ascent mixed batch")
+
+    def test_ragged_epoch_counts_in_one_stack(self, cfg, workloads):
+        # Cells differing in n_epochs share a stack: the group is padded
+        # to the longest run and finished rows are masked, so each result
+        # must still match its own serial run bit for bit.
+        factories = [
+            standard_controllers(seed=s)["od-rl"] for s in range(3)
+        ]
+        epoch_counts = (12, 30, 21)
+        tasks = []
+        for i, (factory, n_e) in enumerate(zip(factories, epoch_counts)):
+            cell = RunCell(
+                controller=f"ragged-{i}",
+                workload=workloads["mixed"].name,
+                budget=None,
+                seed=i,
+                n_epochs=n_e,
+            )
+            tasks.append(CellTask(cell, cfg, workloads["mixed"], factory, {}))
+        events = _run_and_compare_mixed(tasks, "ragged epochs")
+        batched_events = [e for e in events if e["type"] == "cell_batched"]
+        assert [e["size"] for e in batched_events] == [3, 3, 3]
+        assert {e["group"] for e in batched_events} == {0}
 
     def test_mixed_workloads_in_one_stack(self, cfg, workloads):
         # Same controller, three different workloads: phase streams are

@@ -84,11 +84,13 @@ class TestUnsupportedReasons:
         task = make_task(cfg, workload, lineup["od-rl"], profile=True)
         assert batch_unsupported_reason(task) == "profile"
 
-    def test_watchdog(self, cfg, workload, lineup):
+    def test_watchdog_is_batchable(self, cfg, workload, lineup):
+        # Watchdog-supervised cells batch via PerRunPolicy: each run gets
+        # its own serial WatchdogController wrapper on row views.
         task = make_task(
             cfg, workload, lineup["od-rl"], sim_kwargs={"watchdog": True}
         )
-        assert batch_unsupported_reason(task) == "watchdog"
+        assert batch_unsupported_reason(task) is None
 
     def test_watchdog_false_is_batchable(self, cfg, workload, lineup):
         task = make_task(
@@ -117,14 +119,21 @@ class TestUnsupportedReasons:
         )
         assert batch_unsupported_reason(task) == "sim_kwargs:bogus"
 
-    @pytest.mark.parametrize(
-        "key", ["sensors", "variation", "memory_system", "hetero"]
-    )
+    @pytest.mark.parametrize("key", ["sensors", "memory_system"])
     def test_non_default_plant_option(self, cfg, workload, lineup, key):
         task = make_task(
             cfg, workload, lineup["od-rl"], sim_kwargs={key: object()}
         )
         assert batch_unsupported_reason(task) == f"sim_kwargs:{key}"
+
+    @pytest.mark.parametrize("key", ["variation", "hetero"])
+    def test_stackable_plant_option_is_batchable(self, cfg, workload, lineup, key):
+        # Variation and hetero multipliers stack per run in the kernel;
+        # they no longer force the serial plant.
+        task = make_task(
+            cfg, workload, lineup["od-rl"], sim_kwargs={key: object()}
+        )
+        assert batch_unsupported_reason(task) is None
 
     @pytest.mark.parametrize(
         "key", ["sensors", "variation", "memory_system", "hetero"]
@@ -161,6 +170,18 @@ class TestPlanBatches:
         ]
         assert plan_batches(tasks, 8) == [[0, 1]]
 
+    def test_different_n_epochs_share_a_group(self, cfg, workload, lineup):
+        # Ragged stacking: epoch count is per-run state (masked rows), not
+        # part of the group signature.
+        tasks = []
+        for n_e in (4, 10, 7):
+            cell = RunCell(
+                controller="pid", workload=workload.name, budget=None,
+                seed=0, n_epochs=n_e,
+            )
+            tasks.append(CellTask(cell, cfg, workload, lineup["pid"], {}))
+        assert plan_batches(tasks, 8) == [[0, 1, 2]]
+
     def test_max_batch_chunks_contiguously(self, cfg, workload, lineup):
         tasks = [make_task(cfg, workload, lineup["pid"]) for _ in range(5)]
         assert plan_batches(tasks, 2) == [[0, 1], [2, 3], [4]]
@@ -187,8 +208,8 @@ class TestEngineBatchPath:
         tasks = [
             make_task(cfg, workload, lineup["pid"], name="batched"),
             make_task(
-                cfg, workload, lineup["static-uniform"], name="dog",
-                sim_kwargs={"watchdog": True},
+                cfg, workload, lineup["static-uniform"], name="profiled",
+                profile=True,
             ),
         ]
         serial = execute_cells(tasks, jobs=1)
@@ -197,15 +218,44 @@ class TestEngineBatchPath:
         for a, b in zip(serial, batched):
             assert_trace_equal(a, b, context="fallback mix")
         (fallback,) = events_of(rec, "cell_fallback")
-        assert fallback["reason"] == "watchdog"
+        assert fallback["reason"] == "profile"
         assert fallback["cell"] == tasks[1].cell.label()
         (batched_event,) = events_of(rec, "cell_batched")
         assert batched_event["cell"] == tasks[0].cell.label()
         counters = summary_counters(rec)
         assert counters["engine.cells_batched"] == 1
         assert counters["engine.batch_groups"] == 1
-        assert counters["engine.fallback.watchdog"] == 1
+        assert counters["engine.fallback.profile"] == 1
         assert counters["engine.cells_run"] == 2
+
+    def test_watchdog_cells_batch_and_match_serial(self, cfg, workload, lineup):
+        campaign = FaultCampaign.random(
+            N_CORES, N_EPOCHS, rate=0.0, n_crashes=1, seed=3
+        )
+        tasks = [
+            make_task(
+                cfg, workload, lineup["od-rl"], name="dog",
+                sim_kwargs={
+                    "watchdog": True, "faults": campaign,
+                    "checkpoint_period": 4,
+                },
+            ),
+            make_task(
+                cfg, workload, lineup["od-rl"], name="dog2",
+                sim_kwargs={
+                    "watchdog": True, "faults": campaign,
+                    "checkpoint_period": 4,
+                },
+            ),
+        ]
+        serial = execute_cells(tasks, jobs=1)
+        rec = BufferRecorder()
+        batched = execute_cells(tasks, jobs=1, batch=True, recorder=rec)
+        for a, b in zip(serial, batched):
+            assert_trace_equal(a, b, context="batched watchdog")
+        assert events_of(rec, "cell_fallback") == []
+        counters = summary_counters(rec)
+        assert counters["engine.cells_batched"] == 2
 
     def test_batch_cap_bounds_group_sizes(self, cfg, workload, lineup):
         workloads = [

@@ -1,0 +1,93 @@
+"""The kernel's array-namespace indirection.
+
+The kernel reads its array namespace once at construction from
+:func:`repro.kernel.backend.array_namespace`; swapping the namespace
+(e.g. to ``cupy``) is a configuration change, not a rewrite.  These
+tests pin the default, the validation of the required surface, and that
+a swapped namespace is actually what the kernel computes with — proven
+by routing a proxy namespace and checking the results stay bit-identical
+to the numpy run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernel import array_namespace, set_array_namespace
+from repro.kernel.backend import REQUIRED_FUNCTIONS
+from repro.kernel.epoch import EpochKernel
+from repro.manycore import default_system
+from repro.workloads import mixed_workload
+
+N_CORES = 4
+N_EPOCHS = 5
+
+
+class _CountingProxy:
+    """A conforming namespace that delegates to numpy and counts calls."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def __getattr__(self, name):
+        attr = getattr(np, name)
+        # Types (np.integer, dtypes) pass through untouched: they are
+        # part of the namespace surface but not calls to count.
+        if callable(attr) and not isinstance(attr, type):
+            def counted(*args, **kwargs):
+                self.calls += 1
+                return attr(*args, **kwargs)
+
+            return counted
+        return attr
+
+
+def _run_kernel(n_runs: int = 2) -> bytes:
+    cfg = default_system(n_cores=N_CORES, n_levels=3, budget_fraction=0.6)
+    workload = mixed_workload(N_CORES, seed=0)
+    kernel = EpochKernel([cfg] * n_runs, [workload] * n_runs, n_epochs=N_EPOCHS)
+    levels = np.ones((n_runs, N_CORES), dtype=int)
+    chunks = []
+    for _ in range(N_EPOCHS):
+        obs = kernel.step(levels)
+        chunks.append(obs.power.tobytes())
+        chunks.append(obs.temperature.tobytes())
+        chunks.append(obs.sensed_instructions.tobytes())
+    return b"".join(chunks)
+
+
+class TestArrayNamespace:
+    def test_default_is_numpy(self):
+        assert array_namespace() is np
+
+    def test_rejects_incomplete_namespace(self):
+        class Lacking:
+            asarray = staticmethod(np.asarray)
+
+        with pytest.raises(ValueError, match="lacks required functions"):
+            set_array_namespace(Lacking())
+        assert array_namespace() is np  # unchanged after the rejection
+
+    def test_required_surface_is_pinned(self):
+        # The contract a cupy-like target must satisfy.
+        assert set(REQUIRED_FUNCTIONS) >= {"asarray", "clip", "where", "sum"}
+        for name in REQUIRED_FUNCTIONS:
+            assert hasattr(np, name)
+
+    def test_swap_routes_kernel_math_and_stays_bit_identical(self):
+        reference = _run_kernel()
+        proxy = _CountingProxy()
+        previous = set_array_namespace(proxy)
+        try:
+            assert array_namespace() is proxy
+            swapped = _run_kernel()
+        finally:
+            set_array_namespace(previous)
+        assert proxy.calls > 0, "kernel math did not route through the proxy"
+        assert swapped == reference
+        assert array_namespace() is np
+
+    def test_set_returns_previous_namespace(self):
+        previous = set_array_namespace(np)
+        assert previous is np

@@ -1,0 +1,138 @@
+"""Backend-conformance contract for the epoch kernel.
+
+One parameterized assertion guards the whole refactor: every execution
+backend — the serial ``n_runs=1`` view, the ``jobs=2`` worker pool, and
+the batched kernel at any stack width — produces bit-for-bit the same
+traces.  The matrix crosses every standard controller with three
+scenarios (clean, fault campaign, watchdog + crash), stack widths
+``n_runs ∈ {1, 3, 8}`` (runs differing in budget, seed, and workload
+recipe), and ``jobs ∈ {1, 2}``.
+
+The golden fixtures frozen under ``tests/golden/`` are additionally
+replayed *through the batched kernel*: the pre-refactor serial traces
+must come back byte-identical without regeneration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultCampaign
+from repro.manycore import default_system
+from repro.obs import BufferRecorder
+from repro.parallel import assert_trace_equal, CellTask, RunCell, execute_cells
+from repro.sim import standard_controllers
+from repro.sim.result_io import load_result
+from repro.workloads import mixed_workload
+
+from tools.regen_golden import (
+    GOLDEN_CONTROLLERS,
+    compute_golden_results,
+    golden_path,
+)
+
+N_CORES = 4
+N_EPOCHS = 14
+N_LEVELS = 3
+MAX_RUNS = 8
+BUDGET_FRACS = (0.5, 0.6, 0.75, 0.9)
+
+CONTROLLERS = tuple(sorted(standard_controllers(seed=0)))
+SCENARIOS = ("clean", "faults", "watchdog")
+N_RUNS_MATRIX = (1, 3, 8)
+JOBS_MATRIX = (1, 2)
+
+
+def _scenario_kwargs(scenario: str) -> dict:
+    if scenario == "clean":
+        return {}
+    if scenario == "faults":
+        return {
+            "faults": FaultCampaign.random(
+                N_CORES, N_EPOCHS, rate=0.15, seed=5
+            ),
+        }
+    assert scenario == "watchdog"
+    return {
+        "faults": FaultCampaign.random(
+            N_CORES, N_EPOCHS, rate=0.15, seed=5, n_crashes=1
+        ),
+        "watchdog": True,
+        "checkpoint_period": 5,
+    }
+
+
+def _roster(controller: str, scenario: str, n_runs: int) -> list:
+    """``n_runs`` cells of one controller recipe, differing in budget,
+    seed, and workload draw — a prefix of the ``MAX_RUNS`` roster, so a
+    narrower stack compares against the same serial reference."""
+    kwargs = _scenario_kwargs(scenario)
+    tasks = []
+    for i in range(n_runs):
+        frac = BUDGET_FRACS[i % len(BUDGET_FRACS)]
+        cfg = default_system(
+            n_cores=N_CORES, n_levels=N_LEVELS, budget_fraction=frac
+        )
+        workload = mixed_workload(N_CORES, seed=i)
+        factory = standard_controllers(seed=i)[controller]
+        cell = RunCell(
+            controller=f"{controller}-{i}",
+            workload=workload.name,
+            budget=cfg.power_budget,
+            seed=i,
+            n_epochs=N_EPOCHS,
+        )
+        tasks.append(CellTask(cell, cfg, workload, factory, dict(kwargs)))
+    return tasks
+
+
+@pytest.fixture(scope="module")
+def serial_ref():
+    """Serial reference traces, computed once per (controller, scenario)."""
+    cache: dict = {}
+
+    def get(controller: str, scenario: str):
+        key = (controller, scenario)
+        if key not in cache:
+            cache[key] = execute_cells(
+                _roster(controller, scenario, MAX_RUNS), jobs=1
+            )
+        return cache[key]
+
+    return get
+
+
+class TestBackendConformance:
+    @pytest.mark.parametrize("jobs", JOBS_MATRIX)
+    @pytest.mark.parametrize("n_runs", N_RUNS_MATRIX)
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("controller", CONTROLLERS)
+    def test_backend_bit_identity(
+        self, serial_ref, controller, scenario, n_runs, jobs
+    ):
+        tasks = _roster(controller, scenario, n_runs)
+        rec = BufferRecorder()
+        batched = execute_cells(tasks, jobs=jobs, batch=n_runs, recorder=rec)
+        reference = serial_ref(controller, scenario)[:n_runs]
+        context = f"{controller}/{scenario} n_runs={n_runs} jobs={jobs}"
+        for ref, got in zip(reference, batched):
+            assert_trace_equal(ref, got, context=context)
+        # Everything in the standard lineup batches — no serial fallback.
+        fallbacks = [e for e in rec.events if e["type"] == "cell_fallback"]
+        assert fallbacks == [], context
+
+
+class TestGoldenThroughKernel:
+    """The PR 5 golden fixtures, unmodified, through the batched kernel."""
+
+    @pytest.mark.parametrize("batch", [True, 2])
+    def test_batched_golden_matches_fixtures(self, batch):
+        results = compute_golden_results(batch=batch)
+        for name in GOLDEN_CONTROLLERS:
+            golden = load_result(golden_path(name))
+            assert_trace_equal(
+                results[name],
+                golden,
+                compare_decision_time=True,
+                context=f"golden[{name}] via batch={batch}",
+            )

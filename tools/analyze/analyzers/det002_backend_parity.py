@@ -1,11 +1,21 @@
-"""DET002 — serial/batched backend parity.
+"""DET002 — kernel/view backend parity.
 
-``repro.batch`` re-implements the serial epoch step (chip physics,
-Q-learning act/update, the full ODRL decide pipeline) as vectorized
-tensor operations over many runs.  The bit-identity contract between the
-backends holds only while the two implementations touch the *same*
-state and draw from their RNG streams the *same* number of times per
-epoch.  This analyzer diffs each serial/batched method pair structurally:
+The plant's epoch step has a single implementation — the array-native
+:class:`repro.kernel.epoch.EpochKernel` — and the serial chip is a thin
+``n_runs=1`` view over it.  The batched *controller* stack, however,
+still re-implements the serial decide pipeline (Q-learning act/update,
+the full ODRL decide) as vectorized operations in
+:mod:`repro.kernel.policies`.  The bit-identity contract therefore has
+two structurally checkable halves:
+
+* **view thinness** (:class:`ViewPair`) — a view method may mutate
+  nothing but its kernel handle and must not draw RNG: any epoch state
+  the view keeps of its own is state the batched backend cannot see;
+* **controller parity** (:class:`ParityPair`) — each serial/batched
+  method pair must touch the *same* state and draw from its RNG streams
+  the *same* number of times per epoch.
+
+This analyzer diffs each configured pair structurally:
 
 * **state parity** — the set of ``self`` attributes a method mutates
   (assignments, augmented assignments, subscript stores — including
@@ -36,7 +46,13 @@ from tools.analyze.project import FunctionInfo, ProjectIndex
 from tools.analyze.registry import register
 from tools.lint.engine import Violation
 
-__all__ = ["BackendParity", "ParityPair", "extract_mutations", "extract_draws"]
+__all__ = [
+    "BackendParity",
+    "ParityPair",
+    "ViewPair",
+    "extract_mutations",
+    "extract_draws",
+]
 
 #: Method names treated as in-place mutation of their receiver when
 #: called on a direct ``self.<attr>`` receiver.
@@ -71,31 +87,56 @@ class ParityPair:
     ignore_batch: FrozenSet[str] = frozenset()
 
 
-#: The shipped backend contract.  Mappings/ignores document *why* the
-#: remaining asymmetries are intentional:
-#:  - serial ``thermal`` is an RC-model object; batch keeps raw ``_temps``;
+@dataclass(frozen=True)
+class ViewPair:
+    """A thin view method and the kernel method it delegates to.
+
+    The view's whole job is forwarding to its kernel handle: the only
+    ``self`` attribute it may (appear to) mutate is the handle itself,
+    and it must consume no RNG.  Checked only when both sides are
+    present in the analyzed tree.
+    """
+
+    view: str
+    kernel: str
+    #: the single attribute holding the kernel (the one allowed mutation)
+    handle: str = "_kernel"
+
+
+#: Serial chip views over the epoch kernel.  The chip↔batch chip pair of
+#: the pre-kernel era is gone: both backends now *are* the kernel, so the
+#: check is that the serial view stays thin, not that two plant
+#: implementations agree.
+VIEW_PAIRS: Tuple[ViewPair, ...] = (
+    ViewPair(
+        view="repro.manycore.chip.ManyCoreChip.step",
+        kernel="repro.kernel.epoch.EpochKernel.step",
+    ),
+    ViewPair(
+        view="repro.manycore.chip.ManyCoreChip.reset",
+        kernel="repro.kernel.epoch.EpochKernel.reset",
+    ),
+)
+
+#: The shipped controller-parity contract.  Mappings/ignores document
+#: *why* the remaining asymmetries are intentional:
 #:  - serial decide delegates learner/sanitizer state to ``self.agents`` /
 #:    ``self.sanitizer``, batch inlines it as ``q``/``visits``/... arrays;
 #:  - ``_epoch`` is serial-side bookkeeping the batch loop keeps in the
 #:    simulator instead of the controller.
 PAIRS: Tuple[ParityPair, ...] = (
     ParityPair(
-        serial="repro.manycore.chip.ManyCoreChip.step",
-        batch="repro.batch.chip.BatchChip.step",
-        mapping={"thermal": "_temps"},
-    ),
-    ParityPair(
         serial="repro.core.agent.QLearningPopulation.act",
-        batch="repro.batch.policies.BatchODRL._act",
+        batch="repro.kernel.policies.BatchODRL._act",
     ),
     ParityPair(
         serial="repro.core.agent.QLearningPopulation.update",
-        batch="repro.batch.policies.BatchODRL._update",
+        batch="repro.kernel.policies.BatchODRL._update",
         mapping={"step_count": "step_counts"},
     ),
     ParityPair(
         serial="repro.core.controller.ODRLController.decide",
-        batch="repro.batch.policies.BatchODRL.decide",
+        batch="repro.kernel.policies.BatchODRL.decide",
         mapping={"_window_over_epochs": "_window_over"},
         ignore_serial=frozenset({"_epoch", "agents"}),
         ignore_batch=frozenset(
@@ -275,13 +316,17 @@ def _fmt_counter(counter: Counter) -> str:
 class BackendParity(Analyzer):
     analyzer_id = "DET002"
     summary = (
-        "serial and batched backends must mutate equivalent state and draw "
+        "serial views must delegate all epoch state to the kernel, and "
+        "serial/batched controllers must mutate equivalent state and draw "
         "from RNG streams identically per epoch step"
     )
 
     pairs: Tuple[ParityPair, ...] = PAIRS
+    view_pairs: Tuple[ViewPair, ...] = VIEW_PAIRS
 
     def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        for view_pair in self.view_pairs:
+            yield from self._check_view(index, view_pair)
         for pair in self.pairs:
             serial_fn = index.function(pair.serial)
             batch_fn = index.function(pair.batch)
@@ -291,6 +336,37 @@ class BackendParity(Analyzer):
                 continue
             yield from self._check_state(index, pair, batch_fn)
             yield from self._check_draws(index, pair, batch_fn)
+
+    def _check_view(
+        self, index: ProjectIndex, pair: ViewPair
+    ) -> Iterator[Violation]:
+        view_fn = index.function(pair.view)
+        kernel_fn = index.function(pair.kernel)
+        if view_fn is None or kernel_fn is None:
+            # One side absent from the analyzed tree (e.g. linting a
+            # sub-package): nothing to check.
+            return
+        mutations = extract_mutations(index, pair.view)
+        if mutations is not None:
+            own = mutations - {pair.handle}
+            if own:
+                yield self.violation(
+                    view_fn.module,
+                    view_fn.node,
+                    f"`{pair.view}` mutates {_fmt(own)} beyond its kernel "
+                    f"handle `{pair.handle}` — a view owns no epoch state; "
+                    f"anything not delegated to `{pair.kernel}` is invisible "
+                    "to the batched backend and desynchronizes it",
+                )
+        draws = extract_draws(index, pair.view)
+        if draws:
+            yield self.violation(
+                view_fn.module,
+                view_fn.node,
+                f"`{pair.view}` draws from an RNG ({_fmt_counter(draws)}) — "
+                f"all stochastic state belongs in `{pair.kernel}`, where "
+                "every backend consumes the same stream",
+            )
 
     def _check_state(
         self, index: ProjectIndex, pair: ParityPair, batch_fn: FunctionInfo

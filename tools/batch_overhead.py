@@ -1,26 +1,37 @@
-"""Assert the batched backend's speedup budget on the E2-style suite.
+"""Assert the epoch kernel's batched speedup budget on the E2-style suite.
 
-Runs the same controller × benchmark grid through the historical serial
-loop and then through the stacked tensor backend (:mod:`repro.batch`) at
-increasing batch caps.  Every batched run must be bit-identical to the
-serial one (``assert_trace_equal``, all cells); the largest cap — at
-least 8, the scale EXPERIMENTS.md quotes — must hit the wall-clock
-budget: batched suite time at most ``--threshold`` (default 0.5) of the
-serial suite time, i.e. a >= 2x speedup.
+Runs the same controller × benchmark grid through the serial ``n_runs=1``
+kernel view and then through the stacked kernel (:mod:`repro.kernel` via
+:mod:`repro.batch`) at increasing batch caps.  Every batched run must be
+bit-identical to the serial one (``assert_trace_equal``, all cells); the
+largest cap — at least 8, the scale EXPERIMENTS.md quotes — must hit the
+wall-clock budget: batched suite time at most ``--threshold`` (default
+0.45) of the serial suite time.
+
+Two operating points matter.  The full E2 lineup is decide-bound — the
+heap-driven greedy baselines run their per-run Python loop either way —
+so its honest budget is ~2.2x.  The kernel-native controllers (``od-rl``,
+``pid``), whose decide is vectorized across the stack, clear 3x at batch
+8; CI pins both.  ``--json`` archives the measured curve as a
+``BENCH_KERNEL.json`` payload that ``tools/bench_summary.py`` renders
+alongside the per-experiment bench artifacts.
 
 Wall-clock measurement is noisy, so each leg takes the *minimum* over
 ``--reps`` runs after one untimed warm-up.  This lives in ``tools/``
 (not the tier-1 suite) precisely because it measures the host machine::
 
-    python -m tools.batch_overhead                    # CI budget: 2x at batch 8
-    python -m tools.batch_overhead --cores 16 --epochs 120 --controllers od-rl,pid
+    python -m tools.batch_overhead                    # CI budget at batch 8
+    python -m tools.batch_overhead --controllers od-rl,pid --threshold 0.333
+    python -m tools.batch_overhead --json benchmarks/results/BENCH_KERNEL.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.experiments.e2_overshoot import DEFAULT_BENCHMARKS, DEFAULT_CONTROLLERS
@@ -30,7 +41,7 @@ from repro.sim.results import SimulationResult
 from repro.sim.runner import run_suite, standard_controllers
 from repro.workloads.suite import make_benchmark
 
-__all__ = ["main", "measure_speedups"]
+__all__ = ["main", "measure_speedups", "write_report"]
 
 SuiteResults = Dict[str, Dict[str, SimulationResult]]
 
@@ -92,6 +103,43 @@ def measure_speedups(
     return serial_s, batched_s
 
 
+def write_report(
+    path: Path,
+    *,
+    n_cores: int,
+    n_epochs: int,
+    reps: int,
+    controllers: List[str],
+    threshold: float,
+    serial_s: float,
+    batched_s: Dict[int, float],
+) -> None:
+    """Archive the measured curve as a ``bench_summary``-compatible payload."""
+    largest = max(batched_s)
+    payload = {
+        "experiment": "KERNEL",
+        "n_cores": n_cores,
+        "n_epochs": n_epochs,
+        "reps": reps,
+        "controllers": controllers,
+        "threshold": threshold,
+        "wall_clock_s": serial_s + sum(batched_s.values()),
+        "suite_timing": {
+            "serial_s": serial_s,
+            "batch_s": batched_s[largest],
+            "batch_cap": largest,
+            "speedup": serial_s / batched_s[largest],
+        },
+        "speedup_curve": {
+            str(cap): serial_s / dt_s for cap, dt_s in sorted(batched_s.items())
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--cores", type=int, default=32)
@@ -111,9 +159,17 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--threshold",
         type=float,
-        default=0.5,
+        default=0.45,
         help="maximum batched/serial wall-clock ratio at the largest cap "
-        "(default 0.5 = a 2x speedup)",
+        "(default 0.45; use 0.333 for the kernel-native >= 3x budget)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also archive the measured curve as a BENCH_KERNEL.json "
+        "payload for tools.bench_summary",
     )
     args = parser.parse_args(argv)
 
@@ -126,6 +182,18 @@ def main(argv: Optional[list] = None) -> int:
     serial_s, batched_s = measure_speedups(
         args.cores, args.epochs, args.seed, controllers, batch_sizes, args.reps
     )
+    if args.json is not None:
+        write_report(
+            args.json,
+            n_cores=args.cores,
+            n_epochs=args.epochs,
+            reps=args.reps,
+            controllers=controllers,
+            threshold=args.threshold,
+            serial_s=serial_s,
+            batched_s=batched_s,
+        )
+        print(f"wrote {args.json}")
     print("determinism: every batched run is bit-identical to serial")
     print(
         f"{len(controllers)} controllers x {len(DEFAULT_BENCHMARKS)} benchmarks "

@@ -1,9 +1,11 @@
-"""Summarize or diff the bench harness's ``BENCH_E*.json`` artifacts.
+"""Summarize or diff the bench harness's ``BENCH_*.json`` artifacts.
 
 ``make bench`` archives, per experiment, a machine-readable JSON payload
-under ``benchmarks/results/`` (see ``benchmarks/conftest.py``).  This
-tool renders them as a table — one directory lists wall clocks and the
-suite's serial-vs-batched timing; two directories are diffed
+under ``benchmarks/results/`` (see ``benchmarks/conftest.py``), and
+``tools/batch_overhead.py --json`` archives the epoch kernel's measured
+speedup curve as ``BENCH_KERNEL.json``.  This tool renders them as a
+table — one directory lists wall clocks and the suite's
+serial-vs-batched timing; two directories are diffed
 experiment-by-experiment, which is how a perf regression (or a claimed
 optimization) is reviewed::
 
@@ -22,17 +24,18 @@ from typing import Any, Dict, Optional
 
 __all__ = ["main", "load_reports"]
 
-_BENCH_FILE = re.compile(r"BENCH_(E\d+)\.json$")
+_BENCH_FILE = re.compile(r"BENCH_(E\d+|KERNEL)\.json$")
 
 
 def _experiment_order(eid: str) -> int:
-    return int(eid[1:])
+    # Per-experiment rows first, the kernel speedup row last.
+    return int(eid[1:]) if eid.startswith("E") else 10**6
 
 
 def load_reports(directory: Path) -> Dict[str, Dict[str, Any]]:
-    """``{experiment_id: payload}`` for every ``BENCH_E*.json`` in ``directory``."""
+    """``{experiment_id: payload}`` for every ``BENCH_*.json`` in ``directory``."""
     reports: Dict[str, Dict[str, Any]] = {}
-    for path in directory.glob("BENCH_E*.json"):
+    for path in directory.glob("BENCH_*.json"):
         match = _BENCH_FILE.search(path.name)
         if match is None:
             continue
@@ -93,14 +96,14 @@ def main(argv: Optional[list] = None) -> int:
 
     before = load_reports(Path(args.before))
     if not before:
-        print(f"no BENCH_E*.json artifacts in {args.before}", file=sys.stderr)
+        print(f"no BENCH_*.json artifacts in {args.before}", file=sys.stderr)
         return 2
     if args.after is None:
         print(_render_single(before))
         return 0
     after = load_reports(Path(args.after))
     if not after:
-        print(f"no BENCH_E*.json artifacts in {args.after}", file=sys.stderr)
+        print(f"no BENCH_*.json artifacts in {args.after}", file=sys.stderr)
         return 2
     print(_render_diff(before, after))
     return 0
