@@ -4,7 +4,7 @@
 # .[lint]` — for the lint/typecheck targets, which skip with a warning
 # when the tools are absent).
 
-.PHONY: test bench bench-summary examples experiments faults golden determinism batch kernel trace chaos coverage lint analyze typecheck check clean
+.PHONY: test bench bench-summary examples experiments faults golden determinism batch kernel trace chaos service coverage lint analyze typecheck check clean
 
 test:
 	pytest tests/
@@ -34,6 +34,12 @@ trace:
 chaos:
 	pytest tests/chaos/ -q
 	python -m tools.chaos_soak
+
+service:
+	pytest tests/service/ -q
+	python -m tools.service_load --jobs 200 \
+		--out /tmp/bench-service/BENCH_SERVICE.json
+	python -m tools.bench_summary /tmp/bench-service
 
 coverage:
 	@if python -c "import pytest_cov" >/dev/null 2>&1; then \

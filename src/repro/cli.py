@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Five subcommands::
+Seven subcommands::
 
     python -m repro list                      # experiments + benchmarks
     python -m repro experiment E2 [options]   # run one experiment, print report
     python -m repro compare [options]         # controller comparison table
     python -m repro trace summarize FILE      # breakdown from a JSONL trace
     python -m repro cache stats|verify|gc DIR # inspect/audit/prune a cache
+    python -m repro serve [options]           # continuous-batching job server
+    python -m repro submit [options]          # send a job to a running server
 
 Every experiment accepts ``--cores``, ``--epochs`` and ``--seed`` so a
 laptop-scale run is one flag away from the evaluation scale, plus
@@ -180,6 +182,99 @@ def build_parser() -> argparse.ArgumentParser:
         "--purge-quarantine",
         action="store_true",
         help="also delete quarantined (corrupt) entries",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the continuous-batching job server (see docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7421, help="TCP port (0 = OS-assigned)"
+    )
+    serve.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="shared result-cache directory (strongly recommended)",
+    )
+    serve.add_argument(
+        "--engine-jobs",
+        type=int,
+        default=1,
+        help="worker processes per scheduling round (default 1 = in-process)",
+    )
+    serve.add_argument(
+        "--round-size",
+        type=int,
+        default=64,
+        help="max cells per scheduling round (default 64)",
+    )
+    serve.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable tensor batching inside rounds (debugging aid)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell soft deadline inside rounds",
+    )
+    serve.add_argument(
+        "--allow-shutdown",
+        action="store_true",
+        help="honour the 'shutdown' wire op (off by default)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running server and wait for it"
+    )
+    submit.add_argument("--host", default="127.0.0.1", help="server address")
+    submit.add_argument("--port", type=int, default=7421, help="server port")
+    submit.add_argument(
+        "--kind",
+        choices=("suite", "sweep"),
+        default="suite",
+        help="job shape: benchmark suite or power-budget sweep",
+    )
+    submit.add_argument(
+        "--controllers",
+        default="od-rl",
+        help="comma-separated controller names (default od-rl)",
+    )
+    submit.add_argument(
+        "--benchmarks",
+        default="mixed",
+        help="comma-separated benchmarks; sweeps take exactly one",
+    )
+    submit.add_argument(
+        "--budgets",
+        default="",
+        help="comma-separated budgets in W (sweeps only)",
+    )
+    submit.add_argument("--cores", type=int, default=8)
+    submit.add_argument("--epochs", type=int, default=40)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.6,
+        help="TDP fraction for suite jobs (default 0.6)",
+    )
+    submit.add_argument(
+        "--client", default="cli", help="client name for fair-share queueing"
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without waiting",
+    )
+    submit.add_argument(
+        "--digests",
+        action="store_true",
+        help="print per-cell result digests after completion",
     )
     return parser
 
@@ -432,6 +527,103 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ExperimentService, ServiceServer
+
+    async def run() -> int:
+        service = ExperimentService(
+            cache=args.cache,
+            engine_jobs=args.engine_jobs,
+            batch=not args.no_batch,
+            round_size=args.round_size,
+            timeout=args.timeout,
+        )
+        server = ServiceServer(
+            service,
+            host=args.host,
+            port=args.port,
+            allow_shutdown=args.allow_shutdown,
+        )
+        await server.start()
+        print(f"repro service listening on {server.host}:{server.port}")
+        if args.cache:
+            print(f"  cache: {args.cache}")
+        try:
+            await server.serve_until_shutdown()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            await server.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 130
+
+
+def _csv(raw: str) -> List[str]:
+    return [item.strip() for item in raw.split(",") if item.strip()]
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ServiceClient, ServiceError
+
+    spec = {
+        "kind": args.kind,
+        "controllers": _csv(args.controllers),
+        "benchmarks": _csv(args.benchmarks),
+        "budgets": [float(b) for b in _csv(args.budgets)],
+        "n_cores": args.cores,
+        "n_epochs": args.epochs,
+        "seed": args.seed,
+        "budget_fraction": args.budget_fraction,
+    }
+
+    async def run() -> int:
+        client = ServiceClient(
+            host=args.host, port=args.port, client_name=args.client
+        )
+        job_id = await client.submit(spec)
+        print(f"job {job_id} submitted")
+        if args.no_wait:
+            return 0
+        status = await client.wait(job_id)
+        print(
+            f"job {job_id}: {status['state']} "
+            f"({status['completed']}/{status['cells']} cells, "
+            f"{status['elapsed_s']:.2f}s)"
+        )
+        for failure in status.get("failures", []):
+            print(
+                f"  failed: {failure['cell']}: "
+                f"{failure['error_type']}: {failure['message']}"
+            )
+        if status["state"] != "done":
+            return 1
+        if args.digests:
+            digests = await client.result_digests(job_id)
+            for ctrl in sorted(digests):
+                for key in sorted(digests[ctrl]):
+                    print(f"  {ctrl} @ {key}: {digests[ctrl][key]}")
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    except ConnectionRefusedError:
+        print(
+            f"no server at {args.host}:{args.port} "
+            "(start one with: python -m repro serve)",
+            file=sys.stderr,
+        )
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -445,4 +637,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -107,6 +107,11 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "cache_quarantine": ("key", "reason"),
     "campaign_resume": ("campaign", "total", "completed", "pending"),
     "engine_summary": ("counters",),
+    # Service-layer lifecycle (repro.service): per-job streams carry the
+    # engine's cell events above plus these job-scoped markers.
+    "job_submitted": ("job", "kind", "cells"),
+    "job_done": ("job", "status", "completed", "failed"),
+    "cell_attached": ("cell", "origin"),
 }
 
 EVENT_TYPES: FrozenSet[str] = frozenset(EVENT_FIELDS)

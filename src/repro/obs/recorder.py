@@ -54,6 +54,8 @@ class Recorder(Protocol):
 
     def emit(self, event_type: str, **fields: Any) -> None: ...
 
+    def flush(self) -> None: ...
+
 
 class NullRecorder:
     """Recorder that records nothing, as cheaply as possible.
@@ -66,6 +68,9 @@ class NullRecorder:
     enabled: bool = False
 
     def emit(self, event_type: str, **fields: Any) -> None:
+        return None
+
+    def flush(self) -> None:
         return None
 
 
@@ -138,12 +143,20 @@ class JsonlRecorder(_SequencedRecorder):
             self.flush()
 
     def flush(self) -> None:
-        """Encode and write every pending event."""
-        if self._fh is None or not self._pending:
+        """Encode and write every pending event, then flush the handle.
+
+        The OS-level flush makes the trace durable through the last
+        emitted event even if the process later dies without reaching
+        :meth:`close` — a run that raises mid-epoch must not tear off the
+        buffered tail of its trace.
+        """
+        if self._fh is None:
             return
-        encode = self._encoder.encode
-        self._fh.write("".join(encode(r) + "\n" for r in self._pending))
-        self._pending.clear()
+        if self._pending:
+            encode = self._encoder.encode
+            self._fh.write("".join(encode(r) + "\n" for r in self._pending))
+            self._pending.clear()
+        self._fh.flush()
 
     def record_all(self, events: List[Dict[str, Any]]) -> None:
         """Replay pre-built events (from a :class:`BufferRecorder`),
@@ -180,6 +193,9 @@ class BufferRecorder(_SequencedRecorder):
 
     def emit(self, event_type: str, **fields: Any) -> None:
         self.events.append(self._next_event(event_type, fields))
+
+    def flush(self) -> None:
+        return None
 
 
 def _json_default(obj: Any) -> Any:

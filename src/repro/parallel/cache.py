@@ -40,6 +40,21 @@ that fails verification — torn write, bit rot, chaos injection — is
 corrupt entry is never silently mis-served and never fatal.  The
 ``repro cache`` CLI (``stats`` / ``verify`` / ``gc``) audits and prunes
 the store offline.
+
+Concurrent writers
+------------------
+The entry and its checksum sidecar are two separate atomic renames, so
+two processes publishing the *same* key concurrently could interleave
+them — ``np.savez`` embeds archive metadata, making each writer's bytes
+distinct, and entry A + sidecar B reads as a checksum mismatch
+(quarantine false positive) even though both writers held a correct
+result.  ``put`` therefore takes a per-key lockfile
+(``O_CREAT | O_EXCL``): the losing writer skips its write entirely —
+results are content-addressed and deterministic, so the winner's bytes
+serve every caller (``cache.put_contended`` counts the skips).  Readers
+treat a mismatch observed while the key's lock is held as a plain miss
+(publication in progress), and re-verify once before quarantining
+otherwise, so the get/put window can never false-positive either.
 """
 
 from __future__ import annotations
@@ -49,6 +64,7 @@ import functools
 import hashlib
 import inspect
 import os
+import time
 from pathlib import Path
 from typing import Any, List, Mapping, Optional, Tuple, Union
 
@@ -307,6 +323,11 @@ class ResultCache:
     #: Subdirectory (under ``root``) quarantined entries are moved to.
     QUARANTINE_DIR = "quarantine"
 
+    #: Age (seconds) past which another writer's put lock is presumed
+    #: abandoned (its process died mid-publish) and broken.  Far above any
+    #: real publish duration — a put writes one ``.npz`` and one sidecar.
+    PUT_LOCK_STALE_SECONDS: float = 300.0
+
     def __init__(
         self,
         root: Union[str, Path],
@@ -326,6 +347,7 @@ class ResultCache:
         self.metrics.set_gauge("cache.corrupt", 0)
         self.metrics.set_gauge("cache.quarantined", 0)
         self.metrics.set_gauge("cache.put_errors", 0)
+        self.metrics.set_gauge("cache.put_contended", 0)
 
     @property
     def hits(self) -> int:
@@ -352,6 +374,11 @@ class ResultCache:
         """Writes absorbed by :meth:`put_safe` (disk full etc.)."""
         return int(self.metrics.get("cache.put_errors"))
 
+    @property
+    def put_contended(self) -> int:
+        """Puts skipped because another writer held the key's lock."""
+        return int(self.metrics.get("cache.put_contended"))
+
     def path_for(self, key: str) -> Path:
         """Filesystem path the entry for ``key`` lives at."""
         return self.root / key[:2] / f"{key}.npz"
@@ -359,6 +386,10 @@ class ResultCache:
     def checksum_path(self, key: str) -> Path:
         """Sidecar path holding the entry's SHA-256 content checksum."""
         return self.root / key[:2] / f"{key}.sha256"
+
+    def lock_path(self, key: str) -> Path:
+        """Lockfile path serializing writers of ``key`` (see :meth:`put`)."""
+        return self.root / key[:2] / f".{key}.lock"
 
     @property
     def quarantine_root(self) -> Path:
@@ -436,9 +467,24 @@ class ResultCache:
             except OSError:
                 expected = ""
             if _sha256_file(path) != expected:
-                self._quarantine(key, "checksum-mismatch")
-                self.metrics.inc("cache.misses")
-                return None
+                if self.put_in_progress(key):
+                    # A writer is republishing this key right now; the
+                    # transient entry/sidecar skew is publication in
+                    # progress, not corruption.  Plain miss — the caller
+                    # recomputes (or retries) and nothing is quarantined.
+                    self.metrics.inc("cache.misses")
+                    return None
+                # Re-verify once with fresh reads: a writer may have
+                # completed between our entry hash and sidecar read.
+                # Only a *stable* mismatch is corruption.
+                try:
+                    expected = digest_path.read_text(encoding="utf-8").strip()
+                except OSError:
+                    expected = ""
+                if not path.exists() or _sha256_file(path) != expected:
+                    self._quarantine(key, "checksum-mismatch")
+                    self.metrics.inc("cache.misses")
+                    return None
         try:
             result = load_result(path)
         except Exception:
@@ -452,8 +498,56 @@ class ResultCache:
         return result
 
     # -- writes ------------------------------------------------------------
+    def _lock_age(self, key: str) -> Optional[float]:
+        """Seconds since the key's put lock was created, or ``None`` when
+        no lock exists (or it vanished under us)."""
+        try:
+            created = self.lock_path(key).stat().st_mtime
+        except OSError:
+            return None
+        # Wall clock by necessity: lockfile mtimes are wall-clock stamps
+        # shared across processes, which time.monotonic() cannot compare
+        # against.  Operational metadata only — never timing measurement,
+        # never part of a cache key.
+        return time.time() - created  # noqa: REPRO006
+
+    def _acquire_put_lock(self, key: str) -> Optional[int]:
+        """Try to become the key's sole writer; ``None`` when another
+        writer holds a live lock.  A lock older than
+        :attr:`PUT_LOCK_STALE_SECONDS` is presumed abandoned and broken.
+        """
+        lock = self.lock_path(key)
+        for _ in range(2):
+            try:
+                return os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                age = self._lock_age(key)
+                if age is None:
+                    # The holder released between our open and stat;
+                    # retry once.
+                    continue
+                if age <= self.PUT_LOCK_STALE_SECONDS:
+                    return None
+                # Abandoned lock (writer died mid-publish): break it and
+                # retry the exclusive create.
+                lock.unlink(missing_ok=True)
+        return None
+
+    def put_in_progress(self, key: str) -> bool:
+        """Whether another writer currently holds the key's put lock."""
+        age = self._lock_age(key)
+        return age is not None and age <= self.PUT_LOCK_STALE_SECONDS
+
     def put(self, key: str, result: SimulationResult) -> Path:
         """Persist ``result`` under ``key`` (atomic), returning its path.
+
+        Exactly one concurrent writer per key: the entry and its checksum
+        sidecar are two separate renames, so unserialized same-key
+        writers could interleave them into a mismatched (quarantine
+        false-positive) pair.  The loser of the per-key lockfile race
+        skips its write — results are content-addressed, so the winner's
+        bytes are equally correct for every caller — and the skip is
+        counted in ``cache.put_contended``.
 
         Raises ``OSError`` on write failure (disk full, permissions);
         callers that must survive storage faults use :meth:`put_safe`.
@@ -462,20 +556,28 @@ class ResultCache:
 
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        if self.chaos is not None:
-            self.chaos.before_cache_put(key)
-        # The temp name keeps the .npz suffix: numpy's savez would otherwise
-        # append one and the rename source would not exist.
-        tmp = path.parent / f".{path.stem}.{os.getpid()}.tmp.npz"
+        lock_fd = self._acquire_put_lock(key)
+        if lock_fd is None:
+            self.metrics.inc("cache.put_contended")
+            return path
         try:
-            save_result(result, tmp)
-            digest = _sha256_file(tmp)
-            os.replace(tmp, path)
+            if self.chaos is not None:
+                self.chaos.before_cache_put(key)
+            # The temp name keeps the .npz suffix: numpy's savez would
+            # otherwise append one and the rename source would not exist.
+            tmp = path.parent / f".{path.stem}.{os.getpid()}.tmp.npz"
+            try:
+                save_result(result, tmp)
+                digest = _sha256_file(tmp)
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
+            self._write_checksum(key, digest)
+            if self.chaos is not None:
+                self.chaos.corrupt_cache_entry(key, path)
         finally:
-            tmp.unlink(missing_ok=True)
-        self._write_checksum(key, digest)
-        if self.chaos is not None:
-            self.chaos.corrupt_cache_entry(key, path)
+            os.close(lock_fd)
+            self.lock_path(key).unlink(missing_ok=True)
         return path
 
     def _write_checksum(self, key: str, digest: str) -> None:

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import time
 import traceback
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -65,6 +66,7 @@ from multiprocessing import get_context
 from pathlib import Path
 from typing import (
     Any,
+    Deque,
     Dict,
     List,
     Mapping,
@@ -244,7 +246,11 @@ def _run_cell_guarded(
     failures (bad config, contract violation) out of the pool's exception
     machinery, so only hard process death ever breaks the pool.  The
     ``"ok"`` payload is ``(result, events)`` — the run's buffered trace
-    events when ``task.trace`` is set, else ``None``.
+    events when ``task.trace`` is set, else ``None``.  The ``"error"``
+    payload carries the attempt's *partial* event buffer as its fourth
+    element, so a cell that fails permanently still leaves a trace
+    through its last completed epoch instead of losing the buffer with
+    the attempt.
 
     ``chaos`` (when armed) injects its worker-side faults — crash, hang,
     transient error — before the cell simulates, keyed deterministically
@@ -252,10 +258,10 @@ def _run_cell_guarded(
     passes, so injection decisions are identical across the spawn
     boundary and across runs.
     """
+    buffer = BufferRecorder() if task.trace else None
     try:
         if chaos is not None:
             chaos.at_cell_start(task.cell.label(), attempt)
-        buffer = BufferRecorder() if task.trace else None
         result = _run_cell(task, recorder=buffer)
         return "ok", (result, buffer.events if buffer is not None else None)
     except BaseException as exc:  # shipped to the parent as a structured value
@@ -263,6 +269,7 @@ def _run_cell_guarded(
             type(exc).__qualname__,
             str(exc),
             traceback.format_exc(),
+            buffer.events if buffer is not None and buffer.events else None,
         )
 
 
@@ -773,6 +780,13 @@ def _execute(
     finally:
         if jour is not None:
             jour.close()
+        # Durability on the unhappy path: a run that raises mid-campaign
+        # must not lose the recorder's buffered tail (satellite of the
+        # torn-trace bug).  ``getattr`` keeps third-party recorders that
+        # predate ``flush`` working.
+        flush = getattr(rec, "flush", None)
+        if callable(flush):
+            flush()
 
 
 def _settle_failure(
@@ -852,48 +866,73 @@ def _run_inline_resilient(
     event_buffers: Dict[int, Any],
     notes: Dict[int, List[Tuple[str, Dict[str, Any]]]],
 ) -> None:
-    """``jobs=1`` with the classified-retry machinery: each cell loops
-    attempts inline.  Traced runs buffer per attempt and replay only the
-    successful one, so a retried cell never double-emits its epochs."""
-    for i in pending:
+    """``jobs=1`` with the classified-retry machinery, scheduled by
+    deadline: cells run in task order, but a cell owing backoff is
+    *deferred* (per-cell ``not_before`` timestamp) while later ready
+    cells execute, so a flaky cell never stalls the rest of the grid —
+    the process only sleeps when every pending cell is backing off.
+
+    Traced runs buffer per attempt; a successful attempt replaces any
+    earlier partial buffer, so a retried cell never double-emits its
+    epochs, while a permanently failed cell keeps its last attempt's
+    partial trace through the final completed epoch."""
+    queue: Deque[int] = deque(pending)
+    not_before: Dict[int, float] = {i: 0.0 for i in pending}
+    attempts: Dict[int, int] = {i: 0 for i in pending}
+    history: Dict[int, List[Tuple[str, str]]] = {i: [] for i in pending}
+    while queue:
+        now = time.monotonic()
+        pos = next((p for p, j in enumerate(queue) if not_before[j] <= now), None)
+        if pos is None:
+            # Every pending cell is backing off; sleep to the nearest
+            # deadline instead of spinning.
+            time.sleep(max(0.0, min(not_before[j] for j in queue) - now))
+            continue
+        i = queue[pos]
+        del queue[pos]
         task = tasks[i]
         label = task.cell.label()
-        history: List[Tuple[str, str]] = []
-        attempt = 0
-        while True:
-            attempt += 1
-            delay = policy.delay_before(attempt, label)
-            if delay > 0:
-                time.sleep(delay)
-            buffer = BufferRecorder() if task.trace and rec.enabled else None
-            try:
-                if chaos is not None:
-                    chaos.inline_cell_start(label, attempt)
-                result = _run_cell(task, recorder=buffer)
-            except Exception as exc:
-                error = (type(exc).__qualname__, str(exc), traceback.format_exc())
-                history.append((error[0], error[1]))
-                if policy.should_retry(attempt, history):
-                    _note_retry(task, attempt, error, policy, metrics, notes, i)
-                    continue
-                failures_of[i] = _settle_failure(
-                    task, attempt, error, policy, metrics, notes, i
-                )
-                key = keys[i]
-                if jour is not None and key is not None:
-                    jour.record_failed(i, key, error[0], attempt)
-                break
-            results[i] = result
-            success_attempts[i] = attempt
-            metrics.inc("engine.cells_run")
+        attempts[i] += 1
+        attempt = attempts[i]
+        buffer = BufferRecorder() if task.trace and rec.enabled else None
+        try:
+            if chaos is not None:
+                chaos.inline_cell_start(label, attempt)
+            result = _run_cell(task, recorder=buffer)
+        except Exception as exc:
+            error = (type(exc).__qualname__, str(exc), traceback.format_exc())
+            history[i].append((error[0], error[1]))
             if buffer is not None and buffer.events:
+                # Partial trace of the failed attempt; a later successful
+                # attempt overwrites it below.
                 event_buffers[i] = buffer.events
+            if policy.should_retry(attempt, history[i]):
+                _note_retry(task, attempt, error, policy, metrics, notes, i)
+                not_before[i] = time.monotonic() + policy.delay_before(
+                    attempt + 1, label
+                )
+                queue.append(i)
+                continue
+            failures_of[i] = _settle_failure(
+                task, attempt, error, policy, metrics, notes, i
+            )
             key = keys[i]
-            if store is not None and key is not None:
-                store.put_safe(key, result)
             if jour is not None and key is not None:
-                jour.record_done(i, key)
-            break
+                jour.record_failed(i, key, error[0], attempt)
+            continue
+        results[i] = result
+        success_attempts[i] = attempt
+        metrics.inc("engine.cells_run")
+        if buffer is not None:
+            if buffer.events:
+                event_buffers[i] = buffer.events
+            else:
+                event_buffers.pop(i, None)
+        key = keys[i]
+        if store is not None and key is not None:
+            store.put_safe(key, result)
+        if jour is not None and key is not None:
+            jour.record_done(i, key)
 
 
 def _run_pool(
@@ -913,46 +952,70 @@ def _run_pool(
     event_buffers: Dict[int, Any],
     notes: Dict[int, List[Tuple[str, Dict[str, Any]]]],
 ) -> None:
-    """The pool rounds loop: submit, watch, classify, retry or settle."""
+    """The pool rounds loop: submit, watch, classify, retry or settle.
+
+    Backoff never blocks dispatch: a retried cell carries a per-cell
+    ``not_before`` deadline and is *deferred* — ready cells are submitted
+    immediately, deferred cells are promoted into the live pool as their
+    deadlines pass, and the hung-worker watchdog keeps ticking
+    throughout.  A cell in backoff therefore never stalls unrelated work
+    (the backoff-stall bug: the old one-``time.sleep``-per-round design
+    held every ready cell and the watchdog hostage to the longest delay
+    owed by any retried member).
+    """
     attempts: Dict[int, int] = {i: 0 for i in pending}
     history: Dict[int, List[Tuple[str, str]]] = {i: [] for i in pending}
     last_error: Dict[int, Tuple[str, str, str]] = {}
+    #: Last failed attempt's partial event buffer per cell (pool workers
+    #: ship it with the error payload); replayed only on permanent failure.
+    error_events: Dict[int, Any] = {}
+    not_before: Dict[int, float] = {i: 0.0 for i in pending}
     to_run = list(pending)
     while to_run:
-        # One backoff per round: the longest delay owed by any retried
-        # member (freshly re-queued watchdog innocents owe none).
-        round_delay = max(
-            (
-                policy.delay_before(attempts[i] + 1, tasks[i].cell.label())
-                for i in to_run
-                if attempts[i] > 0
-            ),
-            default=0.0,
-        )
-        if round_delay > 0:
-            time.sleep(round_delay)
         retry_round: List[int] = []
         requeue_free: List[int] = []
+        deferred: List[int] = []
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(to_run)), mp_context=get_context("spawn")
         ) as pool:
+            now = time.monotonic()
+            ready = [i for i in to_run if not_before[i] <= now]
+            deferred = [i for i in to_run if not_before[i] > now]
             future_of = {
                 pool.submit(_run_cell_guarded, tasks[i], chaos, attempts[i] + 1): i
-                for i in to_run
+                for i in ready
             }
             not_done = set(future_of)
             running_since: Dict[Any, float] = {}
-            # Poll only when a deadline is armed; a plain blocking wait
-            # otherwise, so the watchdog costs nothing when unused.
-            tick = (
-                None if timeout is None else max(0.01, min(0.05, timeout / 5.0))
-            )
             broken = False
             watchdog_broke = False
-            while not_done and not broken:
-                done, not_done = wait(
-                    not_done, timeout=tick, return_when=FIRST_COMPLETED
-                )
+            while (not_done or deferred) and not broken:
+                if not not_done:
+                    # Only deferred cells remain: sleep to the nearest
+                    # backoff deadline, then promote below.
+                    wake_in = (
+                        min(not_before[i] for i in deferred) - time.monotonic()
+                    )
+                    if wake_in > 0:
+                        time.sleep(wake_in)
+                    done: Set[Any] = set()
+                else:
+                    # Poll when a watchdog deadline or a deferral is
+                    # armed; a plain blocking wait otherwise, so neither
+                    # costs anything when unused.
+                    ticks: List[float] = []
+                    if timeout is not None:
+                        ticks.append(max(0.01, min(0.05, timeout / 5.0)))
+                    if deferred:
+                        wake_in = (
+                            min(not_before[i] for i in deferred)
+                            - time.monotonic()
+                        )
+                        ticks.append(max(0.01, wake_in))
+                    tick = min(ticks) if ticks else None
+                    done, not_done = wait(
+                        not_done, timeout=tick, return_when=FIRST_COMPLETED
+                    )
                 for fut in done:
                     i = future_of[fut]
                     try:
@@ -987,6 +1050,7 @@ def _run_pool(
                         success_attempts[i] = attempts.pop(i, 0) + 1
                         if events:
                             event_buffers[i] = events
+                        error_events.pop(i, None)
                         metrics.inc("engine.cells_run")
                         key = keys[i]
                         if store is not None and key is not None:
@@ -995,9 +1059,34 @@ def _run_pool(
                             jour.record_done(i, key)
                     else:
                         attempts[i] += 1
-                        last_error[i] = payload
+                        last_error[i] = (payload[0], payload[1], payload[2])
+                        if len(payload) > 3 and payload[3]:
+                            error_events[i] = payload[3]
                         history[i].append((payload[0], payload[1]))
                         retry_round.append(i)
+                # Promote deferred cells whose backoff deadlines passed
+                # into the live pool.
+                if deferred and not broken:
+                    now = time.monotonic()
+                    ripe = [i for i in deferred if not_before[i] <= now]
+                    if ripe:
+                        deferred = [i for i in deferred if not_before[i] > now]
+                        for pos, i in enumerate(ripe):
+                            try:
+                                fut = pool.submit(
+                                    _run_cell_guarded,
+                                    tasks[i],
+                                    chaos,
+                                    attempts[i] + 1,
+                                )
+                            except BrokenProcessPool:
+                                # The pool died under us: unpromoted cells
+                                # keep their deadlines for the next round.
+                                broken = True
+                                deferred.extend(ripe[pos:])
+                                break
+                            future_of[fut] = i
+                            not_done.add(fut)
                 if broken or timeout is None or not not_done:
                     continue
                 # Soft-deadline watchdog: charge stragglers, kill the pool,
@@ -1063,14 +1152,26 @@ def _run_pool(
                 _note_retry(
                     tasks[i], attempts[i], last_error[i], policy, metrics, notes, i
                 )
+                not_before[i] = time.monotonic() + policy.delay_before(
+                    attempts[i] + 1, tasks[i].cell.label()
+                )
             else:
+                if error_events.get(i):
+                    # Permanent failure: replay the last attempt's partial
+                    # trace through its final completed epoch.
+                    event_buffers[i] = error_events[i]
                 failures_of[i] = _settle_failure(
                     tasks[i], attempts[i], last_error[i], policy, metrics, notes, i
                 )
                 key = keys[i]
                 if jour is not None and key is not None:
                     jour.record_failed(i, key, last_error[i][0], attempts[i])
+        for i in requeue_free:
+            # Watchdog innocents re-enter immediately: the requeue is not
+            # a retry and owes no backoff.
+            not_before[i] = 0.0
         to_run.extend(requeue_free)
+        to_run.extend(deferred)
         to_run.sort()
 
 

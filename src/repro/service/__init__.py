@@ -1,0 +1,45 @@
+"""Async experiment control plane over the parallel engine.
+
+``repro.service`` turns the library-only execution stack (engine, result
+cache, batch kernel, retry/chaos layers) into a long-running process: a
+job API (submit a suite or budget sweep → job id; poll status; cancel;
+stream :mod:`repro.obs` events live per job) whose scheduler does
+*continuous batching* across concurrent clients — compatible
+:class:`~repro.parallel.cells.RunCell`\\ s from different submissions are
+merged into shared engine rounds (and from there into one kernel stack
+via ``plan_batches``), with fair-share queueing so one giant sweep cannot
+starve small jobs, and a shared content-addressed
+:class:`~repro.parallel.cache.ResultCache` plus in-flight dedup so N
+identical submissions cost one simulation.
+
+The service is a *scheduler*, never a new numeric path: every cell goes
+through the same :func:`~repro.parallel.engine.execute_cells_report`
+engine as a library call and the task decomposition is shared with
+:func:`repro.sim.runner.run_suite` (see
+:func:`repro.sim.runner.build_suite_tasks`), so service-returned results
+are bit-identical to serial library runs by construction.
+
+See ``docs/service.md`` for the API, the scheduling/fairness contract,
+dedup semantics, and deployment notes.
+"""
+
+from repro.service.events import EventHub
+from repro.service.jobs import JobSpec, PlannedJob, plan_job, result_digest
+from repro.service.scheduler import ContinuousScheduler, Job, ServiceError
+from repro.service.service import ExperimentService
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "EventHub",
+    "JobSpec",
+    "PlannedJob",
+    "plan_job",
+    "result_digest",
+    "ContinuousScheduler",
+    "Job",
+    "ServiceError",
+    "ExperimentService",
+    "ServiceClient",
+    "ServiceServer",
+]

@@ -1,0 +1,148 @@
+"""Async client for the TCP JSON-lines service protocol.
+
+Connection-per-request for the unary operations (the protocol is
+stateless, so this keeps the client trivially reconnect-safe) and one
+persistent connection for event streaming.  A server-side error reply
+raises :class:`~repro.service.scheduler.ServiceError` with the server's
+message — callers never have to inspect raw reply dicts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Dict, Mapping, Optional, Union
+
+from repro.service.jobs import JobSpec
+from repro.service.scheduler import ServiceError
+from repro.service.server import result_from_b64
+from repro.sim.results import SimulationResult
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, client_name: str = ""
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_name = client_name
+
+    async def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(json.dumps(request).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        if not line:
+            raise ServiceError("server closed the connection without a reply")
+        return self._check(json.loads(line))
+
+    @staticmethod
+    def _check(reply: Dict[str, Any]) -> Dict[str, Any]:
+        if not reply.get("ok"):
+            raise ServiceError(
+                f"{reply.get('error_type', 'ServiceError')}: "
+                f"{reply.get('error', 'unknown server error')}"
+            )
+        return reply
+
+    # -- unary operations --------------------------------------------------
+    async def ping(self) -> bool:
+        reply = await self._roundtrip({"op": "ping"})
+        return bool(reply.get("pong"))
+
+    async def submit(
+        self, spec: Union[JobSpec, Mapping[str, Any]]
+    ) -> str:
+        payload = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+        reply = await self._roundtrip(
+            {"op": "submit", "spec": payload, "client": self.client_name}
+        )
+        return str(reply["job"])
+
+    async def status(self, job_id: str) -> Dict[str, Any]:
+        reply = await self._roundtrip({"op": "status", "job": job_id})
+        return dict(reply["status"])
+
+    async def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        request: Dict[str, Any] = {"op": "wait", "job": job_id}
+        if timeout is not None:
+            request["timeout"] = timeout
+        reply = await self._roundtrip(request)
+        return dict(reply["status"])
+
+    async def cancel(self, job_id: str) -> bool:
+        reply = await self._roundtrip({"op": "cancel", "job": job_id})
+        return bool(reply["cancelled"])
+
+    async def counters(self) -> Dict[str, Any]:
+        reply = await self._roundtrip({"op": "counters"})
+        return dict(reply["counters"])
+
+    async def result_digests(self, job_id: str) -> Dict[str, Dict[str, str]]:
+        reply = await self._roundtrip(
+            {"op": "result", "job": job_id, "format": "digest"}
+        )
+        return {
+            ctrl: dict(inner) for ctrl, inner in reply["digests"].items()
+        }
+
+    async def fetch_results(
+        self, job_id: str
+    ) -> Dict[str, Dict[str, SimulationResult]]:
+        """Download and decode a finished job's full results.
+
+        Keys are strings on the wire (JSON object keys): benchmark names
+        for suites, ``repr(budget)`` for sweeps.
+        """
+        reply = await self._roundtrip(
+            {"op": "result", "job": job_id, "format": "npz"}
+        )
+        return {
+            ctrl: {key: result_from_b64(blob) for key, blob in inner.items()}
+            for ctrl, inner in reply["results"].items()
+        }
+
+    async def shutdown(self) -> None:
+        await self._roundtrip({"op": "shutdown"})
+
+    # -- streaming ---------------------------------------------------------
+    async def stream_events(
+        self, job_id: str, start: int = 0
+    ) -> AsyncIterator[Dict[str, Any]]:
+        """Yield a job's events live until its stream ends."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                json.dumps(
+                    {"op": "events", "job": job_id, "start": start}
+                ).encode()
+                + b"\n"
+            )
+            await writer.drain()
+            while True:
+                line = await reader.readline()
+                if not line:
+                    raise ServiceError("event stream closed unexpectedly")
+                reply = self._check(json.loads(line))
+                if reply.get("end"):
+                    return
+                yield dict(reply["event"])
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

@@ -1,0 +1,114 @@
+"""Per-job event fan-out: thread-safe publish, async subscription.
+
+The engine runs rounds in worker threads (via ``asyncio.to_thread``)
+while subscribers consume from the event loop, so the hub is the one
+piece of the service that is touched from two threads: ``publish`` takes
+a lock and wakes loop-side subscribers with ``call_soon_threadsafe``;
+``stream`` is a plain cursor over the append-only event list, so a
+subscriber can join late (or reconnect) and replay from any position
+without the publisher keeping per-subscriber state.
+
+Events are schema-checked through :func:`repro.obs.events.make_event` —
+a job's stream speaks the same event vocabulary as a trace file.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, AsyncIterator, Dict, List, Optional, Set
+
+from repro.obs.events import make_event
+
+__all__ = ["EventHub"]
+
+
+class EventHub:
+    """Append-only event log for one job, with async streaming."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._seq = 0
+        self._closed = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._waiters: Set[asyncio.Event] = set()
+
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Attach the event loop subscriber wake-ups are scheduled on.
+
+        Publishing before ``bind`` is fine — events accumulate and are
+        delivered when a subscriber first streams.
+        """
+        self._loop = loop
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def publish(self, event_type: str, **fields: Any) -> None:
+        """Validate, stamp, append, and wake subscribers.
+
+        Safe from any thread.  Events published after :meth:`close` are
+        dropped — a cancelled job's late engine events have no audience.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            record = make_event(event_type, self._seq, dict(fields))
+            self._seq += 1
+            self._events.append(record)
+        self._wake()
+
+    def close(self) -> None:
+        """End the stream: subscribers drain whatever remains, then stop."""
+        with self._lock:
+            self._closed = True
+        self._wake()
+
+    def _wake(self) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._notify)
+        except RuntimeError:
+            # Loop already closed (service shutting down): subscribers
+            # are gone with it.
+            return
+
+    def _notify(self) -> None:
+        for waiter in list(self._waiters):
+            waiter.set()
+
+    def snapshot(self, start: int = 0) -> List[Dict[str, Any]]:
+        """Events from position ``start`` onward, as a copy."""
+        with self._lock:
+            return list(self._events[start:])
+
+    async def stream(self, start: int = 0) -> AsyncIterator[Dict[str, Any]]:
+        """Yield events from ``start``, live until the hub closes.
+
+        Must be consumed on the loop passed to :meth:`bind`.
+        """
+        cursor = start
+        ready = asyncio.Event()
+        self._waiters.add(ready)
+        try:
+            while True:
+                ready.clear()
+                batch = self.snapshot(cursor)
+                if batch:
+                    cursor += len(batch)
+                    for record in batch:
+                        yield record
+                    continue
+                if self._closed:
+                    return
+                await ready.wait()
+        finally:
+            self._waiters.discard(ready)

@@ -1,0 +1,254 @@
+"""TCP front-end: JSON-lines request/response over asyncio streams.
+
+The protocol is deliberately minimal and dependency-free (stdlib only):
+one JSON object per line, each carrying an ``op``; every reply carries
+``ok``.  Errors come back as values (``{"ok": false, "error": ...,
+"error_type": ...}``) — a malformed request must never take the
+connection, let alone the server, down.
+
+Operations
+----------
+``ping``                          liveness probe.
+``submit {spec, client}``         plan + enqueue; replies ``{job}``.
+``status {job}``                  point-in-time job view.
+``wait {job, timeout?}``          block until terminal; replies status.
+``cancel {job}``                  detach + finalize as cancelled.
+``result {job, format}``          ``"digest"`` (default) → per-cell
+                                  content digests; ``"npz"`` → base64
+                                  npz payloads loadable with
+                                  :func:`repro.sim.result_io.load_result`.
+``events {job, start?}``          streams ``{"ok": true, "event": ...}``
+                                  lines until the job's hub closes, then
+                                  one ``{"ok": true, "end": true}``.
+``counters``                      scheduler/engine/cache snapshot.
+``shutdown``                      stop the server (only when started
+                                  with ``allow_shutdown=True``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.service.scheduler import ServiceError
+from repro.service.service import ExperimentService
+from repro.sim.results import SimulationResult
+
+__all__ = ["ServiceServer", "result_to_b64", "result_from_b64"]
+
+
+def result_to_b64(result: SimulationResult) -> str:
+    """A result's on-disk npz bytes, base64-encoded for the wire."""
+    from repro.sim.result_io import save_result
+
+    fd, name = tempfile.mkstemp(suffix=".npz")
+    os.close(fd)
+    try:
+        save_result(result, name)
+        with open(name, "rb") as fh:
+            return base64.b64encode(fh.read()).decode("ascii")
+    finally:
+        os.unlink(name)
+
+
+def result_from_b64(data: str) -> SimulationResult:
+    """Inverse of :func:`result_to_b64`."""
+    from repro.sim.result_io import load_result
+
+    fd, name = tempfile.mkstemp(suffix=".npz")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(base64.b64decode(data.encode("ascii")))
+        return load_result(name)
+    finally:
+        os.unlink(name)
+
+
+class ServiceServer:
+    """Serve an :class:`ExperimentService` over TCP JSON lines."""
+
+    def __init__(
+        self,
+        service: ExperimentService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        allow_shutdown: bool = False,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.allow_shutdown = allow_shutdown
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> None:
+        """Start the service (if needed) and begin accepting connections.
+
+        With ``port=0`` the OS assigns one; :attr:`port` is updated to
+        the bound value.
+        """
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting, drain the service, release everything."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`close`) arrives."""
+        await self._shutdown.wait()
+        if self._server is not None:
+            await self.close()
+
+    # -- connection handling -----------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    await self._reply(
+                        writer,
+                        {
+                            "ok": False,
+                            "error": f"malformed request: {exc}",
+                            "error_type": "BadRequest",
+                        },
+                    )
+                    continue
+                op = str(request.get("op", ""))
+                if op == "events":
+                    done = await self._stream_events(writer, request)
+                    if done:
+                        break
+                    continue
+                reply = await self._dispatch(op, request)
+                await self._reply(writer, reply)
+                if op == "shutdown" and reply.get("ok"):
+                    self._shutdown.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _reply(
+        self, writer: asyncio.StreamWriter, payload: Dict[str, Any]
+    ) -> None:
+        writer.write(json.dumps(payload, sort_keys=True).encode() + b"\n")
+        await writer.drain()
+
+    async def _dispatch(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "submit":
+                job_id = await self.service.submit(
+                    dict(request.get("spec") or {}),
+                    client=str(request.get("client", "")),
+                )
+                return {"ok": True, "job": job_id}
+            if op == "status":
+                return {
+                    "ok": True,
+                    "status": self.service.status(str(request["job"])),
+                }
+            if op == "wait":
+                timeout = request.get("timeout")
+                status = await self.service.wait(
+                    str(request["job"]),
+                    timeout=None if timeout is None else float(timeout),
+                )
+                return {"ok": True, "status": status}
+            if op == "cancel":
+                cancelled = await self.service.cancel(str(request["job"]))
+                return {"ok": True, "cancelled": cancelled}
+            if op == "result":
+                return self._result_reply(request)
+            if op == "counters":
+                return {"ok": True, "counters": self.service.counters()}
+            if op == "shutdown":
+                if not self.allow_shutdown:
+                    raise ServiceError(
+                        "shutdown over the wire is disabled "
+                        "(start with allow_shutdown=True)"
+                    )
+                return {"ok": True, "shutdown": True}
+            raise ServiceError(f"unknown op {op!r}")
+        except asyncio.TimeoutError:
+            return {
+                "ok": False,
+                "error": "wait timed out",
+                "error_type": "WaitTimeout",
+            }
+        except Exception as exc:
+            return {
+                "ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__qualname__,
+            }
+
+    def _result_reply(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = str(request["job"])
+        fmt = str(request.get("format", "digest"))
+        if fmt == "digest":
+            return {"ok": True, "digests": self.service.result_digests(job_id)}
+        if fmt == "npz":
+            merged = self.service.results(job_id)
+            payload = {
+                ctrl: {str(key): result_to_b64(res) for key, res in inner.items()}
+                for ctrl, inner in merged.items()
+            }
+            return {"ok": True, "results": payload}
+        raise ServiceError(f"unknown result format {fmt!r}")
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, request: Dict[str, Any]
+    ) -> bool:
+        """Stream a job's events; returns True when the connection died."""
+        try:
+            job_id = str(request["job"])
+            start = int(request.get("start", 0))
+            stream = self.service.events(job_id, start=start)
+        except Exception as exc:
+            await self._reply(
+                writer,
+                {
+                    "ok": False,
+                    "error": str(exc),
+                    "error_type": type(exc).__qualname__,
+                },
+            )
+            return False
+        try:
+            async for event in stream:
+                await self._reply(writer, {"ok": True, "event": event})
+            await self._reply(writer, {"ok": True, "end": True})
+        except (ConnectionResetError, BrokenPipeError):
+            return True
+        return False

@@ -19,7 +19,18 @@ from __future__ import annotations
 import importlib
 from functools import partial
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -30,10 +41,16 @@ from repro.sim.results import SimulationResult
 from repro.sim.simulator import run_controller
 from repro.workloads.phases import Workload
 
+if TYPE_CHECKING:
+    from repro.parallel.cells import RunCell
+    from repro.parallel.engine import CellTask
+
 __all__ = [
     "ControllerFactory",
     "derive_controller_seeds",
     "standard_controllers",
+    "build_suite_tasks",
+    "build_sweep_tasks",
     "run_suite",
     "run_budget_sweep",
 ]
@@ -113,6 +130,95 @@ def _factory_seed(factory: ControllerFactory) -> int:
         if isinstance(seed, (int, np.integer)):
             return int(seed)
     return 0
+
+
+def build_suite_tasks(
+    cfg: SystemConfig,
+    workloads: Mapping[str, Workload],
+    controllers: Mapping[str, ControllerFactory],
+    n_epochs: int,
+    sim_kwargs: Optional[Mapping[str, Any]] = None,
+    trace: bool = False,
+    profile: bool = False,
+) -> Tuple[List["RunCell"], List["CellTask"]]:
+    """The controller × workload grid as engine tasks, in grid order.
+
+    This is the *single* decomposition both :func:`run_suite` and the
+    experiment service (:mod:`repro.service`) build their cells from —
+    sharing it is what guarantees a service-submitted suite addresses the
+    same cache keys and produces bit-identical results to a library call,
+    by construction rather than by parallel maintenance of two builders.
+    """
+    from repro.parallel.cells import RunCell
+    from repro.parallel.engine import CellTask
+
+    extra = dict(sim_kwargs or {})
+    cells: List[RunCell] = []
+    tasks: List[CellTask] = []
+    for ctrl_name, factory in controllers.items():
+        for wl_name, workload in workloads.items():
+            cell = RunCell(
+                controller=ctrl_name,
+                workload=wl_name,
+                budget=None,
+                seed=_factory_seed(factory),
+                n_epochs=n_epochs,
+            )
+            cells.append(cell)
+            tasks.append(
+                CellTask(
+                    cell, cfg, workload, factory, extra,
+                    trace=trace, profile=profile,
+                )
+            )
+    return cells, tasks
+
+
+def build_sweep_tasks(
+    base_cfg: SystemConfig,
+    budgets: Sequence[float],
+    workload: Workload,
+    controllers: Mapping[str, ControllerFactory],
+    n_epochs: int,
+    sim_kwargs: Optional[Mapping[str, Any]] = None,
+    trace: bool = False,
+    profile: bool = False,
+) -> Tuple[List["RunCell"], List["CellTask"]]:
+    """The controller × budget grid as engine tasks, in grid order (the
+    sweep-shaped counterpart of :func:`build_suite_tasks`)."""
+    from repro.parallel.cells import RunCell
+    from repro.parallel.engine import CellTask
+
+    extra = dict(sim_kwargs or {})
+    cells: List[RunCell] = []
+    tasks: List[CellTask] = []
+    for ctrl_name, factory in controllers.items():
+        for budget in budgets:
+            cfg = base_cfg.with_budget(budget)
+            cell = RunCell(
+                controller=ctrl_name,
+                workload=workload.name,
+                budget=float(budget),
+                seed=_factory_seed(factory),
+                n_epochs=n_epochs,
+            )
+            cells.append(cell)
+            tasks.append(
+                CellTask(
+                    cell, cfg, workload, factory, extra,
+                    trace=trace, profile=profile,
+                )
+            )
+    return cells, tasks
+
+
+def _flush_recorder(recorder: Optional[Recorder]) -> None:
+    """Best-effort flush so a grid that raises mid-run cannot tear off
+    the recorder's buffered tail (``getattr`` tolerates legacy recorders
+    that predate ``flush``)."""
+    flush = getattr(recorder, "flush", None)
+    if callable(flush):
+        flush()
 
 
 def run_suite(
@@ -204,34 +310,23 @@ def run_suite(
                 )
         return results
 
-    from repro.parallel.cells import RunCell, merge_suite
-    from repro.parallel.engine import CellTask, execute_cells
+    from repro.parallel.cells import merge_suite
+    from repro.parallel.engine import execute_cells
 
     trace = recorder is not None and recorder.enabled
-    cells: List[RunCell] = []
-    tasks: List[CellTask] = []
-    for ctrl_name, factory in controllers.items():
-        for wl_name, workload in workloads.items():
-            cell = RunCell(
-                controller=ctrl_name,
-                workload=wl_name,
-                budget=None,
-                seed=_factory_seed(factory),
-                n_epochs=n_epochs,
-            )
-            cells.append(cell)
-            tasks.append(
-                CellTask(
-                    cell, cfg, workload, factory, extra,
-                    trace=trace, profile=profile,
-                )
-            )
-    flat = execute_cells(
-        tasks, jobs=jobs, cache=cache, recorder=recorder, batch=batch,
-        retry_policy=retry_policy, timeout=timeout, chaos=chaos,
-        journal=journal,
+    cells, tasks = build_suite_tasks(
+        cfg, workloads, controllers, n_epochs,
+        sim_kwargs=extra, trace=trace, profile=profile,
     )
-    return merge_suite(cells, flat)
+    try:
+        flat = execute_cells(
+            tasks, jobs=jobs, cache=cache, recorder=recorder, batch=batch,
+            retry_policy=retry_policy, timeout=timeout, chaos=chaos,
+            journal=journal,
+        )
+        return merge_suite(cells, flat)
+    finally:
+        _flush_recorder(recorder)
 
 
 def run_budget_sweep(
@@ -286,35 +381,23 @@ def run_budget_sweep(
                 )
         return results
 
-    from repro.parallel.cells import RunCell, merge_sweep
-    from repro.parallel.engine import CellTask, execute_cells
+    from repro.parallel.cells import merge_sweep
+    from repro.parallel.engine import execute_cells
 
     trace = recorder is not None and recorder.enabled
-    cells: List[RunCell] = []
-    tasks: List[CellTask] = []
-    for ctrl_name, factory in controllers.items():
-        for budget in budgets:
-            cfg = base_cfg.with_budget(budget)
-            cell = RunCell(
-                controller=ctrl_name,
-                workload=workload.name,
-                budget=float(budget),
-                seed=_factory_seed(factory),
-                n_epochs=n_epochs,
-            )
-            cells.append(cell)
-            tasks.append(
-                CellTask(
-                    cell, cfg, workload, factory, extra,
-                    trace=trace, profile=profile,
-                )
-            )
-    flat = execute_cells(
-        tasks, jobs=jobs, cache=cache, recorder=recorder, batch=batch,
-        retry_policy=retry_policy, timeout=timeout, chaos=chaos,
-        journal=journal,
+    cells, tasks = build_sweep_tasks(
+        base_cfg, budgets, workload, controllers, n_epochs,
+        sim_kwargs=extra, trace=trace, profile=profile,
     )
-    merged = merge_sweep(cells, flat)
+    try:
+        flat = execute_cells(
+            tasks, jobs=jobs, cache=cache, recorder=recorder, batch=batch,
+            retry_policy=retry_policy, timeout=timeout, chaos=chaos,
+            journal=journal,
+        )
+        merged = merge_sweep(cells, flat)
+    finally:
+        _flush_recorder(recorder)
     # Budget keys must be the caller's original float objects/ordering.
     return {
         ctrl: {b: merged[ctrl][float(b)] for b in budgets} for ctrl in controllers

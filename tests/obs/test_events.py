@@ -67,6 +67,9 @@ _PAYLOADS = {
         "pending": 5,
     },
     "engine_summary": {"counters": {"cells_run": 3}},
+    "job_submitted": {"job": "j000001", "kind": "sweep", "cells": 4},
+    "job_done": {"job": "j000001", "status": "done", "completed": 4, "failed": 0},
+    "cell_attached": {"cell": "od-rl/mixed", "origin": "inflight"},
 }
 
 

@@ -115,6 +115,50 @@ def flaky_midrun(cfg, sentinel_path: str, fail_after: int = 2):
     return MidRunFlaky(cfg, sentinel_path, fail_after)
 
 
+def transient_storm(cfg, sentinel_path: str, n: int = 2):
+    """Raise a transient error on each of the first ``n`` calls, with a
+    distinct message every time (so the identical-failure cutoff never
+    fires), then succeed.
+
+    The backoff-stall regression tests park this cell in retry backoff
+    repeatedly while independent cells must keep completing.
+    """
+    sentinel = Path(sentinel_path)
+    tries = int(sentinel.read_text()) if sentinel.exists() else 0
+    sentinel.write_text(str(tries + 1))
+    if tries < n:
+        raise ConnectionResetError(f"injected storm fault, attempt {tries + 1}")
+    return StaticUniformController(cfg)
+
+
+class MidRunDeterministicCrash(StaticUniformController):
+    """Raises a *deterministic* error after ``fail_after`` decisions, on
+    every attempt.
+
+    Unlike :class:`MidRunFlaky` there is no recovery: the cell fails
+    permanently, which is how the crash-trace tests check that a run
+    dying mid-epoch still leaves a valid, flushed trace through the last
+    completed epoch.
+    """
+
+    def __init__(self, cfg, fail_after: int = 2):
+        super().__init__(cfg)
+        self.fail_after = fail_after
+        self.calls = 0
+
+    def decide(self, obs):
+        self.calls += 1
+        if self.calls > self.fail_after:
+            raise ValueError("deliberate mid-run crash")
+        return super().decide(obs)
+
+
+def crash_midrun(cfg, fail_after: int = 2):
+    """Factory for :class:`MidRunDeterministicCrash` (module-level,
+    spawn-safe)."""
+    return MidRunDeterministicCrash(cfg, fail_after)
+
+
 def hang_once(cfg, sentinel_path: str, seconds: float = 30.0):
     """Stall the worker on the first call (a straggler for the watchdog);
     succeed on the retry."""

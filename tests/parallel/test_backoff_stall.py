@@ -1,0 +1,119 @@
+"""Regression: retry backoff must not stall the dispatch loop.
+
+The engine once served a retry's backoff with a blocking ``time.sleep``
+in the settle loop, which froze everything sharing that loop: ready
+cells waited out another cell's penalty, completed futures went
+unprocessed, and the hung-worker watchdog stopped ticking.  Backoff is
+now a per-cell ``not_before`` deadline — cells in backoff step aside
+while everything else keeps dispatching, and concurrent backoffs
+overlap instead of queueing.
+
+The observable is wall clock: ``K`` storm cells each owed one
+``BACKOFF_S`` retry delay must finish in roughly one backoff window
+(deadlines overlap), not ``K`` of them (blocking sleeps serialize).
+Independent cells riding along must all complete too.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import partial
+
+import pytest
+
+from repro.manycore import default_system
+from repro.parallel import CellTask, RetryPolicy, RunCell, execute_cells
+from repro.workloads import mixed_workload
+
+from tests.parallel import helpers
+
+N_CORES = 4
+N_EPOCHS = 5
+N_STORMS = 3
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return default_system(n_cores=N_CORES, n_levels=3, budget_fraction=0.6)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return mixed_workload(N_CORES, seed=0)
+
+
+def make_tasks(cfg, workload, tmp_path, n_independent):
+    """``N_STORMS`` once-failing cells plus well-behaved independents."""
+    tasks = []
+    for k in range(N_STORMS):
+        storm = partial(
+            helpers.transient_storm,
+            sentinel_path=str(tmp_path / f"storm-{k}"),
+            n=1,
+        )
+        cell = RunCell(
+            controller=f"storm-{k}", workload=workload.name, budget=None,
+            seed=0, n_epochs=N_EPOCHS,
+        )
+        tasks.append(CellTask(cell, cfg, workload, storm))
+    for k in range(n_independent):
+        cell = RunCell(
+            controller=f"indep-{k}", workload=workload.name, budget=None,
+            seed=0, n_epochs=N_EPOCHS,
+        )
+        tasks.append(CellTask(cell, cfg, workload, helpers.build_static))
+    return tasks
+
+
+def storm_policy(backoff_s):
+    # jitter=0 makes every backoff exactly backoff_s, so the wall-clock
+    # bounds below are exact multiples.
+    return RetryPolicy(
+        retries=1, base_delay=backoff_s, max_delay=backoff_s, jitter=0.0
+    )
+
+
+def assert_storms_retried(tmp_path):
+    for k in range(N_STORMS):
+        attempts = int((tmp_path / f"storm-{k}").read_text())
+        assert attempts == 2, f"storm-{k} made {attempts} attempts, not 2"
+
+
+class TestBackoffDoesNotStallDispatch:
+    def test_inline_backoffs_overlap(self, cfg, workload, tmp_path):
+        backoff_s = 2.0
+        tasks = make_tasks(cfg, workload, tmp_path, n_independent=3)
+        t0 = time.perf_counter()
+        results = execute_cells(
+            tasks, jobs=1, retry_policy=storm_policy(backoff_s)
+        )
+        wall = time.perf_counter() - t0
+        assert all(r is not None for r in results)
+        assert_storms_retried(tmp_path)
+        # Storms must actually wait out one backoff...
+        assert wall >= backoff_s
+        # ...but the three backoffs overlap: anywhere near 2 * backoff_s
+        # means the loop blocked on one cell's delay while another cell
+        # (or its own deadline) was ready.
+        assert wall < 2 * backoff_s + 0.5, (
+            f"{N_STORMS} overlapping {backoff_s}s backoffs took {wall:.2f}s "
+            "— the dispatch loop is serving backoff delays serially"
+        )
+
+    def test_pool_backoffs_overlap(self, cfg, workload, tmp_path):
+        backoff_s = 3.0
+        tasks = make_tasks(cfg, workload, tmp_path, n_independent=6)
+        t0 = time.perf_counter()
+        results = execute_cells(
+            tasks, jobs=2, retry_policy=storm_policy(backoff_s)
+        )
+        wall = time.perf_counter() - t0
+        assert all(r is not None for r in results)
+        assert_storms_retried(tmp_path)
+        assert wall >= backoff_s
+        # Generous slack for pool spin-up and the six independent sims;
+        # the old blocking sleeps alone cost N_STORMS * backoff_s = 9s.
+        assert wall < 2 * backoff_s + 2.0, (
+            f"{N_STORMS} overlapping {backoff_s}s backoffs took {wall:.2f}s "
+            "in the pool path — retry sleeps are blocking the settle loop"
+        )

@@ -251,3 +251,99 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         key = stable_hash("fanout")
         assert cache.path_for(key).parent.name == key[:2]
+
+
+class TestConcurrentPut:
+    """Two writers racing ``put`` on the same key must never corrupt the
+    entry, quarantine a healthy result, or leave more than one entry."""
+
+    def test_held_lock_makes_put_yield(self, cfg, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash("contended")
+        lock = cache.lock_path(key)
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text("held by a racing writer")
+        # The loser skips the write entirely (content addressing makes
+        # the winner's bytes equally valid) and counts the contention.
+        path = cache.put(key, tiny_result(cfg))
+        assert cache.put_contended == 1
+        assert not path.exists()
+        assert cache.get(key) is None  # miss, not quarantine
+        assert cache.quarantined == 0
+        lock.unlink()
+
+    def test_get_during_put_is_a_plain_miss(self, cfg, tmp_path):
+        # Reader sees the new entry bytes but the *old* sidecar (the
+        # interleave window): with the put lock held this is a known
+        # in-progress write, so it must read as a miss, not corruption.
+        cache = ResultCache(tmp_path)
+        key = stable_hash("interleaved")
+        cache.put(key, tiny_result(cfg))
+        cache.checksum_path(key).write_text("0" * 64)  # stale sidecar
+        lock = cache.lock_path(key)
+        lock.write_text("put in progress")
+        assert cache.get(key) is None
+        assert cache.quarantined == 0
+        assert cache.path_for(key).exists()  # nothing was destroyed
+        lock.unlink()
+
+    def test_mismatch_without_lock_reverifies_before_quarantine(
+        self, cfg, tmp_path
+    ):
+        # No lock held: a sidecar mismatch is re-read once (the writer
+        # may have just finished); a *persistent* mismatch quarantines.
+        cache = ResultCache(tmp_path)
+        key = stable_hash("truly-corrupt")
+        cache.put(key, tiny_result(cfg))
+        cache.checksum_path(key).write_text("0" * 64)
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_stale_lock_is_broken(self, cfg, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        key = stable_hash("stale-locked")
+        lock = cache.lock_path(key)
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text("abandoned by a dead writer")
+        ancient = 1_000_000.0  # far past PUT_LOCK_STALE_SECONDS
+        os.utime(lock, (ancient, ancient))
+        path = cache.put(key, tiny_result(cfg))
+        assert path.exists()
+        assert cache.put_contended == 0
+        assert not lock.exists()
+        assert cache.get(key) is not None
+
+    def test_same_key_writer_hammer(self, cfg, tmp_path):
+        """N threads racing identical puts: exactly one entry, zero
+        quarantines, and the final read returns an intact result."""
+        import threading
+
+        cache = ResultCache(tmp_path)
+        key = stable_hash("hammered")
+        result = tiny_result(cfg)
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def writer():
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(5):
+                    cache.put(key, result)
+                    cache.get(key)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+        assert cache.quarantined == 0
+        assert len(cache) == 1
+        assert not cache.lock_path(key).exists()
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert np.array_equal(loaded.chip_power, result.chip_power)

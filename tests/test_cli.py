@@ -33,6 +33,24 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "E2"])
         assert args.journal is None and args.timeout is None
 
+    def test_serve_flags(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7421 and args.host == "127.0.0.1"
+        assert not args.allow_shutdown
+        args = build_parser().parse_args(
+            ["serve", "--port", "7431", "--cache", "c", "--allow-shutdown"]
+        )
+        assert args.port == 7431 and args.cache == "c" and args.allow_shutdown
+
+    def test_submit_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "--kind", "sweep", "--controllers", "od-rl,pid",
+             "--budgets", "30,45", "--digests"]
+        )
+        assert args.kind == "sweep"
+        assert args.controllers == "od-rl,pid" and args.budgets == "30,45"
+        assert args.digests and not args.no_wait
+
     def test_cache_subcommands(self):
         args = build_parser().parse_args(["cache", "stats", "d"])
         assert args.cache_command == "stats" and args.cache_dir == "d"

@@ -24,12 +24,12 @@ from typing import Any, Dict, Optional
 
 __all__ = ["main", "load_reports"]
 
-_BENCH_FILE = re.compile(r"BENCH_(E\d+|KERNEL)\.json$")
+_BENCH_FILE = re.compile(r"BENCH_(E\d+|KERNEL|SERVICE)\.json$")
 
 
-def _experiment_order(eid: str) -> int:
-    # Per-experiment rows first, the kernel speedup row last.
-    return int(eid[1:]) if eid.startswith("E") else 10**6
+def _experiment_order(eid: str) -> tuple:
+    # Per-experiment rows first, the kernel/service rows last (by name).
+    return (int(eid[1:]), "") if re.fullmatch(r"E\d+", eid) else (10**6, eid)
 
 
 def load_reports(directory: Path) -> Dict[str, Dict[str, Any]]:
