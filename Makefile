@@ -4,7 +4,7 @@
 # .[lint]` — for the lint/typecheck targets, which skip with a warning
 # when the tools are absent).
 
-.PHONY: test bench bench-summary examples experiments faults golden determinism batch kernel trace chaos service coverage lint analyze typecheck check clean
+.PHONY: test bench bench-summary examples experiments faults golden determinism batch kernel trace chaos service offline coverage lint analyze typecheck check clean
 
 test:
 	pytest tests/
@@ -40,6 +40,15 @@ service:
 	python -m tools.service_load --jobs 200 \
 		--out /tmp/bench-service/BENCH_SERVICE.json
 	python -m tools.bench_summary /tmp/bench-service
+
+offline:
+	pytest tests/offline/ -q
+	python -m repro offline harvest --out /tmp/repro-offline \
+		--cores 16 --epochs 50 --seeds 0,1
+	python -m repro offline train --traces /tmp/repro-offline/*.jsonl \
+		--out /tmp/repro-offline/policy.npz
+	python -m repro offline eval --policy /tmp/repro-offline/policy.npz \
+		--cores 16 --epochs 50
 
 coverage:
 	@if python -c "import pytest_cov" >/dev/null 2>&1; then \

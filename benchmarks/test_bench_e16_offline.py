@@ -1,0 +1,39 @@
+"""Bench E16 — offline-RL warm start vs on-line cold start.
+
+Publishes the measured warm-vs-cold convergence ratio and
+learning-phase overshoot to ``BENCH_E16.json`` and asserts the
+experiment's headline claim: an offline-pretrained controller reaches
+the converged-BIPS band in at most half the epochs of the cold learner,
+without accumulating more overshoot while the cold learner is still
+exploring.
+"""
+
+from conftest import N_CORES, N_EPOCHS, SEED, save_report
+
+from repro.experiments import run_e16
+
+
+def test_bench_e16_offline(benchmark):
+    result = benchmark.pedantic(
+        run_e16,
+        kwargs={
+            "n_cores": N_CORES,
+            "n_epochs": N_EPOCHS,
+            "n_windows": 40,
+            "seed": SEED,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_report(result, benchmark)
+    print()
+    print(result)
+    summary = result.data["summary"]
+    # Headline claim: the warm start reaches the cold learner's
+    # converged-BIPS band in <= 0.5x the epochs...
+    assert summary["epochs_ratio"] <= 0.5, summary
+    # ...and overshoots no more than the cold learner does while the
+    # latter is still learning.
+    assert (
+        summary["warm_obe_learning_J"] <= summary["cold_obe_learning_J"]
+    ), summary

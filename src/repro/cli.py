@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands::
+Eight subcommands::
 
     python -m repro list                      # experiments + benchmarks
     python -m repro experiment E2 [options]   # run one experiment, print report
@@ -9,6 +9,7 @@ Seven subcommands::
     python -m repro cache stats|verify|gc DIR # inspect/audit/prune a cache
     python -m repro serve [options]           # continuous-batching job server
     python -m repro submit [options]          # send a job to a running server
+    python -m repro offline harvest|train|eval# offline-RL dataset workflow
 
 Every experiment accepts ``--cores``, ``--epochs`` and ``--seed`` so a
 laptop-scale run is one flag away from the evaluation scale, plus
@@ -120,7 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list experiments and workload benchmarks")
 
     exp = sub.add_parser("experiment", help="run one experiment and print its report")
-    exp.add_argument("experiment_id", help="E1..E15 (see DESIGN.md)")
+    exp.add_argument("experiment_id", help="E1..E16 (see DESIGN.md)")
     exp.add_argument("--cores", type=int, default=32, help="core count (default 32)")
     exp.add_argument("--epochs", type=int, default=1000, help="epochs per run (default 1000)")
     exp.add_argument("--seed", type=int, default=0, help="workload/learning seed")
@@ -276,6 +277,86 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-cell result digests after completion",
     )
+
+    offline = sub.add_parser(
+        "offline",
+        help="harvest traces, train offline policies, evaluate warm starts",
+    )
+    offline_sub = offline.add_subparsers(dest="offline_command", required=True)
+    ha = offline_sub.add_parser(
+        "harvest",
+        help="run the OD-RL learner with transition recording enabled",
+    )
+    ha.add_argument("--out", required=True, metavar="DIR", help="trace output directory")
+    ha.add_argument("--cores", type=int, default=16)
+    ha.add_argument("--epochs", type=int, default=400)
+    ha.add_argument(
+        "--seeds", default="0", help="comma-separated learning seeds (default 0)"
+    )
+    ha.add_argument(
+        "--benchmarks",
+        default="mixed",
+        help="comma-separated benchmarks ('mixed' or suite names)",
+    )
+    ha.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.6,
+        help="TDP as a fraction of worst-case peak power (default 0.6)",
+    )
+    tr = offline_sub.add_parser(
+        "train", help="build a replay buffer from traces and train a policy"
+    )
+    tr.add_argument(
+        "--traces",
+        required=True,
+        nargs="+",
+        metavar="PATH",
+        help="harvest trace files (crash-truncated ones are fine)",
+    )
+    tr.add_argument(
+        "--out", required=True, metavar="PATH", help="policy .npz output path"
+    )
+    tr.add_argument(
+        "--trainer",
+        choices=("fqi", "cql", "linear"),
+        default="cql",
+        help="offline trainer (default cql)",
+    )
+    tr.add_argument(
+        "--gamma",
+        type=float,
+        default=None,
+        help="discount override (default: the dataset's gamma)",
+    )
+    tr.add_argument(
+        "--iterations", type=int, default=100, help="value-iteration sweeps"
+    )
+    tr.add_argument("--seed", type=int, default=0, help="provenance seed")
+    ev = offline_sub.add_parser(
+        "eval", help="run a trained policy and print steady-state metrics"
+    )
+    ev.add_argument("--policy", required=True, metavar="PATH", help="policy .npz")
+    ev.add_argument(
+        "--controller",
+        choices=("od-rl-warm", "linear-q"),
+        default="od-rl-warm",
+        help="how to boot the policy (default od-rl-warm)",
+    )
+    ev.add_argument("--cores", type=int, default=16)
+    ev.add_argument("--epochs", type=int, default=400)
+    ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument(
+        "--benchmark",
+        default="mixed",
+        help="workload: 'mixed' or a suite benchmark name (default mixed)",
+    )
+    ev.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.6,
+        help="TDP as a fraction of worst-case peak power (default 0.6)",
+    )
     return parser
 
 
@@ -300,6 +381,7 @@ def _cmd_list() -> int:
         "E13": "heterogeneous big.LITTLE chip (extension)",
         "E14": "energy/performance frontier (extension)",
         "E15": "fault resilience and graceful degradation (extension)",
+        "E16": "offline-RL warm start vs on-line cold start (extension)",
     }
     for eid in EXPERIMENTS:
         print(f"  {eid:4s} {titles.get(eid, '')}")
@@ -624,6 +706,115 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_offline(args: argparse.Namespace) -> int:
+    if args.offline_command == "harvest":
+        from repro.offline import harvest
+
+        benchmarks = _csv(args.benchmarks)
+        seeds = tuple(int(s) for s in _csv(args.seeds))
+        paths = harvest(
+            args.out,
+            n_cores=args.cores,
+            n_epochs=args.epochs,
+            benchmarks=benchmarks,
+            seeds=seeds,
+            budget_fraction=args.budget_fraction,
+        )
+        for path in paths:
+            print(f"harvested: {path}")
+        return 0
+    if args.offline_command == "train":
+        from repro.offline import (
+            build_buffer,
+            policy_from_training,
+            save_offline_policy,
+            train,
+        )
+        from repro.manycore import default_system
+
+        try:
+            buffer = build_buffer(args.traces)
+        except (OSError, ValueError) as exc:
+            print(f"cannot build replay buffer: {exc}", file=sys.stderr)
+            return 2
+        if len(buffer) == 0:
+            print("replay buffer is empty (no harvest runs?)", file=sys.stderr)
+            return 2
+        print(
+            f"replay buffer: {len(buffer)} transitions from {buffer.n_runs} "
+            f"runs ({buffer.n_truncated_runs} truncated), "
+            f"digest {buffer.digest[:12]}…"
+        )
+        result = train(
+            buffer,
+            trainer=args.trainer,
+            gamma=args.gamma,
+            iterations=args.iterations,
+            seed=args.seed,
+        )
+        cfg = default_system(n_cores=buffer.n_cores)
+        snapshot = policy_from_training(
+            result, cfg, action_mode=buffer.action_mode
+        )
+        save_offline_policy(snapshot, args.out)
+        print(
+            f"trained {args.trainer} policy "
+            f"({result.iterations} iterations, seed {result.seed}) "
+            f"written to {args.out}"
+        )
+        return 0
+    if args.offline_command == "eval":
+        from repro.manycore import default_system
+        from repro.metrics import (
+            budget_utilization,
+            over_budget_energy,
+            overshoot_fraction,
+            throughput_bips,
+        )
+        from repro.offline import build_linear_controller, build_warm_controller
+        from repro.sim import run_controller
+        from repro.workloads import benchmark_names, make_benchmark, mixed_workload
+
+        if args.benchmark == "mixed":
+            workload = mixed_workload(args.cores, seed=args.seed)
+        elif args.benchmark in benchmark_names():
+            workload = make_benchmark(args.benchmark, args.cores, seed=args.seed)
+        else:
+            print(
+                f"unknown benchmark {args.benchmark!r}; choose 'mixed' or one "
+                f"of {', '.join(benchmark_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        cfg = default_system(
+            n_cores=args.cores, budget_fraction=args.budget_fraction
+        )
+        try:
+            if args.controller == "od-rl-warm":
+                controller = build_warm_controller(
+                    cfg, args.policy, seed=args.seed
+                )
+            else:
+                controller = build_linear_controller(cfg, args.policy)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load policy: {exc}", file=sys.stderr)
+            return 2
+        result = run_controller(cfg, workload, controller, args.epochs)
+        steady = result.tail(0.5)
+        print(
+            f"{controller.name} on '{workload.name}' "
+            f"({args.cores} cores, {args.epochs} epochs, seed {args.seed}):"
+        )
+        print(f"  BIPS (steady): {throughput_bips(steady):.4g}")
+        print(f"  budget util:   {budget_utilization(steady):.4g}")
+        print(f"  overshoot:     {100 * overshoot_fraction(steady):.3g}%")
+        print(f"  over-budget J: {over_budget_energy(steady):.4g}")
+        return 0
+    raise AssertionError(
+        f"unhandled offline command {args.offline_command!r}"
+    )  # pragma: no cover
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -641,4 +832,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "offline":
+        return _cmd_offline(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

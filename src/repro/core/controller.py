@@ -97,6 +97,13 @@ class ODRLController(Controller):
         Thresholds for the telemetry sanitizer (staleness window, validity
         bounds); ``None`` selects :class:`~repro.faults.sanitizer.
         SanitizerPolicy` defaults.  Ignored when ``degradation`` is off.
+    pretrained:
+        Optional :func:`~repro.core.policy_io.snapshot_policy`-shaped
+        snapshot (e.g. built by :mod:`repro.offline.warmstart` from
+        offline training).  Applied on *every* :meth:`reset` — a
+        simulation that resets the controller boots from the pretrained
+        tables instead of a cold start.  Structural compatibility is
+        validated immediately at construction.
     seed:
         Seeds both exploration and any stochastic tie-breaking.
     """
@@ -128,6 +135,7 @@ class ODRLController(Controller):
         hetero: Optional[HeterogeneousMap] = None,
         degradation: bool = True,
         sanitizer_policy: Optional[SanitizerPolicy] = None,
+        pretrained: Optional[Dict[str, np.ndarray]] = None,
         seed: int = 0,
     ) -> None:
         super().__init__(cfg)
@@ -183,6 +191,7 @@ class ODRLController(Controller):
                 "chip budget below the sum of per-core power floors — "
                 "infeasible even with every core at the bottom VF level"
             )
+        self._pretrained = dict(pretrained) if pretrained is not None else None
         self.reset()
 
     @staticmethod
@@ -222,7 +231,12 @@ class ODRLController(Controller):
         return bound(f_bot, v_bot), bound(f_top, v_top)
 
     def reset(self) -> None:
-        """Forget all learning and return to the uniform allocation."""
+        """Forget all learning and return to the uniform allocation.
+
+        With a ``pretrained`` snapshot, the reset lands on the pretrained
+        tables instead of a cold start (warm-start semantics survive the
+        ``reset=True`` every simulation run performs).
+        """
         self.agents.reset()
         self.allocation = uniform_allocation(self.cfg.power_budget, self.n_cores)
         # Uniform allocation can exceed a core's cap on loose budgets; clamp
@@ -238,6 +252,13 @@ class ODRLController(Controller):
         self._window_epochs = 0
         self._window_over_epochs = 0
         self.guard = 0.0
+        #: harvest-mode scratch: the arrays of the most recent TD update
+        #: (see :meth:`decide`); ``None`` on epochs with no update.  Read
+        #: only by the simulator's transition harvester — never by any
+        #: control-flow decision.
+        self.last_update: Optional[Dict[str, np.ndarray]] = None
+        if self._pretrained is not None:
+            restore_snapshot(self, self._pretrained)
 
     def _actions_to_levels(self, actions: np.ndarray, current: np.ndarray) -> np.ndarray:
         """Translate agent actions into VF levels for the next epoch."""
@@ -246,6 +267,9 @@ class ODRLController(Controller):
         return np.clip(current + self._deltas[actions], 0, self.n_levels - 1)
 
     def decide(self, obs: Optional[EpochObservation]) -> np.ndarray:
+        # Cleared up front so a decide that raises (watchdog recovery)
+        # cannot leave a stale update for the harvester to re-emit.
+        self.last_update = None
         if obs is None:
             # No telemetry yet: start every core mid-ladder, a neutral point
             # that is safe on tight budgets and close on loose ones.
@@ -351,6 +375,18 @@ class ODRLController(Controller):
                 next_actions=actions,
                 mask=mask,
             )
+            # References, not copies: the harvester serializes them before
+            # the next decide call can rebind any of these arrays.
+            self.last_update = {
+                "states": self._prev_states,
+                "actions": self._prev_actions,
+                "rewards": rewards,
+                "next_states": states,
+                "next_actions": actions,
+                "mask": (
+                    mask if mask is not None else np.ones(self.n_cores, dtype=bool)
+                ),
+            }
         self._prev_states = states
         self._prev_actions = actions
         self._prev_trusted = trusted

@@ -20,6 +20,19 @@ Two granularities share one format:
 Compatibility is structural: same core count, state-space size, action
 count and action mode.  Loading into a mismatched controller raises rather
 than silently mis-indexing tables.
+
+Format history (writes are always the newest version; every older
+version still loads):
+
+* **v1** — tables, shares and guard only.  Restoring starts a fresh
+  reallocation window (the accumulators default to zero).
+* **v2** — added the coarse-level window accumulators and epoch counter,
+  so a crash/restart resumes mid-window instead of restarting it.
+* **v3** — added optional offline-training payloads: provenance fields
+  (trainer name, dataset digest, training seed — see
+  :mod:`repro.offline.warmstart`) and linear function-approximation
+  weights.  All optional; a v3 file without them is a v2 file with a
+  bumped version stamp.
 """
 
 from __future__ import annotations
@@ -32,11 +45,19 @@ import numpy as np
 if TYPE_CHECKING:
     from repro.core.controller import ODRLController
 
-__all__ = ["save_policy", "load_policy", "snapshot_policy", "restore_snapshot"]
+__all__ = [
+    "save_policy",
+    "load_policy",
+    "snapshot_policy",
+    "restore_snapshot",
+    "SUPPORTED_VERSIONS",
+]
 
-#: Version 2 added the coarse-level window accumulators and epoch counter
-#: (crash/restart resumes mid-window instead of restarting the window).
-_FORMAT_VERSION = 2
+#: The version new snapshots are written as (see the format history above).
+_FORMAT_VERSION = 3
+
+#: Every version :func:`restore_snapshot` still loads.
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def snapshot_policy(controller: "ODRLController") -> Dict[str, np.ndarray]:
@@ -70,14 +91,19 @@ def restore_snapshot(
     Raises
     ------
     ValueError
-        On format-version mismatch or structural incompatibility (core
-        count, table dimensions, action mode).
+        On an unsupported format version or structural incompatibility
+        (core count, table dimensions, action mode).  Every version in
+        :data:`SUPPORTED_VERSIONS` loads; v1 snapshots restore with a
+        fresh reallocation window (the fields v2 added default to zero),
+        and v3-only payloads (provenance, linear weights) are ignored
+        here — they parameterize :mod:`repro.offline`, not the tabular
+        controller.
     """
     version = int(snapshot["format_version"])
-    if version != _FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
-            f"unsupported policy format version {version}; expected "
-            f"{_FORMAT_VERSION}"
+            f"unsupported policy format version {version}; supported: "
+            f"{SUPPORTED_VERSIONS}"
         )
     checks = (
         ("n_cores", controller.n_cores),
@@ -102,10 +128,18 @@ def restore_snapshot(
     controller.agents.step_count = int(snapshot["step_count"])
     controller.allocation = snapshot["allocation"].copy()
     controller.guard = float(snapshot["guard"])
-    controller._epoch = int(snapshot["epoch"])
-    controller._window_ipc = snapshot["window_ipc"].copy()
-    controller._window_epochs = int(snapshot["window_epochs"])
-    controller._window_over_epochs = int(snapshot["window_over_epochs"])
+    if version >= 2:
+        controller._epoch = int(snapshot["epoch"])
+        controller._window_ipc = snapshot["window_ipc"].copy()
+        controller._window_epochs = int(snapshot["window_epochs"])
+        controller._window_over_epochs = int(snapshot["window_over_epochs"])
+    else:
+        # v1 predates the window accumulators: restart the window, as
+        # every v1 reader did.
+        controller._epoch = 0
+        controller._window_ipc = np.zeros(controller.n_cores)
+        controller._window_epochs = 0
+        controller._window_over_epochs = 0
 
 
 def save_policy(controller: "ODRLController", path: Union[str, Path]) -> None:

@@ -9,6 +9,7 @@ from repro.experiments.e12_granularity import run_e12
 from repro.experiments.e13_biglittle import run_e13
 from repro.experiments.e14_energy_frontier import run_e14
 from repro.experiments.e15_fault_resilience import run_e15
+from repro.experiments.e16_offline import run_e16
 from repro.experiments.e1_power_trace import run_e1
 from repro.experiments.e2_overshoot import run_e2
 from repro.experiments.e3_tpobe import run_e3
@@ -36,14 +37,15 @@ __all__ = [
     "run_e13",
     "run_e14",
     "run_e15",
+    "run_e16",
     "EXPERIMENTS",
 ]
 
 #: registry: experiment id -> zero-arg-callable default run.  E1–E8
-#: reconstruct the paper's evaluation; E9–E15 are extension studies
+#: reconstruct the paper's evaluation; E9–E16 are extension studies
 #: (variation robustness, thermal limit, memory contention, VFI
 #: granularity, big.LITTLE heterogeneity, energy/performance frontier,
-#: fault resilience).
+#: fault resilience, offline-RL warm start).
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E1": run_e1,
     "E2": run_e2,
@@ -60,4 +62,5 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E13": run_e13,
     "E14": run_e14,
     "E15": run_e15,
+    "E16": run_e16,
 }

@@ -1,0 +1,201 @@
+"""E16 — offline-RL warm start vs on-line cold start (extension).
+
+The on-line OD-RL learner pays for its policy in overshoot during the
+exploration transient (E6 measures that transient).  This experiment asks
+whether the offline pipeline (:mod:`repro.offline`) recovers that cost
+from logged data alone: harvest traces from on-line runs at *different*
+seeds, train an offline policy, and race a warm-started controller
+against the cold learner on a held-out workload seed.
+
+Two headline numbers, both in ``data['summary']``:
+
+* ``epochs_ratio`` — windowed-BIPS epochs-to-converged-band of the warm
+  start over the cold start (the claim is ≤ 0.5);
+* over-budget energy accumulated while the cold learner is still
+  learning, for both controllers (the warm start should overshoot less
+  during that phase).
+
+Everything is in-memory (``BufferRecorder``) and deterministic in
+``seed`` — the bench suite publishes the measured numbers to
+``BENCH_E16.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import ODRLController
+from repro.experiments.base import ExperimentResult
+from repro.manycore.config import SystemConfig, default_system
+from repro.metrics.report import format_series
+from repro.obs.recorder import BufferRecorder
+from repro.sim.simulator import run_controller
+from repro.workloads.suite import mixed_workload
+
+__all__ = ["run_e16"]
+
+
+def _windowed(
+    result: "object", cfg: SystemConfig, n_windows: int, n_epochs: int
+) -> Tuple[List[float], List[float]]:
+    """(windowed BIPS, windowed over-budget energy in J) for one run."""
+    block = n_epochs // n_windows
+    n_used = block * n_windows
+    power = np.asarray(getattr(result, "chip_power"))[:n_used].reshape(
+        n_windows, block
+    )
+    instr = np.asarray(getattr(result, "chip_instructions"))[:n_used].reshape(
+        n_windows, block
+    )
+    window_time = block * cfg.epoch_time
+    bips = (instr.sum(axis=1) / window_time / 1e9).tolist()
+    obe = (
+        np.maximum(power - cfg.power_budget, 0.0).sum(axis=1) * cfg.epoch_time
+    ).tolist()
+    return bips, obe
+
+
+def _epochs_to_band(bips: List[float], band: float, block: int) -> int:
+    """Epochs until the running-average BIPS enters ``band``.
+
+    The running (prefix) mean of the windowed series smooths out
+    single-window workload dips that both controllers share, so it
+    isolates the learning transient: a cold learner drags its average
+    down while exploring, a converged policy enters the band in the
+    first window.  Returns the full run length if the average never
+    reaches the band.
+    """
+    running = np.cumsum(bips) / np.arange(1, len(bips) + 1)
+    inside = np.nonzero(running >= band)[0]
+    if inside.size == 0:
+        return len(bips) * block
+    return int(inside[0] + 1) * block
+
+
+def run_e16(
+    n_cores: int = 32,
+    n_epochs: int = 1000,
+    budget_fraction: float = 0.6,
+    n_windows: int = 20,
+    seed: int = 0,
+    harvest_epochs: Optional[int] = None,
+    harvest_seeds: Tuple[int, ...] = (101, 202),
+    trainer: str = "cql",
+    band_tolerance: float = 0.05,
+) -> ExperimentResult:
+    """Run E16: offline warm start vs on-line cold start.
+
+    Harvest runs use ``seed + s`` for each ``s`` in ``harvest_seeds`` so
+    the evaluation workload/learning seed is held out of the training
+    data.  ``data['summary']`` carries the convergence-epochs ratio and
+    the over-budget energy both controllers accumulate during the cold
+    learner's learning phase.
+    """
+    from repro.offline import (
+        buffer_from_events,
+        build_warm_controller,
+        policy_from_training,
+        train,
+    )
+
+    if n_windows < 2:
+        raise ValueError(f"n_windows must be >= 2, got {n_windows}")
+    if n_epochs < n_windows:
+        raise ValueError("n_epochs must be at least n_windows")
+    if harvest_epochs is None:
+        harvest_epochs = n_epochs
+    cfg = default_system(n_cores=n_cores, budget_fraction=budget_fraction)
+
+    # Phase 1 — harvest: on-line learners at held-out seeds, recorded.
+    streams = []
+    for offset in harvest_seeds:
+        hseed = seed + offset
+        workload = mixed_workload(n_cores, seed=hseed)
+        learner = ODRLController(cfg, seed=hseed)
+        rec = BufferRecorder()
+        run_controller(
+            cfg, workload, learner, harvest_epochs, recorder=rec, harvest=True
+        )
+        streams.append(rec.events)
+    buffer = buffer_from_events(streams)
+
+    # Phase 2 — train offline, export through policy_io v3.
+    trained = train(buffer, trainer=trainer, seed=seed)
+    policy = policy_from_training(trained, cfg)
+
+    # Phase 3 — race on the held-out seed.
+    workload = mixed_workload(n_cores, seed=seed)
+    cold = ODRLController(cfg, seed=seed)
+    cold_result = run_controller(cfg, workload, cold, n_epochs)
+    warm = build_warm_controller(cfg, policy, seed=seed)
+    warm_result = run_controller(cfg, workload, warm, n_epochs)
+
+    block = n_epochs // n_windows
+    cold_bips, cold_obe = _windowed(cold_result, cfg, n_windows, n_epochs)
+    warm_bips, warm_obe = _windowed(warm_result, cfg, n_windows, n_epochs)
+
+    # Converged band: the cold learner's steady-state tail defines the
+    # target both controllers must reach and hold.
+    quarter = max(1, n_windows // 4)
+    target = float(np.mean(cold_bips[-quarter:]))
+    band = (1.0 - band_tolerance) * target
+    cold_epochs = _epochs_to_band(cold_bips, band, block)
+    warm_epochs = _epochs_to_band(warm_bips, band, block)
+    ratio = warm_epochs / cold_epochs if cold_epochs > 0 else float("inf")
+
+    # Overshoot during learning: over-budget energy accumulated while the
+    # cold learner had not yet settled into the band.
+    learn_windows = max(1, cold_epochs // block)
+    cold_obe_learning = float(np.sum(cold_obe[:learn_windows]))
+    warm_obe_learning = float(np.sum(warm_obe[:learn_windows]))
+
+    summary: Dict[str, float] = {
+        "target_bips": target,
+        "band_bips": band,
+        "cold_epochs_to_band": float(cold_epochs),
+        "warm_epochs_to_band": float(warm_epochs),
+        "epochs_ratio": float(ratio),
+        "cold_obe_learning_J": cold_obe_learning,
+        "warm_obe_learning_J": warm_obe_learning,
+        "cold_obe_total_J": float(np.sum(cold_obe)),
+        "warm_obe_total_J": float(np.sum(warm_obe)),
+        "dataset_transitions": float(len(buffer)),
+    }
+    epochs_axis = [float((i + 1) * block) for i in range(n_windows)]
+    report = format_series(
+        epochs_axis,
+        {
+            "cold_bips": cold_bips,
+            "warm_bips": warm_bips,
+            "cold_obe_J": cold_obe,
+            "warm_obe_J": warm_obe,
+        },
+        x_label="epoch",
+        title=(
+            f"E16: offline warm start ({trainer}, "
+            f"{len(buffer)} transitions) vs cold start, {n_cores} cores, "
+            f"budget {cfg.power_budget:.1f} W — band {band:.3g} BIPS "
+            f"reached in {warm_epochs} vs {cold_epochs} epochs "
+            f"(ratio {ratio:.2f}); learning-phase overshoot "
+            f"{warm_obe_learning:.3g} vs {cold_obe_learning:.3g} J"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="E16",
+        title="Offline-RL warm start vs on-line cold start",
+        report=report,
+        data={
+            "epochs": epochs_axis,
+            "cold_bips": cold_bips,
+            "warm_bips": warm_bips,
+            "cold_obe": cold_obe,
+            "warm_obe": warm_obe,
+            "summary": summary,
+            "dataset_digest": buffer.digest,
+            "trainer": trainer,
+            "cold_result": cold_result,
+            "warm_result": warm_result,
+        },
+    )

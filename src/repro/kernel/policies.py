@@ -600,6 +600,13 @@ def _check_odrl_group(ctrls: List[ODRLController]) -> None:
             raise BatchCompatError("thermal_limit is not batch-supported")
         if c.profiler is not None:
             raise BatchCompatError("profiled controllers do not batch")
+        if getattr(c, "_pretrained", None) is not None:
+            # BatchODRL.reset() restacks fresh learner state (zero step
+            # counts, zero guard); a warm-started controller's restored
+            # snapshot would be silently discarded.  Route to PerRunPolicy,
+            # which runs the serial decide and preserves the warm start
+            # bit-for-bit.
+            raise BatchCompatError("pretrained (warm-start) controllers do not batch")
         if c.action_mode != c0.action_mode:
             raise BatchCompatError("action_mode differs across runs")
         if c.realloc_period != c0.realloc_period:

@@ -46,6 +46,7 @@ from repro.obs.recorder import (
 from repro.obs.summarize import (
     TraceSummary,
     read_events,
+    read_events_tolerant,
     render_summary,
     summarize_events,
     summarize_file,
@@ -72,6 +73,7 @@ __all__ = [
     "delta",
     "TraceSummary",
     "read_events",
+    "read_events_tolerant",
     "summarize_events",
     "summarize_file",
     "render_summary",

@@ -32,6 +32,13 @@ Event types
 ``run_end``
     Totals of the run plus, when profiling, the aggregated
     :class:`~repro.obs.profiler.TimingBreakdown` as a dict.
+``transition``
+    One TD update of an RL controller, emitted only under harvest mode
+    (``simulate(..., harvest=True)``): per-core state/action/reward/
+    next-state/next-action index arrays plus the trust mask the update
+    used.  Each record is self-contained — it carries its *own*
+    ``next_states`` — so a crash-truncated trace can never force replay
+    ingestion (:mod:`repro.offline`) to fabricate a successor state.
 ``cell_start`` / ``cell_cached`` / ``cell_done`` / ``cell_failed``
     Parallel-engine cell lifecycle: scheduled, replayed from the result
     cache, completed (with attempt count), or failed after retries.
@@ -95,6 +102,15 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "watchdog": ("epoch", "event"),
     "checkpoint": ("epoch", "action"),
     "run_end": ("n_epochs", "total_energy_j", "total_instructions"),
+    "transition": (
+        "epoch",
+        "states",
+        "actions",
+        "rewards",
+        "next_states",
+        "next_actions",
+        "mask",
+    ),
     "cell_start": ("cell",),
     "cell_cached": ("cell",),
     "cell_batched": ("cell", "group", "size"),

@@ -20,12 +20,19 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.events import validate_event
 from repro.obs.profiler import NESTED_IN, PHASES, TimingBreakdown
 
-__all__ = ["TraceSummary", "read_events", "summarize_events", "summarize_file", "render_summary"]
+__all__ = [
+    "TraceSummary",
+    "read_events",
+    "read_events_tolerant",
+    "summarize_events",
+    "summarize_file",
+    "render_summary",
+]
 
 
 @dataclass
@@ -34,6 +41,13 @@ class TraceSummary:
 
     n_events: int = 0
     runs: List[Dict[str, Any]] = field(default_factory=list)
+    #: runs whose ``run_start`` was never matched by a ``run_end`` — a
+    #: crash-truncated trace; each entry carries the manifest identity
+    #: plus ``epochs_seen`` (epoch records before the cut).
+    truncated_runs: List[Dict[str, Any]] = field(default_factory=list)
+    #: torn trailing lines dropped by :func:`read_events_tolerant` (a
+    #: process killed mid-write leaves at most one)
+    torn_lines: int = 0
     n_epochs: int = 0
     timing: Optional[TimingBreakdown] = None
     fault_counts: Dict[str, int] = field(default_factory=dict)
@@ -73,18 +87,76 @@ def read_events(path: str) -> List[Dict[str, Any]]:
     return events
 
 
+def read_events_tolerant(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Like :func:`read_events`, but tolerate a torn *final* line.
+
+    A process killed mid-write (the crash-truncation scenario of
+    ``tests/obs/test_crash_trace.py``) can leave at most one partial JSON
+    line, and only at the end of the file.  That line is dropped and
+    counted instead of raising, so ``trace summarize`` and offline replay
+    ingestion (:mod:`repro.offline`) accept crash-truncated traces.
+    Invalid JSON anywhere *before* the last non-empty line is still an
+    error — mid-file corruption is not a crash signature.
+
+    Returns
+    -------
+    tuple
+        ``(events, torn_lines)`` where ``torn_lines`` is 0 or 1.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    last_content = -1
+    for i, line in enumerate(lines):
+        if line.strip():
+            last_content = i
+    events: List[Dict[str, Any]] = []
+    for i, line in enumerate(lines):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            if i == last_content:
+                return events, 1
+            raise ValueError(f"{path}:{i + 1}: invalid JSON ({exc})") from exc
+        try:
+            validate_event(record)
+        except ValueError as exc:
+            raise ValueError(f"{path}:{i + 1}: {exc}") from exc
+        events.append(record)
+    return events, 0
+
+
 def summarize_events(events: Iterable[Dict[str, Any]]) -> TraceSummary:
     """Fold a stream of parsed events into a :class:`TraceSummary`."""
     s = TraceSummary()
     phase_totals: Dict[str, float] = {}
     profiled_epochs = 0
+    open_run: Optional[Dict[str, Any]] = None
+    open_epochs = 0
+
+    def close_truncated() -> None:
+        nonlocal open_run, open_epochs
+        if open_run is not None:
+            s.truncated_runs.append({**open_run, "epochs_seen": open_epochs})
+        open_run = None
+        open_epochs = 0
+
     for ev in events:
         s.n_events += 1
         kind = ev["type"]
         if kind == "run_start":
-            s.runs.append({k: v for k, v in ev.items() if k not in ("type", "seq")})
+            # A new manifest while a run is still open means the previous
+            # run never reached its run_end: count it, don't drop it.
+            close_truncated()
+            manifest = {k: v for k, v in ev.items() if k not in ("type", "seq")}
+            s.runs.append(manifest)
+            open_run = manifest
+            open_epochs = 0
         elif kind == "epoch":
             s.n_epochs += 1
+            open_epochs += 1
             phases = ev.get("phases")
             if isinstance(phases, dict):
                 profiled_epochs += 1
@@ -129,18 +201,25 @@ def summarize_events(events: Iterable[Dict[str, Any]]) -> TraceSummary:
                     prev = s.engine_counters.get(name, 0)
                     s.engine_counters[name] = prev + value
         elif kind == "run_end":
+            open_run = None
+            open_epochs = 0
             # Prefer the authoritative aggregate when the run wrote one
             # and no per-epoch rows were seen (e.g. a trimmed trace).
             timing = ev.get("timing")
             if isinstance(timing, dict) and not phase_totals:
                 s.timing = TimingBreakdown.from_dict(timing)
+    # A stream that ends inside a run is the crash-truncation signature.
+    close_truncated()
     if phase_totals:
         s.timing = TimingBreakdown(totals=phase_totals, n_epochs=profiled_epochs)
     return s
 
 
 def summarize_file(path: str) -> TraceSummary:
-    return summarize_events(read_events(path))
+    events, torn = read_events_tolerant(path)
+    summary = summarize_events(events)
+    summary.torn_lines = torn
+    return summary
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -167,6 +246,20 @@ def render_summary(summary: TraceSummary) -> str:
     lines.append(
         f"events: {summary.n_events}   epoch records: {summary.n_epochs}"
     )
+    if summary.torn_lines:
+        lines.append(
+            f"torn trailing lines: {summary.torn_lines} (crash-truncated tail dropped)"
+        )
+    for t in summary.truncated_runs:
+        lines.append(
+            "truncated run: controller={controller} workload={workload} "
+            "epochs {seen}/{planned} (no run_end)".format(
+                controller=t.get("controller", "?"),
+                workload=t.get("workload", "?"),
+                seen=t.get("epochs_seen", "?"),
+                planned=t.get("n_epochs", "?"),
+            )
+        )
 
     timing = summary.timing
     if timing is not None and timing.n_epochs > 0:

@@ -1,0 +1,73 @@
+"""Offline reinforcement learning from harvested traces.
+
+The online OD-RL controller pays for learning in overshoot during its
+exploration transient.  This package closes that gap from logged data
+alone — the ``repro.obs`` JSONL traces a harvest run emits *are* a
+replay dataset:
+
+* :mod:`repro.offline.replay` — trace archives (including
+  crash-truncated ones) → seeded, content-addressed
+  :class:`~repro.offline.replay.ReplayBuffer` datasets, plus the
+  :func:`~repro.offline.replay.harvest` generator;
+* :mod:`repro.offline.agents` — offline trainers (fitted-Q iteration, a
+  CQL-style conservative variant, linear function approximation) and the
+  greedy :class:`~repro.offline.agents.LinearQController`;
+* :mod:`repro.offline.warmstart` — trained tables/weights exported
+  through :mod:`repro.core.policy_io` format v3 so
+  :class:`~repro.core.controller.ODRLController` boots pretrained.
+
+Determinism contract: training is a pure function of
+``(buffer.digest, seed)`` — reruns are bit-identical, which the offline
+test suite asserts the same way the engine's determinism matrix does.
+See ``docs/offline.md`` for the dataset format and workflow.
+"""
+
+from repro.offline.agents import (
+    TRAINERS,
+    LinearQController,
+    OfflineTrainResult,
+    conservative_q,
+    fitted_q_iteration,
+    linear_q,
+    state_features,
+    train,
+)
+from repro.offline.replay import (
+    ReplayBuffer,
+    RunTransitions,
+    buffer_from_events,
+    build_buffer,
+    extract_runs,
+    harvest,
+)
+from repro.offline.warmstart import (
+    build_linear_controller,
+    build_warm_controller,
+    load_offline_policy,
+    policy_file_digest,
+    policy_from_training,
+    save_offline_policy,
+)
+
+__all__ = [
+    "ReplayBuffer",
+    "RunTransitions",
+    "extract_runs",
+    "build_buffer",
+    "buffer_from_events",
+    "harvest",
+    "OfflineTrainResult",
+    "fitted_q_iteration",
+    "conservative_q",
+    "linear_q",
+    "train",
+    "TRAINERS",
+    "state_features",
+    "LinearQController",
+    "policy_from_training",
+    "save_offline_policy",
+    "load_offline_policy",
+    "policy_file_digest",
+    "build_warm_controller",
+    "build_linear_controller",
+]

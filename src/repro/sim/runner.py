@@ -84,6 +84,45 @@ def _construct_controller(
     return controller
 
 
+def _construct_warm_controller(
+    policy_path: str,
+    policy_digest: str,
+    cfg: SystemConfig,
+    seed: Optional[int] = None,
+) -> Controller:
+    """Build the ``od-rl-warm`` lineup member from an offline policy file.
+
+    ``policy_digest`` rides in the partial's positional args so the
+    result cache fingerprints *which* policy the run used; the builder
+    re-verifies it at construction, so a cache hit can never pair stale
+    results with an edited policy file.
+    """
+    from repro.offline.warmstart import build_warm_controller
+
+    return build_warm_controller(
+        cfg, policy_path, seed=seed if seed is not None else 0,
+        expected_digest=policy_digest,
+    )
+
+
+def _construct_linear_controller(
+    policy_path: str, policy_digest: str, cfg: SystemConfig
+) -> Controller:
+    """Build the ``linear-q`` lineup member from an offline policy file."""
+    from repro.offline.warmstart import build_linear_controller
+
+    return build_linear_controller(
+        cfg, policy_path, expected_digest=policy_digest
+    )
+
+
+#: offline lineup name -> module-level builder (see standard_controllers)
+_OFFLINE_BUILDERS: Dict[str, Callable[..., Controller]] = {
+    "od-rl-warm": _construct_warm_controller,
+    "linear-q": _construct_linear_controller,
+}
+
+
 def derive_controller_seeds(seed: int, names: Sequence[str]) -> Dict[str, int]:
     """Independent per-controller seeds derived from one lineup seed.
 
@@ -101,7 +140,10 @@ def derive_controller_seeds(seed: int, names: Sequence[str]) -> Dict[str, int]:
     }
 
 
-def standard_controllers(seed: int = 0) -> Dict[str, ControllerFactory]:
+def standard_controllers(
+    seed: int = 0,
+    offline: Optional[Mapping[str, Union[str, Path]]] = None,
+) -> Dict[str, ControllerFactory]:
     """The evaluation's controller lineup, as picklable factories over a config.
 
     Seeded controllers (``od-rl``, ``centralized-rl``) receive distinct
@@ -110,15 +152,46 @@ def standard_controllers(seed: int = 0) -> Dict[str, ControllerFactory]:
     ``functools.partial`` over a module-level builder, so the lineup can be
     shipped to spawned worker processes and fingerprinted by the result
     cache.
+
+    ``offline`` appends offline-pretrained members: a mapping from lineup
+    name (``"od-rl-warm"`` or ``"linear-q"``) to a policy ``.npz`` path
+    written by :mod:`repro.offline.warmstart`.  The file's content digest
+    is baked into the factory, so cached results are keyed to the exact
+    policy.  Appending never changes the base lineup's derived seeds
+    (seed children are keyed by position, and the offline names come
+    last).  Warm/linear controllers fall back to ``PerRunPolicy`` in the
+    batched harness — bit-identical by construction.
     """
     seeded = [name for name, (_, takes_seed) in _LINEUP.items() if takes_seed]
-    seeds = derive_controller_seeds(seed, seeded)
+    offline_names = sorted(offline) if offline else []
+    for name in offline_names:
+        if name not in _OFFLINE_BUILDERS:
+            raise ValueError(
+                f"unknown offline controller {name!r}; available: "
+                f"{', '.join(sorted(_OFFLINE_BUILDERS))}"
+            )
+        if name in _LINEUP:
+            raise ValueError(f"offline name {name!r} collides with the base lineup")
+    seeds = derive_controller_seeds(seed, seeded + ["od-rl-warm"])
     lineup: Dict[str, ControllerFactory] = {}
     for name, (cls_path, takes_seed) in _LINEUP.items():
         if takes_seed:
             lineup[name] = partial(_construct_controller, cls_path, seed=seeds[name])
         else:
             lineup[name] = partial(_construct_controller, cls_path)
+    if offline:
+        from repro.offline.warmstart import policy_file_digest
+
+        for name in offline_names:
+            path = str(offline[name])
+            digest = policy_file_digest(path)
+            if name == "od-rl-warm":
+                lineup[name] = partial(
+                    _construct_warm_controller, path, digest,
+                    seed=seeds["od-rl-warm"],
+                )
+            else:
+                lineup[name] = partial(_construct_linear_controller, path, digest)
     return lineup
 
 

@@ -68,6 +68,7 @@ def simulate(
     max_strikes: int = 3,
     recorder: Optional[Recorder] = None,
     profile: bool = False,
+    harvest: bool = False,
 ) -> SimulationResult:
     """Run the closed control loop for ``n_epochs``.
 
@@ -115,6 +116,15 @@ def simulate(
         ``result.extras["timing"]`` and, with a recorder, into each epoch
         event.  Pure wall-clock measurement; never feeds back into the
         simulation.
+    harvest:
+        With a recorder, also emit one ``transition`` event per TD update
+        the controller performs — the raw material of offline-RL replay
+        datasets (see :mod:`repro.offline`).  The controller must expose
+        a ``last_update`` attribute (:class:`~repro.core.controller.
+        ODRLController` does); requesting harvest from one that does not
+        is a ``ValueError``, not a silently empty dataset.  Off by
+        default so ordinary traces stay byte-stable and inside the
+        tracing overhead budget.
 
     Returns
     -------
@@ -151,6 +161,12 @@ def simulate(
     rec: Recorder = recorder if recorder is not None else NULL_RECORDER
     profiler = PhaseProfiler() if profile else None
     inner = getattr(controller, "inner", controller)
+    harvesting = harvest and rec.enabled
+    if harvest and not hasattr(inner, "last_update"):
+        raise ValueError(
+            "harvest=True requires a controller exposing last_update "
+            f"(an RL learner); {type(inner).__name__} does not"
+        )
 
     chip_power = np.empty(n_epochs)
     chip_instructions = np.empty(n_epochs)
@@ -165,7 +181,10 @@ def simulate(
     )
 
     if rec.enabled:
-        rec.emit("run_start", **_run_manifest(chip, controller, inner, n_epochs))
+        rec.emit(
+            "run_start",
+            **_run_manifest(chip, controller, inner, n_epochs, harvest=harvesting),
+        )
     poller = _IncidentPoller(chip, controller, inner) if rec.enabled else None
 
     if profiler is not None:
@@ -226,6 +245,22 @@ def simulate(
                 if phases is not None:
                     fields["phases"] = phases
                 rec.emit("epoch", **fields)
+                if harvesting:
+                    update = getattr(inner, "last_update", None)
+                    if update is not None:
+                        # .tolist() up front: native ints/floats/bools keep
+                        # the JSON encode off the slow default= fallback,
+                        # and floats round-trip bit-exactly through repr.
+                        rec.emit(
+                            "transition",
+                            epoch=e,
+                            states=update["states"].tolist(),
+                            actions=update["actions"].tolist(),
+                            rewards=update["rewards"].tolist(),
+                            next_states=update["next_states"].tolist(),
+                            next_actions=update["next_actions"].tolist(),
+                            mask=update["mask"].tolist(),
+                        )
                 assert poller is not None
                 poller.poll(rec, e)
     finally:
@@ -264,16 +299,25 @@ def simulate(
 
 
 def _run_manifest(
-    chip: ManyCoreChip, controller: Controller, inner: Controller, n_epochs: int
+    chip: ManyCoreChip,
+    controller: Controller,
+    inner: Controller,
+    n_epochs: int,
+    harvest: bool = False,
 ) -> Dict[str, object]:
-    """The ``run_start`` event payload: everything needed to identify a run."""
+    """The ``run_start`` event payload: everything needed to identify a run.
+
+    Under harvest mode the manifest also carries the learner's state/action
+    geometry (events are open records), so replay ingestion can size its
+    tables from the trace alone.
+    """
     # Imported lazily: the cache module lives in repro.parallel, which
     # imports this module's package; deferring avoids an import cycle at
     # module load while reusing the one canonical code-version salt.
     from repro.parallel.cache import CACHE_SALT
 
     seed = getattr(inner, "_seed", None)
-    return {
+    manifest: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "controller": controller.name,
         "workload": chip.workload.name,
@@ -285,6 +329,14 @@ def _run_manifest(
         "seed": int(seed) if isinstance(seed, (int, np.integer)) else None,
         "watchdog": inner is not controller,
     }
+    if harvest:
+        agents = getattr(inner, "agents")
+        manifest["harvest"] = True
+        manifest["rl_n_states"] = int(agents.n_states)
+        manifest["rl_n_actions"] = int(agents.n_actions)
+        manifest["rl_gamma"] = float(agents.gamma)
+        manifest["rl_action_mode"] = str(getattr(inner, "action_mode", ""))
+    return manifest
 
 
 class _IncidentPoller:
@@ -406,13 +458,15 @@ def run_controller(
     max_strikes: int = 3,
     recorder: Optional[Recorder] = None,
     profile: bool = False,
+    harvest: bool = False,
 ) -> SimulationResult:
     """Convenience wrapper: build the chip, run, return the result.
 
     ``faults`` attaches a fault campaign to the chip; ``watchdog``,
     ``checkpoint_period`` and ``max_strikes`` are forwarded to
-    :func:`simulate` (checkpoint cadence in epochs), as are ``recorder``
-    and ``profile`` (see :mod:`repro.obs`).
+    :func:`simulate` (checkpoint cadence in epochs), as are ``recorder``,
+    ``profile`` and ``harvest`` (see :mod:`repro.obs` and
+    :mod:`repro.offline`).
     """
     chip = ManyCoreChip(
         cfg,
@@ -435,4 +489,5 @@ def run_controller(
         max_strikes=max_strikes,
         recorder=recorder,
         profile=profile,
+        harvest=harvest,
     )

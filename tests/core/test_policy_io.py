@@ -105,7 +105,7 @@ class TestWindowState:
 
         trained_ctl, _ = trained
         snapshot = snapshot_policy(trained_ctl)
-        snapshot["format_version"] = np.array(1)
+        snapshot["format_version"] = np.array(99)
         with pytest.raises(ValueError, match="format version"):
             restore_snapshot(ODRLController(cfg), snapshot)
 

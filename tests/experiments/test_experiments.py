@@ -34,8 +34,8 @@ CTRLS = ("od-rl", "pid", "greedy-ascent")
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        # E1-E8 reconstruct the paper; E9-E15 are the extension studies.
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)}
+        # E1-E8 reconstruct the paper; E9-E16 are the extension studies.
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 17)}
 
 
 class TestE1:

@@ -39,6 +39,15 @@ _PAYLOADS = {
         "total_energy_j": 12.5,
         "total_instructions": 6.1e10,
     },
+    "transition": {
+        "epoch": 4,
+        "states": [3, 7],
+        "actions": [1, 2],
+        "rewards": [0.5, -0.1],
+        "next_states": [4, 7],
+        "next_actions": [2, 2],
+        "mask": [True, True],
+    },
     "cell_start": {"cell": "od-rl/mixed"},
     "cell_cached": {"cell": "od-rl/mixed"},
     "cell_batched": {"cell": "od-rl/mixed", "group": 0, "size": 3},

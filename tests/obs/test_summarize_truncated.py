@@ -1,0 +1,182 @@
+"""``trace summarize`` must report crash-truncated runs, not drop them.
+
+Regression companion to ``test_crash_trace.py``: the runner guarantees a
+crashed run leaves a valid trace up to its last completed epoch, but the
+summarizer used to fold those orphaned ``run_start``/``epoch`` records
+into the totals silently — a post-mortem could not tell a clean trace
+from a truncated one.  The summary now counts truncated runs (manifest +
+epochs seen) and tolerates the one torn trailing line a process killed
+mid-write can leave.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    JsonlRecorder,
+    read_events_tolerant,
+    render_summary,
+    summarize_events,
+    summarize_file,
+)
+
+
+def write_complete_run(rec, n_epochs=3, controller="od-rl"):
+    rec.emit(
+        "run_start",
+        schema_version=1,
+        controller=controller,
+        workload="mixed",
+        n_cores=4,
+        n_epochs=n_epochs,
+        code_salt="s",
+    )
+    for e in range(n_epochs):
+        rec.emit(
+            "epoch",
+            epoch=e,
+            chip_power=10.0,
+            chip_instructions=1e9,
+            max_temperature=330.0,
+        )
+    rec.emit(
+        "run_end", n_epochs=n_epochs, total_energy_j=1.0, total_instructions=3e9
+    )
+
+
+def write_truncated_run(rec, epochs_seen=2, planned=6, controller="crasher"):
+    """A run_start plus some epochs, never closed by a run_end."""
+    rec.emit(
+        "run_start",
+        schema_version=1,
+        controller=controller,
+        workload="mixed",
+        n_cores=4,
+        n_epochs=planned,
+        code_salt="s",
+    )
+    for e in range(epochs_seen):
+        rec.emit(
+            "epoch",
+            epoch=e,
+            chip_power=10.0,
+            chip_instructions=1e9,
+            max_temperature=330.0,
+        )
+
+
+class TestTruncatedRunReporting:
+    def test_trailing_truncated_run_is_counted(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlRecorder(str(path)) as rec:
+            write_complete_run(rec, n_epochs=3)
+            write_truncated_run(rec, epochs_seen=2, planned=6)
+        summary = summarize_file(str(path))
+        assert len(summary.runs) == 2  # the manifest itself is not dropped
+        assert len(summary.truncated_runs) == 1
+        t = summary.truncated_runs[0]
+        assert t["controller"] == "crasher"
+        assert t["epochs_seen"] == 2
+        assert t["n_epochs"] == 6
+        assert summary.n_epochs == 5  # truncated epochs still in the totals
+
+    def test_mid_stream_truncated_run_is_counted(self, tmp_path):
+        # A new run_start while a run is open closes the previous one as
+        # truncated — the multi-cell crash shape of test_crash_trace.py.
+        path = tmp_path / "trace.jsonl"
+        with JsonlRecorder(str(path)) as rec:
+            write_truncated_run(rec, epochs_seen=1, planned=6)
+            write_complete_run(rec, n_epochs=3)
+        summary = summarize_file(str(path))
+        assert len(summary.truncated_runs) == 1
+        assert summary.truncated_runs[0]["epochs_seen"] == 1
+
+    def test_clean_trace_reports_none(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlRecorder(str(path)) as rec:
+            write_complete_run(rec)
+        summary = summarize_file(str(path))
+        assert summary.truncated_runs == []
+        assert summary.torn_lines == 0
+
+    def test_render_mentions_truncation(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlRecorder(str(path)) as rec:
+            write_truncated_run(rec, epochs_seen=2, planned=6)
+        text = render_summary(summarize_file(str(path)))
+        assert "truncated run" in text
+        assert "2/6" in text
+        assert "no run_end" in text
+
+    def test_cli_summarize_truncated_trace_succeeds(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        with JsonlRecorder(str(path)) as rec:
+            write_truncated_run(rec, epochs_seen=2, planned=6)
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "truncated run" in out
+
+
+class TestTornTail:
+    def test_torn_final_line_tolerated_and_counted(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlRecorder(str(path)) as rec:
+            write_complete_run(rec)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "epoch", "epo')  # killed mid-write
+        events, torn = read_events_tolerant(str(path))
+        assert torn == 1
+        # The torn record is dropped, never half-parsed into the stream.
+        assert sum(e["type"] == "epoch" for e in events) == 3
+        assert all("epo" not in e for e in events)
+        summary = summarize_file(str(path))
+        assert summary.torn_lines == 1
+        assert "torn trailing lines: 1" in render_summary(summary)
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlRecorder(str(path)) as rec:
+            write_complete_run(rec)
+        lines = path.read_text().splitlines()
+        lines.insert(1, '{"type": "epoch", "epo')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_events_tolerant(str(path))
+
+    def test_strict_reader_unchanged(self, tmp_path):
+        from repro.obs import read_events
+
+        path = tmp_path / "trace.jsonl"
+        with JsonlRecorder(str(path)) as rec:
+            write_complete_run(rec)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "epoch", "epo')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_events(str(path))
+
+
+def test_summarize_events_accepts_iterable():
+    events = [
+        {
+            "type": "run_start",
+            "seq": 0,
+            "schema_version": 1,
+            "controller": "od-rl",
+            "workload": "mixed",
+            "n_cores": 4,
+            "n_epochs": 6,
+            "code_salt": "s",
+        },
+        {
+            "type": "epoch",
+            "seq": 1,
+            "epoch": 0,
+            "chip_power": 1.0,
+            "chip_instructions": 1.0,
+            "max_temperature": 300.0,
+        },
+    ]
+    summary = summarize_events(iter(events))
+    assert len(summary.truncated_runs) == 1

@@ -1,0 +1,47 @@
+"""Shared fixtures: one small harvested dataset per test session.
+
+Harvesting runs the full simulator, so the two-run event stream (and the
+buffer built from it) is computed once and shared — every consumer
+treats it as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import ODRLController
+from repro.manycore.config import default_system
+from repro.obs.recorder import BufferRecorder
+from repro.offline import buffer_from_events
+from repro.sim.simulator import run_controller
+from repro.workloads.suite import mixed_workload
+
+N_CORES = 8
+N_EPOCHS = 30
+HARVEST_SEEDS = (0, 1)
+
+
+@pytest.fixture(scope="session")
+def harvest_cfg():
+    return default_system(n_cores=N_CORES, budget_fraction=0.6)
+
+
+@pytest.fixture(scope="session")
+def harvest_streams(harvest_cfg):
+    """Event streams of two harvest runs (seeds 0 and 1), one per shard."""
+    streams = []
+    for seed in HARVEST_SEEDS:
+        workload = mixed_workload(N_CORES, seed=seed)
+        controller = ODRLController(harvest_cfg, seed=seed)
+        rec = BufferRecorder()
+        run_controller(
+            harvest_cfg, workload, controller, N_EPOCHS,
+            recorder=rec, harvest=True,
+        )
+        streams.append(rec.events)
+    return streams
+
+
+@pytest.fixture(scope="session")
+def replay_buffer(harvest_streams):
+    return buffer_from_events(harvest_streams)

@@ -1,0 +1,176 @@
+"""Offline trainers: correctness shapes, conservatism, bit-determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.manycore.config import default_system
+from repro.offline import (
+    TRAINERS,
+    LinearQController,
+    buffer_from_events,
+    conservative_q,
+    fitted_q_iteration,
+    linear_q,
+    state_features,
+    train,
+)
+from repro.sim.simulator import run_controller
+from repro.workloads.suite import mixed_workload
+
+from tests.offline.conftest import N_CORES
+
+
+class TestTrainerOutputs:
+    @pytest.mark.parametrize("name", sorted(TRAINERS))
+    def test_shapes_and_provenance(self, replay_buffer, name):
+        result = train(replay_buffer, trainer=name, seed=5)
+        assert result.q.shape == (replay_buffer.n_states, replay_buffer.n_actions)
+        assert result.visits.shape == result.q.shape
+        assert result.visits.sum() == len(replay_buffer)
+        assert result.trainer == name
+        assert result.dataset_digest == replay_buffer.digest
+        assert result.seed == 5
+        assert result.gamma == replay_buffer.gamma
+        assert np.all(np.isfinite(result.q))
+
+    def test_fqi_unvisited_cells_keep_optimistic_init(self, replay_buffer):
+        result = fitted_q_iteration(replay_buffer)
+        unvisited = result.visits == 0
+        assert unvisited.any()  # a 30-epoch harvest cannot cover 20x5
+        init = 1.0 / (1.0 - result.gamma)
+        assert np.all(result.q[unvisited] == init)
+
+    def test_cql_pins_unsupported_below_supported(self, replay_buffer):
+        result = conservative_q(replay_buffer, penalty=1.0)
+        supported = result.visits >= 1
+        for s in range(replay_buffer.n_states):
+            if not supported[s].any() or supported[s].all():
+                continue
+            worst_supported = result.q[s][supported[s]].min()
+            assert np.all(result.q[s][~supported[s]] <= worst_supported - 1.0)
+            # The greedy action is always one the dataset vouches for.
+            assert supported[s][int(np.argmax(result.q[s]))]
+
+    def test_linear_q_table_is_feature_product(self, replay_buffer):
+        result = linear_q(replay_buffer)
+        assert result.weights is not None
+        feats = state_features(replay_buffer.n_states)
+        assert result.weights.shape == (replay_buffer.n_actions, feats.shape[1])
+        assert np.array_equal(result.q, feats @ result.weights.T)
+
+    def test_gamma_override(self, replay_buffer):
+        result = fitted_q_iteration(replay_buffer, gamma=0.9)
+        assert result.gamma == 0.9
+
+
+class TestTrainingValidation:
+    def test_unknown_trainer_rejected(self, replay_buffer):
+        with pytest.raises(ValueError, match="unknown trainer"):
+            train(replay_buffer, trainer="dqn")
+
+    def test_bad_iterations_rejected(self, replay_buffer):
+        with pytest.raises(ValueError, match="iterations"):
+            fitted_q_iteration(replay_buffer, iterations=0)
+
+    def test_bad_penalty_rejected(self, replay_buffer):
+        with pytest.raises(ValueError, match="penalty"):
+            conservative_q(replay_buffer, penalty=-0.5)
+
+    def test_bad_l2_rejected(self, replay_buffer):
+        with pytest.raises(ValueError, match="l2"):
+            linear_q(replay_buffer, l2=0.0)
+
+
+class TestBitDeterminism:
+    """Training is a pure function of (dataset digest, seed)."""
+
+    @pytest.mark.parametrize("name", sorted(TRAINERS))
+    def test_rerun_is_bit_identical(self, replay_buffer, name):
+        a = train(replay_buffer, trainer=name, seed=0)
+        b = train(replay_buffer, trainer=name, seed=0)
+        assert a.dataset_digest == b.dataset_digest
+        assert a.q.tobytes() == b.q.tobytes()
+        assert a.visits.tobytes() == b.visits.tobytes()
+        if a.weights is not None:
+            assert b.weights is not None
+            assert a.weights.tobytes() == b.weights.tobytes()
+
+    @pytest.mark.parametrize("name", sorted(TRAINERS))
+    def test_shard_arrangement_does_not_change_training(
+        self, harvest_streams, replay_buffer, name
+    ):
+        rearranged = buffer_from_events(list(reversed(harvest_streams)))
+        assert rearranged.digest == replay_buffer.digest
+        a = train(replay_buffer, trainer=name, seed=0)
+        b = train(rearranged, trainer=name, seed=0)
+        assert a.q.tobytes() == b.q.tobytes()
+
+
+class TestStateFeatures:
+    def test_factored_encoding(self):
+        feats = state_features(20, n_ipc_bins=4)
+        assert feats.shape == (20, 5 + 4 + 1)
+        # Each state activates one slack bin, one IPC bin, and the bias.
+        assert np.all(feats.sum(axis=1) == 3.0)
+        assert np.all(feats[:, -1] == 1.0)
+
+    def test_non_factoring_space_falls_back_to_tabular(self):
+        feats = state_features(7, n_ipc_bins=4)
+        assert feats.shape == (7, 8)
+        assert np.array_equal(feats[:, :7], np.eye(7))
+
+    def test_degenerate_space_rejected(self):
+        with pytest.raises(ValueError, match="n_states"):
+            state_features(0)
+
+
+class TestLinearQController:
+    @pytest.fixture(scope="class")
+    def weights(self, replay_buffer):
+        return linear_q(replay_buffer).weights
+
+    def test_wrong_action_count_rejected(self, harvest_cfg):
+        with pytest.raises(ValueError, match="shape"):
+            LinearQController(harvest_cfg, weights=np.zeros((3, 10)))
+
+    def test_wrong_feature_count_rejected(self, harvest_cfg):
+        with pytest.raises(ValueError, match="features"):
+            LinearQController(harvest_cfg, weights=np.zeros((5, 99)))
+
+    def test_bad_action_mode_rejected(self, harvest_cfg, weights):
+        with pytest.raises(ValueError, match="action_mode"):
+            LinearQController(harvest_cfg, weights=weights, action_mode="soft")
+
+    def test_decide_returns_valid_levels(self, harvest_cfg, weights):
+        controller = LinearQController(harvest_cfg, weights=weights)
+        levels = controller.decide(None)
+        assert levels.shape == (N_CORES,)
+        result = run_controller(
+            harvest_cfg, mixed_workload(N_CORES, seed=9), controller, 12
+        )
+        assert np.all(np.isfinite(result.chip_power))
+
+    def test_rng_free_runs_bit_identical(self, harvest_cfg, weights):
+        workload = mixed_workload(N_CORES, seed=9)
+        runs = [
+            run_controller(
+                harvest_cfg,
+                workload,
+                LinearQController(harvest_cfg, weights=weights),
+                20,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].chip_power.tobytes() == runs[1].chip_power.tobytes()
+        assert (
+            runs[0].chip_instructions.tobytes()
+            == runs[1].chip_instructions.tobytes()
+        )
+
+    def test_default_system_compatibility(self, weights):
+        # A bigger chip with the same level count reuses the same policy.
+        cfg = default_system(n_cores=24, budget_fraction=0.6)
+        controller = LinearQController(cfg, weights=weights)
+        assert controller.decide(None).shape == (24,)

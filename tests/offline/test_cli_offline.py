@@ -1,0 +1,133 @@
+"""`repro offline harvest|train|eval` end-to-end and failure modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def harvest_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("harvest")
+    rc = main(
+        [
+            "offline", "harvest",
+            "--out", str(out),
+            "--cores", "4",
+            "--epochs", "12",
+            "--benchmarks", "mixed",
+            "--seeds", "0,1",
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+@pytest.fixture(scope="module")
+def policy_path(harvest_dir, tmp_path_factory):
+    policy = tmp_path_factory.mktemp("policies") / "policy.npz"
+    traces = sorted(str(p) for p in harvest_dir.glob("*.jsonl"))
+    rc = main(
+        ["offline", "train", "--traces", *traces, "--out", str(policy)]
+    )
+    assert rc == 0
+    return policy
+
+
+class TestHappyPath:
+    def test_harvest_writes_one_file_per_cell(self, harvest_dir):
+        names = sorted(p.name for p in harvest_dir.glob("*.jsonl"))
+        assert names == ["harvest-mixed-s0.jsonl", "harvest-mixed-s1.jsonl"]
+
+    def test_train_reports_dataset(self, harvest_dir, policy_path, capsys):
+        traces = sorted(str(p) for p in harvest_dir.glob("*.jsonl"))
+        rc = main(
+            [
+                "offline", "train",
+                "--traces", *traces,
+                "--out", str(policy_path.parent / "again.npz"),
+                "--trainer", "fqi",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replay buffer:" in out
+        assert "digest" in out
+        assert "trained fqi policy" in out
+
+    def test_eval_warm(self, policy_path, capsys):
+        rc = main(
+            [
+                "offline", "eval",
+                "--policy", str(policy_path),
+                "--cores", "4",
+                "--epochs", "12",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "od-rl-warm" in out
+        assert "BIPS" in out
+
+    def test_eval_linear(self, harvest_dir, tmp_path, capsys):
+        policy = tmp_path / "linear.npz"
+        traces = sorted(str(p) for p in harvest_dir.glob("*.jsonl"))
+        assert main(
+            [
+                "offline", "train",
+                "--traces", *traces,
+                "--out", str(policy),
+                "--trainer", "linear",
+            ]
+        ) == 0
+        capsys.readouterr()
+        rc = main(
+            [
+                "offline", "eval",
+                "--policy", str(policy),
+                "--controller", "linear-q",
+                "--cores", "4",
+                "--epochs", "12",
+            ]
+        )
+        assert rc == 0
+        assert "linear-q" in capsys.readouterr().out
+
+
+class TestFailureModes:
+    def test_train_missing_trace(self, tmp_path, capsys):
+        rc = main(
+            [
+                "offline", "train",
+                "--traces", str(tmp_path / "nope.jsonl"),
+                "--out", str(tmp_path / "p.npz"),
+            ]
+        )
+        assert rc == 2
+        assert "cannot build replay buffer" in capsys.readouterr().err
+
+    def test_eval_missing_policy(self, tmp_path, capsys):
+        rc = main(
+            ["offline", "eval", "--policy", str(tmp_path / "nope.npz")]
+        )
+        assert rc == 2
+        assert "cannot load policy" in capsys.readouterr().err
+
+    def test_eval_unknown_benchmark(self, policy_path, capsys):
+        rc = main(
+            [
+                "offline", "eval",
+                "--policy", str(policy_path),
+                "--benchmark", "doom",
+            ]
+        )
+        assert rc == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_list_mentions_e16(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "E16" in out
+    assert "offline-RL" in out

@@ -1,0 +1,104 @@
+"""Trace → replay → train conformance against the golden harvest fixture.
+
+``tests/golden/harvest-od-rl.jsonl`` freezes the full event stream of a
+16-core harvest run.  This suite closes the loop the offline pipeline
+depends on: transitions rebuilt from the JSONL must match what the live
+simulator produces **bit for bit** — states, actions, rewards, masks —
+and the buffer digest (hence any training run keyed on it) must be
+stable.  Regenerate the fixture with ``make golden`` only for an
+intentional behaviour change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import read_events_tolerant
+from repro.offline import buffer_from_events, extract_runs, train
+
+from tools.regen_golden import (
+    GOLDEN_HARVEST_PATH,
+    GOLDEN_N_CORES,
+    GOLDEN_N_EPOCHS,
+    compute_golden_harvest_events,
+)
+
+
+@pytest.fixture(scope="module")
+def fixture_events():
+    assert GOLDEN_HARVEST_PATH.is_file(), (
+        "missing golden harvest fixture; run `make golden`"
+    )
+    events, torn = read_events_tolerant(str(GOLDEN_HARVEST_PATH))
+    assert torn == 0
+    return events
+
+
+@pytest.fixture(scope="module")
+def live_events():
+    """The same run recomputed by the live simulator."""
+    return compute_golden_harvest_events()
+
+
+def test_fixture_shape(fixture_events):
+    kinds = [e["type"] for e in fixture_events]
+    assert kinds.count("run_start") == 1
+    assert kinds.count("run_end") == 1
+    assert kinds.count("epoch") == GOLDEN_N_EPOCHS
+    assert kinds.count("transition") == GOLDEN_N_EPOCHS - 2
+    manifest = fixture_events[0]
+    assert manifest["harvest"] is True
+    assert manifest["n_cores"] == GOLDEN_N_CORES
+
+
+def test_event_stream_matches_live_simulator(fixture_events, live_events):
+    # Whole-stream equality: the JSON round trip (repr floats) must be
+    # lossless, so parsed fixture events equal freshly computed ones —
+    # including epoch records, whose decision_time both sides zero.
+    assert len(fixture_events) == len(live_events)
+    for frozen, live in zip(fixture_events, live_events):
+        assert frozen == live
+
+
+def test_transitions_match_live_simulator_bit_for_bit(
+    fixture_events, live_events
+):
+    frozen = extract_runs(fixture_events)
+    fresh = extract_runs(live_events)
+    assert len(frozen) == len(fresh) == 1
+    a, b = frozen[0], fresh[0]
+    assert a.completed and b.completed
+    assert a.run_key == b.run_key
+    # Bit-for-bit: byte-compare the arrays, not just allclose.
+    for field in (
+        "states", "actions", "rewards", "next_states", "next_actions", "mask"
+    ):
+        assert (
+            getattr(a, field).tobytes() == getattr(b, field).tobytes()
+        ), field
+
+
+def test_buffer_digest_stable(fixture_events, live_events):
+    frozen = buffer_from_events([fixture_events])
+    fresh = buffer_from_events([live_events])
+    assert frozen.digest == fresh.digest
+    assert len(frozen) == len(fresh)
+
+
+def test_training_from_fixture_is_reproducible(fixture_events):
+    buffer = buffer_from_events([fixture_events])
+    a = train(buffer, trainer="cql", seed=0)
+    b = train(buffer, trainer="cql", seed=0)
+    assert a.q.tobytes() == b.q.tobytes()
+    assert np.all(np.isfinite(a.q))
+
+
+def test_rewards_are_trusted_updates_only(fixture_events):
+    # The golden run has no fault injection, so every recorded update was
+    # a trusted one — the mask must be all-True and the flattened buffer
+    # must carry every transition row.
+    run = extract_runs(fixture_events)[0]
+    assert bool(run.mask.all())
+    buffer = buffer_from_events([fixture_events])
+    assert len(buffer) == run.n_transitions * GOLDEN_N_CORES

@@ -138,7 +138,10 @@ PAIRS: Tuple[ParityPair, ...] = (
         serial="repro.core.controller.ODRLController.decide",
         batch="repro.kernel.policies.BatchODRL.decide",
         mapping={"_window_over_epochs": "_window_over"},
-        ignore_serial=frozenset({"_epoch", "agents"}),
+        # ``last_update`` is serial-only harvest scratch (the transition
+        # the offline replay layer records); harvest and warm-start runs
+        # route through PerRunPolicy, so the batch decide never needs it.
+        ignore_serial=frozenset({"_epoch", "agents", "last_update"}),
         ignore_batch=frozenset(
             {
                 "q",

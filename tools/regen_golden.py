@@ -19,8 +19,9 @@ always rebuild exactly what this tool froze.
 from __future__ import annotations
 
 import dataclasses
+import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Any, Dict, List, Union
 
 import numpy as np
 
@@ -37,8 +38,10 @@ __all__ = [
     "GOLDEN_SEED",
     "GOLDEN_BUDGET_FRACTION",
     "GOLDEN_CONTROLLERS",
+    "GOLDEN_HARVEST_PATH",
     "golden_path",
     "compute_golden_results",
+    "compute_golden_harvest_events",
     "main",
 ]
 
@@ -48,6 +51,11 @@ GOLDEN_N_EPOCHS = 50
 GOLDEN_SEED = 0
 GOLDEN_BUDGET_FRACTION = 0.6
 GOLDEN_CONTROLLERS = ("od-rl", "pid", "static-uniform")
+
+#: Golden harvest trace: the od-rl learner's run above re-recorded with
+#: ``harvest=True``, pinning the transition-event stream the offline
+#: pipeline ingests (see ``tests/offline/test_conformance.py``).
+GOLDEN_HARVEST_PATH = GOLDEN_DIR / "harvest-od-rl.jsonl"
 
 
 def golden_path(controller: str) -> Path:
@@ -91,12 +99,52 @@ def compute_golden_results(
     }
 
 
+def compute_golden_harvest_events() -> List[Dict[str, Any]]:
+    """Events of the golden harvest run: od-rl with ``harvest=True``.
+
+    A standalone :class:`~repro.core.controller.ODRLController` seeded
+    with ``GOLDEN_SEED`` on the golden workload — the same trajectory the
+    od-rl ``.npz`` fixture freezes, plus the per-epoch transition events
+    the offline pipeline ingests.  ``decision_time`` on epoch events is
+    wall-clock measurement noise and is zeroed, mirroring the zeroed
+    ``decision_time`` arrays in the ``.npz`` fixtures.
+    """
+    from repro.core.controller import ODRLController
+    from repro.obs.recorder import BufferRecorder
+    from repro.sim.simulator import run_controller
+
+    cfg = default_system(
+        n_cores=GOLDEN_N_CORES, budget_fraction=GOLDEN_BUDGET_FRACTION
+    )
+    workload = mixed_workload(GOLDEN_N_CORES, seed=GOLDEN_SEED)
+    controller = ODRLController(cfg, seed=GOLDEN_SEED)
+    rec = BufferRecorder()
+    run_controller(
+        cfg, workload, controller, GOLDEN_N_EPOCHS, recorder=rec, harvest=True
+    )
+    events: List[Dict[str, Any]] = []
+    for event in rec.events:
+        if event.get("type") == "epoch":
+            event = dict(event, decision_time=0.0)
+        events.append(event)
+    return events
+
+
 def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for name, result in compute_golden_results().items():
         path = golden_path(name)
         save_result(result, path)
         print(f"wrote {path} ({path.stat().st_size} bytes)")
+    events = compute_golden_harvest_events()
+    GOLDEN_HARVEST_PATH.write_text(
+        "".join(json.dumps(e, sort_keys=True) + "\n" for e in events),
+        encoding="utf-8",
+    )
+    print(
+        f"wrote {GOLDEN_HARVEST_PATH} "
+        f"({GOLDEN_HARVEST_PATH.stat().st_size} bytes, {len(events)} events)"
+    )
     return 0
 
 
